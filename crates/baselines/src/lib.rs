@@ -1,0 +1,25 @@
+//! # fluidicl-baselines — every runtime the paper compares against
+//!
+//! * [`StaticPartitionRuntime`] — a fixed x% CPU / (100−x)% GPU split of
+//!   every kernel, the manual partitioning of paper §3 (Figures 2–3);
+//! * [`oracle_sweep`] — OracleSP, the best static split found by exhaustive
+//!   offline search (§9.1);
+//! * [`SoclRuntime`] — a StarPU/SOCL-style whole-kernel task scheduler with
+//!   the `eager` and `dmda` policies and an explicit calibration step
+//!   (§9.4).
+//!
+//! The pure single-device baselines (CPU-only / GPU-only) come from
+//! [`fluidicl_vcl::SingleDeviceRuntime`]. All runtimes implement
+//! [`fluidicl_vcl::ClDriver`], so the identical host programs from
+//! `fluidicl-polybench` drive each of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod oracle;
+mod socl;
+mod static_partition;
+
+pub use oracle::{oracle_sweep, OracleResult};
+pub use socl::{SoclRuntime, SoclScheduler};
+pub use static_partition::StaticPartitionRuntime;

@@ -1,0 +1,81 @@
+//! OracleSP: the oracle static partitioning of paper §9.1.
+//!
+//! Runs the application once for every CPU/GPU split x ∈ {0%, 10%, …, 100%}
+//! and reports the best — the strongest *static* scheme a programmer could
+//! reach by exhaustive offline tuning. FluidiCL matching or beating
+//! OracleSP without any tuning is the paper's headline result.
+
+use fluidicl_des::SimDuration;
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::BenchmarkSpec;
+use fluidicl_vcl::{ClDriver, ClResult};
+
+use crate::StaticPartitionRuntime;
+
+/// Result of one oracle sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleResult {
+    /// Best total running time across all splits.
+    pub best_time: SimDuration,
+    /// CPU fraction achieving it.
+    pub best_cpu_fraction: f64,
+    /// The full sweep: `(cpu_fraction, total_time)` for every split tried.
+    pub sweep: Vec<(f64, SimDuration)>,
+}
+
+/// Runs `benchmark` at size `n` under every static split in `steps`-percent
+/// increments and returns the oracle choice.
+///
+/// # Errors
+///
+/// Propagates driver errors; fails if any split produces results that do
+/// not match the sequential reference.
+pub fn oracle_sweep(
+    machine: &MachineConfig,
+    benchmark: &BenchmarkSpec,
+    n: usize,
+    seed: u64,
+    steps: usize,
+) -> ClResult<OracleResult> {
+    assert!(steps >= 1, "need at least one step");
+    let mut sweep = Vec::new();
+    for i in 0..=steps {
+        let fraction = i as f64 / steps as f64;
+        let mut rt =
+            StaticPartitionRuntime::new(machine.clone(), (benchmark.program)(n), fraction);
+        let ok = benchmark.run_and_validate_sized(&mut rt, n, seed)?;
+        assert!(
+            ok,
+            "static split {fraction} corrupted {} output",
+            benchmark.name
+        );
+        sweep.push((fraction, rt.elapsed()));
+    }
+    let (best_cpu_fraction, best_time) = sweep
+        .iter()
+        .copied()
+        .min_by_key(|(_, t)| *t)
+        .expect("sweep is non-empty");
+    Ok(OracleResult {
+        best_time,
+        best_cpu_fraction,
+        sweep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidicl_polybench::find;
+
+    #[test]
+    fn oracle_picks_the_minimum() {
+        let machine = MachineConfig::paper_testbed();
+        let bench = find("GESUMMV").unwrap();
+        let r = oracle_sweep(&machine, &bench, 512, 3, 5).unwrap();
+        assert_eq!(r.sweep.len(), 6);
+        let min = r.sweep.iter().map(|(_, t)| *t).min().unwrap();
+        assert_eq!(r.best_time, min);
+        assert!((0.0..=1.0).contains(&r.best_cpu_fraction));
+    }
+}

@@ -1,0 +1,108 @@
+//! Decision-quality tests for the baseline runtimes on the real benchmark
+//! suite: dmda must place each BICG kernel on its preferred device, the
+//! oracle must find interior optima where they exist, and the calibration
+//! workflow must behave as the paper describes.
+
+use fluidicl_baselines::{oracle_sweep, SoclRuntime, SoclScheduler, StaticPartitionRuntime};
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::find;
+use fluidicl_vcl::{ClDriver, DeviceKind};
+
+const SEED: u64 = 77;
+
+#[test]
+fn calibrated_dmda_splits_bicg_across_devices() {
+    // The paper's Table 1 scenario: BICG's kernels prefer different
+    // devices; a data-aware scheduler with a model should place them apart.
+    let bench = find("BICG").expect("BICG registered");
+    let n = bench.default_n;
+    let machine = MachineConfig::paper_testbed();
+    let mut probe = SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
+    assert!(bench.run_and_validate_sized(&mut probe, n, SEED).unwrap());
+    let mut rt = SoclRuntime::new(machine, (bench.program)(n), SoclScheduler::Dmda);
+    for (kernel, nd) in probe.geometry_log() {
+        rt.calibrate(kernel, *nd).unwrap();
+    }
+    assert!(bench.run_and_validate_sized(&mut rt, n, SEED).unwrap());
+    let devices: std::collections::HashMap<String, DeviceKind> = rt
+        .task_log()
+        .iter()
+        .map(|(k, d)| (k.clone(), *d))
+        .collect();
+    assert_eq!(devices["bicg_q"], DeviceKind::Gpu);
+    assert_eq!(devices["bicg_s"], DeviceKind::Cpu);
+}
+
+#[test]
+fn calibrated_dmda_never_loses_to_eager_on_the_suite() {
+    let machine = MachineConfig::paper_testbed();
+    for name in ["ATAX", "BICG", "GESUMMV", "SYRK"] {
+        let bench = find(name).expect("benchmark registered");
+        let n = bench.default_n;
+        let mut eager =
+            SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
+        assert!(bench.run_and_validate_sized(&mut eager, n, SEED).unwrap());
+        let mut dmda = SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Dmda);
+        for (kernel, nd) in eager.geometry_log() {
+            dmda.calibrate(kernel, *nd).unwrap();
+        }
+        assert!(bench.run_and_validate_sized(&mut dmda, n, SEED).unwrap());
+        assert!(
+            dmda.elapsed() <= eager.elapsed(),
+            "{name}: calibrated dmda ({}) lost to eager ({})",
+            dmda.elapsed(),
+            eager.elapsed()
+        );
+    }
+}
+
+#[test]
+fn oracle_finds_an_interior_optimum_for_syrk() {
+    let machine = MachineConfig::paper_testbed();
+    let bench = find("SYRK").expect("SYRK registered");
+    let r = oracle_sweep(&machine, &bench, bench.default_n, SEED, 10).unwrap();
+    assert!(
+        r.best_cpu_fraction > 0.0 && r.best_cpu_fraction < 1.0,
+        "SYRK's best static split must be interior (got {})",
+        r.best_cpu_fraction
+    );
+    // The oracle must beat both pure-device endpoints.
+    let ends: Vec<_> = r
+        .sweep
+        .iter()
+        .filter(|(f, _)| *f == 0.0 || *f == 1.0)
+        .map(|(_, t)| *t)
+        .collect();
+    assert!(ends.iter().all(|&t| r.best_time < t));
+}
+
+#[test]
+fn oracle_picks_an_endpoint_for_single_device_benchmarks() {
+    let machine = MachineConfig::paper_testbed();
+    // ATAX is GPU-monotone, GESUMMV CPU-monotone.
+    let atax = find("ATAX").expect("ATAX registered");
+    let r = oracle_sweep(&machine, &atax, atax.default_n, SEED, 10).unwrap();
+    assert_eq!(r.best_cpu_fraction, 0.0, "ATAX oracle must pick pure GPU");
+    let gesummv = find("GESUMMV").expect("GESUMMV registered");
+    let r = oracle_sweep(&machine, &gesummv, gesummv.default_n, SEED, 10).unwrap();
+    assert_eq!(r.best_cpu_fraction, 1.0, "GESUMMV oracle must pick pure CPU");
+}
+
+#[test]
+fn static_split_times_vary_smoothly_enough_to_sweep() {
+    // No split may be pathologically wrong by orders of magnitude — a
+    // sanity bound on the interaction of partitioning with the models.
+    let machine = MachineConfig::paper_testbed();
+    let bench = find("SYR2K").expect("SYR2K registered");
+    let n = bench.default_n;
+    let mut times = Vec::new();
+    for i in 0..=10 {
+        let mut rt =
+            StaticPartitionRuntime::new(machine.clone(), (bench.program)(n), i as f64 / 10.0);
+        assert!(bench.run_and_validate_sized(&mut rt, n, SEED).unwrap());
+        times.push(rt.elapsed());
+    }
+    let min = times.iter().min().unwrap().as_nanos() as f64;
+    let max = times.iter().max().unwrap().as_nanos() as f64;
+    assert!(max / min < 20.0, "static sweep spans {:.1}x", max / min);
+}

@@ -1,0 +1,97 @@
+//! Microbenchmarks of the substrate: event-queue throughput, the
+//! diff-merge coherence primitive, and the functional kernel executor.
+//! These bound the wall-clock cost of regenerating the paper's experiments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fluidicl_des::{SimDuration, Simulation};
+use fluidicl_hetsim::KernelProfile;
+use fluidicl_vcl::exec::{execute_all, Launch};
+use fluidicl_vcl::{diff_merge, ArgRole, ArgSpec, BufferId, KernelArg, KernelDef, Memory, NdRange};
+use std::sync::Arc;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    for &n in &[1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("schedule_pop_{n}"), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new();
+                for i in 0..n {
+                    sim.schedule_in(SimDuration::from_nanos(i % 977), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = sim.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_diff_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge");
+    for &n in &[1usize << 12, 1 << 18] {
+        let orig: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let cpu: Vec<f32> = (0..n)
+            .map(|i| if i % 3 == 0 { i as f32 + 1.0 } else { i as f32 })
+            .collect();
+        g.throughput(Throughput::Bytes(n as u64 * 4));
+        g.bench_function(format!("diff_merge_{n}"), |b| {
+            b.iter_batched(
+                || orig.clone(),
+                |mut gpu| {
+                    diff_merge(&mut gpu, &cpu, &orig);
+                    gpu
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let kernel = Arc::new(KernelDef::new(
+        "mad",
+        vec![
+            ArgSpec::new("src", ArgRole::In),
+            ArgSpec::new("dst", ArgRole::Out),
+        ],
+        KernelProfile::new("mad"),
+        |item, _, ins, outs| {
+            let i = item.global_linear();
+            outs.at(0)[i] = ins.get(0)[i].mul_add(1.5, 0.5);
+        },
+    ));
+    let mut g = c.benchmark_group("executor");
+    for &n in &[1usize << 12, 1 << 16] {
+        let nd = NdRange::d1(n, 64).expect("valid range");
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("execute_all_{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut mem = Memory::new();
+                    mem.install(BufferId(0), (0..n).map(|i| i as f32).collect());
+                    mem.alloc(BufferId(1), n);
+                    mem
+                },
+                |mut mem| {
+                    let launch = Launch::new(
+                        kernel.clone(),
+                        nd,
+                        vec![KernelArg::Buffer(BufferId(0)), KernelArg::Buffer(BufferId(1))],
+                    );
+                    execute_all(&launch, &mut mem).expect("executes");
+                    mem
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_diff_merge, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches over the experiment harness. Criterion repeats each
+//! target at least ten times, so only the second-scale experiments run here
+//! (tables 1–3); the full set — every figure and table of the paper — is
+//! regenerated in one pass by `cargo run --release -p fluidicl-bench --bin
+//! repro all`, which is the canonical way to reproduce the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluidicl_bench::experiments::{experiments, find, ExperimentResult};
+use fluidicl_hetsim::MachineConfig;
+
+/// The experiments cheap enough to repeat under criterion.
+const FAST: [&str; 3] = ["table1", "table2", "table3"];
+
+fn bench_fast_experiments(c: &mut Criterion) {
+    let machine = MachineConfig::paper_testbed();
+    let mut g = c.benchmark_group("paper_experiments");
+    g.sample_size(10);
+    for id in FAST {
+        let e = find(id).expect("experiment registered");
+        g.bench_function(e.id, |b| {
+            b.iter(|| {
+                let result: ExperimentResult = (e.run)(&machine);
+                assert!(
+                    !result.tables.is_empty() && !result.tables[0].is_empty(),
+                    "{} produced no data",
+                    e.id
+                );
+                result.tables.len()
+            })
+        });
+    }
+    g.finish();
+    // The registry itself stays covered: every experiment id must resolve.
+    assert_eq!(experiments().len(), 14);
+}
+
+criterion_group!(benches, bench_fast_experiments);
+criterion_main!(benches);

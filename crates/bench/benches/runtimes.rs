@@ -1,0 +1,81 @@
+//! Whole-runtime benchmarks: one small-size application run per runtime.
+//! These measure the *simulator's* wall-clock cost (virtual results are
+//! deterministic); they are the knobs to watch when extending the runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluidicl::{Fluidicl, FluidiclConfig};
+use fluidicl_baselines::{SoclRuntime, SoclScheduler, StaticPartitionRuntime};
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::find;
+use fluidicl_vcl::{DeviceKind, SingleDeviceRuntime};
+
+const N: usize = 128;
+const SEED: u64 = 5;
+
+fn bench_runtimes(c: &mut Criterion) {
+    let machine = MachineConfig::paper_testbed();
+    let bench = find("SYRK").expect("SYRK registered");
+    let mut g = c.benchmark_group("runtimes_syrk128");
+    g.sample_size(20);
+    g.bench_function("cpu_only", |b| {
+        b.iter(|| {
+            let mut rt =
+                SingleDeviceRuntime::new(machine.clone(), DeviceKind::Cpu, (bench.program)(N));
+            (bench.run)(&mut rt, N, SEED).expect("runs")
+        })
+    });
+    g.bench_function("gpu_only", |b| {
+        b.iter(|| {
+            let mut rt =
+                SingleDeviceRuntime::new(machine.clone(), DeviceKind::Gpu, (bench.program)(N));
+            (bench.run)(&mut rt, N, SEED).expect("runs")
+        })
+    });
+    g.bench_function("fluidicl", |b| {
+        b.iter(|| {
+            let mut rt = Fluidicl::new(
+                machine.clone(),
+                FluidiclConfig::default(),
+                (bench.program)(N),
+            );
+            (bench.run)(&mut rt, N, SEED).expect("runs")
+        })
+    });
+    g.bench_function("static_50_50", |b| {
+        b.iter(|| {
+            let mut rt =
+                StaticPartitionRuntime::new(machine.clone(), (bench.program)(N), 0.5);
+            (bench.run)(&mut rt, N, SEED).expect("runs")
+        })
+    });
+    g.bench_function("socl_eager", |b| {
+        b.iter(|| {
+            let mut rt =
+                SoclRuntime::new(machine.clone(), (bench.program)(N), SoclScheduler::Eager);
+            (bench.run)(&mut rt, N, SEED).expect("runs")
+        })
+    });
+    g.finish();
+}
+
+fn bench_multi_kernel(c: &mut Criterion) {
+    let machine = MachineConfig::paper_testbed();
+    let bench = find("CORR").expect("CORR registered");
+    let n = 64;
+    let mut g = c.benchmark_group("runtimes_corr64");
+    g.sample_size(20);
+    g.bench_function("fluidicl_4_kernels", |b| {
+        b.iter(|| {
+            let mut rt = Fluidicl::new(
+                machine.clone(),
+                FluidiclConfig::default(),
+                (bench.program)(n),
+            );
+            (bench.run)(&mut rt, n, SEED).expect("runs")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtimes, bench_multi_kernel);
+criterion_main!(benches);

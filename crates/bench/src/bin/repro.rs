@@ -1,0 +1,89 @@
+//! `repro` — regenerate the FluidiCL paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro list            # show available experiment ids
+//! repro all             # run everything, in paper order
+//! repro fig2 table1 …   # run a subset
+//! repro all --csv DIR   # also write one CSV per table into DIR
+//! ```
+//!
+//! All results are virtual-time measurements over the simulated testbed;
+//! see EXPERIMENTS.md for the paper-vs-measured comparison.
+
+use std::io::Write as _;
+
+use fluidicl_bench::experiments::{experiments, find, Experiment, ExperimentResult};
+use fluidicl_hetsim::MachineConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro <list|all|id...> [--csv DIR]");
+        eprintln!("experiments:");
+        for e in experiments() {
+            eprintln!("  {:8} {}", e.id, e.title);
+        }
+        return;
+    }
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--csv" {
+            csv_dir = it.next();
+            if csv_dir.is_none() {
+                eprintln!("--csv requires a directory argument");
+                std::process::exit(2);
+            }
+        } else {
+            ids.push(a);
+        }
+    }
+    if ids.iter().any(|i| i == "list") {
+        for e in experiments() {
+            println!("{:8} {}", e.id, e.title);
+        }
+        return;
+    }
+    let selected: Vec<Experiment> = if ids.iter().any(|i| i == "all") {
+        experiments()
+    } else {
+        ids.iter()
+            .map(|id| {
+                find(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment `{id}`; try `repro list`");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    let machine = MachineConfig::paper_testbed();
+    for e in selected {
+        let started = std::time::Instant::now();
+        let result = (e.run)(&machine);
+        println!("{}", result.render());
+        println!(
+            "(regenerated in {:.1}s wall time)\n",
+            started.elapsed().as_secs_f64()
+        );
+        if let Some(dir) = &csv_dir {
+            write_csvs(dir, &result);
+        }
+    }
+}
+
+fn write_csvs(dir: &str, result: &ExperimentResult) {
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    for (i, t) in result.tables.iter().enumerate() {
+        let path = if result.tables.len() == 1 {
+            format!("{dir}/{}.csv", result.id)
+        } else {
+            format!("{dir}/{}_{}.csv", result.id, i)
+        };
+        let mut f = std::fs::File::create(&path).expect("create csv file");
+        f.write_all(t.to_csv().as_bytes()).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Extended workloads (extension): FluidiCL on benchmarks beyond the
+//! paper's suite — MVT (two kernels with opposite device preferences over
+//! a shared matrix), GEMM (the canonical dense kernel) and 2MM (two
+//! *dependent* matrix products stressing cross-kernel coherence).
+//!
+//! The point of the experiment: the runtime was calibrated only against the
+//! paper's six benchmarks; tracking or beating the best single device on
+//! unseen workloads shows the protocol, not the tuning, does the work.
+
+use fluidicl::FluidiclConfig;
+use fluidicl_des::geomean;
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::extended_benchmarks;
+
+use crate::runners::{run_cpu_only, run_fluidicl, run_gpu_only};
+use crate::table::{ratio, Table};
+
+use super::ExperimentResult;
+
+pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
+    let config = FluidiclConfig::default();
+    let mut table = Table::new(
+        "Extended suite: time normalized to the best single device",
+        &["benchmark", "CPU", "GPU", "FluidiCL"],
+    );
+    let mut norms = Vec::new();
+    for b in extended_benchmarks() {
+        let n = b.default_n;
+        let cpu = run_cpu_only(machine, &b, n);
+        let gpu = run_gpu_only(machine, &b, n);
+        let (fcl, _) = run_fluidicl(machine, &config, &b, n);
+        let best = cpu.min(gpu).as_nanos() as f64;
+        let norm = fcl.as_nanos() as f64 / best;
+        norms.push(norm);
+        table.row(vec![
+            b.name.to_string(),
+            ratio(cpu.as_nanos() as f64 / best),
+            ratio(gpu.as_nanos() as f64 / best),
+            ratio(norm),
+        ]);
+    }
+    let g = geomean(&norms).expect("non-empty");
+    ExperimentResult {
+        id: "extended",
+        title: "FluidiCL on workloads beyond the paper's suite (extension)",
+        tables: vec![table],
+        notes: vec![format!(
+            "Geomean {g:.3} vs the best single device on workloads the \
+             models were never tuned against."
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluidicl_generalizes_to_unseen_workloads() {
+        let r = run(&MachineConfig::paper_testbed());
+        let csv = r.tables[0].to_csv();
+        assert_eq!(r.tables[0].len(), 3);
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let fcl: f64 = cells[3].parse().unwrap();
+            assert!(
+                fcl <= 1.08,
+                "{}: FluidiCL at {fcl} strays too far on an unseen workload",
+                cells[0]
+            );
+        }
+    }
+}

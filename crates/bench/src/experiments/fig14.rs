@@ -1,0 +1,91 @@
+//! Figure 14: SYRK across input sizes.
+//!
+//! Paper expectation: FluidiCL outperforms both single devices across the
+//! whole size sweep, with a geomean speedup of ≈1.4× over the better one.
+
+use fluidicl::FluidiclConfig;
+use fluidicl_des::geomean;
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::find;
+
+use crate::runners::{run_cpu_only, run_fluidicl, run_gpu_only};
+use crate::table::{ratio, Table};
+
+use super::ExperimentResult;
+
+/// The size sweep (the paper runs 1024²–3072²; scaled).
+pub const SIZES: [usize; 5] = [128, 256, 384, 512, 768];
+
+pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
+    let syrk = find("SYRK").expect("SYRK registered");
+    let config = FluidiclConfig::default();
+    let mut table = Table::new(
+        "SYRK: time normalized to the best single device, per input size",
+        &["input", "CPU", "GPU", "FluidiCL"],
+    );
+    let mut speedups = Vec::new();
+    let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for n in SIZES {
+        let cpu = run_cpu_only(machine, &syrk, n);
+        let gpu = run_gpu_only(machine, &syrk, n);
+        let (fcl, _) = run_fluidicl(machine, &config, &syrk, n);
+        let best = cpu.min(gpu).as_nanos() as f64;
+        let norm = [
+            cpu.as_nanos() as f64 / best,
+            gpu.as_nanos() as f64 / best,
+            fcl.as_nanos() as f64 / best,
+        ];
+        table.row(vec![
+            format!("{n}"),
+            ratio(norm[0]),
+            ratio(norm[1]),
+            ratio(norm[2]),
+        ]);
+        for (c, v) in cols.iter_mut().zip(norm) {
+            c.push(v);
+        }
+        speedups.push(best / fcl.as_nanos() as f64);
+    }
+    table.row(vec![
+        "GMean".to_string(),
+        ratio(geomean(&cols[0]).expect("non-empty")),
+        ratio(geomean(&cols[1]).expect("non-empty")),
+        ratio(geomean(&cols[2]).expect("non-empty")),
+    ]);
+    let g = geomean(&speedups).expect("non-empty");
+    ExperimentResult {
+        id: "fig14",
+        title: "SYRK on different inputs",
+        tables: vec![table],
+        notes: vec![format!(
+            "FluidiCL geomean speedup over the better device across sizes: \
+             {g:.2}x (paper ≈1.4x)."
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluidicl_wins_at_every_cooperative_size() {
+        let r = run(&MachineConfig::paper_testbed());
+        let csv = r.tables[0].to_csv();
+        // At 256 and above SYRK is cooperative; FluidiCL must beat the best
+        // single device there.
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells[0] == "GMean" {
+                continue;
+            }
+            let n: usize = cells[0].parse().unwrap();
+            let fcl: f64 = cells[3].parse().unwrap();
+            if n >= 256 {
+                assert!(fcl < 1.0, "n={n}: FluidiCL should beat the best device");
+            } else {
+                assert!(fcl < 1.1, "n={n}: FluidiCL should stay close to the best");
+            }
+        }
+    }
+}

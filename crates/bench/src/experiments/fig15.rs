@@ -1,0 +1,94 @@
+//! Figure 15: effect of the GPU work-group abort placement and of loop
+//! unrolling around in-loop checks.
+//!
+//! Paper expectations: checking only at work-group start ("NoAbortUnroll")
+//! wastes GPU work that the CPU already finished; in-loop checks without
+//! manual unrolling ("NoUnroll") slow most benchmarks down because the
+//! compiler can no longer unroll; the full treatment ("AllOpt") is best.
+
+use fluidicl::FluidiclConfig;
+use fluidicl_des::geomean;
+use fluidicl_hetsim::{AbortMode, MachineConfig};
+use fluidicl_polybench::benchmarks;
+
+use crate::runners::run_fluidicl;
+use crate::table::{ratio, Table};
+
+use super::ExperimentResult;
+
+pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
+    let mut table = Table::new(
+        "FluidiCL time normalized to AllOpt, per abort configuration",
+        &["benchmark", "NoAbortUnroll", "NoUnroll", "AllOpt"],
+    );
+    let modes = [
+        AbortMode::WorkGroupStart,
+        AbortMode::InLoop,
+        AbortMode::InLoopUnrolled,
+    ];
+    let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for b in benchmarks() {
+        let n = b.default_n;
+        let times: Vec<f64> = modes
+            .iter()
+            .map(|mode| {
+                let config = FluidiclConfig::default().with_abort_mode(*mode);
+                run_fluidicl(machine, &config, &b, n).0.as_nanos() as f64
+            })
+            .collect();
+        let allopt = times[2];
+        table.row(vec![
+            b.name.to_string(),
+            ratio(times[0] / allopt),
+            ratio(times[1] / allopt),
+            ratio(times[2] / allopt),
+        ]);
+        for (c, t) in cols.iter_mut().zip(&times) {
+            c.push(t / allopt);
+        }
+    }
+    table.row(vec![
+        "GeoMean".to_string(),
+        ratio(geomean(&cols[0]).expect("non-empty")),
+        ratio(geomean(&cols[1]).expect("non-empty")),
+        ratio(geomean(&cols[2]).expect("non-empty")),
+    ]);
+    ExperimentResult {
+        id: "fig15",
+        title: "Work-group abort and unrolling ablation",
+        tables: vec![table],
+        notes: vec![
+            "AllOpt (in-loop aborts + manual unrolling) should be the fastest \
+             configuration on (geo)average; NoUnroll pays the compiler's lost \
+             unrolling, NoAbortUnroll wastes duplicated GPU loop iterations."
+                .to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allopt_wins_on_geomean() {
+        let r = run(&MachineConfig::paper_testbed());
+        let csv = r.tables[0].to_csv();
+        let geo = csv
+            .lines()
+            .find(|l| l.starts_with("GeoMean"))
+            .expect("geomean row");
+        let cells: Vec<f64> = geo
+            .split(',')
+            .skip(1)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(cells[0] >= 1.0, "NoAbortUnroll should not beat AllOpt");
+        assert!(cells[1] >= 1.0, "NoUnroll should not beat AllOpt");
+        assert!((cells[2] - 1.0).abs() < 1e-9);
+        assert!(
+            cells[0] > 1.0 || cells[1] > 1.0,
+            "the ablation must show a measurable effect"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 16: comparison with SOCL (the StarPU OpenCL extension).
+//!
+//! Paper expectations: FluidiCL outperforms the eager scheduler on every
+//! benchmark (SYRK by >4×), matches or beats the calibrated dmda scheduler
+//! on most (SYR2K by >2.4×), and comes within ~9% of dmda on ATAX and CORR
+//! — all without any calibration runs.
+
+use fluidicl::FluidiclConfig;
+use fluidicl_baselines::SoclScheduler;
+use fluidicl_des::geomean;
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::benchmarks;
+
+use crate::runners::{run_cpu_only, run_fluidicl, run_gpu_only, run_socl};
+use crate::table::{ratio, Table};
+
+use super::ExperimentResult;
+
+pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
+    let mut table = Table::new(
+        "Execution time normalized to the best single device",
+        &["benchmark", "CPU", "GPU", "SOCLDefault", "SOCLdmda", "FluidiCL"],
+    );
+    let config = FluidiclConfig::default();
+    let mut cols: [Vec<f64>; 5] = Default::default();
+    let mut vs_eager = Vec::new();
+    let mut vs_dmda = Vec::new();
+    for b in benchmarks() {
+        let n = b.default_n;
+        let cpu = run_cpu_only(machine, &b, n);
+        let gpu = run_gpu_only(machine, &b, n);
+        let eager = run_socl(machine, &b, n, SoclScheduler::Eager, false);
+        let dmda = run_socl(machine, &b, n, SoclScheduler::Dmda, true);
+        let (fcl, _) = run_fluidicl(machine, &config, &b, n);
+        let best = cpu.min(gpu).as_nanos() as f64;
+        let norm = [
+            cpu.as_nanos() as f64 / best,
+            gpu.as_nanos() as f64 / best,
+            eager.as_nanos() as f64 / best,
+            dmda.as_nanos() as f64 / best,
+            fcl.as_nanos() as f64 / best,
+        ];
+        table.row(vec![
+            b.name.to_string(),
+            ratio(norm[0]),
+            ratio(norm[1]),
+            ratio(norm[2]),
+            ratio(norm[3]),
+            ratio(norm[4]),
+        ]);
+        for (c, v) in cols.iter_mut().zip(norm) {
+            c.push(v);
+        }
+        vs_eager.push(eager.as_nanos() as f64 / fcl.as_nanos() as f64);
+        vs_dmda.push(dmda.as_nanos() as f64 / fcl.as_nanos() as f64);
+    }
+    let mut geo_row = vec!["GeoMean".to_string()];
+    for c in &cols {
+        geo_row.push(ratio(geomean(c).expect("non-empty")));
+    }
+    table.row(geo_row);
+    let g_eager = geomean(&vs_eager).expect("non-empty");
+    let g_dmda = geomean(&vs_dmda).expect("non-empty");
+    let max_eager = vs_eager.iter().copied().fold(f64::MIN, f64::max);
+    let max_dmda = vs_dmda.iter().copied().fold(f64::MIN, f64::max);
+    ExperimentResult {
+        id: "fig16",
+        title: "Comparison with SOCL",
+        tables: vec![table],
+        notes: vec![format!(
+            "FluidiCL vs SOCL-eager: geomean {g_eager:.2}x, max {max_eager:.2}x \
+             (paper: 1.67x geomean, >4x on SYRK). Vs calibrated SOCL-dmda: \
+             geomean {g_dmda:.2}x, max {max_dmda:.2}x (paper: ≈1.26x, >2.4x on \
+             SYR2K) — with no calibration runs at all."
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluidicl_beats_eager_everywhere_and_dmda_on_geomean() {
+        let r = run(&MachineConfig::paper_testbed());
+        let csv = r.tables[0].to_csv();
+        let mut dmda_geo = 0.0;
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let eager: f64 = cells[3].parse().unwrap();
+            let dmda: f64 = cells[4].parse().unwrap();
+            let fcl: f64 = cells[5].parse().unwrap();
+            if cells[0] == "GeoMean" {
+                dmda_geo = dmda / fcl;
+                continue;
+            }
+            assert!(
+                fcl <= eager * 1.001,
+                "{}: FluidiCL ({fcl}) must not lose to eager ({eager})",
+                cells[0]
+            );
+            // Within ~10% of calibrated dmda everywhere (paper: within 9%).
+            assert!(
+                fcl <= dmda * 1.10,
+                "{}: FluidiCL ({fcl}) strays >10% behind dmda ({dmda})",
+                cells[0]
+            );
+        }
+        assert!(dmda_geo >= 1.0, "FluidiCL must at least match dmda on geomean");
+    }
+}

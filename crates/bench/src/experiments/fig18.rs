@@ -1,0 +1,80 @@
+//! Figure 18: sensitivity to the chunk-growth step size.
+//!
+//! Paper expectation: the default step stays within a couple of percent of
+//! the best step size for every benchmark (max degradation ≈3%); a step of
+//! 0% freezes the chunk at its initial size.
+
+use fluidicl::FluidiclConfig;
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::benchmarks;
+
+use crate::runners::run_fluidicl;
+use crate::table::{ratio, Table};
+
+use super::ExperimentResult;
+
+/// Step sizes swept (percent of total work-groups); 0% means every CPU
+/// subkernel keeps the initial allocation.
+pub const STEPS: [f64; 6] = [0.0, 1.0, 2.0, 3.0, 5.0, 9.0];
+/// Index of the default (2%) step within [`STEPS`].
+const DEFAULT_IDX: usize = 2;
+
+pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(STEPS.iter().map(|s| format!("{s}%")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "FluidiCL time normalized to the default 2% step size",
+        &header_refs,
+    );
+    let mut worst_default_gap = 0.0f64;
+    for b in benchmarks() {
+        let n = b.default_n;
+        let times: Vec<f64> = STEPS
+            .iter()
+            .map(|&step| {
+                let config = FluidiclConfig::default().with_chunk(2.0, step);
+                run_fluidicl(machine, &config, &b, n).0.as_nanos() as f64
+            })
+            .collect();
+        let base = times[DEFAULT_IDX];
+        let best = times.iter().copied().fold(f64::MAX, f64::min);
+        worst_default_gap = worst_default_gap.max(base / best - 1.0);
+        let mut row = vec![b.name.to_string()];
+        row.extend(times.iter().map(|t| ratio(t / base)));
+        table.row(row);
+    }
+    ExperimentResult {
+        id: "fig18",
+        title: "Chunk step-size sensitivity",
+        tables: vec![table],
+        notes: vec![format!(
+            "The default 2% step is within {:.1}% of the best step size on \
+             every benchmark (paper: within ~2%, max degradation 3%).",
+            worst_default_gap * 100.0
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_step_is_near_optimal_everywhere() {
+        let r = run(&MachineConfig::paper_testbed());
+        let csv = r.tables[0].to_csv();
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let values: Vec<f64> = cells[1..].iter().map(|c| c.parse().unwrap()).collect();
+            let best = values.iter().copied().fold(f64::MAX, f64::min);
+            // Normalized to the default, so the default's gap to the best
+            // step is 1/best − 1.
+            assert!(
+                1.0 / best - 1.0 < 0.08,
+                "{}: default step strays too far from the best",
+                cells[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 3: SYRK static-split curves for a small and a large input.
+//!
+//! Paper expectation: the best static split *moves with the input size*
+//! (≈60% GPU for the small input, ≈40% GPU for the large one in the paper);
+//! any fixed split is therefore wrong for some input.
+
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::find;
+
+use crate::runners::run_static;
+use crate::table::{ratio, Table};
+
+use super::ExperimentResult;
+
+/// Small input size (the paper's garbled "(, )" — most plausibly 128²).
+pub const SMALL_N: usize = 128;
+/// Large input size (paper: 2048²; scaled to keep functional execution
+/// fast while staying in the cache-thrashing regime of the GPU model).
+pub const LARGE_N: usize = 768;
+
+pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
+    let syrk = find("SYRK").expect("SYRK registered");
+    let mut table = Table::new(
+        "SYRK: normalized time vs GPU allocation, two input sizes",
+        &["gpu_pct", "SYRK(Small)", "SYRK(Large)"],
+    );
+    let sweep = |n: usize| -> Vec<f64> {
+        let times: Vec<_> = (0..=10)
+            .map(|i| run_static(machine, &syrk, n, 1.0 - i as f64 / 10.0))
+            .collect();
+        let best = times.iter().copied().min().expect("non-empty").as_nanos() as f64;
+        times.iter().map(|t| t.as_nanos() as f64 / best).collect()
+    };
+    let small = sweep(SMALL_N);
+    let large = sweep(LARGE_N);
+    for i in 0..=10usize {
+        table.row(vec![format!("{}", i * 10), ratio(small[i]), ratio(large[i])]);
+    }
+    let best_pct = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i * 10)
+            .expect("non-empty")
+    };
+    ExperimentResult {
+        id: "fig3",
+        title: "SYRK split curves for two input sizes",
+        tables: vec![table],
+        notes: vec![format!(
+            "Best GPU share: small input {}%, large input {}% — the optimum \
+             moves toward the CPU as the input grows (paper: 60% → 40%).",
+            best_pct(&small),
+            best_pct(&large)
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_moves_toward_cpu_with_size() {
+        let r = run(&MachineConfig::paper_testbed());
+        let csv = r.tables[0].to_csv();
+        let rows: Vec<Vec<f64>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+            .collect();
+        let best = |col: usize| {
+            rows.iter()
+                .min_by(|a, b| a[col].total_cmp(&b[col]))
+                .map(|r| r[0])
+                .unwrap()
+        };
+        assert!(
+            best(2) < best(1),
+            "large input must favour more CPU (lower GPU %) than small"
+        );
+    }
+}

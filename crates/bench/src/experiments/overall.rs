@@ -1,0 +1,119 @@
+//! Figure 13 (the paper's "Figure 3" in Section 9.1): overall performance
+//! of FluidiCL against CPU-only, GPU-only and OracleSP.
+//!
+//! Paper expectations: FluidiCL tracks the best single device within a few
+//! percent on every benchmark, outperforms it on BICG, SYRK and SYR2K,
+//! approaches OracleSP everywhere (within ~4% on ATAX) and beats OracleSP
+//! on SYRK/SYR2K; geomean speedups ≈1.64× over the GPU, ≈1.88× over the
+//! CPU, up to ≈1.4× over the better of the two.
+
+use fluidicl::FluidiclConfig;
+use fluidicl_des::geomean;
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::benchmarks;
+
+use crate::runners::{run_cpu_only, run_fluidicl, run_gpu_only, run_static, SEED};
+use crate::table::{ratio, Table};
+
+use super::ExperimentResult;
+
+pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
+    let _ = SEED;
+    let mut table = Table::new(
+        "Execution time normalized to the best single device",
+        &["benchmark", "CPU", "GPU", "FluidiCL", "OracleSP"],
+    );
+    let config = FluidiclConfig::default();
+    let mut cols: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut vs_gpu = Vec::new();
+    let mut vs_cpu = Vec::new();
+    let mut vs_best = Vec::new();
+    for b in benchmarks() {
+        let n = b.default_n;
+        let cpu = run_cpu_only(machine, &b, n);
+        let gpu = run_gpu_only(machine, &b, n);
+        let (fcl, _) = run_fluidicl(machine, &config, &b, n);
+        let oracle = (0..=10)
+            .map(|i| run_static(machine, &b, n, i as f64 / 10.0))
+            .min()
+            .expect("sweep non-empty");
+        let best = cpu.min(gpu).as_nanos() as f64;
+        let norm = [
+            cpu.as_nanos() as f64 / best,
+            gpu.as_nanos() as f64 / best,
+            fcl.as_nanos() as f64 / best,
+            oracle.as_nanos() as f64 / best,
+        ];
+        table.row(vec![
+            b.name.to_string(),
+            ratio(norm[0]),
+            ratio(norm[1]),
+            ratio(norm[2]),
+            ratio(norm[3]),
+        ]);
+        for (c, v) in cols.iter_mut().zip(norm) {
+            c.push(v);
+        }
+        vs_gpu.push(gpu.as_nanos() as f64 / fcl.as_nanos() as f64);
+        vs_cpu.push(cpu.as_nanos() as f64 / fcl.as_nanos() as f64);
+        vs_best.push(best / fcl.as_nanos() as f64);
+    }
+    table.row(vec![
+        "GeoMean".to_string(),
+        ratio(geomean(&cols[0]).expect("non-empty")),
+        ratio(geomean(&cols[1]).expect("non-empty")),
+        ratio(geomean(&cols[2]).expect("non-empty")),
+        ratio(geomean(&cols[3]).expect("non-empty")),
+    ]);
+    let g_gpu = geomean(&vs_gpu).expect("non-empty");
+    let g_cpu = geomean(&vs_cpu).expect("non-empty");
+    let g_best = geomean(&vs_best).expect("non-empty");
+    let max_best = vs_best.iter().copied().fold(f64::MIN, f64::max);
+    ExperimentResult {
+        id: "overall",
+        title: "Overall performance of FluidiCL",
+        tables: vec![table],
+        notes: vec![format!(
+            "FluidiCL geomean speedup: {g_gpu:.2}x over GPU-only (paper ≈1.64x), \
+             {g_cpu:.2}x over CPU-only (paper ≈1.88x), {g_best:.2}x over the \
+             better device (max {max_best:.2}x; paper up to ≈1.4x)."
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluidicl_tracks_or_beats_the_best_device() {
+        let r = run(&MachineConfig::paper_testbed());
+        let csv = r.tables[0].to_csv();
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells[0] == "GeoMean" {
+                continue;
+            }
+            let fcl: f64 = cells[3].parse().unwrap();
+            assert!(
+                fcl <= 1.06,
+                "{}: FluidiCL at {fcl} strays >6% from the best device",
+                cells[0]
+            );
+        }
+    }
+
+    #[test]
+    fn fluidicl_beats_best_on_the_cooperative_benchmarks() {
+        let r = run(&MachineConfig::paper_testbed());
+        let csv = r.tables[0].to_csv();
+        for name in ["BICG", "SYRK", "SYR2K"] {
+            let row = csv
+                .lines()
+                .find(|l| l.starts_with(name))
+                .unwrap_or_else(|| panic!("{name} missing"));
+            let fcl: f64 = row.split(',').nth(3).unwrap().parse().unwrap();
+            assert!(fcl < 1.0, "{name}: expected FluidiCL < best device, got {fcl}");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 1: per-kernel running times of BICG on each single device.
+//!
+//! Paper expectation: BICG's two kernels each run faster on a *different*
+//! device, so no whole-application device choice is right, and per-kernel
+//! placement needs data management between the kernels.
+
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::find;
+use fluidicl_vcl::{ClDriver, DeviceKind, SingleDeviceRuntime};
+
+use crate::runners::SEED;
+use crate::table::{ms, Table};
+
+use super::ExperimentResult;
+
+pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
+    let bicg = find("BICG").expect("BICG registered");
+    let n = bicg.default_n;
+    let kernel_times = |device: DeviceKind| {
+        let mut rt = SingleDeviceRuntime::new(machine.clone(), device, (bicg.program)(n));
+        let ok = bicg
+            .run_and_validate_sized(&mut rt, n, SEED)
+            .expect("bicg run failed");
+        assert!(ok, "BICG validation failed on {device:?}");
+        rt.kernel_times()
+    };
+    let cpu = kernel_times(DeviceKind::Cpu);
+    let gpu = kernel_times(DeviceKind::Gpu);
+    let mut table = Table::new(
+        "BICG kernel running times (ms)",
+        &["kernel", "CPU only", "GPU only", "faster device"],
+    );
+    let mut winners = Vec::new();
+    for ((name, tc), (_, tg)) in cpu.iter().zip(&gpu) {
+        let winner = if tc < tg { "CPU" } else { "GPU" };
+        winners.push(winner);
+        table.row(vec![name.clone(), ms(*tc), ms(*tg), winner.to_string()]);
+    }
+    ExperimentResult {
+        id: "table1",
+        title: "BICG kernel running times",
+        tables: vec![table],
+        notes: vec![format!(
+            "Each kernel prefers a different device: {} (paper: same split).",
+            winners.join(" / ")
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_prefer_different_devices() {
+        let r = run(&MachineConfig::paper_testbed());
+        let csv = r.tables[0].to_csv();
+        let winners: Vec<&str> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap())
+            .collect();
+        assert_eq!(winners.len(), 2);
+        assert_ne!(winners[0], winners[1], "the two kernels must disagree");
+    }
+}

@@ -1,0 +1,14 @@
+//! # fluidicl-bench — experiment harness
+//!
+//! Regenerates every table and figure of the FluidiCL paper's motivation
+//! and evaluation sections over the simulated testbed. See `EXPERIMENTS.md`
+//! at the repository root for the index and the recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runners;
+pub mod table;
+
+pub use runners::SEED;

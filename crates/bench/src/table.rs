@@ -1,0 +1,133 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Every figure/table of the paper is regenerated as an aligned text table
+//! (numbers, not pixels) plus a CSV block that plotting tools can ingest.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with a title, header and string cells.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders a CSV form (comma-separated, header first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Formats a normalized ratio with 3 decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a virtual duration in milliseconds with 3 decimals.
+pub fn ms(d: fluidicl_des::SimDuration) -> String {
+    format!("{:.3}", d.as_nanos() as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidicl_des::SimDuration;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_is_checked() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(1.23456), "1.235");
+        assert_eq!(ms(SimDuration::from_millis(2)), "2.000");
+    }
+}

@@ -1,0 +1,178 @@
+//! Adaptive CPU chunk sizing (paper §5.1).
+//!
+//! The CPU executes subkernels of a few work-groups at a time; too small a
+//! chunk drowns in per-launch overhead, too large a chunk starves the GPU of
+//! status updates. FluidiCL starts small and grows the chunk in fixed steps
+//! *while the observed average time per work-group keeps improving* — a
+//! training-free heuristic that lands near the launch-overhead knee on any
+//! machine.
+
+use fluidicl_des::SimDuration;
+
+/// The adaptive chunk-size controller for one kernel execution.
+#[derive(Clone, Debug)]
+pub struct ChunkController {
+    total_wgs: u64,
+    chunk: u64,
+    step: u64,
+    min_chunk: u64,
+    growing: bool,
+    best_per_wg: Option<SimDuration>,
+    tolerance: f64,
+}
+
+impl ChunkController {
+    /// Creates a controller for a kernel of `total_wgs` work-groups.
+    ///
+    /// `initial_pct`/`step_pct` are percentages of `total_wgs`; `min_chunk`
+    /// is the CPU compute-unit count (allocations below it under-utilise the
+    /// device, paper §5.1). A `step_pct` of zero freezes the chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_wgs` or `min_chunk` is zero, or percentages are out
+    /// of range.
+    pub fn new(
+        total_wgs: u64,
+        initial_pct: f64,
+        step_pct: f64,
+        min_chunk: u64,
+        tolerance: f64,
+    ) -> Self {
+        assert!(total_wgs > 0, "kernel must have work-groups");
+        assert!(min_chunk > 0, "minimum chunk must be positive");
+        assert!(
+            initial_pct > 0.0 && initial_pct <= 100.0,
+            "initial percent out of range"
+        );
+        assert!((0.0..=100.0).contains(&step_pct), "step percent out of range");
+        let pct = |p: f64| ((total_wgs as f64 * p / 100.0).ceil() as u64).max(1);
+        let chunk = pct(initial_pct).max(min_chunk).min(total_wgs);
+        ChunkController {
+            total_wgs,
+            chunk,
+            step: if step_pct == 0.0 { 0 } else { pct(step_pct) },
+            min_chunk,
+            growing: step_pct > 0.0,
+            best_per_wg: None,
+            tolerance,
+        }
+    }
+
+    /// The chunk size the next subkernel should use, clamped to `remaining`.
+    pub fn next_chunk(&self, remaining: u64) -> u64 {
+        self.chunk.min(remaining).max(1)
+    }
+
+    /// Current unclamped chunk size.
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+
+    /// Whether the controller is still in its growth phase.
+    pub fn is_growing(&self) -> bool {
+        self.growing
+    }
+
+    /// Feeds back the measured duration of a subkernel of `wgs` work-groups.
+    /// Grows the chunk by one step if the average time per work-group
+    /// improved by more than the tolerance; otherwise stops growing.
+    pub fn observe(&mut self, wgs: u64, duration: SimDuration) {
+        if wgs == 0 {
+            return;
+        }
+        let per_wg = duration.div_count(wgs);
+        match self.best_per_wg {
+            None => {
+                self.best_per_wg = Some(per_wg);
+                if self.growing {
+                    self.grow();
+                }
+            }
+            Some(best) => {
+                let improved =
+                    (per_wg.as_nanos() as f64) < (best.as_nanos() as f64) * (1.0 - self.tolerance);
+                if per_wg < best {
+                    self.best_per_wg = Some(per_wg);
+                }
+                if self.growing {
+                    if improved {
+                        self.grow();
+                    } else {
+                        self.growing = false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        self.chunk = (self.chunk + self.step).min(self.total_wgs).max(self.min_chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> ChunkController {
+        // 1000 work-groups, 2% initial, 2% step, 8 compute units.
+        ChunkController::new(1000, 2.0, 2.0, 8, 0.02)
+    }
+
+    #[test]
+    fn initial_chunk_is_percentage_clamped_to_min() {
+        let c = controller();
+        assert_eq!(c.chunk(), 20);
+        // Tiny NDRange: percentage would be below the compute-unit count.
+        let tiny = ChunkController::new(100, 1.0, 1.0, 8, 0.02);
+        assert_eq!(tiny.chunk(), 8, "chunk is clamped up to the CPU units");
+    }
+
+    #[test]
+    fn chunk_grows_while_per_wg_time_improves() {
+        let mut c = controller();
+        c.observe(20, SimDuration::from_micros(200)); // 10 µs/wg
+        assert_eq!(c.chunk(), 40);
+        c.observe(40, SimDuration::from_micros(320)); // 8 µs/wg — improving
+        assert_eq!(c.chunk(), 60);
+        c.observe(60, SimDuration::from_micros(480)); // 8 µs/wg — flat
+        assert_eq!(c.chunk(), 60, "growth stops when improvement stalls");
+        assert!(!c.is_growing());
+        c.observe(60, SimDuration::from_micros(120)); // improvement after stop
+        assert_eq!(c.chunk(), 60, "growth never restarts");
+    }
+
+    #[test]
+    fn zero_step_freezes_chunk() {
+        let mut c = ChunkController::new(1000, 2.0, 0.0, 8, 0.02);
+        assert!(!c.is_growing());
+        c.observe(20, SimDuration::from_micros(100));
+        c.observe(20, SimDuration::from_micros(10));
+        assert_eq!(c.chunk(), 20);
+    }
+
+    #[test]
+    fn next_chunk_clamps_to_remaining() {
+        let c = controller();
+        assert_eq!(c.next_chunk(5), 5);
+        assert_eq!(c.next_chunk(1000), 20);
+        assert_eq!(c.next_chunk(0), 1, "never returns zero");
+    }
+
+    #[test]
+    fn chunk_never_exceeds_total() {
+        let mut c = ChunkController::new(10, 50.0, 50.0, 8, 0.02);
+        for i in 0..20 {
+            // Strictly improving observations try to grow forever.
+            c.observe(5, SimDuration::from_micros(1000 / (i + 1)));
+        }
+        assert!(c.chunk() <= 10);
+    }
+
+    #[test]
+    fn large_initial_percentages_work() {
+        let c = ChunkController::new(400, 75.0, 2.0, 8, 0.02);
+        assert_eq!(c.chunk(), 300);
+    }
+}

@@ -1,0 +1,617 @@
+//! The co-execution engine: one kernel, two devices, one virtual timeline.
+//!
+//! This module is the paper's Section 4 and 5 made executable. For a single
+//! kernel launch it simulates — and functionally performs — the FluidiCL
+//! protocol:
+//!
+//! * the **GPU** executes flattened work-groups from 0 upward in waves,
+//!   checking an arrived-status watermark and aborting work already covered
+//!   by the CPU (Figures 6 and 8);
+//! * the **CPU** executes *subkernels* from the top flattened IDs downward
+//!   (Figure 7), each followed by an intermediate host copy, an in-order
+//!   data + status transfer to the GPU, and an adaptive chunk-size update
+//!   (§5.1);
+//! * a work-group only counts as CPU-complete once its *data has arrived at
+//!   the GPU* — the in-order queue makes transfer overhead part of the
+//!   work-distribution decision (§4.2);
+//! * when the GPU reaches the watermark it exits, a **diff-merge** kernel
+//!   folds the CPU results into the GPU buffer (§4.3), and a device-to-host
+//!   thread returns the final data (§4.4, §5.6);
+//! * if the CPU finishes the whole NDRange first, its copy is authoritative
+//!   and no device-to-host transfer is needed (§4.2, §6.2).
+//!
+//! Work-groups are *really executed* against device memory at the moments
+//! the protocol decides, so a scheduling bug produces wrong numbers, not
+//! just wrong timings.
+
+use fluidicl_des::{SimDuration, SimTime, Simulation};
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_vcl::exec::{execute_groups, Launch};
+use fluidicl_vcl::{BufferId, ClResult, Memory};
+
+use crate::chunk::ChunkController;
+use crate::config::FluidiclConfig;
+use crate::stats::{Finisher, KernelReport};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Inputs to one co-executed kernel launch, carrying the global timeline
+/// state the runtime threads across kernels.
+#[derive(Debug)]
+pub(crate) struct CoexecInput<'a> {
+    pub machine: &'a MachineConfig,
+    pub config: &'a FluidiclConfig,
+    pub launch: &'a Launch,
+    pub kernel_id: u64,
+    /// Host time of the blocking enqueue call.
+    pub enqueue_at: SimTime,
+    /// Earliest time the GPU can begin (device free + its data ready).
+    pub gpu_start: SimTime,
+    /// Earliest time the CPU scheduler can begin (its input data ready).
+    pub cpu_start: SimTime,
+    /// Scratch-buffer acquisition cost paid on the GPU timeline (paper §6.1).
+    pub scratch_setup: SimDuration,
+    /// Host-to-device channel availability.
+    pub hd_free: SimTime,
+    /// Device-to-host channel availability.
+    pub dh_free: SimTime,
+    pub cpu_mem: &'a mut Memory,
+    pub gpu_mem: &'a mut Memory,
+}
+
+/// Timeline outcome of one co-executed kernel.
+#[derive(Clone, Debug)]
+pub(crate) struct CoexecOutcome {
+    /// When the blocking host call returns.
+    pub complete_at: SimTime,
+    /// When the GPU device becomes free for the next kernel.
+    pub gpu_busy_until: SimTime,
+    /// Updated channel availability.
+    pub hd_free: SimTime,
+    /// Updated channel availability.
+    pub dh_free: SimTime,
+    /// When the final output content is usable on the CPU side.
+    pub cpu_results_at: SimTime,
+    /// When the merged output content is usable on the GPU side.
+    pub gpu_results_at: SimTime,
+    /// Per-kernel statistics.
+    pub report: KernelReport,
+}
+
+#[derive(Debug)]
+enum Ev {
+    GpuBegin,
+    GpuWaveDone { gen: u32 },
+    GpuWaveAbort { gen: u32 },
+    GpuMergeDone,
+    CpuBegin,
+    CpuSubkernelDone { idx: u32 },
+    CpuCopyDone { idx: u32 },
+    StatusArrived { boundary: u64 },
+}
+
+struct Wave {
+    start: u64,
+    end: u64,
+    started_at: SimTime,
+    gen: u32,
+    token: fluidicl_des::EventToken,
+}
+
+struct Subkernel {
+    from: u64,
+    to: u64,
+    version: usize,
+    duration: SimDuration,
+}
+
+pub(crate) struct Coexec<'a> {
+    input: CoexecInput<'a>,
+    // Geometry.
+    total: u64,
+    items: u64,
+    out_bytes: u64,
+    out_ids: Vec<BufferId>,
+    orig_snapshots: Vec<(BufferId, Vec<f32>)>,
+    // GPU state.
+    gpu_next: u64,
+    watermark: u64,
+    wave: Option<Wave>,
+    wave_gen: u32,
+    gpu_exited_at: Option<SimTime>,
+    merge_done_at: Option<SimTime>,
+    gpu_wgs_executed: u64,
+    // CPU state.
+    cpu_top: u64,
+    chunk: ChunkController,
+    subkernels: Vec<Subkernel>,
+    cpu_finished_at: Option<SimTime>,
+    cpu_wgs_executed: u64,
+    // Online profiling (paper §6.6).
+    trial_versions: usize,
+    trial_results: Vec<(usize, SimDuration)>,
+    selected_version: usize,
+    // Channels.
+    hd_free: SimTime,
+    dh_free: SimTime,
+    hd_bytes: u64,
+    dh_bytes: u64,
+    subkernel_log: Vec<(u64, SimDuration)>,
+    trace: Vec<TraceEvent>,
+}
+
+/// Size in bytes of a CPU→GPU execution-status message (paper §4.2).
+const STATUS_MSG_BYTES: u64 = 16;
+
+impl<'a> Coexec<'a> {
+    pub(crate) fn new(input: CoexecInput<'a>) -> ClResult<Self> {
+        let total = input.launch.ndrange.num_groups();
+        let items = input.launch.ndrange.items_per_group();
+        let out_ids = input.launch.output_buffers()?;
+        let mut out_bytes = 0u64;
+        let mut orig_snapshots = Vec::with_capacity(out_ids.len());
+        for id in &out_ids {
+            let data = input.gpu_mem.get(*id)?.to_vec();
+            out_bytes += data.len() as u64 * 4;
+            orig_snapshots.push((*id, data));
+        }
+        let min_chunk = u64::from(input.machine.cpu.threads());
+        let chunk = ChunkController::new(
+            total,
+            input.config.initial_chunk_pct,
+            input.config.step_pct,
+            min_chunk,
+            input.config.chunk_growth_tolerance,
+        );
+        let versions = input.launch.kernel.versions().len();
+        let trial_versions = if input.config.online_profiling && versions > 1 {
+            versions
+        } else {
+            0
+        };
+        let (hd_free, dh_free) = (input.hd_free, input.dh_free);
+        Ok(Coexec {
+            total,
+            items,
+            out_bytes,
+            out_ids,
+            orig_snapshots,
+            gpu_next: 0,
+            watermark: total,
+            wave: None,
+            wave_gen: 0,
+            gpu_exited_at: None,
+            merge_done_at: None,
+            gpu_wgs_executed: 0,
+            cpu_top: total,
+            chunk,
+            subkernels: Vec::new(),
+            cpu_finished_at: None,
+            cpu_wgs_executed: 0,
+            trial_versions,
+            trial_results: Vec::new(),
+            selected_version: 0,
+            hd_free,
+            dh_free,
+            hd_bytes: 0,
+            dh_bytes: 0,
+            subkernel_log: Vec::new(),
+            trace: Vec::new(),
+            input,
+        })
+    }
+
+    /// Runs the co-execution to completion.
+    pub(crate) fn run(mut self) -> ClResult<CoexecOutcome> {
+        let start = self.input.enqueue_at;
+        let mut sim = Simulation::starting_at(start);
+        // GPU: scratch buffers are acquired, then the kernel is launched.
+        let gpu_begin = self.input.gpu_start.max(start)
+            + self.input.scratch_setup
+            + self.input.machine.gpu.launch_overhead();
+        sim.schedule_at(gpu_begin, Ev::GpuBegin);
+        // CPU: the scheduler thread begins once its input data is current.
+        sim.schedule_at(self.input.cpu_start.max(start), Ev::CpuBegin);
+
+        let mut exec_err: Option<fluidicl_vcl::ClError> = None;
+        while let Some((t, ev)) = sim.pop() {
+            let r = self.dispatch(&mut sim, t, ev);
+            if let Err(e) = r {
+                exec_err = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = exec_err {
+            return Err(e);
+        }
+        self.finish()
+    }
+
+    fn dispatch(&mut self, sim: &mut Simulation<Ev>, t: SimTime, ev: Ev) -> ClResult<()> {
+        match ev {
+            Ev::GpuBegin => {
+                self.record(t, TraceKind::GpuLaunch);
+                self.start_wave(sim, t)?;
+            }
+            Ev::GpuWaveDone { gen } => self.on_wave_done(sim, t, gen)?,
+            Ev::GpuWaveAbort { gen } => self.on_wave_abort(sim, t, gen)?,
+            Ev::GpuMergeDone => self.on_merge_done(t),
+            Ev::CpuBegin => self.maybe_launch_subkernel(sim, t),
+            Ev::CpuSubkernelDone { idx } => self.on_subkernel_done(sim, t, idx)?,
+            Ev::CpuCopyDone { idx } => self.on_copy_done(sim, t, idx),
+            Ev::StatusArrived { boundary } => self.on_status_arrived(sim, t, boundary),
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, at: SimTime, kind: TraceKind) {
+        self.trace.push(TraceEvent { at, kind });
+    }
+
+    // ---- GPU side -------------------------------------------------------
+
+    fn gpu_profile(&self) -> &fluidicl_hetsim::KernelProfile {
+        // The GPU always runs the default kernel version; alternates are
+        // CPU-oriented (paper §6.6 profiles CPU kernels).
+        &self.input.launch.kernel.default_version().profile
+    }
+
+    fn start_wave(&mut self, sim: &mut Simulation<Ev>, t: SimTime) -> ClResult<()> {
+        let limit = self.watermark.min(self.total);
+        if self.gpu_next >= limit {
+            return self.gpu_exit(sim, t);
+        }
+        let width = self.input.machine.gpu.wave_width();
+        let start = self.gpu_next;
+        let end = (start + width).min(limit);
+        let dur = self.input.machine.gpu.range_time(
+            self.gpu_profile(),
+            self.items,
+            end - start,
+            self.input.config.abort_mode,
+        );
+        self.wave_gen += 1;
+        let gen = self.wave_gen;
+        self.record(t, TraceKind::GpuWaveStart { from: start, to: end });
+        let token = sim.schedule_at(t + dur, Ev::GpuWaveDone { gen });
+        self.wave = Some(Wave {
+            start,
+            end,
+            started_at: t,
+            gen,
+            token,
+        });
+        Ok(())
+    }
+
+    fn on_wave_done(&mut self, sim: &mut Simulation<Ev>, t: SimTime, gen: u32) -> ClResult<()> {
+        let Some(wave) = self.wave.take() else {
+            return Ok(());
+        };
+        if wave.gen != gen {
+            self.wave = Some(wave);
+            return Ok(());
+        }
+        // Work-groups covered by CPU results that arrived *mid-wave* abort
+        // at an in-loop check and never write; the rest complete. Without
+        // in-loop checks everything that started runs to completion.
+        let exec_end = if self.input.config.abort_mode.allows_early_abort() {
+            wave.end.min(self.watermark.max(wave.start))
+        } else {
+            wave.end
+        };
+        if exec_end > wave.start {
+            execute_groups(self.input.launch, self.input.gpu_mem, wave.start, exec_end)?;
+            self.gpu_wgs_executed += exec_end - wave.start;
+        }
+        self.record(
+            t,
+            TraceKind::GpuWaveDone {
+                from: wave.start,
+                to: wave.end,
+                executed_to: exec_end.max(wave.start),
+            },
+        );
+        self.gpu_next = wave.end;
+        self.start_wave(sim, t)
+    }
+
+    fn on_wave_abort(&mut self, sim: &mut Simulation<Ev>, t: SimTime, gen: u32) -> ClResult<()> {
+        let Some(wave) = self.wave.take() else {
+            return Ok(());
+        };
+        if wave.gen != gen {
+            self.wave = Some(wave);
+            return Ok(());
+        }
+        // The whole wave was covered by the CPU: nothing is written, the
+        // GPU kernel proceeds to its exit check with `gpu_next` unchanged.
+        debug_assert!(self.watermark <= wave.start);
+        self.record(
+            t,
+            TraceKind::GpuWaveAborted {
+                from: wave.start,
+                to: wave.end,
+            },
+        );
+        self.start_wave(sim, t)
+    }
+
+    fn gpu_exit(&mut self, sim: &mut Simulation<Ev>, t: SimTime) -> ClResult<()> {
+        self.gpu_exited_at = Some(t);
+        self.record(t, TraceKind::GpuExit);
+        if self.watermark < self.total {
+            // CPU data arrived: run the diff-merge kernel (paper §4.3).
+            let dur = self.input.machine.gpu.merge_time(self.out_bytes);
+            sim.schedule_at(t + dur, Ev::GpuMergeDone);
+        } else {
+            // GPU executed the entire NDRange; the merge is skipped.
+            self.merge_results()?;
+            self.on_merge_done(t);
+        }
+        Ok(())
+    }
+
+    fn on_merge_done(&mut self, t: SimTime) {
+        if self.merge_done_at.is_none() {
+            self.merge_done_at = Some(t);
+            self.record(t, TraceKind::MergeDone);
+        }
+    }
+
+    /// Folds CPU-computed data into the GPU buffers exactly as the merge
+    /// kernel of paper Figure 9 does: element-wise, wherever the CPU copy
+    /// differs from the pristine original.
+    fn merge_results(&mut self) -> ClResult<()> {
+        for (id, orig) in &self.orig_snapshots {
+            let cpu = self.input.cpu_mem.get(*id)?.to_vec();
+            let gpu = self.input.gpu_mem.get_mut(*id)?;
+            fluidicl_vcl::diff_merge(gpu, &cpu, orig);
+        }
+        Ok(())
+    }
+
+    // ---- CPU side -------------------------------------------------------
+
+    fn version_for(&self, idx: usize) -> usize {
+        if idx < self.trial_versions {
+            idx
+        } else {
+            self.selected_version
+        }
+    }
+
+    fn cpu_profile(&self, version: usize) -> &fluidicl_hetsim::KernelProfile {
+        &self.input.launch.kernel.versions()[version].profile
+    }
+
+    fn maybe_launch_subkernel(&mut self, sim: &mut Simulation<Ev>, t: SimTime) {
+        // The scheduler stops once the GPU kernel has exited (paper §5) or
+        // when the CPU has taken the whole NDRange.
+        if self.gpu_exited_at.is_some() || self.cpu_top == 0 {
+            return;
+        }
+        let idx = self.subkernels.len();
+        let version = self.version_for(idx);
+        let min_chunk = u64::from(self.input.machine.cpu.threads());
+        let k = if idx < self.trial_versions {
+            // Profiling trials run a small fixed allocation (paper §6.6).
+            min_chunk.min(self.cpu_top)
+        } else {
+            self.chunk.next_chunk(self.cpu_top)
+        };
+        let duration = self.input.machine.cpu.subkernel_time(
+            self.cpu_profile(version),
+            self.items,
+            k,
+            self.input.config.wg_split,
+        );
+        self.record(
+            t,
+            TraceKind::CpuSubkernelStart {
+                from: self.cpu_top - k,
+                to: self.cpu_top,
+                version,
+            },
+        );
+        self.subkernels.push(Subkernel {
+            from: self.cpu_top - k,
+            to: self.cpu_top,
+            version,
+            duration,
+        });
+        self.cpu_top -= k;
+        sim.schedule_at(t + duration, Ev::CpuSubkernelDone { idx: idx as u32 });
+    }
+
+    fn on_subkernel_done(
+        &mut self,
+        sim: &mut Simulation<Ev>,
+        t: SimTime,
+        idx: u32,
+    ) -> ClResult<()> {
+        let (from, to, version, duration) = {
+            let sk = &self.subkernels[idx as usize];
+            (sk.from, sk.to, sk.version, sk.duration)
+        };
+        // The subkernel really computes its work-groups on the CPU copy,
+        // using the selected kernel version's body.
+        let mut launch = self.input.launch.clone();
+        launch.version = version;
+        execute_groups(&launch, self.input.cpu_mem, from, to)?;
+        let wgs = to - from;
+        self.cpu_wgs_executed += wgs;
+        self.subkernel_log.push((wgs, duration));
+        self.record(t, TraceKind::CpuSubkernelDone { from, to });
+        if (idx as usize) < self.trial_versions {
+            self.trial_results.push((version, duration.div_count(wgs)));
+            if self.trial_results.len() == self.trial_versions {
+                self.selected_version = self
+                    .trial_results
+                    .iter()
+                    .min_by_key(|(_, per_wg)| *per_wg)
+                    .map(|(v, _)| *v)
+                    .unwrap_or(0);
+            }
+        } else {
+            self.chunk.observe(wgs, duration);
+        }
+        if from == 0 {
+            // The CPU computed the entire NDRange: final data lives on the
+            // CPU (paper §4.2); the results of the GPU execution are
+            // ignored.
+            self.cpu_finished_at = Some(t);
+        }
+        if self.gpu_exited_at.is_some() {
+            // The kernel already completed on the GPU; the scheduler exits
+            // without copying or transferring this late result.
+            return Ok(());
+        }
+        // Intermediate host copy so the next subkernel can proceed while
+        // the data is in flight (paper §5.5).
+        let copy = self.input.machine.host.copy_time(self.out_bytes);
+        sim.schedule_at(t + copy, Ev::CpuCopyDone { idx });
+        Ok(())
+    }
+
+    fn on_copy_done(&mut self, sim: &mut Simulation<Ev>, t: SimTime, idx: u32) {
+        let boundary = self.subkernels[idx as usize].from;
+        if self.gpu_exited_at.is_none() {
+            // In-order hd queue: computed data first, then the status
+            // message, so a work-group only counts as complete when its
+            // results are already on the GPU (paper §4.2).
+            let data_arrival =
+                self.hd_free.max(t) + self.input.machine.h2d.transfer_time(self.out_bytes);
+            let status_arrival =
+                data_arrival + self.input.machine.h2d.transfer_time(STATUS_MSG_BYTES);
+            self.hd_free = status_arrival;
+            self.hd_bytes += self.out_bytes + STATUS_MSG_BYTES;
+            self.record(
+                t,
+                TraceKind::HdEnqueued {
+                    boundary,
+                    bytes: self.out_bytes + STATUS_MSG_BYTES,
+                },
+            );
+            sim.schedule_at(status_arrival, Ev::StatusArrived { boundary });
+        }
+        self.maybe_launch_subkernel(sim, t);
+    }
+
+    fn on_status_arrived(&mut self, sim: &mut Simulation<Ev>, t: SimTime, boundary: u64) {
+        if self.gpu_exited_at.is_some() {
+            // Late message: discarded via buffer versions (paper §5.3).
+            return;
+        }
+        self.watermark = self.watermark.min(boundary);
+        self.record(t, TraceKind::StatusArrived { boundary });
+        // A running wave fully covered by the CPU aborts at its next
+        // in-loop check (paper §6.4).
+        if !self.input.config.abort_mode.allows_early_abort() {
+            return;
+        }
+        let Some(wave) = &self.wave else { return };
+        if self.watermark > wave.start {
+            return;
+        }
+        let quantum = self
+            .input
+            .machine
+            .gpu
+            .abort_quantum(self.gpu_profile(), self.items, self.input.config.abort_mode)
+            .expect("early-abort mode has a quantum");
+        let elapsed = t.saturating_since(wave.started_at).as_nanos();
+        let q = quantum.as_nanos().max(1);
+        let checks = elapsed.div_ceil(q).max(1);
+        let abort_at = wave.started_at + SimDuration::from_nanos(checks * q);
+        let natural_done = wave.started_at
+            + self.input.machine.gpu.range_time(
+                self.gpu_profile(),
+                self.items,
+                wave.end - wave.start,
+                self.input.config.abort_mode,
+            );
+        if abort_at < natural_done {
+            let gen = wave.gen;
+            let token = wave.token;
+            sim.cancel(token);
+            sim.schedule_at(abort_at, Ev::GpuWaveAbort { gen });
+        }
+    }
+
+    // ---- Completion -----------------------------------------------------
+
+    fn finish(mut self) -> ClResult<CoexecOutcome> {
+        let merge_done = self
+            .merge_done_at
+            .expect("GPU path always reaches merge completion");
+        // Merge the functional results now if the timed merge ran (the
+        // no-CPU-data path already merged inside `gpu_exit`).
+        if self.watermark < self.total {
+            self.merge_results()?;
+        }
+        let gpu_results_at = merge_done;
+        let (complete_at, finished_by) = match self.cpu_finished_at {
+            Some(tc) if tc < merge_done => (tc, Finisher::Cpu),
+            _ => (merge_done, Finisher::Gpu),
+        };
+        // Device-to-host transfers of modified buffers (paper §4.4, §5.6),
+        // skipped when the CPU already holds the final data (paper §6.2).
+        let (cpu_results_at, dh_free) = if finished_by == Finisher::Cpu {
+            (complete_at, self.dh_free)
+        } else {
+            let mut t = self.dh_free.max(merge_done);
+            for id in &self.out_ids {
+                let bytes = self.input.gpu_mem.get(*id)?.len() as u64 * 4;
+                t += self.input.machine.d2h.transfer_time(bytes);
+                self.dh_bytes += bytes;
+            }
+            (t, t)
+        };
+        // After the merge the GPU copies the out buffers into their
+        // "original" scratch buffers so the next kernel can start while the
+        // device-to-host transfer proceeds (paper §5.5).
+        let orig_copy = SimDuration::from_nanos(
+            (2.0 * self.out_bytes as f64 / self.input.machine.gpu.peak_mem_bytes_per_ns()) as u64,
+        );
+        let gpu_busy_until = merge_done + orig_copy;
+        // Functional epilogue: the merged GPU content is the authoritative
+        // final value (identical to the CPU copy wherever both computed);
+        // mirror it into the CPU address space as the DH thread does.
+        for id in &self.out_ids {
+            let data = self.input.gpu_mem.get(*id)?.to_vec();
+            self.input.cpu_mem.write(*id, &data)?;
+        }
+        self.record(complete_at, TraceKind::KernelComplete { finisher: finished_by });
+        // The trace is recorded in handler order; sort by timestamp so the
+        // rendered timeline is chronological even across the final events.
+        self.trace.sort_by_key(|e| e.at);
+        let cpu_merged_wgs = self.total - self.watermark;
+        let report = KernelReport {
+            kernel: self.input.launch.kernel.name().to_string(),
+            kernel_id: self.input.kernel_id,
+            enqueued_at: self.input.enqueue_at,
+            complete_at,
+            total_wgs: self.total,
+            gpu_executed_wgs: self.gpu_wgs_executed,
+            cpu_executed_wgs: self.cpu_wgs_executed,
+            cpu_merged_wgs,
+            subkernels: self.subkernels.len() as u64,
+            subkernel_log: self.subkernel_log,
+            hd_bytes: self.hd_bytes,
+            dh_bytes: self.dh_bytes,
+            cpu_version_used: self.selected_version,
+            finished_by,
+            duration: complete_at.saturating_since(self.input.enqueue_at),
+            trace: self.trace,
+        };
+        Ok(CoexecOutcome {
+            complete_at,
+            gpu_busy_until,
+            hd_free: self.hd_free,
+            dh_free,
+            cpu_results_at,
+            gpu_results_at,
+            report,
+        })
+    }
+}

@@ -1,0 +1,156 @@
+//! Runtime configuration: chunk-sizing parameters and optimization toggles.
+
+use fluidicl_hetsim::AbortMode;
+
+/// Configuration of the FluidiCL runtime.
+///
+/// Defaults follow the paper's experimental setup (§5.1, §9.5): an initial
+/// CPU chunk of 2% of the work-groups growing in 2% steps, all optimizations
+/// of §6 enabled except online profiling (which §9.1 runs separately).
+///
+/// # Examples
+///
+/// ```
+/// use fluidicl::FluidiclConfig;
+///
+/// let cfg = FluidiclConfig::default().with_chunk(5.0, 1.0);
+/// assert_eq!(cfg.initial_chunk_pct, 5.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FluidiclConfig {
+    /// Initial CPU subkernel allocation, percent of total work-groups.
+    pub initial_chunk_pct: f64,
+    /// Chunk growth step, percent of total work-groups. Zero freezes the
+    /// chunk at its initial size (paper §9.5).
+    pub step_pct: f64,
+    /// Where GPU kernels check for CPU completion (paper §6.4–6.5):
+    /// `InLoopUnrolled` is the paper's "AllOpt", `InLoop` is "NoUnroll",
+    /// `WorkGroupStart` is "NoAbortUnroll".
+    pub abort_mode: AbortMode,
+    /// CPU work-group splitting when the allocation is smaller than the
+    /// hardware thread count (paper §6.3).
+    pub wg_split: bool,
+    /// Reuse a pool of GPU scratch buffers across kernels instead of
+    /// creating/destroying them per launch (paper §6.1).
+    pub buffer_pool: bool,
+    /// Online profiling over alternate kernel versions (paper §6.6).
+    pub online_profiling: bool,
+    /// Track where the freshest copy of each buffer lives to skip redundant
+    /// device-to-host transfers on reads (paper §6.2).
+    pub location_tracking: bool,
+    /// Relative improvement in time-per-work-group required to keep growing
+    /// the chunk (paper §5.1 "so long as the average time per work-group
+    /// keeps decreasing").
+    pub chunk_growth_tolerance: f64,
+}
+
+impl Default for FluidiclConfig {
+    fn default() -> Self {
+        FluidiclConfig {
+            initial_chunk_pct: 2.0,
+            step_pct: 2.0,
+            abort_mode: AbortMode::InLoopUnrolled,
+            wg_split: true,
+            buffer_pool: true,
+            online_profiling: false,
+            location_tracking: true,
+            chunk_growth_tolerance: 0.02,
+        }
+    }
+}
+
+impl FluidiclConfig {
+    /// Returns a copy with different chunk-sizing parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_pct` is not in `(0, 100]` or `step_pct` is
+    /// negative.
+    #[must_use]
+    pub fn with_chunk(mut self, initial_pct: f64, step_pct: f64) -> Self {
+        assert!(
+            initial_pct > 0.0 && initial_pct <= 100.0,
+            "initial chunk must be in (0, 100] percent"
+        );
+        assert!(step_pct >= 0.0, "step must be non-negative");
+        self.initial_chunk_pct = initial_pct;
+        self.step_pct = step_pct;
+        self
+    }
+
+    /// Returns a copy with a different abort mode.
+    #[must_use]
+    pub fn with_abort_mode(mut self, mode: AbortMode) -> Self {
+        self.abort_mode = mode;
+        self
+    }
+
+    /// Returns a copy with online profiling enabled or disabled.
+    #[must_use]
+    pub fn with_online_profiling(mut self, enabled: bool) -> Self {
+        self.online_profiling = enabled;
+        self
+    }
+
+    /// Returns a copy with work-group splitting enabled or disabled.
+    #[must_use]
+    pub fn with_wg_split(mut self, enabled: bool) -> Self {
+        self.wg_split = enabled;
+        self
+    }
+
+    /// Returns a copy with the buffer pool enabled or disabled.
+    #[must_use]
+    pub fn with_buffer_pool(mut self, enabled: bool) -> Self {
+        self.buffer_pool = enabled;
+        self
+    }
+
+    /// Returns a copy with location tracking enabled or disabled.
+    #[must_use]
+    pub fn with_location_tracking(mut self, enabled: bool) -> Self {
+        self.location_tracking = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let cfg = FluidiclConfig::default();
+        assert_eq!(cfg.initial_chunk_pct, 2.0);
+        assert_eq!(cfg.step_pct, 2.0);
+        assert_eq!(cfg.abort_mode, AbortMode::InLoopUnrolled);
+        assert!(cfg.wg_split);
+        assert!(cfg.buffer_pool);
+        assert!(!cfg.online_profiling);
+        assert!(cfg.location_tracking);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = FluidiclConfig::default()
+            .with_chunk(10.0, 0.0)
+            .with_abort_mode(AbortMode::WorkGroupStart)
+            .with_wg_split(false)
+            .with_buffer_pool(false)
+            .with_online_profiling(true)
+            .with_location_tracking(false);
+        assert_eq!(cfg.initial_chunk_pct, 10.0);
+        assert_eq!(cfg.step_pct, 0.0);
+        assert_eq!(cfg.abort_mode, AbortMode::WorkGroupStart);
+        assert!(!cfg.wg_split);
+        assert!(!cfg.buffer_pool);
+        assert!(cfg.online_profiling);
+        assert!(!cfg.location_tracking);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial chunk")]
+    fn rejects_zero_initial_chunk() {
+        let _ = FluidiclConfig::default().with_chunk(0.0, 1.0);
+    }
+}

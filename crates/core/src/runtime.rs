@@ -1,0 +1,459 @@
+//! The FluidiCL runtime: the public, OpenCL-shaped API.
+//!
+//! `Fluidicl` is the drop-in layer of paper Figure 4: the application calls
+//! the usual buffer/kernel functions as if one device existed, and the
+//! runtime manages both devices underneath — duplicating buffers and writes
+//! (§4.1), co-executing every kernel (§4.2), merging results (§4.3),
+//! returning data to the host in a background thread (§4.4, §5.6), and
+//! tracking buffer versions and locations across kernels (§5.3, §6.2).
+
+use fluidicl_des::{SimDuration, SimTime};
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_vcl::exec::Launch;
+use fluidicl_vcl::{BufferId, ClDriver, ClResult, KernelArg, Memory, NdRange, Program};
+
+use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool};
+use crate::coexec::{Coexec, CoexecInput};
+use crate::config::FluidiclConfig;
+use crate::stats::{KernelReport, RuntimeSummary};
+
+/// The FluidiCL runtime over a simulated CPU+GPU machine.
+///
+/// # Examples
+///
+/// ```
+/// use fluidicl::{Fluidicl, FluidiclConfig};
+/// use fluidicl_hetsim::{KernelProfile, MachineConfig};
+/// use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, KernelArg, KernelDef, NdRange, Program};
+///
+/// let mut program = Program::new();
+/// program.register(KernelDef::new(
+///     "scale",
+///     vec![
+///         ArgSpec::new("src", ArgRole::In),
+///         ArgSpec::new("dst", ArgRole::Out),
+///     ],
+///     KernelProfile::new("scale").flops_per_item(1.0).bytes_read_per_item(4.0),
+///     |item, _, ins, outs| {
+///         let i = item.global_linear();
+///         outs.at(0)[i] = 2.0 * ins.get(0)[i];
+///     },
+/// ));
+/// let mut rt = Fluidicl::new(
+///     MachineConfig::paper_testbed(),
+///     FluidiclConfig::default(),
+///     program,
+/// );
+/// let src = rt.create_buffer(1024);
+/// let dst = rt.create_buffer(1024);
+/// rt.write_buffer(src, &vec![1.0; 1024])?;
+/// rt.enqueue_kernel(
+///     "scale",
+///     NdRange::d1(1024, 64)?,
+///     &[KernelArg::Buffer(src), KernelArg::Buffer(dst)],
+/// )?;
+/// assert_eq!(rt.read_buffer(dst)?, vec![2.0; 1024]);
+/// # Ok::<(), fluidicl_vcl::ClError>(())
+/// ```
+#[derive(Debug)]
+pub struct Fluidicl {
+    machine: MachineConfig,
+    config: FluidiclConfig,
+    program: Program,
+    cpu_mem: Memory,
+    gpu_mem: Memory,
+    buffers: BufferTable,
+    pool: ScratchPool,
+    host_clock: SimTime,
+    gpu_free: SimTime,
+    hd_free: SimTime,
+    dh_free: SimTime,
+    next_kernel_id: KernelId,
+    reports: Vec<KernelReport>,
+}
+
+impl Fluidicl {
+    /// Creates a runtime on `machine` with `config` and a compiled
+    /// `program` (kernels are built for both devices, paper §4.1).
+    pub fn new(machine: MachineConfig, config: FluidiclConfig, program: Program) -> Self {
+        let pool = ScratchPool::new(config.buffer_pool);
+        Fluidicl {
+            machine,
+            config,
+            program,
+            cpu_mem: Memory::new(),
+            gpu_mem: Memory::new(),
+            buffers: BufferTable::new(),
+            pool,
+            host_clock: SimTime::ZERO,
+            gpu_free: SimTime::ZERO,
+            hd_free: SimTime::ZERO,
+            dh_free: SimTime::ZERO,
+            next_kernel_id: 1,
+            reports: Vec::new(),
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &FluidiclConfig {
+        &self.config
+    }
+
+    /// Per-kernel execution reports, in launch order.
+    pub fn reports(&self) -> &[KernelReport] {
+        &self.reports
+    }
+
+    /// Aggregate statistics.
+    pub fn summary(&self) -> RuntimeSummary {
+        RuntimeSummary::from_reports(&self.reports)
+    }
+
+    /// Scratch-buffer pool statistics (paper §6.1).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    fn scratch_setup_cost(&mut self, out_ids: &[BufferId]) -> SimDuration {
+        let mut cost = SimDuration::ZERO;
+        for id in out_ids {
+            let state = self.buffers.state(*id);
+            let len = state.len;
+            let bytes = state.bytes();
+            // Two scratch buffers per modified buffer: the CPU-data landing
+            // area and the pristine original (paper §4.1).
+            for _ in 0..2 {
+                if !self.pool.acquire(len) {
+                    cost += self.machine.gpu.buffer_create_time(bytes);
+                }
+            }
+            // Snapshot the original on the GPU unless the previous kernel's
+            // end-of-kernel copy already did (paper §5.5).
+            if !state.orig_snapshot_current {
+                let copy_ns =
+                    2.0 * bytes as f64 / self.machine.gpu.peak_mem_bytes_per_ns();
+                cost += SimDuration::from_nanos(copy_ns as u64);
+            }
+        }
+        cost
+    }
+
+    fn release_scratch(&mut self, out_ids: &[BufferId]) {
+        for id in out_ids {
+            let len = self.buffers.state(*id).len;
+            self.pool.release(len);
+            self.pool.release(len);
+        }
+    }
+}
+
+impl ClDriver for Fluidicl {
+    fn create_buffer(&mut self, len: usize) -> BufferId {
+        // clCreateBuffer allocates on both devices (paper §4.1); the GPU
+        // allocation dominates the cost.
+        let t = self.machine.gpu.buffer_create_time(len as u64 * 4);
+        self.host_clock += t;
+        let id = self.buffers.register(len, self.host_clock);
+        self.cpu_mem.alloc(id, len);
+        self.gpu_mem.alloc(id, len);
+        id
+    }
+
+    fn write_buffer(&mut self, id: BufferId, data: &[f32]) -> ClResult<()> {
+        self.cpu_mem.write(id, data)?;
+        self.gpu_mem.write(id, data)?;
+        let bytes = data.len() as u64 * 4;
+        // One clEnqueueWriteBuffer becomes two: a host-side copy for the CPU
+        // device and an h2d transfer for the GPU (paper §4.1). The h2d is
+        // DMA on the in-order hd queue; the host only performs the copy,
+        // and whoever needs the GPU copy waits for its arrival (§5.5).
+        let cpu_at = self.host_clock + self.machine.host.copy_time(bytes);
+        let gpu_at = self.hd_free.max(self.host_clock) + self.machine.h2d.transfer_time(bytes);
+        self.hd_free = gpu_at;
+        self.buffers.record_host_write(id, cpu_at, gpu_at);
+        self.host_clock = cpu_at;
+        Ok(())
+    }
+
+    fn enqueue_kernel(
+        &mut self,
+        kernel: &str,
+        ndrange: NdRange,
+        args: &[KernelArg],
+    ) -> ClResult<()> {
+        let def = self.program.kernel(kernel)?;
+        let launch = Launch::new(def, ndrange, args.to_vec());
+        let in_ids = launch.input_buffers()?;
+        let out_ids = launch.output_buffers()?;
+        let kid = self.next_kernel_id;
+        self.next_kernel_id += 1;
+        for id in &out_ids {
+            self.buffers.begin_kernel_write(*id, kid);
+        }
+        // The CPU scheduler waits for its inputs (In + InOut) to be current
+        // (paper §5.3); `begin_kernel_write` just reset InOut readiness, so
+        // compute from the pre-kernel ready times via in_ids plus the InOut
+        // subset captured before the reset — InOut buffers appear in
+        // out_ids, whose cpu_ready_at we read below *before* any update.
+        let mut cpu_inputs = in_ids.clone();
+        cpu_inputs.extend(out_ids.iter().copied());
+        let cpu_ready = self.buffers.cpu_ready_time(&cpu_inputs);
+        let mut all_bufs = in_ids;
+        all_bufs.extend(out_ids.iter().copied());
+        let gpu_ready = self.buffers.gpu_ready_time(&all_bufs);
+        let scratch_setup = self.scratch_setup_cost(&out_ids);
+        let input = CoexecInput {
+            machine: &self.machine,
+            config: &self.config,
+            launch: &launch,
+            kernel_id: kid,
+            enqueue_at: self.host_clock,
+            gpu_start: gpu_ready.max(self.gpu_free),
+            cpu_start: cpu_ready,
+            scratch_setup,
+            hd_free: self.hd_free,
+            dh_free: self.dh_free,
+            cpu_mem: &mut self.cpu_mem,
+            gpu_mem: &mut self.gpu_mem,
+        };
+        let outcome = Coexec::new(input)?.run()?;
+        self.host_clock = outcome.complete_at;
+        self.gpu_free = outcome.gpu_busy_until;
+        self.hd_free = outcome.hd_free;
+        self.dh_free = outcome.dh_free;
+        for id in &out_ids {
+            self.buffers
+                .record_cpu_arrival(*id, kid, outcome.cpu_results_at);
+            self.buffers
+                .record_gpu_arrival(*id, kid, outcome.gpu_results_at);
+            // The end-of-kernel copy refreshed the original snapshot
+            // (paper §5.5).
+            self.buffers.state_mut(*id).orig_snapshot_current = true;
+        }
+        self.release_scratch(&out_ids);
+        self.reports.push(outcome.report);
+        Ok(())
+    }
+
+    fn read_buffer(&mut self, id: BufferId) -> ClResult<Vec<f32>> {
+        let state = self.buffers.state(id).clone();
+        let use_cpu_copy = self.config.location_tracking && !state.cpu_is_stale();
+        if use_cpu_copy {
+            // Data-location tracking (paper §6.2): the device-to-host thread
+            // (or a CPU-finished kernel) already placed the data on the CPU;
+            // wait for it and hand it out without touching the link.
+            let data = self.cpu_mem.get(id)?.to_vec();
+            let bytes = data.len() as u64 * 4;
+            self.host_clock =
+                self.host_clock.max(state.cpu_ready_at) + self.machine.host.copy_time(bytes);
+            Ok(data)
+        } else {
+            let data = self.gpu_mem.get(id)?.to_vec();
+            let bytes = data.len() as u64 * 4;
+            let start = self.host_clock.max(state.gpu_ready_at).max(self.dh_free);
+            let arrival = start + self.machine.d2h.transfer_time(bytes);
+            self.dh_free = arrival;
+            self.host_clock = arrival;
+            Ok(data)
+        }
+    }
+
+    fn elapsed(&self) -> SimDuration {
+        self.host_clock.saturating_since(SimTime::ZERO)
+    }
+
+    fn kernel_times(&self) -> Vec<(String, SimDuration)> {
+        self.reports
+            .iter()
+            .map(|r| (r.kernel.clone(), r.duration))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidicl_hetsim::KernelProfile;
+    use fluidicl_vcl::{ArgRole, ArgSpec, KernelDef};
+
+    fn scale_program() -> Program {
+        let mut p = Program::new();
+        p.register(KernelDef::new(
+            "scale",
+            vec![
+                ArgSpec::new("src", ArgRole::In),
+                ArgSpec::new("dst", ArgRole::Out),
+                ArgSpec::new("f", ArgRole::Scalar),
+            ],
+            KernelProfile::new("scale")
+                .flops_per_item(4.0)
+                .bytes_read_per_item(4.0)
+                .bytes_written_per_item(4.0),
+            |item, scalars, ins, outs| {
+                let i = item.global_linear();
+                outs.at(0)[i] = scalars.f32(0) * ins.get(0)[i];
+            },
+        ));
+        p
+    }
+
+    fn runtime() -> Fluidicl {
+        Fluidicl::new(
+            MachineConfig::paper_testbed(),
+            FluidiclConfig::default(),
+            scale_program(),
+        )
+    }
+
+    #[test]
+    fn single_kernel_end_to_end() {
+        let mut rt = runtime();
+        let n = 4096;
+        let src = rt.create_buffer(n);
+        let dst = rt.create_buffer(n);
+        let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        rt.write_buffer(src, &input).unwrap();
+        rt.enqueue_kernel(
+            "scale",
+            NdRange::d1(n, 64).unwrap(),
+            &[
+                KernelArg::Buffer(src),
+                KernelArg::Buffer(dst),
+                KernelArg::F32(3.0),
+            ],
+        )
+        .unwrap();
+        let out = rt.read_buffer(dst).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 3.0 * i as f32);
+        }
+        assert!(!rt.elapsed().is_zero());
+        assert_eq!(rt.reports().len(), 1);
+        let r = &rt.reports()[0];
+        assert_eq!(r.total_wgs, 64);
+        assert!(r.gpu_executed_wgs + r.cpu_executed_wgs >= r.total_wgs);
+    }
+
+    #[test]
+    fn chained_kernels_stay_coherent() {
+        let mut rt = runtime();
+        let n = 2048;
+        let a = rt.create_buffer(n);
+        let b = rt.create_buffer(n);
+        rt.write_buffer(a, &vec![1.0; n]).unwrap();
+        // a -> b (x2), b -> a (x2): a should end at 4.0.
+        rt.enqueue_kernel(
+            "scale",
+            NdRange::d1(n, 64).unwrap(),
+            &[
+                KernelArg::Buffer(a),
+                KernelArg::Buffer(b),
+                KernelArg::F32(2.0),
+            ],
+        )
+        .unwrap();
+        rt.enqueue_kernel(
+            "scale",
+            NdRange::d1(n, 64).unwrap(),
+            &[
+                KernelArg::Buffer(b),
+                KernelArg::Buffer(a),
+                KernelArg::F32(2.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rt.read_buffer(a).unwrap(), vec![4.0; n]);
+        assert_eq!(rt.reports().len(), 2);
+        // Kernel ids are assigned monotonically.
+        assert!(rt.reports()[0].kernel_id < rt.reports()[1].kernel_id);
+    }
+
+    #[test]
+    fn reports_and_summary_are_consistent() {
+        let mut rt = runtime();
+        let n = 1024;
+        let a = rt.create_buffer(n);
+        let b = rt.create_buffer(n);
+        rt.write_buffer(a, &vec![1.0; n]).unwrap();
+        rt.enqueue_kernel(
+            "scale",
+            NdRange::d1(n, 32).unwrap(),
+            &[
+                KernelArg::Buffer(a),
+                KernelArg::Buffer(b),
+                KernelArg::F32(1.5),
+            ],
+        )
+        .unwrap();
+        let summary = rt.summary();
+        assert_eq!(summary.kernels, 1);
+        assert_eq!(summary.total_wgs, 32);
+        let times = rt.kernel_times();
+        assert_eq!(times.len(), 1);
+        assert_eq!(times[0].0, "scale");
+    }
+
+    #[test]
+    fn location_tracking_skips_dh_transfer_on_reads() {
+        let run = |tracking: bool| {
+            let mut rt = Fluidicl::new(
+                MachineConfig::paper_testbed(),
+                FluidiclConfig::default().with_location_tracking(tracking),
+                scale_program(),
+            );
+            let n = 1 << 16;
+            let a = rt.create_buffer(n);
+            let b = rt.create_buffer(n);
+            rt.write_buffer(a, &vec![1.0; n]).unwrap();
+            rt.enqueue_kernel(
+                "scale",
+                NdRange::d1(n, 64).unwrap(),
+                &[
+                    KernelArg::Buffer(a),
+                    KernelArg::Buffer(b),
+                    KernelArg::F32(2.0),
+                ],
+            )
+            .unwrap();
+            let v = rt.read_buffer(b).unwrap();
+            assert_eq!(v[0], 2.0);
+            rt.elapsed()
+        };
+        // Reading via the CPU copy must never be slower than an extra
+        // device-to-host transfer.
+        assert!(run(true) <= run(false));
+    }
+
+    #[test]
+    fn buffer_pool_reduces_scratch_creation_cost() {
+        let run = |pooled: bool| {
+            let mut rt = Fluidicl::new(
+                MachineConfig::paper_testbed(),
+                FluidiclConfig::default().with_buffer_pool(pooled),
+                scale_program(),
+            );
+            let n = 1 << 18;
+            let a = rt.create_buffer(n);
+            let b = rt.create_buffer(n);
+            rt.write_buffer(a, &vec![1.0; n]).unwrap();
+            for _ in 0..4 {
+                rt.enqueue_kernel(
+                    "scale",
+                    NdRange::d1(n, 64).unwrap(),
+                    &[
+                        KernelArg::Buffer(a),
+                        KernelArg::Buffer(b),
+                        KernelArg::F32(2.0),
+                    ],
+                )
+                .unwrap();
+            }
+            (rt.elapsed(), rt.pool_stats())
+        };
+        let (t_pool, s_pool) = run(true);
+        let (t_nopool, s_nopool) = run(false);
+        assert!(s_pool.hits > 0, "pool must be reused across kernels");
+        assert_eq!(s_nopool.hits, 0);
+        assert!(t_pool <= t_nopool);
+    }
+}

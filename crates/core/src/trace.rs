@@ -1,0 +1,323 @@
+//! Execution traces: a per-kernel timeline of every protocol event.
+//!
+//! FluidiCL's behaviour — waves, subkernels, transfers, aborts, the merge —
+//! is an interleaving in time. The co-execution engine records each event
+//! with its virtual timestamp, and [`render_timeline`] prints the protocol
+//! as it played out, which is how most scheduling questions ("why did the
+//! GPU duplicate that range?") get answered.
+
+use std::fmt;
+
+use fluidicl_des::SimTime;
+
+use crate::stats::Finisher;
+
+/// One protocol event of a co-executed kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The GPU kernel was launched (after scratch setup).
+    GpuLaunch,
+    /// A GPU wave over flattened work-groups `[from, to)` started.
+    GpuWaveStart {
+        /// First flattened work-group of the wave.
+        from: u64,
+        /// One past the last work-group of the wave.
+        to: u64,
+    },
+    /// A wave completed; work-groups `[from, executed_to)` produced results
+    /// (the rest had been covered by arrived CPU data mid-wave).
+    GpuWaveDone {
+        /// First flattened work-group of the wave.
+        from: u64,
+        /// One past the last work-group of the wave.
+        to: u64,
+        /// One past the last work-group that actually wrote results.
+        executed_to: u64,
+    },
+    /// A running wave aborted at an in-loop check: the CPU had already
+    /// covered everything from the wave's start (paper §6.4).
+    GpuWaveAborted {
+        /// First flattened work-group of the aborted wave.
+        from: u64,
+        /// One past the last work-group of the aborted wave.
+        to: u64,
+    },
+    /// The GPU kernel exited (reached the CPU watermark).
+    GpuExit,
+    /// The diff-merge kernel finished on the GPU (paper §4.3).
+    MergeDone,
+    /// A CPU subkernel over `[from, to)` was launched with kernel version
+    /// `version`.
+    CpuSubkernelStart {
+        /// First flattened work-group of the subkernel.
+        from: u64,
+        /// One past the last work-group of the subkernel.
+        to: u64,
+        /// Kernel version index used (paper §6.6).
+        version: usize,
+    },
+    /// A CPU subkernel finished computing.
+    CpuSubkernelDone {
+        /// First flattened work-group of the subkernel.
+        from: u64,
+        /// One past the last work-group of the subkernel.
+        to: u64,
+    },
+    /// CPU results + status were enqueued on the hd queue (paper §5.4).
+    HdEnqueued {
+        /// Completion boundary the status message will carry.
+        boundary: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A status message reached the GPU: everything at or above `boundary`
+    /// is now CPU-complete *and* resident on the GPU (paper §4.2).
+    StatusArrived {
+        /// New completion watermark.
+        boundary: u64,
+    },
+    /// The kernel completed from the host's perspective.
+    KernelComplete {
+        /// Which device established the final data.
+        finisher: Finisher,
+    },
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::GpuLaunch => write!(f, "[gpu] kernel launched"),
+            TraceKind::GpuWaveStart { from, to } => {
+                write!(f, "[gpu] wave {from}..{to} start")
+            }
+            TraceKind::GpuWaveDone {
+                from,
+                to,
+                executed_to,
+            } => {
+                if executed_to == to {
+                    write!(f, "[gpu] wave {from}..{to} done")
+                } else {
+                    write!(
+                        f,
+                        "[gpu] wave {from}..{to} done (wrote {from}..{executed_to}, rest covered by cpu)"
+                    )
+                }
+            }
+            TraceKind::GpuWaveAborted { from, to } => {
+                write!(f, "[gpu] wave {from}..{to} ABORTED (cpu covered it)")
+            }
+            TraceKind::GpuExit => write!(f, "[gpu] kernel exit"),
+            TraceKind::MergeDone => write!(f, "[gpu] diff-merge done"),
+            TraceKind::CpuSubkernelStart { from, to, version } => {
+                write!(f, "[cpu] subkernel {from}..{to} start (version {version})")
+            }
+            TraceKind::CpuSubkernelDone { from, to } => {
+                write!(f, "[cpu] subkernel {from}..{to} done")
+            }
+            TraceKind::HdEnqueued { boundary, bytes } => {
+                write!(f, "[hd ] data+status enqueued (boundary {boundary}, {bytes} B)")
+            }
+            TraceKind::StatusArrived { boundary } => {
+                write!(f, "[hd ] status arrived: watermark -> {boundary}")
+            }
+            TraceKind::KernelComplete { finisher } => {
+                write!(f, "[all] kernel complete (finished by {finisher:?})")
+            }
+        }
+    }
+}
+
+/// A timestamped protocol event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Renders a kernel's trace as a chronological text timeline.
+///
+/// # Examples
+///
+/// ```
+/// use fluidicl::{render_timeline, TraceEvent, TraceKind};
+/// use fluidicl_des::SimTime;
+///
+/// let events = vec![TraceEvent {
+///     at: SimTime::from_nanos(1_000),
+///     kind: TraceKind::GpuLaunch,
+/// }];
+/// let text = render_timeline("syrk", &events);
+/// assert!(text.contains("syrk"));
+/// assert!(text.contains("kernel launched"));
+/// ```
+pub fn render_timeline(kernel: &str, events: &[TraceEvent]) -> String {
+    let mut out = format!("timeline of `{kernel}` ({} events)\n", events.len());
+    let t0 = events.first().map_or(SimTime::ZERO, |e| e.at);
+    for e in events {
+        let rel = e.at.saturating_since(t0);
+        out.push_str(&format!(
+            "  +{:>10.3}us  {}\n",
+            rel.as_nanos() as f64 / 1e3,
+            e.kind
+        ));
+    }
+    out
+}
+
+/// Renders a compact per-lane utilization view of a kernel's trace: one
+/// lane per actor (GPU, CPU, hd channel), each event bucketed into a
+/// fixed-width strip. Coarser than [`render_timeline`] but shows overlap at
+/// a glance.
+///
+/// # Examples
+///
+/// ```
+/// use fluidicl::{render_lanes, TraceEvent, TraceKind};
+/// use fluidicl_des::SimTime;
+///
+/// let events = vec![
+///     TraceEvent { at: SimTime::from_nanos(0), kind: TraceKind::GpuLaunch },
+///     TraceEvent { at: SimTime::from_nanos(500), kind: TraceKind::GpuExit },
+/// ];
+/// let text = render_lanes("k", &events, 40);
+/// assert!(text.contains("gpu"));
+/// ```
+pub fn render_lanes(kernel: &str, events: &[TraceEvent], width: usize) -> String {
+    let width = width.max(10);
+    let (Some(first), Some(last)) = (events.first(), events.last()) else {
+        return format!("lanes of `{kernel}`: no events\n");
+    };
+    let t0 = first.at;
+    let span = last.at.saturating_since(t0).as_nanos().max(1);
+    let mut gpu = vec![' '; width];
+    let mut cpu = vec![' '; width];
+    let mut hd = vec![' '; width];
+    let bucket = |at: SimTime| -> usize {
+        let rel = at.saturating_since(t0).as_nanos();
+        (((rel as u128 * (width as u128 - 1)) / span as u128) as usize).min(width - 1)
+    };
+    for e in events {
+        let b = bucket(e.at);
+        match &e.kind {
+            TraceKind::GpuLaunch => gpu[b] = 'L',
+            TraceKind::GpuWaveStart { .. } => gpu[b] = '[',
+            TraceKind::GpuWaveDone { .. } => gpu[b] = ']',
+            TraceKind::GpuWaveAborted { .. } => gpu[b] = 'x',
+            TraceKind::GpuExit => gpu[b] = 'E',
+            TraceKind::MergeDone => gpu[b] = 'M',
+            TraceKind::CpuSubkernelStart { .. } => cpu[b] = '[',
+            TraceKind::CpuSubkernelDone { .. } => cpu[b] = ']',
+            TraceKind::HdEnqueued { .. } => hd[b] = '>',
+            TraceKind::StatusArrived { .. } => hd[b] = '*',
+            TraceKind::KernelComplete { .. } => gpu[b] = '!',
+        }
+    }
+    let lane = |name: &str, cells: &[char]| {
+        format!("  {name:4}|{}|\n", cells.iter().collect::<String>())
+    };
+    let mut out = format!(
+        "lanes of `{kernel}` over {:.1}us ([ start, ] done, x abort, > send, * status, M merge, ! complete)\n",
+        span as f64 / 1e3
+    );
+    out.push_str(&lane("gpu", &gpu));
+    out.push_str(&lane("cpu", &cpu));
+    out.push_str(&lane("hd", &hd));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(ns),
+            kind,
+        }
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let kinds = vec![
+            TraceKind::GpuLaunch,
+            TraceKind::GpuWaveStart { from: 0, to: 84 },
+            TraceKind::GpuWaveDone {
+                from: 0,
+                to: 84,
+                executed_to: 84,
+            },
+            TraceKind::GpuWaveDone {
+                from: 84,
+                to: 120,
+                executed_to: 100,
+            },
+            TraceKind::GpuWaveAborted { from: 84, to: 120 },
+            TraceKind::GpuExit,
+            TraceKind::MergeDone,
+            TraceKind::CpuSubkernelStart {
+                from: 200,
+                to: 256,
+                version: 1,
+            },
+            TraceKind::CpuSubkernelDone { from: 200, to: 256 },
+            TraceKind::HdEnqueued {
+                boundary: 200,
+                bytes: 4096,
+            },
+            TraceKind::StatusArrived { boundary: 200 },
+            TraceKind::KernelComplete {
+                finisher: Finisher::Gpu,
+            },
+        ];
+        for k in kinds {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn timeline_is_relative_to_first_event() {
+        let events = vec![
+            ev(5_000, TraceKind::GpuLaunch),
+            ev(8_000, TraceKind::GpuExit),
+        ];
+        let text = render_timeline("k", &events);
+        assert!(text.contains("+     0.000us"), "{text}");
+        assert!(text.contains("+     3.000us"), "{text}");
+    }
+
+    #[test]
+    fn lanes_render_all_actors() {
+        let events = vec![
+            ev(0, TraceKind::CpuSubkernelStart { from: 8, to: 16, version: 0 }),
+            ev(100, TraceKind::CpuSubkernelDone { from: 8, to: 16 }),
+            ev(120, TraceKind::HdEnqueued { boundary: 8, bytes: 64 }),
+            ev(200, TraceKind::GpuLaunch),
+            ev(300, TraceKind::StatusArrived { boundary: 8 }),
+            ev(400, TraceKind::GpuExit),
+            ev(500, TraceKind::KernelComplete { finisher: Finisher::Gpu }),
+        ];
+        let text = render_lanes("k", &events, 50);
+        assert!(text.contains("gpu"), "{text}");
+        assert!(text.contains('*'), "status marker missing: {text}");
+        assert!(text.contains('>'), "send marker missing: {text}");
+        assert!(text.contains('!'), "complete marker missing: {text}");
+    }
+
+    #[test]
+    fn lanes_handle_empty_trace() {
+        assert!(render_lanes("k", &[], 40).contains("no events"));
+    }
+
+    #[test]
+    fn partial_wave_mentions_cpu_coverage() {
+        let k = TraceKind::GpuWaveDone {
+            from: 0,
+            to: 10,
+            executed_to: 7,
+        };
+        assert!(k.to_string().contains("covered by cpu"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # fluidicl-des — deterministic discrete-event simulation engine
+//!
+//! Virtual-time substrate for the FluidiCL reproduction. The paper's runtime
+//! coordinates a CPU and a GPU with asynchronous data transfers; everything
+//! schedule-dependent in that protocol (when a status message reaches the
+//! GPU, whether the GPU wave had already started, which device finishes a
+//! kernel first) is a question about *event ordering in time*. This crate
+//! provides the timeline:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
+//! * [`Simulation`] — a generic event queue with deterministic total
+//!   ordering `(timestamp, scheduling sequence)`, lazy cancellation, and a
+//!   caller-owned dispatch loop.
+//! * [`DurationSeries`], [`Counter`], [`geomean`] — the statistics helpers
+//!   shared by the runtime's adaptive heuristics and the experiment harness.
+//!
+//! The engine is intentionally synchronous and single-threaded: determinism
+//! is a feature. Two runs of the same experiment produce bit-identical
+//! timelines, which makes the paper's figures reproducible artifacts rather
+//! than noisy measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use fluidicl_des::{SimDuration, Simulation};
+//!
+//! #[derive(Debug)]
+//! enum Ev {
+//!     TransferDone,
+//!     KernelDone,
+//! }
+//!
+//! let mut sim = Simulation::new();
+//! sim.schedule_in(SimDuration::from_micros(10), Ev::TransferDone);
+//! sim.schedule_in(SimDuration::from_micros(25), Ev::KernelDone);
+//! let end = sim.run(|_sim, _t, _ev| { /* react */ });
+//! assert_eq!(end, fluidicl_des::SimTime::from_nanos(25_000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sim;
+mod stats;
+mod time;
+
+pub use sim::{EventToken, Simulation};
+pub use stats::{geomean, Counter, DurationSeries};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,108 @@
+//! Property-based tests for the DES engine invariants the FluidiCL
+//! co-execution protocol relies on.
+
+use fluidicl_des::{SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events are always delivered in nondecreasing time order regardless of
+    /// scheduling order.
+    #[test]
+    fn delivery_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulation::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = sim.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert_eq!(sim.delivered(), times.len() as u64);
+    }
+
+    /// Same-timestamp events preserve scheduling order (FIFO tie-break).
+    #[test]
+    fn ties_are_fifo(n in 1usize..100, t in 0u64..1000) {
+        let mut sim = Simulation::new();
+        for i in 0..n {
+            sim.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| sim.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Two identical schedules produce identical delivery sequences
+    /// (determinism).
+    #[test]
+    fn runs_are_deterministic(times in proptest::collection::vec(0u64..10_000, 0..100)) {
+        let run = |times: &[u64]| {
+            let mut sim = Simulation::new();
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(t), i);
+            }
+            std::iter::from_fn(move || sim.pop()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&times), run(&times));
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut sim = Simulation::new();
+        let tokens: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, sim.schedule_at(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, tok) in &tokens {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(sim.cancel(*tok));
+            } else {
+                expect.push(*i);
+            }
+        }
+        let mut got: Vec<usize> = std::iter::from_fn(|| sim.pop()).map(|(_, e)| e).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The clock equals the timestamp of the last delivered event.
+    #[test]
+    fn clock_tracks_last_event(times in proptest::collection::vec(1u64..1_000_000, 1..50)) {
+        let mut sim = Simulation::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::from_nanos(t), ());
+        }
+        let mut max = 0;
+        while let Some((t, ())) = sim.pop() {
+            max = max.max(t.as_nanos());
+            prop_assert_eq!(sim.now(), t);
+        }
+        prop_assert_eq!(sim.now().as_nanos(), max);
+    }
+
+    /// Relative scheduling composes: a chain of `schedule_in` calls lands at
+    /// the prefix sums of the delays.
+    #[test]
+    fn relative_chains_accumulate(delays in proptest::collection::vec(0u64..1000, 1..50)) {
+        let mut sim = Simulation::new();
+        sim.schedule_in(SimDuration::from_nanos(delays[0]), 0usize);
+        let mut stamps = Vec::new();
+        while let Some((t, i)) = sim.pop() {
+            stamps.push(t.as_nanos());
+            let next = i + 1;
+            if next < delays.len() {
+                sim.schedule_in(SimDuration::from_nanos(delays[next]), next);
+            }
+        }
+        let mut acc = 0u64;
+        let expect: Vec<u64> = delays.iter().map(|&d| { acc += d; acc }).collect();
+        prop_assert_eq!(stamps, expect);
+    }
+}

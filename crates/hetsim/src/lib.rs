@@ -1,0 +1,36 @@
+//! # fluidicl-hetsim — heterogeneous node performance models
+//!
+//! The FluidiCL paper evaluates on a real machine (Tesla C2070 GPU + Xeon
+//! W3550 CPU over PCIe). This reproduction has no such hardware, so this
+//! crate provides the *substitute*: deterministic analytic models of
+//!
+//! * a wave-issuing GPU ([`GpuModel`]) with coalescing/divergence penalties
+//!   and explicit pricing of FluidiCL's abort-check kernel transformations,
+//! * a multicore CPU OpenCL device ([`CpuModel`]) with per-subkernel launch
+//!   overhead and work-group splitting,
+//! * a full-duplex PCIe-like link ([`LinkModel`]) and host memcpy
+//!   ([`HostModel`]),
+//! * kernel cost descriptors ([`KernelProfile`]),
+//!
+//! assembled into a [`MachineConfig`]. Every quantity is a virtual
+//! [`fluidicl_des::SimDuration`], so the co-execution protocol in the
+//! `fluidicl` crate plays out on a reproducible timeline. What matters for
+//! reproducing the paper is not absolute nanoseconds but the *relative*
+//! landscape: which device wins which kernel, how transfer overhead scales
+//! with input size, and how launch overheads punish tiny CPU subkernels —
+//! all of which are explicit, testable terms here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod gpu;
+mod link;
+mod machine;
+mod profile;
+
+pub use cpu::CpuModel;
+pub use gpu::{AbortMode, GpuModel};
+pub use link::{HostModel, LinkModel};
+pub use machine::MachineConfig;
+pub use profile::KernelProfile;

@@ -1,0 +1,139 @@
+//! Interconnect and host-memory models.
+//!
+//! The paper's CPU and GPU have discrete address spaces joined by PCIe; every
+//! byte FluidiCL moves (CPU subkernel results, status messages, merged
+//! results) crosses this link. [`LinkModel`] prices a single direction;
+//! host-to-device and device-to-host are independent channels (full duplex),
+//! which is what lets FluidiCL overlap transfers with computation (paper
+//! §5.5). [`HostModel`] prices the intermediate host-side buffer copies the
+//! runtime makes so that subsequent subkernels can proceed while data is in
+//! flight.
+
+use fluidicl_des::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One direction of a PCIe-like interconnect: fixed latency plus a
+/// bandwidth-proportional term.
+///
+/// # Examples
+///
+/// ```
+/// use fluidicl_hetsim::LinkModel;
+///
+/// let link = LinkModel::pcie2_x16();
+/// let t = link.transfer_time(1 << 20); // 1 MiB
+/// assert!(t > link.transfer_time(0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    latency: SimDuration,
+    bytes_per_ns: f64,
+}
+
+impl LinkModel {
+    /// Creates a link with the given fixed latency and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_ns` is not strictly positive.
+    pub fn new(latency: SimDuration, bytes_per_ns: f64) -> Self {
+        assert!(bytes_per_ns > 0.0, "link bandwidth must be positive");
+        LinkModel {
+            latency,
+            bytes_per_ns,
+        }
+    }
+
+    /// A PCIe 2.0 x16 link as in the paper's testbed: ~8 GB/s with ~15 µs
+    /// end-to-end software latency per transfer.
+    pub fn pcie2_x16() -> Self {
+        LinkModel::new(SimDuration::from_micros(15), 7.0)
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + SimDuration::from_nanos((bytes as f64 / self.bytes_per_ns).ceil() as u64)
+    }
+
+    /// Fixed latency component.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Bandwidth in bytes per nanosecond.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes_per_ns
+    }
+}
+
+/// Host memory-copy model (for intermediate buffer copies, paper §5.5).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostModel {
+    memcpy_bytes_per_ns: f64,
+}
+
+impl HostModel {
+    /// Creates a host model with the given memcpy bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memcpy_bytes_per_ns` is not strictly positive.
+    pub fn new(memcpy_bytes_per_ns: f64) -> Self {
+        assert!(memcpy_bytes_per_ns > 0.0, "memcpy bandwidth must be positive");
+        HostModel {
+            memcpy_bytes_per_ns,
+        }
+    }
+
+    /// A host matching the paper's Xeon workstation (~7.5 GB/s large-copy
+    /// bandwidth).
+    pub fn xeon_host() -> Self {
+        HostModel::new(7.5)
+    }
+
+    /// Time to copy `bytes` within host memory.
+    pub fn copy_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 / self.memcpy_bytes_per_ns).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_linear() {
+        let link = LinkModel::new(SimDuration::from_micros(10), 2.0);
+        assert_eq!(link.transfer_time(0), SimDuration::from_micros(10));
+        assert_eq!(
+            link.transfer_time(2000),
+            SimDuration::from_micros(10) + SimDuration::from_nanos(1000)
+        );
+    }
+
+    #[test]
+    fn bigger_transfers_take_longer() {
+        let link = LinkModel::pcie2_x16();
+        assert!(link.transfer_time(1 << 24) > link.transfer_time(1 << 20));
+    }
+
+    #[test]
+    fn host_copy_is_linear() {
+        let host = HostModel::new(4.0);
+        assert_eq!(host.copy_time(0), SimDuration::ZERO);
+        assert_eq!(host.copy_time(400), SimDuration::from_nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkModel::new(SimDuration::ZERO, 0.0);
+    }
+
+    #[test]
+    fn accessors_expose_parameters() {
+        let link = LinkModel::pcie2_x16();
+        assert_eq!(link.latency(), SimDuration::from_micros(15));
+        assert!(link.bandwidth() > 0.0);
+    }
+}

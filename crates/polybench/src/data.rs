@@ -1,0 +1,55 @@
+//! Deterministic input generation for the benchmark suite.
+//!
+//! Inputs are seeded so every runtime (CPU-only, GPU-only, FluidiCL, static
+//! splits, SOCL) computes over identical data and can be validated against
+//! the same sequential reference, bit for bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an `rows × cols` matrix (row-major) of values in `[-1, 1)`.
+pub fn gen_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Generates a vector of `len` values in `[-1, 1)`.
+pub fn gen_vector(len: usize, seed: u64) -> Vec<f32> {
+    gen_matrix(len, 1, seed)
+}
+
+/// Generates strictly positive values in `[0.1, 1.1)` (for inputs where
+/// zero variance or cancellation would be degenerate, e.g. CORR).
+pub fn gen_positive(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0.1..1.1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(gen_matrix(8, 8, 42), gen_matrix(8, 8, 42));
+        assert_eq!(gen_vector(16, 7), gen_vector(16, 7));
+        assert_eq!(gen_positive(16, 7), gen_positive(16, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(gen_matrix(8, 8, 1), gen_matrix(8, 8, 2));
+    }
+
+    #[test]
+    fn ranges_hold() {
+        assert!(gen_matrix(100, 1, 3).iter().all(|&v| (-1.0..1.0).contains(&v)));
+        assert!(gen_positive(100, 3).iter().all(|&v| (0.1..1.1).contains(&v)));
+    }
+
+    #[test]
+    fn sizes_are_respected() {
+        assert_eq!(gen_matrix(3, 5, 0).len(), 15);
+        assert_eq!(gen_vector(9, 0).len(), 9);
+    }
+}

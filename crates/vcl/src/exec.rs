@@ -1,0 +1,291 @@
+//! Functional kernel execution.
+//!
+//! The executor actually *computes* kernel results over device memory: when
+//! FluidiCL assigns flattened work-groups `[a, b)` to one device, this module
+//! runs exactly those work-items against that device's buffers. Partitioning
+//! or merging bugs therefore corrupt real output and are caught by the
+//! benchmark validation against sequential references — the timing models
+//! only decide *when* things happen, never *what* is computed.
+
+use std::sync::Arc;
+
+use crate::kernel::{Inputs, KernelDef, Outputs};
+use crate::ndrange::for_each_item_in_group;
+use crate::{BufferId, ClError, ClResult, KernelArg, Memory, NdRange};
+
+/// A fully specified kernel launch (kernel + version + geometry + arguments).
+#[derive(Clone, Debug)]
+pub struct Launch {
+    /// The kernel to run.
+    pub kernel: Arc<KernelDef>,
+    /// Which implementation to use (index into [`KernelDef::versions`]).
+    pub version: usize,
+    /// Index space.
+    pub ndrange: NdRange,
+    /// Argument values matching the kernel signature.
+    pub args: Vec<KernelArg>,
+}
+
+impl Launch {
+    /// Creates a launch of the default kernel version.
+    pub fn new(kernel: Arc<KernelDef>, ndrange: NdRange, args: Vec<KernelArg>) -> Self {
+        Launch {
+            kernel,
+            version: 0,
+            ndrange,
+            args,
+        }
+    }
+
+    /// Buffers the launch may modify (`Out`/`InOut`), in signature order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signature validation errors.
+    pub fn output_buffers(&self) -> ClResult<Vec<BufferId>> {
+        Ok(self.kernel.classify_args(&self.args)?.1)
+    }
+
+    /// Buffers the launch reads (`In`), in signature order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signature validation errors.
+    pub fn input_buffers(&self) -> ClResult<Vec<BufferId>> {
+        Ok(self.kernel.classify_args(&self.args)?.0)
+    }
+}
+
+/// Executes flattened work-groups `[from, to)` of `launch` against `mem`.
+///
+/// # Errors
+///
+/// Returns an error if the arguments do not match the kernel signature, a
+/// buffer is missing from `mem`, or the range is out of bounds.
+pub fn execute_groups(launch: &Launch, mem: &mut Memory, from: u64, to: u64) -> ClResult<()> {
+    let total = launch.ndrange.num_groups();
+    if from > to || to > total {
+        return Err(ClError::InvalidNdRange(format!(
+            "group range {from}..{to} exceeds {total} groups"
+        )));
+    }
+    let (in_ids, out_ids, scalars) = launch.kernel.classify_args(&launch.args)?;
+    let version = launch
+        .kernel
+        .versions()
+        .get(launch.version)
+        .unwrap_or_else(|| launch.kernel.default_version());
+
+    // Split borrows: move output buffers out of the memory map, then borrow
+    // inputs immutably from what remains.
+    let mut taken: Vec<(BufferId, Vec<f32>)> = Vec::with_capacity(out_ids.len());
+    for id in &out_ids {
+        match mem.take(*id) {
+            Ok(v) => taken.push((*id, v)),
+            Err(e) => {
+                // Restore anything already taken before bailing out.
+                for (id, v) in taken {
+                    mem.install(id, v);
+                }
+                return Err(e);
+            }
+        }
+    }
+    let result = (|| -> ClResult<()> {
+        let mut in_slices = Vec::with_capacity(in_ids.len());
+        for id in &in_ids {
+            in_slices.push(mem.get(*id)?);
+        }
+        let ins = Inputs::new(in_slices);
+        let mut out_slices: Vec<&mut [f32]> =
+            taken.iter_mut().map(|(_, v)| v.as_mut_slice()).collect();
+        let mut outs = Outputs::new(std::mem::take(&mut out_slices));
+        let body = &version.body;
+        for flat in from..to {
+            let group = launch.ndrange.unflatten_group(flat);
+            for_each_item_in_group(&launch.ndrange, group, |item| {
+                body(item, &scalars, &ins, &mut outs);
+            });
+        }
+        Ok(())
+    })();
+    for (id, v) in taken {
+        mem.install(id, v);
+    }
+    result
+}
+
+/// Executes the entire NDRange of `launch` against `mem`.
+///
+/// # Errors
+///
+/// Same as [`execute_groups`].
+pub fn execute_all(launch: &Launch, mem: &mut Memory) -> ClResult<()> {
+    let total = launch.ndrange.num_groups();
+    execute_groups(launch, mem, 0, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ArgRole, ArgSpec, KernelDef};
+    use fluidicl_hetsim::KernelProfile;
+
+    fn scale_kernel() -> Arc<KernelDef> {
+        Arc::new(KernelDef::new(
+            "scale",
+            vec![
+                ArgSpec::new("src", ArgRole::In),
+                ArgSpec::new("dst", ArgRole::Out),
+                ArgSpec::new("factor", ArgRole::Scalar),
+            ],
+            KernelProfile::new("scale"),
+            |item, scalars, ins, outs| {
+                let i = item.global_linear();
+                outs.at(0)[i] = ins.get(0)[i] * scalars.f32(0);
+            },
+        ))
+    }
+
+    fn setup(n: usize) -> (Memory, Arc<KernelDef>) {
+        let mut mem = Memory::new();
+        mem.install(BufferId(0), (0..n).map(|i| i as f32).collect());
+        mem.alloc(BufferId(1), n);
+        (mem, scale_kernel())
+    }
+
+    #[test]
+    fn executes_full_range() {
+        let (mut mem, k) = setup(16);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(16, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(2.0),
+            ],
+        );
+        execute_all(&launch, &mut mem).unwrap();
+        let out = mem.get(BufferId(1)).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 2.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn executes_partial_range_only() {
+        let (mut mem, k) = setup(16);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(16, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(2.0),
+            ],
+        );
+        // Only groups 2 and 3 → items 8..16.
+        execute_groups(&launch, &mut mem, 2, 4).unwrap();
+        let out = mem.get(BufferId(1)).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            if i < 8 {
+                assert_eq!(v, 0.0, "untouched region must stay zero");
+            } else {
+                assert_eq!(v, 2.0 * i as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_ranges_compose_to_full_result() {
+        let (mut mem, k) = setup(16);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(16, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(3.0),
+            ],
+        );
+        execute_groups(&launch, &mut mem, 0, 2).unwrap();
+        execute_groups(&launch, &mut mem, 2, 4).unwrap();
+        let out = mem.get(BufferId(1)).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 3.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let (mut mem, k) = setup(16);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(16, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(1.0),
+            ],
+        );
+        assert!(matches!(
+            execute_groups(&launch, &mut mem, 0, 5),
+            Err(ClError::InvalidNdRange(_))
+        ));
+    }
+
+    #[test]
+    fn missing_buffer_restores_memory() {
+        let (mut mem, k) = setup(16);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(16, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(99)), // missing output
+                KernelArg::F32(1.0),
+            ],
+        );
+        assert!(execute_all(&launch, &mut mem).is_err());
+        assert!(mem.contains(BufferId(0)), "inputs must survive failure");
+    }
+
+    #[test]
+    fn inout_buffers_read_their_previous_content() {
+        let k = Arc::new(KernelDef::new(
+            "incr",
+            vec![ArgSpec::new("data", ArgRole::InOut)],
+            KernelProfile::new("incr"),
+            |item, _, _, outs| {
+                let i = item.global_linear();
+                outs.at(0)[i] += 1.0;
+            },
+        ));
+        let mut mem = Memory::new();
+        mem.install(BufferId(5), vec![10.0, 20.0]);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(2, 1).unwrap(),
+            vec![KernelArg::Buffer(BufferId(5))],
+        );
+        execute_all(&launch, &mut mem).unwrap();
+        assert_eq!(mem.get(BufferId(5)).unwrap(), &[11.0, 21.0]);
+    }
+
+    #[test]
+    fn launch_exposes_buffer_classification() {
+        let (_, k) = setup(4);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(4, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(1.0),
+            ],
+        );
+        assert_eq!(launch.input_buffers().unwrap(), vec![BufferId(0)]);
+        assert_eq!(launch.output_buffers().unwrap(), vec![BufferId(1)]);
+    }
+}

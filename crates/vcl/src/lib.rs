@@ -1,0 +1,47 @@
+//! # fluidicl-vcl — a virtual OpenCL runtime
+//!
+//! A from-scratch implementation of the OpenCL subset the FluidiCL paper
+//! builds on (paper §2, §7), running over the simulated heterogeneous
+//! machine from [`fluidicl_hetsim`]:
+//!
+//! * [`NdRange`] — 1–3-D index spaces with work-group flattening (paper
+//!   Figure 5) and the covering-slice offset computation of paper §5.2;
+//! * [`Memory`] / [`BufferId`] — discrete per-device address spaces and the
+//!   [`diff_merge`] coherence primitive of paper §4.3;
+//! * [`KernelDef`] / [`Program`] — kernels as per-work-item Rust closures
+//!   with declared `in`/`out`/`inout` signatures, cost profiles, and
+//!   alternate versions for online profiling (paper §6.6);
+//! * [`exec`] — the functional executor that really computes kernel results
+//!   for any flattened work-group range, so partitioning bugs corrupt real
+//!   data;
+//! * [`CommandQueue`] / [`Event`] / [`Platform`] — in-order command queues
+//!   with completion events and cross-queue waits (paper §2, §5.4);
+//! * [`ClDriver`] — the driver trait every runtime (single-device, FluidiCL,
+//!   static partition, SOCL) implements, letting one host program run on all
+//!   of them;
+//! * [`SingleDeviceRuntime`] — the vendor-runtime stand-in used for the
+//!   paper's CPU-only and GPU-only baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod error;
+pub mod exec;
+mod kernel;
+mod memory;
+mod ndrange;
+mod queue;
+mod single;
+
+pub use driver::{ClDriver, DeviceKind};
+pub use error::{ClError, ClResult};
+pub use exec::Launch;
+pub use kernel::{
+    ArgRole, ArgSpec, Inputs, KernelArg, KernelBody, KernelDef, KernelVersion, Outputs, Program,
+    Scalars,
+};
+pub use memory::{diff_merge, BufferId, Memory};
+pub use ndrange::{NdRange, WorkItem};
+pub use queue::{CommandQueue, Event, Platform};
+pub use single::SingleDeviceRuntime;

@@ -1,0 +1,235 @@
+//! Device and host memory.
+//!
+//! The paper's devices have *discrete* address spaces: a buffer created by
+//! the application exists once per device plus once on the host, and keeping
+//! those copies coherent is FluidiCL's job. [`Memory`] is one address space:
+//! a map from [`BufferId`] to an `f32` array (every Polybench buffer is an
+//! `f32` array; the paper's byte-granularity merge is modelled at element
+//! granularity, which it reduces to for 4-byte base types — paper §4.3).
+
+use std::collections::HashMap;
+
+use crate::{ClError, ClResult};
+
+/// Handle identifying a logical buffer across address spaces.
+///
+/// The same `BufferId` refers to the host copy, the CPU-device copy and the
+/// GPU-device copy of one application buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub u64);
+
+/// One address space: buffer storage for a single device (or the host).
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    buffers: HashMap<BufferId, Vec<f32>>,
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates (or reallocates) `id` with `len` zeroed elements.
+    pub fn alloc(&mut self, id: BufferId, len: usize) {
+        self.buffers.insert(id, vec![0.0; len]);
+    }
+
+    /// Installs `data` as the content of `id`, allocating if needed.
+    pub fn install(&mut self, id: BufferId, data: Vec<f32>) {
+        self.buffers.insert(id, data);
+    }
+
+    /// Immutable view of a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if `id` was never allocated here.
+    pub fn get(&self, id: BufferId) -> ClResult<&[f32]> {
+        self.buffers
+            .get(&id)
+            .map(Vec::as_slice)
+            .ok_or(ClError::InvalidBuffer(id.0))
+    }
+
+    /// Mutable view of a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if `id` was never allocated here.
+    pub fn get_mut(&mut self, id: BufferId) -> ClResult<&mut [f32]> {
+        self.buffers
+            .get_mut(&id)
+            .map(Vec::as_mut_slice)
+            .ok_or(ClError::InvalidBuffer(id.0))
+    }
+
+    /// Removes and returns a buffer (used by the executor to split borrows
+    /// between input and output buffers of one launch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if `id` was never allocated here.
+    pub fn take(&mut self, id: BufferId) -> ClResult<Vec<f32>> {
+        self.buffers
+            .remove(&id)
+            .ok_or(ClError::InvalidBuffer(id.0))
+    }
+
+    /// Overwrites a buffer with `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if absent or
+    /// [`ClError::SizeMismatch`] if lengths differ.
+    pub fn write(&mut self, id: BufferId, data: &[f32]) -> ClResult<()> {
+        let buf = self
+            .buffers
+            .get_mut(&id)
+            .ok_or(ClError::InvalidBuffer(id.0))?;
+        if buf.len() != data.len() {
+            return Err(ClError::SizeMismatch {
+                expected: buf.len(),
+                got: data.len(),
+            });
+        }
+        buf.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Length in elements of a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if `id` was never allocated here.
+    pub fn len_of(&self, id: BufferId) -> ClResult<usize> {
+        self.get(id).map(<[f32]>::len)
+    }
+
+    /// Size in bytes of a buffer (for transfer costing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if `id` was never allocated here.
+    pub fn bytes_of(&self, id: BufferId) -> ClResult<u64> {
+        Ok(self.len_of(id)? as u64 * 4)
+    }
+
+    /// Whether `id` exists in this address space.
+    pub fn contains(&self, id: BufferId) -> bool {
+        self.buffers.contains_key(&id)
+    }
+
+    /// Number of buffers resident.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+/// Element-wise diff-merge, the device-side coherence step of paper §4.3:
+/// wherever the CPU-computed copy differs from the pristine original, the
+/// CPU value overwrites the destination (the GPU buffer).
+///
+/// Comparison is on bit patterns so `NaN`s and signed zeros behave like the
+/// byte comparison the paper performs.
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+pub fn diff_merge(dst_gpu: &mut [f32], cpu: &[f32], original: &[f32]) {
+    assert!(
+        dst_gpu.len() == cpu.len() && cpu.len() == original.len(),
+        "diff_merge requires equally sized buffers"
+    );
+    for ((d, &c), &o) in dst_gpu.iter_mut().zip(cpu).zip(original) {
+        if c.to_bits() != o.to_bits() {
+            *d = c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw_roundtrip() {
+        let mut m = Memory::new();
+        let id = BufferId(1);
+        m.alloc(id, 4);
+        assert_eq!(m.get(id).unwrap(), &[0.0; 4]);
+        m.write(id, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(id).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.len_of(id).unwrap(), 4);
+        assert_eq!(m.bytes_of(id).unwrap(), 16);
+    }
+
+    #[test]
+    fn missing_buffer_is_an_error() {
+        let m = Memory::new();
+        assert_eq!(m.get(BufferId(9)), Err(ClError::InvalidBuffer(9)));
+    }
+
+    #[test]
+    fn write_checks_length() {
+        let mut m = Memory::new();
+        m.alloc(BufferId(1), 2);
+        assert_eq!(
+            m.write(BufferId(1), &[1.0]),
+            Err(ClError::SizeMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn take_and_install_move_buffers() {
+        let mut m = Memory::new();
+        m.install(BufferId(1), vec![5.0, 6.0]);
+        let v = m.take(BufferId(1)).unwrap();
+        assert!(!m.contains(BufferId(1)));
+        m.install(BufferId(1), v);
+        assert_eq!(m.get(BufferId(1)).unwrap(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn diff_merge_takes_changed_elements_only() {
+        let original = [1.0, 2.0, 3.0, 4.0];
+        let cpu = [1.0, 9.0, 3.0, 8.0]; // CPU computed elements 1 and 3
+        let mut gpu = [7.0, 2.0, 6.0, 4.0]; // GPU computed elements 0 and 2
+        diff_merge(&mut gpu, &cpu, &original);
+        assert_eq!(gpu, [7.0, 9.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn diff_merge_distinguishes_nan_patterns() {
+        let original = [f32::NAN, 0.0];
+        let cpu = [f32::NAN, -0.0]; // same NaN bits, -0.0 differs from 0.0
+        let mut gpu = [1.0, 1.0];
+        diff_merge(&mut gpu, &cpu, &original);
+        assert_eq!(gpu[0], 1.0, "identical NaN bits are not a diff");
+        assert_eq!(gpu[1].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn diff_merge_documents_paper_caveat() {
+        // The paper's diff-based merge cannot see a CPU-computed value that
+        // happens to equal the original. This is harmless in FluidiCL
+        // because any work-group result the merge "misses" was either also
+        // computed by the GPU (identical value) or left untouched on the
+        // GPU, whose buffer still holds the original — the same value.
+        let original = [5.0];
+        let cpu = [5.0]; // CPU computed 5.0, identical to the original
+        let mut gpu = [5.0]; // GPU buffer holds the original
+        diff_merge(&mut gpu, &cpu, &original);
+        assert_eq!(gpu, [5.0]); // correct final value either way
+    }
+
+    #[test]
+    #[should_panic(expected = "equally sized")]
+    fn diff_merge_rejects_mismatched_lengths() {
+        let mut d = [0.0f32; 2];
+        diff_merge(&mut d, &[0.0; 2], &[0.0; 3]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests of the virtual OpenCL substrate: geometry
+//! round-trips, covering slices, diff-merge algebra, and the partitioning
+//! property the whole FluidiCL design rests on — executing disjoint
+//! work-group ranges composes to the full-kernel result.
+
+use std::sync::Arc;
+
+use fluidicl_hetsim::KernelProfile;
+use fluidicl_vcl::exec::{execute_all, execute_groups, Launch};
+use fluidicl_vcl::{
+    diff_merge, ArgRole, ArgSpec, BufferId, KernelArg, KernelDef, Memory, NdRange,
+};
+use proptest::prelude::*;
+
+fn arb_ndrange() -> impl Strategy<Value = NdRange> {
+    prop_oneof![
+        (1usize..40, 1usize..16)
+            .prop_map(|(g, l)| NdRange::d1(g * l, l).expect("valid 1d")),
+        (1usize..8, 1usize..8, 1usize..6, 1usize..6)
+            .prop_map(|(gx, gy, lx, ly)| NdRange::d2(gx * lx, gy * ly, lx, ly).expect("valid 2d")),
+        (
+            1usize..4,
+            1usize..4,
+            1usize..4,
+            1usize..3,
+            1usize..3,
+            1usize..3
+        )
+            .prop_map(|(gx, gy, gz, lx, ly, lz)| NdRange::d3(
+                gx * lx,
+                gy * ly,
+                gz * lz,
+                lx,
+                ly,
+                lz
+            )
+            .expect("valid 3d")),
+    ]
+}
+
+fn stamp_kernel() -> Arc<KernelDef> {
+    Arc::new(KernelDef::new(
+        "stamp",
+        vec![
+            ArgSpec::new("src", ArgRole::In),
+            ArgSpec::new("dst", ArgRole::Out),
+        ],
+        KernelProfile::new("stamp"),
+        |item, _, ins, outs| {
+            let i = item.global_linear();
+            outs.at(0)[i] = ins.get(0)[i] * 2.0 + i as f32;
+        },
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flatten/unflatten is a bijection over the whole group space.
+    #[test]
+    fn flatten_roundtrip(nd in arb_ndrange()) {
+        for flat in 0..nd.num_groups() {
+            let coords = nd.unflatten_group(flat);
+            prop_assert_eq!(nd.flatten_group(coords), flat);
+            let g = nd.groups();
+            prop_assert!(coords[0] < g[0] && coords[1] < g[1] && coords[2] < g[2]);
+        }
+    }
+
+    /// Flattening is dense: ids are exactly 0..num_groups.
+    #[test]
+    fn flattening_is_dense(nd in arb_ndrange()) {
+        let g = nd.groups();
+        let mut seen = vec![false; nd.num_groups() as usize];
+        for z in 0..g[2] {
+            for y in 0..g[1] {
+                for x in 0..g[0] {
+                    let flat = nd.flatten_group([x, y, z]) as usize;
+                    prop_assert!(!seen[flat], "duplicate flattened id");
+                    seen[flat] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// The §5.2 covering slice contains every requested flattened id.
+    #[test]
+    fn covering_slice_contains_range(nd in arb_ndrange(), split in 0.0f64..1.0, width in 0.0f64..1.0) {
+        let total = nd.num_groups();
+        let start = ((total - 1) as f64 * split) as u64;
+        let len = (((total - start) as f64 * width) as u64).max(1);
+        let end = (start + len).min(total);
+        let (off, cnt) = nd.covering_slice(start, end);
+        let mut covered = std::collections::HashSet::new();
+        for z in off[2]..off[2] + cnt[2] {
+            for y in off[1]..off[1] + cnt[1] {
+                for x in off[0]..off[0] + cnt[0] {
+                    covered.insert(nd.flatten_group([x, y, z]));
+                }
+            }
+        }
+        for flat in start..end {
+            prop_assert!(covered.contains(&flat), "id {flat} not covered");
+        }
+        // The slice is itself contiguous in flattened space.
+        let min = covered.iter().min().copied().expect("non-empty");
+        let max = covered.iter().max().copied().expect("non-empty");
+        prop_assert_eq!(covered.len() as u64, max - min + 1);
+    }
+
+    /// FluidiCL's partitioning axiom: executing [0, k) on one memory and
+    /// [k, N) on another, then diff-merging against the original, equals
+    /// executing everything on one device.
+    #[test]
+    fn partitioned_execution_plus_merge_equals_whole(
+        nd in arb_ndrange(),
+        frac in 0.0f64..=1.0,
+    ) {
+        let items = nd.num_items() as usize;
+        let src: Vec<f32> = (0..items).map(|i| (i % 13) as f32 - 6.0).collect();
+        let kernel = stamp_kernel();
+        let args = vec![KernelArg::Buffer(BufferId(0)), KernelArg::Buffer(BufferId(1))];
+        let launch = Launch::new(kernel, nd, args);
+
+        // Whole-kernel reference.
+        let mut whole = Memory::new();
+        whole.install(BufferId(0), src.clone());
+        whole.alloc(BufferId(1), items);
+        execute_all(&launch, &mut whole).expect("whole run");
+        let want = whole.get(BufferId(1)).expect("dst").to_vec();
+
+        // Partitioned: GPU memory takes [0, k), CPU memory takes [k, N).
+        let total = nd.num_groups();
+        let k = ((total as f64) * frac).round() as u64;
+        let mut gpu = Memory::new();
+        gpu.install(BufferId(0), src.clone());
+        gpu.alloc(BufferId(1), items);
+        let mut cpu = Memory::new();
+        cpu.install(BufferId(0), src);
+        cpu.alloc(BufferId(1), items);
+        let orig = gpu.get(BufferId(1)).expect("dst").to_vec();
+        execute_groups(&launch, &mut gpu, 0, k).expect("gpu part");
+        execute_groups(&launch, &mut cpu, k, total).expect("cpu part");
+        let cpu_data = cpu.get(BufferId(1)).expect("dst").to_vec();
+        diff_merge(gpu.get_mut(BufferId(1)).expect("dst"), &cpu_data, &orig);
+        prop_assert_eq!(gpu.get(BufferId(1)).expect("dst"), want.as_slice());
+    }
+
+    /// Overlapping (duplicated) execution is harmless: both sides compute
+    /// identical values, so merging after overlap still matches.
+    #[test]
+    fn overlapping_execution_is_idempotent(
+        nd in arb_ndrange(),
+        lo in 0.0f64..=1.0,
+        hi in 0.0f64..=1.0,
+    ) {
+        let total = nd.num_groups();
+        let a = ((total as f64) * lo.min(hi)).round() as u64;
+        let b = ((total as f64) * lo.max(hi)).round() as u64;
+        let items = nd.num_items() as usize;
+        let src: Vec<f32> = (0..items).map(|i| (i % 7) as f32).collect();
+        let kernel = stamp_kernel();
+        let args = vec![KernelArg::Buffer(BufferId(0)), KernelArg::Buffer(BufferId(1))];
+        let launch = Launch::new(kernel, nd, args);
+
+        let mut whole = Memory::new();
+        whole.install(BufferId(0), src.clone());
+        whole.alloc(BufferId(1), items);
+        execute_all(&launch, &mut whole).expect("whole run");
+        let want = whole.get(BufferId(1)).expect("dst").to_vec();
+
+        // GPU computes [0, b) and CPU computes [a, N): overlap is [a, b).
+        let mut gpu = Memory::new();
+        gpu.install(BufferId(0), src.clone());
+        gpu.alloc(BufferId(1), items);
+        let mut cpu = Memory::new();
+        cpu.install(BufferId(0), src);
+        cpu.alloc(BufferId(1), items);
+        let orig = gpu.get(BufferId(1)).expect("dst").to_vec();
+        execute_groups(&launch, &mut gpu, 0, b).expect("gpu part");
+        execute_groups(&launch, &mut cpu, a, total).expect("cpu part");
+        let cpu_data = cpu.get(BufferId(1)).expect("dst").to_vec();
+        diff_merge(gpu.get_mut(BufferId(1)).expect("dst"), &cpu_data, &orig);
+        prop_assert_eq!(gpu.get(BufferId(1)).expect("dst"), want.as_slice());
+    }
+
+    /// diff-merge algebra: merging an unmodified copy is the identity, and
+    /// merging is idempotent.
+    #[test]
+    fn diff_merge_identity_and_idempotence(
+        data in proptest::collection::vec(-100.0f32..100.0, 1..200),
+        changes in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let orig = data.clone();
+        let mut gpu: Vec<f32> = data.iter().map(|v| v + 1.0).collect();
+        // Identity: cpu == orig changes nothing.
+        let before = gpu.clone();
+        diff_merge(&mut gpu, &orig, &orig);
+        prop_assert_eq!(&gpu, &before);
+        // Idempotence: applying the same merge twice equals once.
+        let cpu: Vec<f32> = data
+            .iter()
+            .zip(changes.iter().cycle())
+            .map(|(v, &c)| if c { v * 3.0 + 1.0 } else { *v })
+            .collect();
+        diff_merge(&mut gpu, &cpu, &orig);
+        let once = gpu.clone();
+        diff_merge(&mut gpu, &cpu, &orig);
+        prop_assert_eq!(gpu, once);
+    }
+}

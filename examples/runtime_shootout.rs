@@ -1,0 +1,81 @@
+//! Run one benchmark on every runtime the paper evaluates and compare.
+//!
+//! ```bash
+//! cargo run --release --example runtime_shootout          # SYRK
+//! cargo run --release --example runtime_shootout GESUMMV  # any benchmark
+//! ```
+//!
+//! The identical host program drives six runtimes: CPU-only, GPU-only, the
+//! best static split (OracleSP), SOCL with the eager and calibrated dmda
+//! schedulers, and FluidiCL. Every run is validated against the sequential
+//! reference before its time is reported.
+
+use fluidicl_suite::baselines::{
+    oracle_sweep, SoclRuntime, SoclScheduler, StaticPartitionRuntime,
+};
+use fluidicl_suite::polybench::find;
+use fluidicl_suite::prelude::*;
+
+fn main() -> ClResult<()> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "SYRK".to_string());
+    let bench = find(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; one of ATAX BICG CORR GESUMMV SYRK SYR2K");
+        std::process::exit(2);
+    });
+    let n = bench.default_n;
+    let seed = 99;
+    let machine = MachineConfig::paper_testbed();
+    println!("{} ({n}x{n}), total running time in virtual time:\n", bench.name);
+
+    let mut results: Vec<(String, fluidicl_suite::des::SimDuration)> = Vec::new();
+
+    for device in [DeviceKind::Cpu, DeviceKind::Gpu] {
+        let mut rt = SingleDeviceRuntime::new(machine.clone(), device, (bench.program)(n));
+        assert!(bench.run_and_validate_sized(&mut rt, n, seed)?);
+        results.push((format!("{}-only", device.name()), rt.elapsed()));
+    }
+
+    let oracle = oracle_sweep(&machine, &bench, n, seed, 10)?;
+    results.push((
+        format!("OracleSP ({}% CPU)", (oracle.best_cpu_fraction * 100.0) as u32),
+        oracle.best_time,
+    ));
+    // Show one deliberately bad static split for contrast.
+    let mut half = StaticPartitionRuntime::new(machine.clone(), (bench.program)(n), 0.5);
+    assert!(bench.run_and_validate_sized(&mut half, n, seed)?);
+    results.push(("Static 50/50".to_string(), half.elapsed()));
+
+    let mut eager = SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
+    assert!(bench.run_and_validate_sized(&mut eager, n, seed)?);
+    results.push(("SOCL eager".to_string(), eager.elapsed()));
+
+    let mut dmda = SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Dmda);
+    {
+        // Calibration pass (the paper runs ≥10 calibration runs; one replay
+        // of the geometry suffices for our analytic models).
+        let mut probe =
+            SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
+        assert!(bench.run_and_validate_sized(&mut probe, n, seed)?);
+        for (kernel, nd) in probe.geometry_log() {
+            dmda.calibrate(kernel, *nd)?;
+        }
+    }
+    assert!(bench.run_and_validate_sized(&mut dmda, n, seed)?);
+    results.push(("SOCL dmda (calibrated)".to_string(), dmda.elapsed()));
+
+    let mut fcl = Fluidicl::new(machine, FluidiclConfig::default(), (bench.program)(n));
+    assert!(bench.run_and_validate_sized(&mut fcl, n, seed)?);
+    results.push(("FluidiCL (no tuning)".to_string(), fcl.elapsed()));
+
+    let best = results
+        .iter()
+        .map(|(_, t)| *t)
+        .min()
+        .expect("non-empty results");
+    for (label, t) in &results {
+        let rel = t.as_nanos() as f64 / best.as_nanos() as f64;
+        let bar = "#".repeat((rel * 20.0).min(100.0) as usize);
+        println!("  {label:24} {t}  {rel:>5.2}x  {bar}");
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Print the co-execution protocol timeline of one kernel (trace facility).
+//!
+//! ```bash
+//! cargo run --release --example timeline
+//! ```
+//!
+//! Every FluidiCL kernel launch records its protocol events — GPU waves,
+//! CPU subkernels, data/status transfers, aborts, the merge — with virtual
+//! timestamps. This example runs a small SYRK and prints the timeline, the
+//! fastest way to see the paper's Figure 6 play out.
+
+use fluidicl::{render_lanes, render_timeline};
+use fluidicl_suite::polybench::{find, syrk};
+use fluidicl_suite::prelude::*;
+
+fn main() -> ClResult<()> {
+    let bench = find("SYRK").expect("SYRK registered");
+    let n = 128;
+    let machine = MachineConfig::paper_testbed();
+    let mut fcl = Fluidicl::new(machine, FluidiclConfig::default(), syrk::program(n));
+    let ok = bench.run_and_validate_sized(&mut fcl, n, 1)?;
+    assert!(ok, "SYRK must match the reference");
+    let report = &fcl.reports()[0];
+    println!("{}", render_timeline(&report.kernel, &report.trace));
+    println!("{}", render_lanes(&report.kernel, &report.trace, 72));
+    println!(
+        "summary: {}/{} work-groups merged from the CPU, {} duplicated, \
+         finished by {:?} after {}",
+        report.cpu_merged_wgs,
+        report.total_wgs,
+        report.duplicated_wgs(),
+        report.finished_by,
+        report.duration
+    );
+    Ok(())
+}

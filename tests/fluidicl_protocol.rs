@@ -1,0 +1,342 @@
+//! Behavioural tests of the FluidiCL co-execution protocol: who finishes,
+//! what gets transferred, how the runtime reacts to lopsided devices, and
+//! that everything is deterministic.
+
+use fluidicl::{Finisher, Fluidicl, FluidiclConfig};
+use fluidicl_hetsim::{CpuModel, KernelProfile, MachineConfig};
+use fluidicl_vcl::{
+    ArgRole, ArgSpec, ClDriver, KernelArg, KernelDef, NdRange, Program,
+};
+
+/// A generic row-reduction kernel whose device balance is set by the
+/// profile passed in.
+fn reduction_program(profile: KernelProfile) -> Program {
+    let mut p = Program::new();
+    p.register(KernelDef::new(
+        "reduce_rows",
+        vec![
+            ArgSpec::new("a", ArgRole::In),
+            ArgSpec::new("out", ArgRole::Out),
+            ArgSpec::new("n", ArgRole::Scalar),
+        ],
+        profile,
+        |item, scalars, ins, outs| {
+            let n = scalars.usize(0);
+            let i = item.global[0];
+            let a = ins.get(0);
+            let mut acc = 0.0f32;
+            for j in 0..n {
+                acc += a[i * n + j];
+            }
+            outs.at(0)[i] = acc;
+        },
+    ));
+    p
+}
+
+fn drive(rt: &mut Fluidicl, n: usize, wg: usize) -> Vec<f32> {
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 97) as f32).collect();
+    let a_buf = rt.create_buffer(n * n);
+    let out_buf = rt.create_buffer(n);
+    rt.write_buffer(a_buf, &a).unwrap();
+    rt.enqueue_kernel(
+        "reduce_rows",
+        NdRange::d1(n, wg).unwrap(),
+        &[
+            KernelArg::Buffer(a_buf),
+            KernelArg::Buffer(out_buf),
+            KernelArg::Usize(n),
+        ],
+    )
+    .unwrap();
+    rt.read_buffer(out_buf).unwrap()
+}
+
+fn expected(n: usize) -> Vec<f32> {
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 97) as f32).collect();
+    (0..n)
+        .map(|i| a[i * n..(i + 1) * n].iter().sum())
+        .collect()
+}
+
+fn base_profile(n: usize) -> KernelProfile {
+    KernelProfile::new("reduce_rows")
+        .flops_per_item(n as f64)
+        .bytes_read_per_item(4.0 * n as f64)
+        .bytes_written_per_item(4.0)
+        .inner_loop_trips(n as u32)
+}
+
+#[test]
+fn cpu_finishes_all_when_gpu_is_hopeless_and_dh_is_skipped() {
+    // Fully scattered + divergent: the GPU has no chance; the CPU computes
+    // the entire NDRange first and the final data lives on the CPU — no
+    // device-to-host transfer happens (paper §4.2, §4.4, §6.2).
+    let n = 256;
+    let profile = base_profile(n)
+        .gpu_coalescing(0.0)
+        .gpu_divergence(1.0)
+        .cpu_cache_locality(1.0);
+    let mut rt = Fluidicl::new(
+        MachineConfig::paper_testbed(),
+        FluidiclConfig::default(),
+        reduction_program(profile),
+    );
+    let out = drive(&mut rt, n, 16);
+    assert_eq!(out, expected(n));
+    let r = &rt.reports()[0];
+    assert_eq!(r.finished_by, Finisher::Cpu);
+    assert_eq!(r.dh_bytes, 0, "CPU-finished kernels skip the DH transfer");
+    assert_eq!(r.cpu_executed_wgs, r.total_wgs);
+}
+
+#[test]
+fn gpu_takes_everything_when_the_cpu_cannot_help() {
+    // A cache-hostile scalar CPU with enormous launch overhead: the GPU
+    // should execute (almost) the whole NDRange and finish the kernel.
+    let n = 256;
+    let profile = base_profile(n)
+        .cpu_cache_locality(0.0)
+        .cpu_simd_friendliness(0.0);
+    let mut machine = MachineConfig::paper_testbed();
+    machine.cpu = CpuModel::xeon_w3550_like()
+        .with_launch_overhead(fluidicl_des::SimDuration::from_millis(50));
+    let mut rt = Fluidicl::new(
+        machine,
+        FluidiclConfig::default(),
+        reduction_program(profile),
+    );
+    let out = drive(&mut rt, n, 16);
+    assert_eq!(out, expected(n));
+    let r = &rt.reports()[0];
+    assert_eq!(r.finished_by, Finisher::Gpu);
+    assert_eq!(
+        r.cpu_merged_wgs, 0,
+        "no CPU result should arrive before the GPU finishes"
+    );
+    assert_eq!(r.gpu_executed_wgs, r.total_wgs);
+}
+
+#[test]
+fn balanced_devices_split_the_kernel() {
+    let n = 512;
+    let profile = base_profile(n)
+        .gpu_coalescing(0.3)
+        .cpu_cache_locality(0.9)
+        .cpu_simd_friendliness(0.9);
+    let mut rt = Fluidicl::new(
+        MachineConfig::paper_testbed(),
+        FluidiclConfig::default(),
+        reduction_program(profile),
+    );
+    let out = drive(&mut rt, n, 8);
+    assert_eq!(out, expected(n));
+    let r = &rt.reports()[0];
+    assert!(
+        r.cpu_merged_wgs > 0 && r.cpu_merged_wgs < r.total_wgs,
+        "both devices should contribute (cpu merged {} of {})",
+        r.cpu_merged_wgs,
+        r.total_wgs
+    );
+    assert!(r.subkernels > 1, "the CPU should pipeline several subkernels");
+    // Coverage invariant: whatever was not merged from the CPU must have
+    // been executed by the GPU.
+    assert!(r.gpu_executed_wgs >= r.total_wgs - r.cpu_merged_wgs);
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let n = 256;
+    let run = || {
+        let profile = base_profile(n).gpu_coalescing(0.4);
+        let mut rt = Fluidicl::new(
+            MachineConfig::paper_testbed(),
+            FluidiclConfig::default(),
+            reduction_program(profile),
+        );
+        let out = drive(&mut rt, n, 16);
+        let r = rt.reports()[0].clone();
+        (
+            out,
+            rt.elapsed(),
+            r.cpu_merged_wgs,
+            r.gpu_executed_wgs,
+            r.subkernels,
+            r.hd_bytes,
+            r.dh_bytes,
+        )
+    };
+    assert_eq!(run(), run(), "virtual-time execution must be deterministic");
+}
+
+#[test]
+fn dead_link_starves_the_gpu_and_the_cpu_carries_the_kernel() {
+    // A nearly-dead PCIe link: the GPU never receives its input data in
+    // time, so the CPU — whose copy is host-resident — computes the whole
+    // NDRange and the runtime completes on the CPU side. This is exactly
+    // the "faster path wins" property the in-order data+status design
+    // guarantees: a device that cannot be fed does no useful work.
+    let n = 256;
+    let mut machine = MachineConfig::paper_testbed();
+    machine.h2d = fluidicl_hetsim::LinkModel::new(
+        fluidicl_des::SimDuration::from_millis(200),
+        0.001,
+    );
+    let profile = base_profile(n).gpu_coalescing(0.5);
+    let mut rt = Fluidicl::new(
+        machine,
+        FluidiclConfig::default(),
+        reduction_program(profile),
+    );
+    let out = drive(&mut rt, n, 16);
+    assert_eq!(out, expected(n));
+    let r = &rt.reports()[0];
+    assert_eq!(r.finished_by, Finisher::Cpu);
+    assert_eq!(r.cpu_executed_wgs, r.total_wgs);
+    assert_eq!(r.dh_bytes, 0, "no results need to come back from the GPU");
+}
+
+#[test]
+fn chained_kernels_report_increasing_ids_and_stay_coherent() {
+    let n = 128;
+    let profile = base_profile(n).gpu_coalescing(0.5);
+    let mut p = reduction_program(profile.clone());
+    // A second kernel consuming the first one's output.
+    p.register(KernelDef::new(
+        "scale_vec",
+        vec![
+            ArgSpec::new("v", ArgRole::InOut),
+            ArgSpec::new("f", ArgRole::Scalar),
+        ],
+        KernelProfile::new("scale_vec")
+            .flops_per_item(1.0)
+            .bytes_read_per_item(4.0)
+            .bytes_written_per_item(4.0),
+        |item, scalars, _, outs| {
+            let i = item.global_linear();
+            outs.at(0)[i] *= scalars.f32(0);
+        },
+    ));
+    let mut rt = Fluidicl::new(
+        MachineConfig::paper_testbed(),
+        FluidiclConfig::default(),
+        p,
+    );
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 7) as f32).collect();
+    let a_buf = rt.create_buffer(n * n);
+    let out_buf = rt.create_buffer(n);
+    rt.write_buffer(a_buf, &a).unwrap();
+    rt.enqueue_kernel(
+        "reduce_rows",
+        NdRange::d1(n, 16).unwrap(),
+        &[
+            KernelArg::Buffer(a_buf),
+            KernelArg::Buffer(out_buf),
+            KernelArg::Usize(n),
+        ],
+    )
+    .unwrap();
+    rt.enqueue_kernel(
+        "scale_vec",
+        NdRange::d1(n, 16).unwrap(),
+        &[KernelArg::Buffer(out_buf), KernelArg::F32(0.5)],
+    )
+    .unwrap();
+    let out = rt.read_buffer(out_buf).unwrap();
+    let want: Vec<f32> = (0..n)
+        .map(|i| 0.5 * a[i * n..(i + 1) * n].iter().sum::<f32>())
+        .collect();
+    assert_eq!(out, want);
+    let ids: Vec<u64> = rt.reports().iter().map(|r| r.kernel_id).collect();
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "kernel ids grow");
+}
+
+#[test]
+fn work_group_splitting_helps_small_ndranges() {
+    // GESUMMV-like shape: 8 giant work-groups on an 8-thread CPU where the
+    // GPU is useless. Splitting spreads a partial allocation over all
+    // threads (paper §6.3).
+    let n = 1024;
+    let profile = base_profile(n)
+        .gpu_coalescing(0.0)
+        .gpu_divergence(1.0)
+        .cpu_cache_locality(0.95);
+    let run = |split: bool| {
+        let config = FluidiclConfig::default().with_wg_split(split);
+        let mut rt = Fluidicl::new(
+            MachineConfig::paper_testbed(),
+            config,
+            reduction_program(profile.clone()),
+        );
+        let out = drive(&mut rt, n, 256); // 4 work-groups
+        assert_eq!(out, expected(n));
+        rt.elapsed()
+    };
+    assert!(
+        run(true) < run(false),
+        "splitting 4 work-groups over 8 threads must help"
+    );
+}
+
+#[test]
+fn online_profiling_records_the_selected_version() {
+    let n = 256;
+    let slow = base_profile(n)
+        .cpu_cache_locality(0.05)
+        .cpu_simd_friendliness(0.1);
+    let fast = base_profile(n)
+        .cpu_cache_locality(0.95)
+        .cpu_simd_friendliness(0.9);
+    let mut p = Program::new();
+    let body = |item: &fluidicl_vcl::WorkItem,
+                scalars: &fluidicl_vcl::Scalars,
+                ins: &fluidicl_vcl::Inputs<'_>,
+                outs: &mut fluidicl_vcl::Outputs<'_>| {
+        let n = scalars.usize(0);
+        let i = item.global[0];
+        let a = ins.get(0);
+        let mut acc = 0.0f32;
+        for j in 0..n {
+            acc += a[i * n + j];
+        }
+        outs.at(0)[i] = acc;
+    };
+    p.register(
+        KernelDef::new(
+            "reduce_rows",
+            vec![
+                ArgSpec::new("a", ArgRole::In),
+                ArgSpec::new("out", ArgRole::Out),
+                ArgSpec::new("n", ArgRole::Scalar),
+            ],
+            slow,
+            body,
+        )
+        .with_version("interchanged", fast, body),
+    );
+    let config = FluidiclConfig::default().with_online_profiling(true);
+    let mut rt = Fluidicl::new(MachineConfig::paper_testbed(), config, p);
+    let out = drive(&mut rt, n, 8);
+    assert_eq!(out, expected(n));
+    assert_eq!(
+        rt.reports()[0].cpu_version_used,
+        1,
+        "profiling must pick the fast CPU version"
+    );
+}
+
+#[test]
+fn summary_aggregates_reports() {
+    let n = 128;
+    let profile = base_profile(n).gpu_coalescing(0.5);
+    let mut rt = Fluidicl::new(
+        MachineConfig::paper_testbed(),
+        FluidiclConfig::default(),
+        reduction_program(profile),
+    );
+    drive(&mut rt, n, 16);
+    let s = rt.summary();
+    assert_eq!(s.kernels, 1);
+    assert_eq!(s.total_wgs, 8);
+    assert!(s.cpu_share() <= 1.0);
+}

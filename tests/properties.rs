@@ -1,0 +1,185 @@
+//! Property-based tests: for *arbitrary* kernel geometries, cost profiles
+//! and runtime configurations, FluidiCL must compute exactly what a single
+//! device computes, and its reports must satisfy the protocol invariants.
+
+use fluidicl::{Fluidicl, FluidiclConfig};
+use fluidicl_hetsim::{AbortMode, KernelProfile, MachineConfig};
+use fluidicl_vcl::{
+    ArgRole, ArgSpec, ClDriver, DeviceKind, KernelArg, KernelDef, NdRange, Program,
+    SingleDeviceRuntime,
+};
+use proptest::prelude::*;
+
+/// A position-dependent kernel: every element gets a value derived from its
+/// own global index and the input, so any mis-assigned or dropped
+/// work-group corrupts a detectable region.
+fn program(profile: KernelProfile) -> Program {
+    let mut p = Program::new();
+    p.register(KernelDef::new(
+        "stamp",
+        vec![
+            ArgSpec::new("src", ArgRole::In),
+            ArgSpec::new("dst", ArgRole::Out),
+            ArgSpec::new("k", ArgRole::Scalar),
+        ],
+        profile,
+        |item, scalars, ins, outs| {
+            let i = item.global_linear();
+            let k = scalars.f32(0);
+            outs.at(0)[i] = ins.get(0)[i] * k + (i as f32).sin();
+        },
+    ));
+    p
+}
+
+fn arb_profile() -> impl Strategy<Value = KernelProfile> {
+    (
+        1.0f64..4096.0,          // flops per item
+        0.0f64..4096.0,          // bytes read per item
+        1u32..512,               // loop trips
+        0.0f64..=1.0,            // coalescing
+        0.0f64..=1.0,            // divergence
+        0.0f64..=1.0,            // locality
+        0.0f64..=1.0,            // simd
+    )
+        .prop_map(|(fl, br, trips, co, dv, lo, si)| {
+            KernelProfile::new("stamp")
+                .flops_per_item(fl)
+                .bytes_read_per_item(br)
+                .bytes_written_per_item(4.0)
+                .inner_loop_trips(trips)
+                .gpu_coalescing(co)
+                .gpu_divergence(dv)
+                .cpu_cache_locality(lo)
+                .cpu_simd_friendliness(si)
+        })
+}
+
+fn arb_geometry() -> impl Strategy<Value = NdRange> {
+    prop_oneof![
+        // 1-D: up to 2048 items in groups of 1..64.
+        (1usize..64, 1usize..64).prop_map(|(groups, local)| {
+            NdRange::d1(groups * local, local).expect("valid 1d range")
+        }),
+        // 2-D: small grids.
+        (1usize..12, 1usize..12, 1usize..8, 1usize..8).prop_map(|(gx, gy, lx, ly)| {
+            NdRange::d2(gx * lx, gy * ly, lx, ly).expect("valid 2d range")
+        }),
+        // 3-D: tiny volumes.
+        (1usize..5, 1usize..5, 1usize..5, 1usize..4, 1usize..4, 1usize..4).prop_map(
+            |(gx, gy, gz, lx, ly, lz)| {
+                NdRange::d3(gx * lx, gy * ly, gz * lz, lx, ly, lz).expect("valid 3d range")
+            }
+        ),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = FluidiclConfig> {
+    (
+        0.5f64..100.0,
+        0.0f64..10.0,
+        prop_oneof![
+            Just(AbortMode::WorkGroupStart),
+            Just(AbortMode::InLoop),
+            Just(AbortMode::InLoopUnrolled),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(chunk, step, abort, split, pool, track)| {
+            FluidiclConfig::default()
+                .with_chunk(chunk, step)
+                .with_abort_mode(abort)
+                .with_wg_split(split)
+                .with_buffer_pool(pool)
+                .with_location_tracking(track)
+        })
+}
+
+fn run_driver(driver: &mut dyn ClDriver, nd: NdRange) -> Vec<f32> {
+    let total = nd.num_items() as usize;
+    let src: Vec<f32> = (0..total).map(|i| (i % 31) as f32 - 11.0).collect();
+    let src_buf = driver.create_buffer(total);
+    let dst_buf = driver.create_buffer(total);
+    driver.write_buffer(src_buf, &src).unwrap();
+    driver
+        .enqueue_kernel(
+            "stamp",
+            nd,
+            &[
+                KernelArg::Buffer(src_buf),
+                KernelArg::Buffer(dst_buf),
+                KernelArg::F32(1.5),
+            ],
+        )
+        .unwrap();
+    driver.read_buffer(dst_buf).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FluidiCL output is bit-identical to a single device's, for any
+    /// geometry, profile and configuration.
+    #[test]
+    fn fluidicl_equals_single_device(
+        profile in arb_profile(),
+        nd in arb_geometry(),
+        config in arb_config(),
+    ) {
+        let machine = MachineConfig::paper_testbed();
+        let mut single = SingleDeviceRuntime::new(
+            machine.clone(),
+            DeviceKind::Cpu,
+            program(profile.clone()),
+        );
+        let want = run_driver(&mut single, nd);
+        let mut fcl = Fluidicl::new(machine, config, program(profile));
+        let got = run_driver(&mut fcl, nd);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Report invariants: coverage, monotone time, plausible counters.
+    #[test]
+    fn report_invariants_hold(
+        profile in arb_profile(),
+        nd in arb_geometry(),
+        config in arb_config(),
+    ) {
+        let machine = MachineConfig::paper_testbed();
+        let mut fcl = Fluidicl::new(machine, config, program(profile));
+        let _ = run_driver(&mut fcl, nd);
+        let r = &fcl.reports()[0];
+        prop_assert_eq!(r.total_wgs, nd.num_groups());
+        // Coverage: the GPU must have executed at least everything the CPU
+        // did not deliver.
+        prop_assert!(r.gpu_executed_wgs + r.cpu_merged_wgs >= r.total_wgs
+            || r.cpu_executed_wgs == r.total_wgs);
+        prop_assert!(r.cpu_merged_wgs <= r.cpu_executed_wgs);
+        prop_assert!(r.complete_at >= r.enqueued_at);
+        prop_assert!(r.subkernel_log.len() as u64 == r.subkernels);
+        let logged: u64 = r.subkernel_log.iter().map(|(w, _)| *w).sum();
+        prop_assert_eq!(logged, r.cpu_executed_wgs);
+        prop_assert!(r.cpu_share() >= 0.0 && r.cpu_share() <= 1.0);
+    }
+
+    /// Determinism across repeated runs for arbitrary inputs.
+    #[test]
+    fn repeated_runs_are_identical(
+        profile in arb_profile(),
+        nd in arb_geometry(),
+    ) {
+        let machine = MachineConfig::paper_testbed();
+        let once = |machine: &MachineConfig| {
+            let mut fcl = Fluidicl::new(
+                machine.clone(),
+                FluidiclConfig::default(),
+                program(profile.clone()),
+            );
+            let out = run_driver(&mut fcl, nd);
+            (out, fcl.elapsed())
+        };
+        prop_assert_eq!(once(&machine), once(&machine));
+    }
+}
