@@ -41,8 +41,7 @@ pub fn oracle_sweep(
     let mut sweep = Vec::new();
     for i in 0..=steps {
         let fraction = i as f64 / steps as f64;
-        let mut rt =
-            StaticPartitionRuntime::new(machine.clone(), (benchmark.program)(n), fraction);
+        let mut rt = StaticPartitionRuntime::new(machine.clone(), (benchmark.program)(n), fraction);
         let ok = benchmark.run_and_validate_sized(&mut rt, n, seed)?;
         assert!(
             ok,

@@ -105,7 +105,10 @@ impl SoclRuntime {
         let profile = &def.default_version().profile;
         let items = ndrange.items_per_group();
         let total = ndrange.num_groups();
-        let cpu = self.machine.cpu.subkernel_time(profile, items, total, false);
+        let cpu = self
+            .machine
+            .cpu
+            .subkernel_time(profile, items, total, false);
         let gpu = self.machine.gpu.launch_overhead()
             + self
                 .machine
@@ -218,7 +221,10 @@ impl ClDriver for SoclRuntime {
         let items = ndrange.items_per_group();
         let total = ndrange.num_groups();
 
-        let exec_cpu = self.machine.cpu.subkernel_time(&profile, items, total, false);
+        let exec_cpu = self
+            .machine
+            .cpu
+            .subkernel_time(&profile, items, total, false);
         let exec_gpu = self.machine.gpu.launch_overhead()
             + self
                 .machine
@@ -232,8 +238,7 @@ impl ClDriver for SoclRuntime {
         let cpu_completion = est(DeviceKind::Cpu, self.cpu_free, exec_cpu);
         let gpu_completion = est(DeviceKind::Gpu, self.gpu_free, exec_gpu);
 
-        let informed = self.scheduler == SoclScheduler::Dmda
-            && self.is_calibrated(kernel, ndrange);
+        let informed = self.scheduler == SoclScheduler::Dmda && self.is_calibrated(kernel, ndrange);
         let device = if informed {
             // dmda: minimise expected completion including transfers.
             if cpu_completion <= gpu_completion {
@@ -420,11 +425,8 @@ mod tests {
     #[test]
     fn uncalibrated_dmda_degenerates_to_eager() {
         let mk = |sched| {
-            let mut rt = SoclRuntime::new(
-                MachineConfig::paper_testbed(),
-                two_kernel_program(),
-                sched,
-            );
+            let mut rt =
+                SoclRuntime::new(MachineConfig::paper_testbed(), two_kernel_program(), sched);
             drive(&mut rt);
             rt.task_log().to_vec()
         };

@@ -11,9 +11,7 @@
 use fluidicl_des::{SimDuration, SimTime};
 use fluidicl_hetsim::{AbortMode, MachineConfig};
 use fluidicl_vcl::exec::{execute_groups, Launch};
-use fluidicl_vcl::{
-    diff_merge, BufferId, ClDriver, ClResult, KernelArg, Memory, NdRange, Program,
-};
+use fluidicl_vcl::{diff_merge, BufferId, ClDriver, ClResult, KernelArg, Memory, NdRange, Program};
 
 /// A runtime executing every kernel under a fixed CPU/GPU split.
 ///
@@ -274,11 +272,8 @@ mod tests {
     }
 
     fn run_with(fraction: f64) -> (Vec<f32>, SimDuration) {
-        let mut rt = StaticPartitionRuntime::new(
-            MachineConfig::paper_testbed(),
-            scale_program(),
-            fraction,
-        );
+        let mut rt =
+            StaticPartitionRuntime::new(MachineConfig::paper_testbed(), scale_program(), fraction);
         let n = 4096;
         let src = rt.create_buffer(n);
         let dst = rt.create_buffer(n);
@@ -317,11 +312,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cpu fraction")]
     fn rejects_out_of_range_fraction() {
-        let _ = StaticPartitionRuntime::new(
-            MachineConfig::paper_testbed(),
-            Program::new(),
-            1.5,
-        );
+        let _ = StaticPartitionRuntime::new(MachineConfig::paper_testbed(), Program::new(), 1.5);
     }
 
     #[test]

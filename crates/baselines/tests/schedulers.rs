@@ -24,11 +24,8 @@ fn calibrated_dmda_splits_bicg_across_devices() {
         rt.calibrate(kernel, *nd).unwrap();
     }
     assert!(bench.run_and_validate_sized(&mut rt, n, SEED).unwrap());
-    let devices: std::collections::HashMap<String, DeviceKind> = rt
-        .task_log()
-        .iter()
-        .map(|(k, d)| (k.clone(), *d))
-        .collect();
+    let devices: std::collections::HashMap<String, DeviceKind> =
+        rt.task_log().iter().map(|(k, d)| (k.clone(), *d)).collect();
     assert_eq!(devices["bicg_q"], DeviceKind::Gpu);
     assert_eq!(devices["bicg_s"], DeviceKind::Cpu);
 }
@@ -39,8 +36,7 @@ fn calibrated_dmda_never_loses_to_eager_on_the_suite() {
     for name in ["ATAX", "BICG", "GESUMMV", "SYRK"] {
         let bench = find(name).expect("benchmark registered");
         let n = bench.default_n;
-        let mut eager =
-            SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
+        let mut eager = SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
         assert!(bench.run_and_validate_sized(&mut eager, n, SEED).unwrap());
         let mut dmda = SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Dmda);
         for (kernel, nd) in eager.geometry_log() {
@@ -85,7 +81,10 @@ fn oracle_picks_an_endpoint_for_single_device_benchmarks() {
     assert_eq!(r.best_cpu_fraction, 0.0, "ATAX oracle must pick pure GPU");
     let gesummv = find("GESUMMV").expect("GESUMMV registered");
     let r = oracle_sweep(&machine, &gesummv, gesummv.default_n, SEED, 10).unwrap();
-    assert_eq!(r.best_cpu_fraction, 1.0, "GESUMMV oracle must pick pure CPU");
+    assert_eq!(
+        r.best_cpu_fraction, 1.0,
+        "GESUMMV oracle must pick pure CPU"
+    );
 }
 
 #[test]

@@ -40,7 +40,11 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         // an allocation tail smaller than the thread count is what CPU
         // work-group splitting (§6.3) exists for, and 8 work-groups on 8
         // threads never produce one.
-        let n = if b.name == "GESUMMV" { 2560 } else { b.default_n };
+        let n = if b.name == "GESUMMV" {
+            2560
+        } else {
+            b.default_n
+        };
         let times: Vec<f64> = variants
             .iter()
             .map(|(_, config)| run_fluidicl(machine, config, &b, n).0.as_nanos() as f64)
@@ -62,12 +66,10 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         id: "ablation",
         title: "Host-side optimization ablation (extension)",
         tables: vec![table],
-        notes: vec![
-            "Work-group splitting matters for few-work-group kernels \
+        notes: vec!["Work-group splitting matters for few-work-group kernels \
              (GESUMMV); the pool and location tracking shave fixed overheads \
              everywhere and matter most for short-kernel applications."
-                .to_string(),
-        ],
+            .to_string()],
     }
 }
 
@@ -83,11 +85,7 @@ mod tests {
             .lines()
             .find(|l| l.starts_with("GeoMean"))
             .expect("geomean row");
-        let cells: Vec<f64> = geo
-            .split(',')
-            .skip(1)
-            .map(|c| c.parse().unwrap())
-            .collect();
+        let cells: Vec<f64> = geo.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
         assert!((cells[0] - 1.0).abs() < 1e-9, "baseline normalizes to 1");
         for (i, v) in cells.iter().enumerate().skip(1) {
             assert!(
@@ -102,11 +100,7 @@ mod tests {
         let r = run(&MachineConfig::paper_testbed());
         let csv = r.tables[0].to_csv();
         let row = csv.lines().find(|l| l.starts_with("GESUMMV")).unwrap();
-        let cells: Vec<f64> = row
-            .split(',')
-            .skip(1)
-            .map(|c| c.parse().unwrap())
-            .collect();
+        let cells: Vec<f64> = row.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
         let no_split = cells[3];
         assert!(
             no_split > 1.001,

@@ -78,11 +78,7 @@ mod tests {
             .lines()
             .find(|l| l.starts_with("GeoMean"))
             .expect("geomean row");
-        let cells: Vec<f64> = geo
-            .split(',')
-            .skip(1)
-            .map(|c| c.parse().unwrap())
-            .collect();
+        let cells: Vec<f64> = geo.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
         assert!(cells[0] >= 1.0, "NoAbortUnroll should not beat AllOpt");
         assert!(cells[1] >= 1.0, "NoUnroll should not beat AllOpt");
         assert!((cells[2] - 1.0).abs() < 1e-9);

@@ -19,7 +19,14 @@ use super::ExperimentResult;
 pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
     let mut table = Table::new(
         "Execution time normalized to the best single device",
-        &["benchmark", "CPU", "GPU", "SOCLDefault", "SOCLdmda", "FluidiCL"],
+        &[
+            "benchmark",
+            "CPU",
+            "GPU",
+            "SOCLDefault",
+            "SOCLdmda",
+            "FluidiCL",
+        ],
     );
     let config = FluidiclConfig::default();
     let mut cols: [Vec<f64>; 5] = Default::default();
@@ -106,6 +113,9 @@ mod tests {
                 cells[0]
             );
         }
-        assert!(dmda_geo >= 1.0, "FluidiCL must at least match dmda on geomean");
+        assert!(
+            dmda_geo >= 1.0,
+            "FluidiCL must at least match dmda on geomean"
+        );
     }
 }

@@ -81,11 +81,7 @@ mod tests {
         // here and tolerate big chunks — noted as a deviation.)
         for name in ["SYRK", "SYR2K"] {
             let row = csv.lines().find(|l| l.starts_with(name)).unwrap();
-            let cells: Vec<f64> = row
-                .split(',')
-                .skip(1)
-                .map(|c| c.parse().unwrap())
-                .collect();
+            let cells: Vec<f64> = row.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
             let at_75 = *cells.last().unwrap();
             assert!(
                 at_75 > 1.02,
@@ -99,11 +95,7 @@ mod tests {
         let r = run(&MachineConfig::paper_testbed());
         let csv = r.tables[0].to_csv();
         let row = csv.lines().find(|l| l.starts_with("GESUMMV")).unwrap();
-        let cells: Vec<f64> = row
-            .split(',')
-            .skip(1)
-            .map(|c| c.parse().unwrap())
-            .collect();
+        let cells: Vec<f64> = row.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
         let at_75 = *cells.last().unwrap();
         assert!(
             at_75 <= 1.02,

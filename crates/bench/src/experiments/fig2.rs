@@ -24,19 +24,12 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
             .map(|i| run_static(machine, bench, bench.default_n, 1.0 - i as f64 / 10.0))
             .collect();
         let best = times.iter().copied().min().expect("non-empty").as_nanos() as f64;
-        times
-            .iter()
-            .map(|t| t.as_nanos() as f64 / best)
-            .collect()
+        times.iter().map(|t| t.as_nanos() as f64 / best).collect()
     };
     let a = sweep(&atax);
     let s = sweep(&syrk);
     for i in 0..=10usize {
-        table.row(vec![
-            format!("{}", i * 10),
-            ratio(a[i]),
-            ratio(s[i]),
-        ]);
+        table.row(vec![format!("{}", i * 10), ratio(a[i]), ratio(s[i])]);
     }
     let atax_best = a
         .iter()
@@ -54,12 +47,10 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         id: "fig2",
         title: "Normalized time vs GPU work allocation (ATAX, SYRK)",
         tables: vec![table],
-        notes: vec![
-            format!(
-                "ATAX optimum at {atax_best}% GPU (paper: 100% — monotone curve), \
+        notes: vec![format!(
+            "ATAX optimum at {atax_best}% GPU (paper: 100% — monotone curve), \
                  SYRK optimum at {syrk_best}% GPU (paper: interior optimum)."
-            ),
-        ],
+        )],
     }
 }
 

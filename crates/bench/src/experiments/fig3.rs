@@ -34,7 +34,11 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
     let small = sweep(SMALL_N);
     let large = sweep(LARGE_N);
     for i in 0..=10usize {
-        table.row(vec![format!("{}", i * 10), ratio(small[i]), ratio(large[i])]);
+        table.row(vec![
+            format!("{}", i * 10),
+            ratio(small[i]),
+            ratio(large[i]),
+        ]);
     }
     let best_pct = |v: &[f64]| {
         v.iter()

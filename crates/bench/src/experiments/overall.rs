@@ -113,7 +113,10 @@ mod tests {
                 .find(|l| l.starts_with(name))
                 .unwrap_or_else(|| panic!("{name} missing"));
             let fcl: f64 = row.split(',').nth(3).unwrap().parse().unwrap();
-            assert!(fcl < 1.0, "{name}: expected FluidiCL < best device, got {fcl}");
+            assert!(
+                fcl < 1.0,
+                "{name}: expected FluidiCL < best device, got {fcl}"
+            );
         }
     }
 }

@@ -28,7 +28,12 @@ pub(super) fn run(_machine: &MachineConfig) -> ExperimentResult {
     let config = FluidiclConfig::default();
     let mut table = Table::new(
         "FluidiCL time normalized to the best single device, per machine",
-        &["benchmark", "weak-GPU laptop", "paper testbed", "big-GPU node"],
+        &[
+            "benchmark",
+            "weak-GPU laptop",
+            "paper testbed",
+            "big-GPU node",
+        ],
     );
     let mut per_machine_norms: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
     let mut rows: Vec<Vec<String>> = Vec::new();

@@ -15,7 +15,12 @@ use super::ExperimentResult;
 pub(super) fn run(_machine: &MachineConfig) -> ExperimentResult {
     let mut table = Table::new(
         "Benchmarks used in this reproduction",
-        &["benchmark", "input size", "kernels", "work-groups per kernel"],
+        &[
+            "benchmark",
+            "input size",
+            "kernels",
+            "work-groups per kernel",
+        ],
     );
     for b in benchmarks() {
         let wgs = (b.workgroups)(b.default_n)

@@ -19,8 +19,7 @@ fn check(name: &str, runtime: &str, ok: bool) {
 
 /// Runs on the CPU alone via the vendor-runtime stand-in.
 pub fn run_cpu_only(machine: &MachineConfig, bench: &BenchmarkSpec, n: usize) -> SimDuration {
-    let mut rt =
-        SingleDeviceRuntime::new(machine.clone(), DeviceKind::Cpu, (bench.program)(n));
+    let mut rt = SingleDeviceRuntime::new(machine.clone(), DeviceKind::Cpu, (bench.program)(n));
     let ok = bench
         .run_and_validate_sized(&mut rt, n, SEED)
         .expect("cpu-only run failed");
@@ -30,8 +29,7 @@ pub fn run_cpu_only(machine: &MachineConfig, bench: &BenchmarkSpec, n: usize) ->
 
 /// Runs on the GPU alone via the vendor-runtime stand-in.
 pub fn run_gpu_only(machine: &MachineConfig, bench: &BenchmarkSpec, n: usize) -> SimDuration {
-    let mut rt =
-        SingleDeviceRuntime::new(machine.clone(), DeviceKind::Gpu, (bench.program)(n));
+    let mut rt = SingleDeviceRuntime::new(machine.clone(), DeviceKind::Gpu, (bench.program)(n));
     let ok = bench
         .run_and_validate_sized(&mut rt, n, SEED)
         .expect("gpu-only run failed");
@@ -63,8 +61,7 @@ pub fn run_static(
     n: usize,
     cpu_fraction: f64,
 ) -> SimDuration {
-    let mut rt =
-        StaticPartitionRuntime::new(machine.clone(), (bench.program)(n), cpu_fraction);
+    let mut rt = StaticPartitionRuntime::new(machine.clone(), (bench.program)(n), cpu_fraction);
     let ok = bench
         .run_and_validate_sized(&mut rt, n, SEED)
         .expect("static run failed");
@@ -85,8 +82,7 @@ pub fn run_socl(
 ) -> SimDuration {
     let mut rt = SoclRuntime::new(machine.clone(), (bench.program)(n), scheduler);
     if calibrated {
-        let mut probe =
-            SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
+        let mut probe = SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
         let _ = bench
             .run_and_validate_sized(&mut probe, n, SEED)
             .expect("socl probe run failed");

@@ -1,0 +1,52 @@
+//! # fluidicl-check — correctness tooling for the FluidiCL reproduction
+//!
+//! Two complementary checkers, both producing [`LintDiagnostic`]s:
+//!
+//! * the **access sanitizer** ([`sanitize`]) verifies that a kernel's
+//!   behaviour matches its declared [`ArgRole`](fluidicl_vcl::ArgRole)
+//!   signature — the "simple compiler analysis at the whole variable level"
+//!   the paper relies on (§4.1). FluidiCL's partitioning, diff-merge and
+//!   transfer decisions are all driven by those declarations, so a kernel
+//!   that reads an `Out` buffer before writing it, or whose work-groups
+//!   write conflicting values to the same element, silently corrupts
+//!   co-executed results. [`sanitize_launch`] catches both with sentinel
+//!   poisoning and shadow-memory write maps, plus warns about declared but
+//!   unused inputs;
+//! * the **protocol-trace linter** (re-exported from [`fluidicl`]) replays a
+//!   co-executed kernel's event trace and checks the watermark, queue
+//!   ordering, wave/subkernel contiguity and coverage invariants.
+//!
+//! [`AuditDriver`] packages the sanitizer as a drop-in
+//! [`ClDriver`](fluidicl_vcl::ClDriver), so any host program — every
+//! Polybench benchmark — can be audited unmodified. The `fluidicl-check`
+//! binary sweeps the whole suite across several machine models and runtime
+//! configurations: `cargo run -p fluidicl-check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+pub mod sanitize;
+
+pub use audit::{AuditDriver, KernelFinding};
+pub use fluidicl::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
+pub use sanitize::{sanitize_launch, SENTINEL_A, SENTINEL_B};
+
+/// Reduced Polybench problem sizes used by the sweep binary and the test
+/// suites (kernel structure is preserved, runtimes stay in milliseconds).
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name.
+pub fn sweep_size(name: &str) -> usize {
+    match name {
+        "ATAX" | "BICG" | "MVT" => 256,
+        "CORR" => 64,
+        "GESUMMV" => 512,
+        "SYRK" | "SYR2K" | "GEMM" | "2MM" => 64,
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+/// Data seed shared by the sweep binary and the test suites.
+pub const SWEEP_SEED: u64 = 0xF1D1C1;

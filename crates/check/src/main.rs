@@ -1,0 +1,125 @@
+//! `fluidicl-check` — sweep the Polybench suite through both checkers.
+//!
+//! Stage 1 audits every benchmark's kernels with the access sanitizer
+//! ([`fluidicl_check::AuditDriver`]) and validates results against the
+//! sequential references. Stage 2 co-executes every benchmark under
+//! FluidiCL across three machine models and several runtime
+//! configurations with protocol validation on, then lints every kernel
+//! report again explicitly. Exits non-zero if anything is flagged.
+
+use fluidicl::{lint_report, Fluidicl, FluidiclConfig, LintSeverity};
+use fluidicl_check::{AuditDriver, SWEEP_SEED};
+use fluidicl_hetsim::{AbortMode, MachineConfig};
+use fluidicl_polybench::all_benchmarks;
+
+fn main() {
+    let mut problems = 0usize;
+    let mut warnings = 0usize;
+
+    println!("== stage 1: access sanitizer over the Polybench suite ==");
+    for b in all_benchmarks() {
+        let n = fluidicl_check::sweep_size(b.name);
+        let mut driver = AuditDriver::new((b.program)(n));
+        match b.run_and_validate_sized(&mut driver, n, SWEEP_SEED) {
+            Ok(true) => {}
+            Ok(false) => {
+                println!("  {:8} n={n}: output mismatch vs reference", b.name);
+                problems += 1;
+            }
+            Err(e) => {
+                println!("  {:8} n={n}: driver error: {e}", b.name);
+                problems += 1;
+            }
+        }
+        let mut flagged = 0usize;
+        for finding in driver.findings() {
+            for d in &finding.diagnostics {
+                println!("  {:8} kernel `{}`: {d}", b.name, finding.kernel);
+                match d.severity {
+                    LintSeverity::Error => problems += 1,
+                    LintSeverity::Warning => warnings += 1,
+                }
+                flagged += 1;
+            }
+        }
+        if flagged == 0 {
+            println!(
+                "  {:8} n={n}: {} launch(es) clean",
+                b.name,
+                driver.findings().len()
+            );
+        }
+    }
+
+    println!("== stage 2: protocol linter across machines and configs ==");
+    let machines = [
+        ("paper-testbed", MachineConfig::paper_testbed()),
+        ("weak-gpu-laptop", MachineConfig::weak_gpu_laptop()),
+        ("big-gpu-node", MachineConfig::big_gpu_node()),
+    ];
+    let configs = [
+        ("default", FluidiclConfig::default()),
+        (
+            "abort=wg-start",
+            FluidiclConfig::default().with_abort_mode(AbortMode::WorkGroupStart),
+        ),
+        (
+            "abort=in-loop",
+            FluidiclConfig::default().with_abort_mode(AbortMode::InLoop),
+        ),
+        (
+            "no-opts",
+            FluidiclConfig::default()
+                .with_wg_split(false)
+                .with_buffer_pool(false)
+                .with_location_tracking(false),
+        ),
+    ];
+    for (mname, machine) in &machines {
+        for (cname, config) in &configs {
+            let mut kernels = 0usize;
+            let mut flagged = 0usize;
+            for b in all_benchmarks() {
+                let n = fluidicl_check::sweep_size(b.name);
+                let config = config.clone().with_validate_protocol(true);
+                let mut rt = Fluidicl::new(machine.clone(), config, (b.program)(n));
+                match b.run_and_validate_sized(&mut rt, n, SWEEP_SEED) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        println!(
+                            "  {mname}/{cname} {:8}: output mismatch vs reference",
+                            b.name
+                        );
+                        problems += 1;
+                    }
+                    Err(e) => {
+                        println!("  {mname}/{cname} {:8}: {e}", b.name);
+                        problems += 1;
+                    }
+                }
+                for report in rt.reports() {
+                    kernels += 1;
+                    for d in lint_report(report) {
+                        println!(
+                            "  {mname}/{cname} {:8} kernel `{}`: {d}",
+                            b.name, report.kernel
+                        );
+                        match d.severity {
+                            LintSeverity::Error => problems += 1,
+                            LintSeverity::Warning => warnings += 1,
+                        }
+                        flagged += 1;
+                    }
+                }
+            }
+            if flagged == 0 {
+                println!("  {mname}/{cname}: {kernels} kernel trace(s) clean");
+            }
+        }
+    }
+
+    println!("== sweep done: {problems} error(s), {warnings} warning(s) ==");
+    if problems > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Regression guard for the Polybench `ArgRole` declarations: the access
+//! sanitizer must find nothing to say about any kernel in the suite, at
+//! every launch of every benchmark, and the audited (functional) execution
+//! must still match the sequential references.
+//!
+//! A misdeclared role here would silently corrupt co-executed results (the
+//! runtime's transfer/merge decisions are driven by the declarations), so
+//! any new kernel added to the suite gets vetted by this test.
+
+use fluidicl_check::{sweep_size, AuditDriver, SWEEP_SEED};
+use fluidicl_polybench::all_benchmarks;
+use fluidicl_vcl::ClDriver;
+
+#[test]
+fn every_polybench_kernel_sanitizes_clean() {
+    for b in all_benchmarks() {
+        let n = sweep_size(b.name);
+        let mut driver = AuditDriver::new((b.program)(n));
+        let ok = b
+            .run_and_validate_sized(&mut driver, n, SWEEP_SEED)
+            .unwrap();
+        assert!(
+            ok,
+            "{} diverged from reference under the audit driver",
+            b.name
+        );
+        assert!(
+            !driver.findings().is_empty(),
+            "{} launched no kernels",
+            b.name
+        );
+        for finding in driver.findings() {
+            assert!(
+                finding.diagnostics.is_empty(),
+                "{} kernel `{}` was flagged: {:?}",
+                b.name,
+                finding.kernel,
+                finding.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn audit_driver_reports_kernel_names_in_order() {
+    let b = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "ATAX")
+        .unwrap();
+    let n = sweep_size(b.name);
+    let mut driver = AuditDriver::new((b.program)(n));
+    assert!(b
+        .run_and_validate_sized(&mut driver, n, SWEEP_SEED)
+        .unwrap());
+    assert_eq!(driver.findings().len(), b.kernel_count);
+    assert_eq!(driver.kernel_times().len(), b.kernel_count);
+    assert_eq!(driver.diagnostic_count(), 0);
+}

@@ -312,6 +312,101 @@ mod tests {
     }
 
     #[test]
+    fn stale_gpu_arrivals_are_discarded() {
+        // The GPU side uses the same version filter as the CPU side: a
+        // merge result for a superseded kernel must not mark the buffer
+        // ready (paper §5.3).
+        let mut t = BufferTable::new();
+        let a = t.register(4, SimTime::ZERO);
+        t.begin_kernel_write(a, 3);
+        t.begin_kernel_write(a, 5);
+        t.record_gpu_arrival(a, 3, SimTime::from_nanos(60));
+        assert_eq!(t.state(a).gpu_version, None, "old merge must be ignored");
+        assert_eq!(t.state(a).gpu_ready_at, SimTime::ZERO);
+        t.record_gpu_arrival(a, 5, SimTime::from_nanos(90));
+        assert_eq!(t.state(a).gpu_version, Some(5));
+        assert_eq!(t.gpu_ready_time(&[a]), SimTime::from_nanos(90));
+    }
+
+    #[test]
+    fn gpu_ready_time_takes_the_maximum() {
+        let mut t = BufferTable::new();
+        let a = t.register(4, SimTime::ZERO);
+        let b = t.register(4, SimTime::ZERO);
+        t.begin_kernel_write(a, 1);
+        t.record_gpu_arrival(a, 1, SimTime::from_nanos(250));
+        t.begin_kernel_write(b, 2);
+        t.record_gpu_arrival(b, 2, SimTime::from_nanos(700));
+        assert_eq!(t.gpu_ready_time(&[a, b]), SimTime::from_nanos(700));
+        assert_eq!(t.gpu_ready_time(&[]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn orig_snapshot_tracks_write_boundaries() {
+        // The diff-merge "original" snapshot is taken at the end of a
+        // kernel and invalidated by the next write to the buffer (either a
+        // new kernel or the host).
+        let mut t = BufferTable::new();
+        let a = t.register(4, SimTime::ZERO);
+        assert!(
+            !t.state(a).orig_snapshot_current,
+            "fresh buffers start cold"
+        );
+        t.state_mut(a).orig_snapshot_current = true; // snapshot taken
+        t.begin_kernel_write(a, 1);
+        assert!(
+            !t.state(a).orig_snapshot_current,
+            "a new kernel write invalidates the snapshot"
+        );
+        t.state_mut(a).orig_snapshot_current = true;
+        t.record_host_write(a, SimTime::ZERO, SimTime::ZERO);
+        assert!(
+            !t.state(a).orig_snapshot_current,
+            "a host write invalidates the snapshot"
+        );
+    }
+
+    #[test]
+    fn arrivals_do_not_clear_staleness_of_the_other_side() {
+        // CPU and GPU readiness are independent: a CPU arrival satisfies
+        // cpu_is_stale but leaves the GPU copy at its old version.
+        let mut t = BufferTable::new();
+        let a = t.register(4, SimTime::ZERO);
+        t.begin_kernel_write(a, 2);
+        t.record_cpu_arrival(a, 2, SimTime::from_nanos(40));
+        assert!(!t.state(a).cpu_is_stale());
+        assert_eq!(t.state(a).gpu_version, None);
+        assert_eq!(t.gpu_ready_time(&[a]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn pool_accounts_every_acquire_release_cycle() {
+        // Steady-state reuse: after the first allocation each
+        // acquire/release pair is a hit and the pool never grows.
+        let mut p = ScratchPool::new(true);
+        assert!(!p.acquire(64));
+        p.release(64);
+        for _ in 0..5 {
+            assert!(p.acquire(64));
+            assert_eq!(p.free_count(), 0, "the sole buffer is checked out");
+            p.release(64);
+            assert_eq!(p.free_count(), 1);
+        }
+        assert_eq!(p.stats(), PoolStats { hits: 5, misses: 1 });
+    }
+
+    #[test]
+    fn disabled_pool_never_retains_buffers() {
+        let mut p = ScratchPool::new(false);
+        for len in [8, 8, 16, 16] {
+            assert!(!p.acquire(len));
+            p.release(len);
+            assert_eq!(p.free_count(), 0, "released buffers are destroyed");
+        }
+        assert_eq!(p.stats(), PoolStats { hits: 0, misses: 4 });
+    }
+
+    #[test]
     fn pool_reuses_buffers_when_enabled() {
         let mut p = ScratchPool::new(true);
         assert!(!p.acquire(100), "first request allocates");

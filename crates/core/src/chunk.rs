@@ -45,7 +45,10 @@ impl ChunkController {
             initial_pct > 0.0 && initial_pct <= 100.0,
             "initial percent out of range"
         );
-        assert!((0.0..=100.0).contains(&step_pct), "step percent out of range");
+        assert!(
+            (0.0..=100.0).contains(&step_pct),
+            "step percent out of range"
+        );
         let pct = |p: f64| ((total_wgs as f64 * p / 100.0).ceil() as u64).max(1);
         let chunk = pct(initial_pct).max(min_chunk).min(total_wgs);
         ChunkController {
@@ -107,7 +110,9 @@ impl ChunkController {
     }
 
     fn grow(&mut self) {
-        self.chunk = (self.chunk + self.step).min(self.total_wgs).max(self.min_chunk);
+        self.chunk = (self.chunk + self.step)
+            .min(self.total_wgs)
+            .max(self.min_chunk);
     }
 }
 

@@ -203,6 +203,14 @@ impl<'a> Coexec<'a> {
     /// Runs the co-execution to completion.
     pub(crate) fn run(mut self) -> ClResult<CoexecOutcome> {
         let start = self.input.enqueue_at;
+        // Launch geometry first, so the trace is self-describing and the
+        // protocol linter can check every later event against `total_wgs`.
+        self.record(
+            start,
+            TraceKind::Enqueued {
+                total_wgs: self.total,
+            },
+        );
         let mut sim = Simulation::starting_at(start);
         // GPU: scratch buffers are acquired, then the kernel is launched.
         let gpu_begin = self.input.gpu_start.max(start)
@@ -271,7 +279,13 @@ impl<'a> Coexec<'a> {
         );
         self.wave_gen += 1;
         let gen = self.wave_gen;
-        self.record(t, TraceKind::GpuWaveStart { from: start, to: end });
+        self.record(
+            t,
+            TraceKind::GpuWaveStart {
+                from: start,
+                to: end,
+            },
+        );
         let token = sim.schedule_at(t + dur, Ev::GpuWaveDone { gen });
         self.wave = Some(Wave {
             start,
@@ -581,7 +595,12 @@ impl<'a> Coexec<'a> {
             let data = self.input.gpu_mem.get(*id)?.to_vec();
             self.input.cpu_mem.write(*id, &data)?;
         }
-        self.record(complete_at, TraceKind::KernelComplete { finisher: finished_by });
+        self.record(
+            complete_at,
+            TraceKind::KernelComplete {
+                finisher: finished_by,
+            },
+        );
         // The trace is recorded in handler order; sort by timestamp so the
         // rendered timeline is chronological even across the final events.
         self.trace.sort_by_key(|e| e.at);

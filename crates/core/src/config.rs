@@ -42,6 +42,10 @@ pub struct FluidiclConfig {
     /// the chunk (paper §5.1 "so long as the average time per work-group
     /// keeps decreasing").
     pub chunk_growth_tolerance: f64,
+    /// Run the protocol-trace linter after every co-executed kernel and fail
+    /// the enqueue with `ClError::ProtocolViolation` if an invariant broke.
+    /// On by default in debug/test builds, off in release builds.
+    pub validate_protocol: bool,
 }
 
 impl Default for FluidiclConfig {
@@ -55,6 +59,7 @@ impl Default for FluidiclConfig {
             online_profiling: false,
             location_tracking: true,
             chunk_growth_tolerance: 0.02,
+            validate_protocol: cfg!(debug_assertions),
         }
     }
 }
@@ -112,6 +117,14 @@ impl FluidiclConfig {
         self.location_tracking = enabled;
         self
     }
+
+    /// Returns a copy with post-kernel protocol validation enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_validate_protocol(mut self, enabled: bool) -> Self {
+        self.validate_protocol = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +141,7 @@ mod tests {
         assert!(cfg.buffer_pool);
         assert!(!cfg.online_profiling);
         assert!(cfg.location_tracking);
+        assert_eq!(cfg.validate_protocol, cfg!(debug_assertions));
     }
 
     #[test]
@@ -138,7 +152,8 @@ mod tests {
             .with_wg_split(false)
             .with_buffer_pool(false)
             .with_online_profiling(true)
-            .with_location_tracking(false);
+            .with_location_tracking(false)
+            .with_validate_protocol(true);
         assert_eq!(cfg.initial_chunk_pct, 10.0);
         assert_eq!(cfg.step_pct, 0.0);
         assert_eq!(cfg.abort_mode, AbortMode::WorkGroupStart);
@@ -146,6 +161,7 @@ mod tests {
         assert!(!cfg.buffer_pool);
         assert!(cfg.online_profiling);
         assert!(!cfg.location_tracking);
+        assert!(cfg.validate_protocol);
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod buffers;
 mod chunk;
 mod coexec;
 mod config;
+mod lint;
 mod runtime;
 mod stats;
 mod trace;
@@ -42,6 +43,7 @@ mod trace;
 pub use buffers::{BufferState, BufferTable, KernelId, PoolStats, ScratchPool};
 pub use chunk::ChunkController;
 pub use config::FluidiclConfig;
+pub use lint::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use runtime::Fluidicl;
 pub use stats::{Finisher, KernelReport, RuntimeSummary};
 pub use trace::{render_lanes, render_timeline, TraceEvent, TraceKind};

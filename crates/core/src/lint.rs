@@ -1,0 +1,818 @@
+//! Protocol-trace linter: checks a co-executed kernel's [`TraceEvent`] log
+//! against the FluidiCL protocol invariants.
+//!
+//! The co-execution engine records every protocol event with its virtual
+//! timestamp (sorted chronologically, ties in processing order), so the
+//! trace is a complete replayable record of one kernel's execution. This
+//! module replays it and verifies the properties the paper's protocol
+//! guarantees by construction:
+//!
+//! * the CPU-completion **watermark only decreases** (paper §4.2 — status
+//!   boundaries move from the top of the NDRange downward);
+//! * **data precedes status** on the in-order host-to-device queue: the
+//!   k-th status message corresponds to the k-th enqueued transfer and
+//!   cannot arrive before it was sent (§4.2, §5.4);
+//! * GPU **waves stay below the watermark** known when they start, ascend
+//!   contiguously from 0, and never run past the kernel exit (§4.2, Fig. 6);
+//! * CPU **subkernels descend contiguously** from the top of the NDRange
+//!   (§4.2, Fig. 7), one in flight at a time;
+//! * GPU-executed ranges and the CPU-merged region together **cover**
+//!   `[0, total)` — no work-group is lost (§4.3);
+//! * exactly one **exit → merge → complete** sequence, in order (§4.3–4.4).
+//!
+//! [`lint_trace`] checks a bare event log; [`lint_report`] additionally
+//! cross-checks the log against the [`KernelReport`] counters. The runtime
+//! calls `lint_report` after every co-executed kernel when
+//! [`FluidiclConfig::validate_protocol`](crate::FluidiclConfig) is set
+//! (the default in debug and test builds) and fails the enqueue with
+//! [`ClError::ProtocolViolation`](fluidicl_vcl::ClError) on any error.
+
+use std::fmt;
+
+use fluidicl_des::SimTime;
+
+use crate::stats::{Finisher, KernelReport};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// How bad a lint finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintSeverity {
+    /// Suspicious but not provably wrong.
+    Warning,
+    /// A protocol invariant is violated; results cannot be trusted.
+    Error,
+}
+
+/// One finding of the protocol linter (or of the `fluidicl-check` access
+/// sanitizer, which reuses the same diagnostic vocabulary).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintDiagnostic {
+    /// Stable rule identifier (e.g. `watermark-monotone`).
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: LintSeverity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LintDiagnostic {
+    /// Creates an error-severity diagnostic.
+    pub fn error(rule: &'static str, message: impl Into<String>) -> Self {
+        LintDiagnostic {
+            rule,
+            severity: LintSeverity::Error,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(rule: &'static str, message: impl Into<String>) -> Self {
+        LintDiagnostic {
+            rule,
+            severity: LintSeverity::Warning,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            LintSeverity::Warning => "warning",
+            LintSeverity::Error => "error",
+        };
+        write!(f, "[{sev}] {}: {}", self.rule, self.message)
+    }
+}
+
+/// Lints a protocol trace. Returns every violated invariant; an empty vector
+/// means the trace is a legal FluidiCL execution.
+///
+/// The trace must be chronologically sorted with ties in processing order —
+/// exactly what the engine stores in [`KernelReport::trace`].
+pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
+    let mut out = Vec::new();
+    let Some(first) = events.first() else {
+        out.push(LintDiagnostic::error("trace-shape", "trace is empty"));
+        return out;
+    };
+    let TraceKind::Enqueued { total_wgs: total } = first.kind else {
+        out.push(LintDiagnostic::error(
+            "trace-shape",
+            format!(
+                "first event is `{}`, expected the enqueue record",
+                first.kind
+            ),
+        ));
+        return out;
+    };
+
+    let mut prev_at = first.at;
+    // Watermark replay: statuses are the only events that move it.
+    let mut watermark = total;
+    // In-order hd queue: (send time, boundary) of every enqueued transfer.
+    let mut hd_sends: Vec<(SimTime, u64)> = Vec::new();
+    let mut statuses_seen = 0usize;
+    // GPU wave replay.
+    let mut expected_next = 0u64;
+    let mut open_wave: Option<(u64, u64)> = None;
+    let mut wave_aborted = false;
+    let mut launches = 0usize;
+    let mut exec_ranges: Vec<(u64, u64)> = Vec::new();
+    let mut exit_at: Option<SimTime> = None;
+    let mut merge_at: Option<SimTime> = None;
+    // CPU subkernel replay.
+    let mut open_sub: Option<(u64, u64)> = None;
+    let mut next_sub_to = total;
+    let mut last_completed_from: Option<u64> = None;
+    let mut done_subs: Vec<(SimTime, u64, u64)> = Vec::new();
+    let mut completes: Vec<(SimTime, Finisher)> = Vec::new();
+
+    for e in &events[1..] {
+        if e.at < prev_at {
+            out.push(LintDiagnostic::error(
+                "chronology",
+                format!("event `{}` is timestamped before its predecessor", e.kind),
+            ));
+        }
+        prev_at = e.at;
+        let exited = exit_at.is_some();
+        match &e.kind {
+            TraceKind::Enqueued { .. } => {
+                out.push(LintDiagnostic::error(
+                    "trace-shape",
+                    "duplicate enqueue record",
+                ));
+            }
+            TraceKind::GpuLaunch => {
+                launches += 1;
+                if launches > 1 {
+                    out.push(LintDiagnostic::error("trace-shape", "gpu launched twice"));
+                }
+                if exited {
+                    out.push(LintDiagnostic::error(
+                        "gpu-exit",
+                        "gpu launch recorded after the gpu exit",
+                    ));
+                }
+            }
+            TraceKind::GpuWaveStart { from, to } => {
+                if exited {
+                    out.push(LintDiagnostic::error(
+                        "gpu-exit",
+                        format!("wave {from}..{to} started after the gpu exit"),
+                    ));
+                }
+                if wave_aborted {
+                    out.push(LintDiagnostic::error(
+                        "wave-contiguity",
+                        format!("wave {from}..{to} started after an abort; the gpu must exit next"),
+                    ));
+                }
+                if open_wave.is_some() {
+                    out.push(LintDiagnostic::error(
+                        "wave-contiguity",
+                        format!("wave {from}..{to} started while another wave is running"),
+                    ));
+                }
+                if *from != expected_next {
+                    out.push(LintDiagnostic::error(
+                        "wave-contiguity",
+                        format!("wave starts at {from}, expected {expected_next}"),
+                    ));
+                }
+                if from >= to {
+                    out.push(LintDiagnostic::error(
+                        "wave-bounds",
+                        format!("wave {from}..{to} is empty or reversed"),
+                    ));
+                }
+                let limit = watermark.min(total);
+                if *to > limit {
+                    out.push(LintDiagnostic::error(
+                        "wave-bounds",
+                        format!(
+                            "wave {from}..{to} runs past the watermark {limit} known at its start"
+                        ),
+                    ));
+                }
+                open_wave = Some((*from, *to));
+            }
+            TraceKind::GpuWaveDone {
+                from,
+                to,
+                executed_to,
+            } => match open_wave.take() {
+                Some((wf, wt)) if wf == *from && wt == *to => {
+                    if executed_to < from || executed_to > to {
+                        out.push(LintDiagnostic::error(
+                            "wave-bounds",
+                            format!("wave {from}..{to} reports executing up to {executed_to}"),
+                        ));
+                    }
+                    if *executed_to > *from {
+                        exec_ranges.push((*from, *executed_to));
+                    }
+                    expected_next = *to;
+                }
+                other => {
+                    out.push(LintDiagnostic::error(
+                        "wave-contiguity",
+                        format!("wave {from}..{to} finished but {other:?} was running"),
+                    ));
+                }
+            },
+            TraceKind::GpuWaveAborted { from, to } => match open_wave.take() {
+                Some((wf, wt)) if wf == *from && wt == *to => {
+                    wave_aborted = true;
+                    if watermark > *from {
+                        out.push(LintDiagnostic::error(
+                            "wave-bounds",
+                            format!(
+                                "wave {from}..{to} aborted although the watermark {watermark} \
+                                 had not covered it"
+                            ),
+                        ));
+                    }
+                }
+                other => {
+                    out.push(LintDiagnostic::error(
+                        "wave-contiguity",
+                        format!("wave {from}..{to} aborted but {other:?} was running"),
+                    ));
+                }
+            },
+            TraceKind::GpuExit => {
+                if exited {
+                    out.push(LintDiagnostic::error("gpu-exit", "gpu exited twice"));
+                } else {
+                    if let Some((wf, wt)) = open_wave {
+                        out.push(LintDiagnostic::error(
+                            "gpu-exit",
+                            format!("gpu exited while wave {wf}..{wt} is still running"),
+                        ));
+                    }
+                    let limit = watermark.min(total);
+                    if expected_next < limit {
+                        out.push(LintDiagnostic::error(
+                            "gpu-exit",
+                            format!(
+                                "gpu exited at work-group {expected_next}, below the \
+                                 watermark {limit}"
+                            ),
+                        ));
+                    }
+                    exit_at = Some(e.at);
+                }
+            }
+            TraceKind::MergeDone => {
+                if merge_at.is_some() {
+                    out.push(LintDiagnostic::error("merge", "diff-merge completed twice"));
+                } else {
+                    if exit_at.is_none() {
+                        out.push(LintDiagnostic::error(
+                            "merge",
+                            "diff-merge completed before the gpu exited",
+                        ));
+                    }
+                    merge_at = Some(e.at);
+                }
+            }
+            TraceKind::CpuSubkernelStart { from, to, .. } => {
+                if exited {
+                    out.push(LintDiagnostic::error(
+                        "cpu-contiguity",
+                        format!("subkernel {from}..{to} started after the gpu exit"),
+                    ));
+                }
+                if open_sub.is_some() {
+                    out.push(LintDiagnostic::error(
+                        "cpu-contiguity",
+                        format!("subkernel {from}..{to} started while another is running"),
+                    ));
+                }
+                if *to != next_sub_to {
+                    out.push(LintDiagnostic::error(
+                        "cpu-contiguity",
+                        format!(
+                            "subkernel {from}..{to} breaks the descent; expected it to end \
+                             at {next_sub_to}"
+                        ),
+                    ));
+                }
+                if from >= to {
+                    out.push(LintDiagnostic::error(
+                        "cpu-contiguity",
+                        format!("subkernel {from}..{to} is empty or reversed"),
+                    ));
+                }
+                next_sub_to = *from;
+                open_sub = Some((*from, *to));
+            }
+            TraceKind::CpuSubkernelDone { from, to } => match open_sub.take() {
+                Some((sf, st)) if sf == *from && st == *to => {
+                    last_completed_from = Some(*from);
+                    done_subs.push((e.at, *from, *to));
+                }
+                other => {
+                    out.push(LintDiagnostic::error(
+                        "cpu-contiguity",
+                        format!("subkernel {from}..{to} finished but {other:?} was running"),
+                    ));
+                }
+            },
+            TraceKind::HdEnqueued { boundary, .. } => {
+                if exited {
+                    out.push(LintDiagnostic::error(
+                        "data-before-status",
+                        format!("transfer (boundary {boundary}) enqueued after the gpu exit"),
+                    ));
+                }
+                match last_completed_from {
+                    None => out.push(LintDiagnostic::error(
+                        "data-before-status",
+                        format!(
+                            "transfer (boundary {boundary}) enqueued before any subkernel \
+                             completed"
+                        ),
+                    )),
+                    Some(f) if f != *boundary => out.push(LintDiagnostic::error(
+                        "data-before-status",
+                        format!(
+                            "transfer carries boundary {boundary} but the last completed \
+                             subkernel starts at {f}"
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+                hd_sends.push((e.at, *boundary));
+            }
+            TraceKind::StatusArrived { boundary } => {
+                if exited {
+                    out.push(LintDiagnostic::error(
+                        "gpu-exit",
+                        format!("status (boundary {boundary}) arrived after the gpu exit"),
+                    ));
+                }
+                match hd_sends.get(statuses_seen) {
+                    None => out.push(LintDiagnostic::error(
+                        "data-before-status",
+                        format!(
+                            "status (boundary {boundary}) arrived without a matching \
+                             enqueued transfer"
+                        ),
+                    )),
+                    Some((sent_at, sent_boundary)) => {
+                        if sent_boundary != boundary {
+                            out.push(LintDiagnostic::error(
+                                "data-before-status",
+                                format!(
+                                    "status boundary {boundary} does not match the in-order \
+                                     queue (transfer {statuses_seen} carried \
+                                     {sent_boundary})"
+                                ),
+                            ));
+                        }
+                        if e.at < *sent_at {
+                            out.push(LintDiagnostic::error(
+                                "data-before-status",
+                                format!("status (boundary {boundary}) arrived before it was sent"),
+                            ));
+                        }
+                    }
+                }
+                statuses_seen += 1;
+                if *boundary > watermark {
+                    out.push(LintDiagnostic::error(
+                        "watermark-monotone",
+                        format!("watermark rose from {watermark} to {boundary}"),
+                    ));
+                }
+                watermark = watermark.min(*boundary);
+            }
+            TraceKind::KernelComplete { finisher } => {
+                completes.push((e.at, *finisher));
+            }
+        }
+    }
+
+    if launches == 0 && total > 0 {
+        out.push(LintDiagnostic::error(
+            "trace-shape",
+            "gpu was never launched",
+        ));
+    }
+    if let Some((sf, st)) = open_sub {
+        out.push(LintDiagnostic::error(
+            "cpu-contiguity",
+            format!("subkernel {sf}..{st} never completed"),
+        ));
+    }
+    if let Some((wf, wt)) = open_wave {
+        if exit_at.is_none() {
+            out.push(LintDiagnostic::error(
+                "gpu-exit",
+                format!("wave {wf}..{wt} never completed and the gpu never exited"),
+            ));
+        }
+    }
+    let Some(exit) = exit_at else {
+        out.push(LintDiagnostic::error("gpu-exit", "gpu never exited"));
+        return out;
+    };
+    let Some(merge) = merge_at else {
+        out.push(LintDiagnostic::error("merge", "diff-merge never completed"));
+        return out;
+    };
+    if merge < exit {
+        out.push(LintDiagnostic::error(
+            "merge",
+            "diff-merge completed before the gpu exit",
+        ));
+    }
+    match completes.as_slice() {
+        [(at, Finisher::Gpu)] => {
+            if *at != merge {
+                out.push(LintDiagnostic::error(
+                    "completion",
+                    "gpu-finished kernel must complete exactly at merge time",
+                ));
+            }
+        }
+        [(at, Finisher::Cpu)] => {
+            if *at >= merge {
+                out.push(LintDiagnostic::error(
+                    "completion",
+                    "cpu-finished kernel must complete strictly before the merge",
+                ));
+            }
+            if !done_subs.iter().any(|(t, f, _)| *f == 0 && t == at) {
+                out.push(LintDiagnostic::error(
+                    "completion",
+                    "cpu finisher without a subkernel reaching work-group 0 at that time",
+                ));
+            }
+        }
+        [] => out.push(LintDiagnostic::error(
+            "completion",
+            "kernel never completed",
+        )),
+        _ => out.push(LintDiagnostic::error(
+            "completion",
+            "kernel completed more than once",
+        )),
+    }
+
+    // Coverage: gpu-executed ranges plus the merged region [watermark, total)
+    // must cover every work-group.
+    let mut covered = exec_ranges;
+    if watermark < total {
+        covered.push((watermark, total));
+    }
+    covered.sort_unstable();
+    let mut reach = 0u64;
+    for (from, to) in covered {
+        if from > reach {
+            out.push(LintDiagnostic::error(
+                "coverage",
+                format!("work-groups {reach}..{from} were never executed by either device"),
+            ));
+        }
+        reach = reach.max(to);
+    }
+    if reach < total {
+        out.push(LintDiagnostic::error(
+            "coverage",
+            format!("work-groups {reach}..{total} were never executed by either device"),
+        ));
+    }
+    out
+}
+
+/// Lints a kernel report: runs [`lint_trace`] on its trace and cross-checks
+/// the report counters against what the trace records.
+pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
+    let mut out = lint_trace(&report.trace);
+    let mut gpu_executed = 0u64;
+    let mut cpu_executed = 0u64;
+    let mut subkernel_starts = 0u64;
+    let mut final_watermark = report.total_wgs;
+    let mut complete: Option<(SimTime, Finisher)> = None;
+    let mut trace_total: Option<u64> = None;
+    for e in &report.trace {
+        match &e.kind {
+            TraceKind::Enqueued { total_wgs } => {
+                trace_total.get_or_insert(*total_wgs);
+                if e.at != report.enqueued_at {
+                    out.push(LintDiagnostic::error(
+                        "report-consistency",
+                        "trace enqueue time differs from the report",
+                    ));
+                }
+            }
+            TraceKind::GpuWaveDone {
+                from, executed_to, ..
+            } => gpu_executed += executed_to.saturating_sub(*from),
+            TraceKind::CpuSubkernelStart { .. } => subkernel_starts += 1,
+            TraceKind::CpuSubkernelDone { from, to } => cpu_executed += to - from,
+            TraceKind::StatusArrived { boundary } => {
+                final_watermark = final_watermark.min(*boundary);
+            }
+            TraceKind::KernelComplete { finisher } => complete = Some((e.at, *finisher)),
+            _ => {}
+        }
+    }
+    let mut mismatch = |what: &str, trace_v: u64, report_v: u64| {
+        if trace_v != report_v {
+            out.push(LintDiagnostic::error(
+                "report-consistency",
+                format!("trace shows {trace_v} {what}, report claims {report_v}"),
+            ));
+        }
+    };
+    mismatch(
+        "total work-groups",
+        trace_total.unwrap_or(report.total_wgs),
+        report.total_wgs,
+    );
+    mismatch(
+        "gpu-executed work-groups",
+        gpu_executed,
+        report.gpu_executed_wgs,
+    );
+    mismatch(
+        "cpu-executed work-groups",
+        cpu_executed,
+        report.cpu_executed_wgs,
+    );
+    mismatch(
+        "cpu-merged work-groups",
+        report.total_wgs - final_watermark,
+        report.cpu_merged_wgs,
+    );
+    mismatch("subkernels", subkernel_starts, report.subkernels);
+    if let Some((at, finisher)) = complete {
+        if at != report.complete_at || finisher != report.finished_by {
+            out.push(LintDiagnostic::error(
+                "report-consistency",
+                "trace completion event disagrees with the report",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidicl_des::SimTime;
+
+    fn ev(ns: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(ns),
+            kind,
+        }
+    }
+
+    /// A legal co-execution over 4 work-groups: the CPU takes the top two
+    /// one at a time, the first status arrives in time, the second never
+    /// does (its transfer is in flight when the GPU exits).
+    fn legal_trace() -> Vec<TraceEvent> {
+        vec![
+            ev(0, TraceKind::Enqueued { total_wgs: 4 }),
+            ev(
+                5,
+                TraceKind::CpuSubkernelStart {
+                    from: 3,
+                    to: 4,
+                    version: 0,
+                },
+            ),
+            ev(10, TraceKind::GpuLaunch),
+            ev(10, TraceKind::GpuWaveStart { from: 0, to: 2 }),
+            ev(20, TraceKind::CpuSubkernelDone { from: 3, to: 4 }),
+            ev(
+                25,
+                TraceKind::HdEnqueued {
+                    boundary: 3,
+                    bytes: 64,
+                },
+            ),
+            ev(
+                25,
+                TraceKind::CpuSubkernelStart {
+                    from: 2,
+                    to: 3,
+                    version: 0,
+                },
+            ),
+            ev(
+                30,
+                TraceKind::GpuWaveDone {
+                    from: 0,
+                    to: 2,
+                    executed_to: 2,
+                },
+            ),
+            ev(30, TraceKind::GpuWaveStart { from: 2, to: 4 }),
+            ev(35, TraceKind::StatusArrived { boundary: 3 }),
+            ev(38, TraceKind::CpuSubkernelDone { from: 2, to: 3 }),
+            ev(
+                39,
+                TraceKind::HdEnqueued {
+                    boundary: 2,
+                    bytes: 64,
+                },
+            ),
+            ev(
+                40,
+                TraceKind::GpuWaveDone {
+                    from: 2,
+                    to: 4,
+                    executed_to: 3,
+                },
+            ),
+            ev(40, TraceKind::GpuExit),
+            ev(45, TraceKind::MergeDone),
+            ev(
+                45,
+                TraceKind::KernelComplete {
+                    finisher: Finisher::Gpu,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn legal_trace_is_clean() {
+        assert_eq!(lint_trace(&legal_trace()), vec![]);
+    }
+
+    #[test]
+    fn empty_trace_is_flagged() {
+        assert!(lint_trace(&[]).iter().any(|d| d.rule == "trace-shape"));
+    }
+
+    #[test]
+    fn missing_enqueue_record_is_flagged() {
+        let t = &legal_trace()[1..];
+        assert!(lint_trace(t).iter().any(|d| d.rule == "trace-shape"));
+    }
+
+    #[test]
+    fn rising_watermark_is_flagged() {
+        let mut t = legal_trace();
+        // The status claims a boundary above the current watermark (4).
+        for e in &mut t {
+            if let TraceKind::StatusArrived { boundary } = &mut e.kind {
+                *boundary = 5;
+            }
+        }
+        let diags = lint_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.rule == "watermark-monotone"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn status_without_transfer_is_flagged() {
+        let mut t = legal_trace();
+        t.retain(|e| !matches!(e.kind, TraceKind::HdEnqueued { .. }));
+        let diags = lint_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.rule == "data-before-status"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn status_faster_than_its_data_is_flagged() {
+        let mut t = legal_trace();
+        for e in &mut t {
+            if matches!(e.kind, TraceKind::StatusArrived { .. }) {
+                e.at = SimTime::from_nanos(24); // before the 25ns send
+            }
+        }
+        t.sort_by_key(|e| e.at);
+        let diags = lint_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.rule == "data-before-status"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn wave_past_watermark_is_flagged() {
+        let mut t = legal_trace();
+        // Deliver the status before the second wave starts: the 2..4 wave
+        // then runs past the watermark 3 known at its start.
+        for e in &mut t {
+            if matches!(e.kind, TraceKind::StatusArrived { .. }) {
+                e.at = SimTime::from_nanos(28);
+            }
+        }
+        t.sort_by_key(|e| e.at);
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "wave-bounds"), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_wave_leaves_a_coverage_gap() {
+        let mut t = legal_trace();
+        t.retain(|e| {
+            !matches!(
+                e.kind,
+                TraceKind::GpuWaveStart { from: 0, .. } | TraceKind::GpuWaveDone { from: 0, .. }
+            )
+        });
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "coverage"), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.rule == "wave-contiguity"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn merge_before_exit_is_flagged() {
+        let mut t = legal_trace();
+        for e in &mut t {
+            if matches!(e.kind, TraceKind::MergeDone) {
+                e.at = SimTime::from_nanos(39);
+            }
+        }
+        t.sort_by_key(|e| e.at);
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "merge"), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_merge_is_flagged() {
+        let mut t = legal_trace();
+        t.retain(|e| !matches!(e.kind, TraceKind::MergeDone));
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "merge"), "{diags:?}");
+    }
+
+    #[test]
+    fn non_contiguous_subkernels_are_flagged() {
+        let mut t = legal_trace();
+        for e in &mut t {
+            if let TraceKind::CpuSubkernelStart { from, to, .. } = &mut e.kind {
+                if *to == 3 {
+                    // Second subkernel skips a work-group: 1..2 instead of 2..3.
+                    *from = 1;
+                    *to = 2;
+                }
+            }
+        }
+        let diags = lint_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.rule == "cpu-contiguity"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn double_completion_is_flagged() {
+        let mut t = legal_trace();
+        t.push(ev(
+            50,
+            TraceKind::KernelComplete {
+                finisher: Finisher::Gpu,
+            },
+        ));
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "completion"), "{diags:?}");
+    }
+
+    #[test]
+    fn unsorted_trace_is_flagged() {
+        let mut t = legal_trace();
+        t.swap(3, 12);
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "chronology"), "{diags:?}");
+    }
+
+    #[test]
+    fn cpu_finisher_requires_reaching_zero() {
+        let mut t = legal_trace();
+        for e in &mut t {
+            if let TraceKind::KernelComplete { finisher } = &mut e.kind {
+                *finisher = Finisher::Cpu;
+            }
+        }
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "completion"), "{diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_render_with_rule_and_severity() {
+        let d = LintDiagnostic::error("coverage", "gap at 3..5");
+        assert_eq!(d.to_string(), "[error] coverage: gap at 3..5");
+        let w = LintDiagnostic::warning("unused-input", "arg `x` never read");
+        assert!(w.to_string().starts_with("[warning]"));
+        assert!(LintSeverity::Warning < LintSeverity::Error);
+    }
+}

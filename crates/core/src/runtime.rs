@@ -10,7 +10,7 @@
 use fluidicl_des::{SimDuration, SimTime};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_vcl::exec::Launch;
-use fluidicl_vcl::{BufferId, ClDriver, ClResult, KernelArg, Memory, NdRange, Program};
+use fluidicl_vcl::{BufferId, ClDriver, ClError, ClResult, KernelArg, Memory, NdRange, Program};
 
 use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool};
 use crate::coexec::{Coexec, CoexecInput};
@@ -130,8 +130,7 @@ impl Fluidicl {
             // Snapshot the original on the GPU unless the previous kernel's
             // end-of-kernel copy already did (paper §5.5).
             if !state.orig_snapshot_current {
-                let copy_ns =
-                    2.0 * bytes as f64 / self.machine.gpu.peak_mem_bytes_per_ns();
+                let copy_ns = 2.0 * bytes as f64 / self.machine.gpu.peak_mem_bytes_per_ns();
                 cost += SimDuration::from_nanos(copy_ns as u64);
             }
         }
@@ -217,6 +216,18 @@ impl ClDriver for Fluidicl {
             gpu_mem: &mut self.gpu_mem,
         };
         let outcome = Coexec::new(input)?.run()?;
+        if self.config.validate_protocol {
+            let diags = crate::lint::lint_report(&outcome.report);
+            if let Some(first) = diags
+                .iter()
+                .find(|d| d.severity == crate::lint::LintSeverity::Error)
+            {
+                return Err(ClError::ProtocolViolation {
+                    kernel: kernel.to_string(),
+                    detail: format!("{first} ({} finding(s) total)", diags.len()),
+                });
+            }
+        }
         self.host_clock = outcome.complete_at;
         self.gpu_free = outcome.gpu_busy_until;
         self.hd_free = outcome.hd_free;

@@ -15,6 +15,13 @@ use crate::stats::Finisher;
 /// One protocol event of a co-executed kernel.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceKind {
+    /// The host enqueued the kernel: the launch geometry every other event
+    /// is judged against. Always the first event of a trace; the protocol
+    /// linter reads `total_wgs` from here.
+    Enqueued {
+        /// Total flattened work-groups of the launch.
+        total_wgs: u64,
+    },
     /// The GPU kernel was launched (after scratch setup).
     GpuLaunch,
     /// A GPU wave over flattened work-groups `[from, to)` started.
@@ -86,6 +93,9 @@ pub enum TraceKind {
 impl fmt::Display for TraceKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TraceKind::Enqueued { total_wgs } => {
+                write!(f, "[all] kernel enqueued ({total_wgs} work-groups)")
+            }
             TraceKind::GpuLaunch => write!(f, "[gpu] kernel launched"),
             TraceKind::GpuWaveStart { from, to } => {
                 write!(f, "[gpu] wave {from}..{to} start")
@@ -116,7 +126,10 @@ impl fmt::Display for TraceKind {
                 write!(f, "[cpu] subkernel {from}..{to} done")
             }
             TraceKind::HdEnqueued { boundary, bytes } => {
-                write!(f, "[hd ] data+status enqueued (boundary {boundary}, {bytes} B)")
+                write!(
+                    f,
+                    "[hd ] data+status enqueued (boundary {boundary}, {bytes} B)"
+                )
             }
             TraceKind::StatusArrived { boundary } => {
                 write!(f, "[hd ] status arrived: watermark -> {boundary}")
@@ -202,6 +215,8 @@ pub fn render_lanes(kernel: &str, events: &[TraceEvent], width: usize) -> String
     for e in events {
         let b = bucket(e.at);
         match &e.kind {
+            // The enqueue is a host-side bookkeeping event with no lane.
+            TraceKind::Enqueued { .. } => {}
             TraceKind::GpuLaunch => gpu[b] = 'L',
             TraceKind::GpuWaveStart { .. } => gpu[b] = '[',
             TraceKind::GpuWaveDone { .. } => gpu[b] = ']',
@@ -215,9 +230,8 @@ pub fn render_lanes(kernel: &str, events: &[TraceEvent], width: usize) -> String
             TraceKind::KernelComplete { .. } => gpu[b] = '!',
         }
     }
-    let lane = |name: &str, cells: &[char]| {
-        format!("  {name:4}|{}|\n", cells.iter().collect::<String>())
-    };
+    let lane =
+        |name: &str, cells: &[char]| format!("  {name:4}|{}|\n", cells.iter().collect::<String>());
     let mut out = format!(
         "lanes of `{kernel}` over {:.1}us ([ start, ] done, x abort, > send, * status, M merge, ! complete)\n",
         span as f64 / 1e3
@@ -242,6 +256,7 @@ mod tests {
     #[test]
     fn display_covers_every_variant() {
         let kinds = vec![
+            TraceKind::Enqueued { total_wgs: 120 },
             TraceKind::GpuLaunch,
             TraceKind::GpuWaveStart { from: 0, to: 84 },
             TraceKind::GpuWaveDone {
@@ -291,13 +306,31 @@ mod tests {
     #[test]
     fn lanes_render_all_actors() {
         let events = vec![
-            ev(0, TraceKind::CpuSubkernelStart { from: 8, to: 16, version: 0 }),
+            ev(
+                0,
+                TraceKind::CpuSubkernelStart {
+                    from: 8,
+                    to: 16,
+                    version: 0,
+                },
+            ),
             ev(100, TraceKind::CpuSubkernelDone { from: 8, to: 16 }),
-            ev(120, TraceKind::HdEnqueued { boundary: 8, bytes: 64 }),
+            ev(
+                120,
+                TraceKind::HdEnqueued {
+                    boundary: 8,
+                    bytes: 64,
+                },
+            ),
             ev(200, TraceKind::GpuLaunch),
             ev(300, TraceKind::StatusArrived { boundary: 8 }),
             ev(400, TraceKind::GpuExit),
-            ev(500, TraceKind::KernelComplete { finisher: Finisher::Gpu }),
+            ev(
+                500,
+                TraceKind::KernelComplete {
+                    finisher: Finisher::Gpu,
+                },
+            ),
         ];
         let text = render_lanes("k", &events, 50);
         assert!(text.contains("gpu"), "{text}");

@@ -1,51 +1,54 @@
-//! Property tests for the runtime's heuristics and bookkeeping: the
-//! adaptive chunk controller (paper §5.1) and buffer version tracking
+//! Randomized property tests for the runtime's heuristics and bookkeeping:
+//! the adaptive chunk controller (paper §5.1) and buffer version tracking
 //! (paper §5.3) under arbitrary inputs, plus correctness under arbitrary
-//! machine configurations (model fuzzing).
+//! machine configurations (model fuzzing). Cases come from the in-tree
+//! deterministic generator so failures replay bit-for-bit.
 
 use fluidicl::{BufferTable, ChunkController, Fluidicl, FluidiclConfig};
-use fluidicl_des::{SimDuration, SimTime};
+use fluidicl_des::{SimDuration, SimTime, SplitMix64};
 use fluidicl_hetsim::{CpuModel, GpuModel, HostModel, KernelProfile, LinkModel, MachineConfig};
 use fluidicl_vcl::{
     ArgRole, ArgSpec, ClDriver, DeviceKind, KernelArg, KernelDef, NdRange, Program,
     SingleDeviceRuntime,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The chunk never leaves `[1, total]` and `next_chunk` never exceeds
-    /// the remaining work, whatever observations arrive.
-    #[test]
-    fn chunk_controller_stays_in_bounds(
-        total in 1u64..100_000,
-        initial in 0.1f64..100.0,
-        step in 0.0f64..100.0,
-        min_chunk in 1u64..64,
-        observations in proptest::collection::vec((1u64..500, 1u64..1_000_000), 0..50),
-    ) {
+/// The chunk never leaves `[1, total]` and `next_chunk` never exceeds the
+/// remaining work, whatever observations arrive.
+#[test]
+fn chunk_controller_stays_in_bounds() {
+    let mut rng = SplitMix64::new(0xC051);
+    for _ in 0..128 {
+        let total = rng.range_u64(1, 100_000);
+        let initial = rng.range_f64(0.1, 100.0);
+        let step = rng.range_f64(0.0, 100.0);
+        let min_chunk = rng.range_u64(1, 64);
         let mut c = ChunkController::new(total, initial, step, min_chunk, 0.02);
-        for (wgs, ns) in observations {
-            prop_assert!(c.chunk() >= 1 && c.chunk() <= total.max(min_chunk));
+        for _ in 0..rng.range_usize(0, 50) {
+            let wgs = rng.range_u64(1, 500);
+            let ns = rng.range_u64(1, 1_000_000);
+            assert!(c.chunk() >= 1 && c.chunk() <= total.max(min_chunk));
             let remaining = total.min(wgs * 3 + 1);
             let next = c.next_chunk(remaining);
-            prop_assert!(next >= 1);
-            prop_assert!(next <= remaining.max(1));
+            assert!(next >= 1);
+            assert!(next <= remaining.max(1));
             c.observe(wgs, SimDuration::from_nanos(ns));
         }
     }
+}
 
-    /// Once growth stops it never restarts, so the chunk sequence is
-    /// non-decreasing and eventually constant.
-    #[test]
-    fn chunk_growth_is_monotone_then_flat(
-        total in 100u64..10_000,
-        observations in proptest::collection::vec((1u64..200, 1u64..1_000_000), 1..40),
-    ) {
+/// Once growth stops it never restarts, so the chunk sequence is
+/// non-decreasing and eventually constant.
+#[test]
+fn chunk_growth_is_monotone_then_flat() {
+    let mut rng = SplitMix64::new(0xC052);
+    for _ in 0..128 {
+        let total = rng.range_u64(100, 10_000);
         let mut c = ChunkController::new(total, 2.0, 2.0, 8, 0.02);
         let mut sizes = vec![c.chunk()];
         let mut stopped_at: Option<usize> = None;
+        let observations: Vec<(u64, u64)> = (0..rng.range_usize(1, 40))
+            .map(|_| (rng.range_u64(1, 200), rng.range_u64(1, 1_000_000)))
+            .collect();
         for (i, (wgs, ns)) in observations.iter().enumerate() {
             c.observe(*wgs, SimDuration::from_nanos(*ns));
             sizes.push(c.chunk());
@@ -53,64 +56,63 @@ proptest! {
                 stopped_at = Some(i);
             }
         }
-        prop_assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "chunk shrank: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[0] <= w[1]),
+            "chunk shrank: {sizes:?}"
+        );
         if let Some(stop) = stopped_at {
             // After growth stops, the size is constant.
             let tail = &sizes[stop + 1..];
-            prop_assert!(tail.windows(2).all(|w| w[0] == w[1]));
+            assert!(tail.windows(2).all(|w| w[0] == w[1]));
         }
-    }
-
-    /// Buffer versions: only the expected version satisfies staleness, and
-    /// late (superseded) arrivals are discarded.
-    #[test]
-    fn version_tracking_discards_stale(
-        versions in proptest::collection::vec(1u64..100, 1..20),
-    ) {
-        let mut t = BufferTable::new();
-        let id = t.register(16, SimTime::ZERO);
-        let mut sorted = versions.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        let latest = *sorted.last().expect("non-empty");
-        for v in &sorted {
-            t.begin_kernel_write(id, *v);
-        }
-        // Arrivals of every superseded version leave the buffer stale.
-        for v in &sorted[..sorted.len() - 1] {
-            t.record_cpu_arrival(id, *v, SimTime::from_nanos(*v));
-            prop_assert!(t.state(id).cpu_is_stale());
-        }
-        t.record_cpu_arrival(id, latest, SimTime::from_nanos(latest));
-        prop_assert!(!t.state(id).cpu_is_stale());
     }
 }
 
-fn arb_machine() -> impl Strategy<Value = MachineConfig> {
-    (
-        2.0f64..4000.0,   // gpu flops/ns
-        5.0f64..400.0,    // gpu mem bytes/ns
-        1u32..32,         // sms
-        1u32..10,         // wgs per sm
-        0.5f64..20.0,     // link bandwidth
-        1u64..200,        // link latency us
-        1u32..16,         // cpu threads
-        1u64..200,        // cpu launch overhead us
-        1.0f64..32.0,     // host memcpy bytes/ns
-    )
-        .prop_map(
-            |(gflops, gbw, sms, wps, lbw, llat, threads, launch, hbw)| MachineConfig {
-                cpu: CpuModel::xeon_w3550_like()
-                    .with_threads(threads)
-                    .with_launch_overhead(SimDuration::from_micros(launch)),
-                gpu: GpuModel::tesla_c2070_like()
-                    .with_wave(sms, wps)
-                    .with_rates(gflops, gbw),
-                h2d: LinkModel::new(SimDuration::from_micros(llat), lbw),
-                d2h: LinkModel::new(SimDuration::from_micros(llat), lbw),
-                host: HostModel::new(hbw),
-            },
-        )
+/// Buffer versions: only the expected version satisfies staleness, and
+/// late (superseded) arrivals are discarded.
+#[test]
+fn version_tracking_discards_stale() {
+    let mut rng = SplitMix64::new(0xC053);
+    for _ in 0..128 {
+        let mut versions: Vec<u64> = (0..rng.range_usize(1, 20))
+            .map(|_| rng.range_u64(1, 100))
+            .collect();
+        let mut t = BufferTable::new();
+        let id = t.register(16, SimTime::ZERO);
+        versions.sort_unstable();
+        versions.dedup();
+        let latest = *versions.last().expect("non-empty");
+        for v in &versions {
+            t.begin_kernel_write(id, *v);
+        }
+        // Arrivals of every superseded version leave the buffer stale.
+        for v in &versions[..versions.len() - 1] {
+            t.record_cpu_arrival(id, *v, SimTime::from_nanos(*v));
+            assert!(t.state(id).cpu_is_stale());
+        }
+        t.record_cpu_arrival(id, latest, SimTime::from_nanos(latest));
+        assert!(!t.state(id).cpu_is_stale());
+    }
+}
+
+fn arb_machine(rng: &mut SplitMix64) -> MachineConfig {
+    MachineConfig {
+        cpu: CpuModel::xeon_w3550_like()
+            .with_threads(rng.range_u64(1, 16) as u32)
+            .with_launch_overhead(SimDuration::from_micros(rng.range_u64(1, 200))),
+        gpu: GpuModel::tesla_c2070_like()
+            .with_wave(rng.range_u64(1, 32) as u32, rng.range_u64(1, 10) as u32)
+            .with_rates(rng.range_f64(2.0, 4000.0), rng.range_f64(5.0, 400.0)),
+        h2d: LinkModel::new(
+            SimDuration::from_micros(rng.range_u64(1, 200)),
+            rng.range_f64(0.5, 20.0),
+        ),
+        d2h: LinkModel::new(
+            SimDuration::from_micros(rng.range_u64(1, 200)),
+            rng.range_f64(0.5, 20.0),
+        ),
+        host: HostModel::new(rng.range_f64(1.0, 32.0)),
+    }
 }
 
 fn stencil_program() -> Program {
@@ -159,24 +161,21 @@ fn run_stencil(driver: &mut dyn ClDriver, n: usize) -> Vec<f32> {
     driver.read_buffer(b).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Machine-model fuzzing: whatever the (positive-rate) machine looks
-    /// like, FluidiCL computes exactly what a single device computes. The
-    /// protocol's correctness must not depend on the performance landscape.
-    #[test]
-    fn correct_on_arbitrary_machines(machine in arb_machine()) {
+/// Machine-model fuzzing: whatever the (positive-rate) machine looks like,
+/// FluidiCL computes exactly what a single device computes. The protocol's
+/// correctness must not depend on the performance landscape.
+#[test]
+fn correct_on_arbitrary_machines() {
+    let mut rng = SplitMix64::new(0xC054);
+    for _ in 0..32 {
+        let machine = arb_machine(&mut rng);
         let n = 512;
-        let mut single = SingleDeviceRuntime::new(
-            machine.clone(),
-            DeviceKind::Cpu,
-            stencil_program(),
-        );
+        let mut single =
+            SingleDeviceRuntime::new(machine.clone(), DeviceKind::Cpu, stencil_program());
         let want = run_stencil(&mut single, n);
         let mut fcl = Fluidicl::new(machine, FluidiclConfig::default(), stencil_program());
         let got = run_stencil(&mut fcl, n);
-        prop_assert_eq!(got, want);
-        prop_assert!(!fcl.elapsed().is_zero());
+        assert_eq!(got, want);
+        assert!(!fcl.elapsed().is_zero());
     }
 }

@@ -40,10 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod rng;
 mod sim;
 mod stats;
 mod time;
 
+pub use rng::SplitMix64;
 pub use sim::{EventToken, Simulation};
 pub use stats::{geomean, Counter, DurationSeries};
 pub use time::{SimDuration, SimTime};

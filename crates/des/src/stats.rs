@@ -116,7 +116,10 @@ pub fn geomean(values: &[f64]) -> Option<f64> {
     let log_sum: f64 = values
         .iter()
         .map(|&v| {
-            assert!(v > 0.0, "geomean requires strictly positive values, got {v}");
+            assert!(
+                v > 0.0,
+                "geomean requires strictly positive values, got {v}"
+            );
             v.ln()
         })
         .sum();

@@ -8,7 +8,6 @@
 //! chunk-size heuristic (paper §5.1) amortises.
 
 use fluidicl_des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::KernelProfile;
 
@@ -24,7 +23,7 @@ use crate::KernelProfile;
 /// let t = cpu.subkernel_time(&p, 256, 16, false);
 /// assert!(t > cpu.launch_overhead());
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CpuModel {
     /// Hardware threads (compute units as OpenCL reports them).
     threads: u32,
@@ -165,7 +164,10 @@ mod tests {
 
     #[test]
     fn zero_workgroups_cost_nothing() {
-        assert_eq!(cpu().subkernel_time(&profile(), 256, 0, false), SimDuration::ZERO);
+        assert_eq!(
+            cpu().subkernel_time(&profile(), 256, 0, false),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

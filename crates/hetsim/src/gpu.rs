@@ -12,13 +12,12 @@
 //! loop unrolling unless the manual-unroll transformation is applied.
 
 use fluidicl_des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::KernelProfile;
 
 /// Where the GPU kernel performs CPU-completion abort checks (paper §4.2,
 /// §6.4, §6.5).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AbortMode {
     /// Unmodified kernel: no checks at all (used by single-device baselines).
     None,
@@ -57,7 +56,7 @@ impl AbortMode {
 /// let t = gpu.range_time(&p, 256, 1024, AbortMode::None);
 /// assert!(!t.is_zero());
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GpuModel {
     /// Number of streaming multiprocessors.
     sms: u32,
@@ -240,7 +239,10 @@ impl GpuModel {
     /// Returns a copy with a different wave width (for sensitivity tests).
     #[must_use]
     pub fn with_wave(mut self, sms: u32, wgs_per_sm: u32) -> Self {
-        assert!(sms > 0 && wgs_per_sm > 0, "wave dimensions must be positive");
+        assert!(
+            sms > 0 && wgs_per_sm > 0,
+            "wave dimensions must be positive"
+        );
         self.sms = sms;
         self.wgs_per_sm = wgs_per_sm;
         self
@@ -327,7 +329,10 @@ mod tests {
         let in_loop = g.wg_time(&p, 256, AbortMode::InLoop);
         assert!(none <= wg_start);
         assert!(wg_start <= unrolled);
-        assert!(unrolled < in_loop, "unrolling must recover most of the cost");
+        assert!(
+            unrolled < in_loop,
+            "unrolling must recover most of the cost"
+        );
     }
 
     #[test]
@@ -335,7 +340,9 @@ mod tests {
         let g = gpu();
         let p = profile();
         assert!(g.abort_quantum(&p, 256, AbortMode::None).is_none());
-        assert!(g.abort_quantum(&p, 256, AbortMode::WorkGroupStart).is_none());
+        assert!(g
+            .abort_quantum(&p, 256, AbortMode::WorkGroupStart)
+            .is_none());
         let q_unrolled = g.abort_quantum(&p, 256, AbortMode::InLoopUnrolled).unwrap();
         let q_raw = g.abort_quantum(&p, 256, AbortMode::InLoop).unwrap();
         assert!(!q_unrolled.is_zero());

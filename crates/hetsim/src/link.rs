@@ -10,7 +10,6 @@
 //! flight.
 
 use fluidicl_des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// One direction of a PCIe-like interconnect: fixed latency plus a
 /// bandwidth-proportional term.
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// let t = link.transfer_time(1 << 20); // 1 MiB
 /// assert!(t > link.transfer_time(0));
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LinkModel {
     latency: SimDuration,
     bytes_per_ns: f64,
@@ -67,7 +66,7 @@ impl LinkModel {
 }
 
 /// Host memory-copy model (for intermediate buffer copies, paper §5.5).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HostModel {
     memcpy_bytes_per_ns: f64,
 }
@@ -79,7 +78,10 @@ impl HostModel {
     ///
     /// Panics if `memcpy_bytes_per_ns` is not strictly positive.
     pub fn new(memcpy_bytes_per_ns: f64) -> Self {
-        assert!(memcpy_bytes_per_ns > 0.0, "memcpy bandwidth must be positive");
+        assert!(
+            memcpy_bytes_per_ns > 0.0,
+            "memcpy bandwidth must be positive"
+        );
         HostModel {
             memcpy_bytes_per_ns,
         }

@@ -1,7 +1,6 @@
 //! Whole-machine configuration: one CPU, one GPU, a full-duplex link.
 
 use fluidicl_des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::{CpuModel, GpuModel, HostModel, LinkModel};
 
@@ -17,7 +16,7 @@ use crate::{CpuModel, GpuModel, HostModel, LinkModel};
 /// let m = MachineConfig::paper_testbed();
 /// assert_eq!(m.cpu.threads(), 8);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineConfig {
     /// The CPU device model.
     pub cpu: CpuModel,
@@ -99,15 +98,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let m = MachineConfig::paper_testbed();
-        let json = serde_json_like(&m);
-        assert!(json.contains("cpu"));
-    }
-
-    // serde_json is not a dependency; exercise Serialize via the Debug of a
-    // serde-compatible struct instead. The derive is still compile-checked.
-    fn serde_json_like(m: &MachineConfig) -> String {
-        format!("{m:?}")
+    fn debug_rendering_names_every_component() {
+        let text = format!("{:?}", MachineConfig::paper_testbed());
+        assert!(text.contains("cpu"));
+        assert!(text.contains("gpu"));
     }
 }

@@ -8,8 +8,6 @@
 //! precisely that these properties differ per kernel *and* interact with
 //! input size through transfer overheads, so no static device choice wins.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-work-item execution characteristics of a kernel.
 ///
 /// All quantities are *per work-item*; the device models scale them by the
@@ -27,7 +25,7 @@ use serde::{Deserialize, Serialize};
 ///     .inner_loop_trips(256);
 /// assert_eq!(p.name(), "syrk");
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct KernelProfile {
     name: String,
     flops_per_item: f64,
@@ -129,7 +127,10 @@ impl KernelProfile {
     /// utilisation.
     #[must_use]
     pub fn cpu_simd_friendliness(mut self, s: f64) -> Self {
-        assert!((0.0..=1.0).contains(&s), "simd friendliness must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&s),
+            "simd friendliness must be in [0,1]"
+        );
         self.cpu_simd_friendliness = s;
         self
     }

@@ -1,169 +1,187 @@
-//! Property-based tests of the performance models: the monotonicity and
-//! ordering laws the co-execution protocol's decisions depend on. A model
-//! violating these could make the simulated FluidiCL take nonsensical
-//! decisions without failing any functional test.
+//! Randomized property tests of the performance models: the monotonicity
+//! and ordering laws the co-execution protocol's decisions depend on. A
+//! model violating these could make the simulated FluidiCL take nonsensical
+//! decisions without failing any functional test. Cases come from the
+//! in-tree deterministic generator so failures replay bit-for-bit.
 
-use fluidicl_des::SimDuration;
+use fluidicl_des::{SimDuration, SplitMix64};
 use fluidicl_hetsim::{AbortMode, CpuModel, GpuModel, KernelProfile, LinkModel, MachineConfig};
-use proptest::prelude::*;
 
-fn arb_profile() -> impl Strategy<Value = KernelProfile> {
-    (
-        1.0f64..8192.0,
-        0.0f64..8192.0,
-        1u32..1024,
-        0.0f64..=1.0,
-        0.0f64..=1.0,
-        0.0f64..=1.0,
-        0.0f64..=1.0,
-    )
-        .prop_map(|(fl, br, trips, co, dv, lo, si)| {
-            KernelProfile::new("p")
-                .flops_per_item(fl)
-                .bytes_read_per_item(br)
-                .bytes_written_per_item(4.0)
-                .inner_loop_trips(trips)
-                .gpu_coalescing(co)
-                .gpu_divergence(dv)
-                .cpu_cache_locality(lo)
-                .cpu_simd_friendliness(si)
-        })
+const CASES: u64 = 128;
+
+fn arb_profile(rng: &mut SplitMix64) -> KernelProfile {
+    KernelProfile::new("p")
+        .flops_per_item(rng.range_f64(1.0, 8192.0))
+        .bytes_read_per_item(rng.range_f64(0.0, 8192.0))
+        .bytes_written_per_item(4.0)
+        .inner_loop_trips(rng.range_u64(1, 1024) as u32)
+        .gpu_coalescing(rng.next_f64())
+        .gpu_divergence(rng.next_f64())
+        .cpu_cache_locality(rng.next_f64())
+        .cpu_simd_friendliness(rng.next_f64())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// GPU range time is monotone in the work-group count.
-    #[test]
-    fn gpu_range_time_monotone_in_wgs(
-        p in arb_profile(),
-        items in 1u64..1024,
-        a in 0u64..5000,
-        b in 0u64..5000,
-    ) {
-        let gpu = GpuModel::tesla_c2070_like();
+/// GPU range time is monotone in the work-group count.
+#[test]
+fn gpu_range_time_monotone_in_wgs() {
+    let mut rng = SplitMix64::new(0x4E51);
+    let gpu = GpuModel::tesla_c2070_like();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let items = rng.range_u64(1, 1024);
+        let a = rng.range_u64(0, 5000);
+        let b = rng.range_u64(0, 5000);
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(
+        assert!(
             gpu.range_time(&p, items, lo, AbortMode::None)
                 <= gpu.range_time(&p, items, hi, AbortMode::None)
         );
     }
+}
 
-    /// More arithmetic per item never makes a kernel faster, on either
-    /// device.
-    #[test]
-    fn more_flops_never_faster(
-        p in arb_profile(),
-        items in 1u64..1024,
-        extra in 1.0f64..4096.0,
-    ) {
+/// More arithmetic per item never makes a kernel faster, on either device.
+#[test]
+fn more_flops_never_faster() {
+    let mut rng = SplitMix64::new(0x4E52);
+    let gpu = GpuModel::tesla_c2070_like();
+    let cpu = CpuModel::xeon_w3550_like();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let items = rng.range_u64(1, 1024);
+        let extra = rng.range_f64(1.0, 4096.0);
         let heavier = p.clone().flops_per_item(p.flops() + extra);
-        let gpu = GpuModel::tesla_c2070_like();
-        let cpu = CpuModel::xeon_w3550_like();
-        prop_assert!(
+        assert!(
             gpu.wg_time(&p, items, AbortMode::None)
                 <= gpu.wg_time(&heavier, items, AbortMode::None)
         );
-        prop_assert!(cpu.wg_time(&p, items) <= cpu.wg_time(&heavier, items));
+        assert!(cpu.wg_time(&p, items) <= cpu.wg_time(&heavier, items));
     }
+}
 
-    /// Better coalescing never hurts the GPU; better locality never hurts
-    /// the CPU.
-    #[test]
-    fn friction_factors_are_monotone(
-        p in arb_profile(),
-        items in 1u64..1024,
-        bump in 0.0f64..=1.0,
-    ) {
-        let gpu = GpuModel::tesla_c2070_like();
-        let cpu = CpuModel::xeon_w3550_like();
+/// Better coalescing never hurts the GPU; better locality never hurts the
+/// CPU.
+#[test]
+fn friction_factors_are_monotone() {
+    let mut rng = SplitMix64::new(0x4E53);
+    let gpu = GpuModel::tesla_c2070_like();
+    let cpu = CpuModel::xeon_w3550_like();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let items = rng.range_u64(1, 1024);
+        let bump = rng.next_f64();
         let better_coal = p.clone().gpu_coalescing((p.coalescing() + bump).min(1.0));
-        prop_assert!(
+        assert!(
             gpu.wg_time(&better_coal, items, AbortMode::None)
                 <= gpu.wg_time(&p, items, AbortMode::None)
         );
-        let better_loc = p.clone().cpu_cache_locality((p.cache_locality() + bump).min(1.0));
-        prop_assert!(cpu.wg_time(&better_loc, items) <= cpu.wg_time(&p, items));
+        let better_loc = p
+            .clone()
+            .cpu_cache_locality((p.cache_locality() + bump).min(1.0));
+        assert!(cpu.wg_time(&better_loc, items) <= cpu.wg_time(&p, items));
     }
+}
 
-    /// The Figure-15 ordering holds for every profile: the unrolled-abort
-    /// kernel is never slower than the raw in-loop one, and never slower
-    /// than the dilution-free baseline by more than the check overhead.
-    #[test]
-    fn abort_mode_ordering(p in arb_profile(), items in 1u64..1024) {
-        let gpu = GpuModel::tesla_c2070_like();
+/// The Figure-15 ordering holds for every profile: the unrolled-abort
+/// kernel is never slower than the raw in-loop one.
+#[test]
+fn abort_mode_ordering() {
+    let mut rng = SplitMix64::new(0x4E54);
+    let gpu = GpuModel::tesla_c2070_like();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let items = rng.range_u64(1, 1024);
         let unrolled = gpu.wg_time(&p, items, AbortMode::InLoopUnrolled);
         let raw = gpu.wg_time(&p, items, AbortMode::InLoop);
-        prop_assert!(unrolled <= raw, "manual unrolling must never lose to raw checks");
+        assert!(
+            unrolled <= raw,
+            "manual unrolling must never lose to raw checks"
+        );
     }
+}
 
-    /// Early-abort modes always expose a finite, positive quantum.
-    #[test]
-    fn abort_quantum_is_positive(p in arb_profile(), items in 1u64..1024) {
-        let gpu = GpuModel::tesla_c2070_like();
+/// Early-abort modes always expose a finite, positive quantum.
+#[test]
+fn abort_quantum_is_positive() {
+    let mut rng = SplitMix64::new(0x4E55);
+    let gpu = GpuModel::tesla_c2070_like();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let items = rng.range_u64(1, 1024);
         for mode in [AbortMode::InLoop, AbortMode::InLoopUnrolled] {
             let q = gpu.abort_quantum(&p, items, mode).expect("quantum exists");
-            prop_assert!(!q.is_zero());
-            prop_assert!(q <= gpu.wg_time(&p, items, mode).max(SimDuration::from_nanos(1)));
+            assert!(!q.is_zero());
+            assert!(q <= gpu.wg_time(&p, items, mode).max(SimDuration::from_nanos(1)));
         }
-        prop_assert!(gpu.abort_quantum(&p, items, AbortMode::None).is_none());
-        prop_assert!(gpu.abort_quantum(&p, items, AbortMode::WorkGroupStart).is_none());
+        assert!(gpu.abort_quantum(&p, items, AbortMode::None).is_none());
+        assert!(gpu
+            .abort_quantum(&p, items, AbortMode::WorkGroupStart)
+            .is_none());
     }
+}
 
-    /// CPU subkernel time is monotone in the allocation and always at least
-    /// the launch overhead.
-    #[test]
-    fn cpu_subkernel_monotone(
-        p in arb_profile(),
-        items in 1u64..1024,
-        a in 1u64..2000,
-        b in 1u64..2000,
-        split in any::<bool>(),
-    ) {
-        let cpu = CpuModel::xeon_w3550_like();
+/// CPU subkernel time is monotone in the allocation and always at least
+/// the launch overhead.
+#[test]
+fn cpu_subkernel_monotone() {
+    let mut rng = SplitMix64::new(0x4E56);
+    let cpu = CpuModel::xeon_w3550_like();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let items = rng.range_u64(1, 1024);
+        let a = rng.range_u64(1, 2000);
+        let b = rng.range_u64(1, 2000);
+        let split = rng.next_bool();
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(
+        assert!(
             cpu.subkernel_time(&p, items, lo, split) <= cpu.subkernel_time(&p, items, hi, split)
         );
-        prop_assert!(cpu.subkernel_time(&p, items, lo, split) >= cpu.launch_overhead());
+        assert!(cpu.subkernel_time(&p, items, lo, split) >= cpu.launch_overhead());
     }
+}
 
-    /// Work-group splitting never hurts (it only engages below the thread
-    /// count, where it strictly helps up to its overhead bound).
-    #[test]
-    fn splitting_never_hurts(p in arb_profile(), items in 1u64..1024, wgs in 1u64..64) {
-        let cpu = CpuModel::xeon_w3550_like();
+/// Work-group splitting never hurts (it only engages below the thread
+/// count, where it strictly helps up to its overhead bound).
+#[test]
+fn splitting_never_hurts() {
+    let mut rng = SplitMix64::new(0x4E57);
+    let cpu = CpuModel::xeon_w3550_like();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let items = rng.range_u64(1, 1024);
+        let wgs = rng.range_u64(1, 64);
         let with = cpu.subkernel_time(&p, items, wgs, true);
         let without = cpu.subkernel_time(&p, items, wgs, false);
-        // Splitting spreads wgs·wg_time over all threads with a 12%
-        // overhead; below the thread count that is always a win.
-        prop_assert!(with <= without);
+        assert!(with <= without);
     }
+}
 
-    /// Link transfers are monotone in size and dominated by latency at zero
-    /// bytes.
-    #[test]
-    fn link_transfer_monotone(a in 0u64..1 << 30, b in 0u64..1 << 30) {
-        let link = LinkModel::pcie2_x16();
+/// Link transfers are monotone in size and dominated by latency at zero
+/// bytes.
+#[test]
+fn link_transfer_monotone() {
+    let mut rng = SplitMix64::new(0x4E58);
+    let link = LinkModel::pcie2_x16();
+    for _ in 0..CASES {
+        let a = rng.range_u64(0, 1 << 30);
+        let b = rng.range_u64(0, 1 << 30);
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
-        prop_assert_eq!(link.transfer_time(0), link.latency());
+        assert!(link.transfer_time(lo) <= link.transfer_time(hi));
     }
+    assert_eq!(link.transfer_time(0), link.latency());
+}
 
-    /// The three machine presets all satisfy basic sanity: positive rates
-    /// and identical CPUs (the migration experiments vary only the GPU
-    /// side).
-    #[test]
-    fn machine_presets_sane(_x in 0u8..1) {
-        for m in [
-            MachineConfig::paper_testbed(),
-            MachineConfig::weak_gpu_laptop(),
-            MachineConfig::big_gpu_node(),
-        ] {
-            prop_assert!(m.gpu.peak_flops_per_ns() > 0.0);
-            prop_assert!(m.gpu.peak_mem_bytes_per_ns() > 0.0);
-            prop_assert!(m.h2d.bandwidth() > 0.0);
-            prop_assert_eq!(m.cpu.threads(), 8);
-        }
+/// The three machine presets all satisfy basic sanity: positive rates and
+/// identical CPUs (the migration experiments vary only the GPU side).
+#[test]
+fn machine_presets_sane() {
+    for m in [
+        MachineConfig::paper_testbed(),
+        MachineConfig::weak_gpu_laptop(),
+        MachineConfig::big_gpu_node(),
+    ] {
+        assert!(m.gpu.peak_flops_per_ns() > 0.0);
+        assert!(m.gpu.peak_mem_bytes_per_ns() > 0.0);
+        assert!(m.h2d.bandwidth() > 0.0);
+        assert_eq!(m.cpu.threads(), 8);
     }
 }

@@ -5,9 +5,7 @@
 //! percent, losing only the one-time scratch-buffer creation cost (§9.1).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{
-    ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
-};
+use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
 
 use crate::data::{gen_matrix, gen_vector};
 

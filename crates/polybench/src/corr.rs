@@ -9,8 +9,7 @@
 
 use fluidicl_hetsim::KernelProfile;
 use fluidicl_vcl::{
-    ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program, Scalars,
-    WorkItem,
+    ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program, Scalars, WorkItem,
 };
 
 use crate::data::gen_positive;
@@ -89,7 +88,12 @@ fn profile_corr_interchanged(n: usize) -> KernelProfile {
         .cpu_simd_friendliness(0.9)
 }
 
-fn corr_body(item: &WorkItem, scalars: &Scalars, ins: &fluidicl_vcl::Inputs<'_>, outs: &mut fluidicl_vcl::Outputs<'_>) {
+fn corr_body(
+    item: &WorkItem,
+    scalars: &Scalars,
+    ins: &fluidicl_vcl::Inputs<'_>,
+    outs: &mut fluidicl_vcl::Outputs<'_>,
+) {
     let n = scalars.usize(0);
     let j1 = item.global[0];
     let data = ins.get(0);

@@ -2,15 +2,16 @@
 //!
 //! Inputs are seeded so every runtime (CPU-only, GPU-only, FluidiCL, static
 //! splits, SOCL) computes over identical data and can be validated against
-//! the same sequential reference, bit for bit.
+//! the same sequential reference, bit for bit. Generation uses the in-tree
+//! [`SplitMix64`] generator so the streams never depend on an external
+//! crate's version.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fluidicl_des::SplitMix64;
 
 /// Generates an `rows × cols` matrix (row-major) of values in `[-1, 1)`.
 pub fn gen_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..rows * cols).map(|_| rng.range_f32(-1.0, 1.0)).collect()
 }
 
 /// Generates a vector of `len` values in `[-1, 1)`.
@@ -21,8 +22,8 @@ pub fn gen_vector(len: usize, seed: u64) -> Vec<f32> {
 /// Generates strictly positive values in `[0.1, 1.1)` (for inputs where
 /// zero variance or cancellation would be degenerate, e.g. CORR).
 pub fn gen_positive(len: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(0.1..1.1)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| rng.range_f32(0.1, 1.1)).collect()
 }
 
 #[cfg(test)]
@@ -43,8 +44,12 @@ mod tests {
 
     #[test]
     fn ranges_hold() {
-        assert!(gen_matrix(100, 1, 3).iter().all(|&v| (-1.0..1.0).contains(&v)));
-        assert!(gen_positive(100, 3).iter().all(|&v| (0.1..1.1).contains(&v)));
+        assert!(gen_matrix(100, 1, 3)
+            .iter()
+            .all(|&v| (-1.0..1.0).contains(&v)));
+        assert!(gen_positive(100, 3)
+            .iter()
+            .all(|&v| (0.1..1.1).contains(&v)));
     }
 
     #[test]

@@ -6,9 +6,7 @@
 //! as the working set outgrows the GPU's cache (same mechanism as SYRK).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{
-    ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
-};
+use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
 
 use crate::data::gen_matrix;
 

@@ -7,9 +7,7 @@
 //! `InOut` vectors (the diff-merge must preserve unmodified elements).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{
-    ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
-};
+use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
 
 use crate::data::{gen_matrix, gen_vector};
 
@@ -190,12 +188,10 @@ mod tests {
         let gpu = SingleDeviceRuntime::new(m, DeviceKind::Gpu, program(n));
         let nd = NdRange::d1(n, WG).unwrap();
         assert!(
-            gpu.kernel_duration("mvt_x1", nd).unwrap()
-                < cpu.kernel_duration("mvt_x1", nd).unwrap()
+            gpu.kernel_duration("mvt_x1", nd).unwrap() < cpu.kernel_duration("mvt_x1", nd).unwrap()
         );
         assert!(
-            cpu.kernel_duration("mvt_x2", nd).unwrap()
-                < gpu.kernel_duration("mvt_x2", nd).unwrap()
+            cpu.kernel_duration("mvt_x2", nd).unwrap() < gpu.kernel_duration("mvt_x2", nd).unwrap()
         );
     }
 }

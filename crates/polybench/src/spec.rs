@@ -81,10 +81,7 @@ impl BenchmarkSpec {
 pub fn outputs_match(got: &[Vec<f32>], want: &[Vec<f32>]) -> bool {
     got.len() == want.len()
         && got.iter().zip(want).all(|(g, w)| {
-            g.len() == w.len()
-                && g.iter()
-                    .zip(w)
-                    .all(|(a, b)| a.to_bits() == b.to_bits())
+            g.len() == w.len() && g.iter().zip(w).all(|(a, b)| a.to_bits() == b.to_bits())
         })
 }
 

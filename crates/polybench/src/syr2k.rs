@@ -6,9 +6,7 @@
 //! margin of the suite (≈1.4×) and SOCL-dmda by >2.4× (§9.1, §9.4).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{
-    ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
-};
+use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
 
 use crate::data::gen_matrix;
 

@@ -9,9 +9,7 @@
 //! (§9.1–§9.2).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{
-    ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
-};
+use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
 
 use crate::data::gen_matrix;
 

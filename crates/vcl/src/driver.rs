@@ -56,8 +56,12 @@ pub trait ClDriver {
     /// # Errors
     ///
     /// Fails if the kernel is unknown or the arguments mismatch.
-    fn enqueue_kernel(&mut self, kernel: &str, ndrange: NdRange, args: &[KernelArg])
-        -> ClResult<()>;
+    fn enqueue_kernel(
+        &mut self,
+        kernel: &str,
+        ndrange: NdRange,
+        args: &[KernelArg],
+    ) -> ClResult<()>;
 
     /// Reads the up-to-date content of a buffer back to the host.
     ///

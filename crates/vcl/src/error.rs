@@ -31,6 +31,14 @@ pub enum ClError {
         /// Length supplied by the caller (in elements).
         got: usize,
     },
+    /// The post-kernel protocol-trace linter found an invariant violation
+    /// (only raised when `FluidiclConfig::validate_protocol` is enabled).
+    ProtocolViolation {
+        /// Kernel whose execution trace violated the protocol.
+        kernel: String,
+        /// First violated invariant, plus the total violation count.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ClError {
@@ -46,7 +54,13 @@ impl fmt::Display for ClError {
                 write!(f, "buffer {id} passed as both input and output")
             }
             ClError::SizeMismatch { expected, got } => {
-                write!(f, "size mismatch: buffer has {expected} elements, got {got}")
+                write!(
+                    f,
+                    "size mismatch: buffer has {expected} elements, got {got}"
+                )
+            }
+            ClError::ProtocolViolation { kernel, detail } => {
+                write!(f, "protocol violation in kernel `{kernel}`: {detail}")
             }
         }
     }
@@ -75,6 +89,10 @@ mod tests {
             ClError::SizeMismatch {
                 expected: 10,
                 got: 4,
+            },
+            ClError::ProtocolViolation {
+                kernel: "k".into(),
+                detail: "watermark increased".into(),
             },
         ];
         for e in cases {

@@ -140,11 +140,31 @@ impl Scalars {
 /// Read-only buffers of one launch, in signature order among `In` arguments.
 pub struct Inputs<'a> {
     slices: Vec<&'a [f32]>,
+    /// When present, `get` marks which input buffers the kernel actually
+    /// touched — the access sanitizer uses this to flag declared-but-unread
+    /// `In` arguments. `None` in normal execution, so the fast path pays
+    /// nothing.
+    read_flags: Option<std::cell::RefCell<Vec<bool>>>,
 }
 
 impl<'a> Inputs<'a> {
     pub(crate) fn new(slices: Vec<&'a [f32]>) -> Self {
-        Inputs { slices }
+        Inputs {
+            slices,
+            read_flags: None,
+        }
+    }
+
+    pub(crate) fn with_read_tracking(slices: Vec<&'a [f32]>) -> Self {
+        let flags = vec![false; slices.len()];
+        Inputs {
+            slices,
+            read_flags: Some(std::cell::RefCell::new(flags)),
+        }
+    }
+
+    pub(crate) fn reads(&self) -> Option<Vec<bool>> {
+        self.read_flags.as_ref().map(|f| f.borrow().clone())
     }
 
     /// The `idx`-th input buffer.
@@ -153,6 +173,9 @@ impl<'a> Inputs<'a> {
     ///
     /// Panics if `idx` is out of range.
     pub fn get(&self, idx: usize) -> &[f32] {
+        if let Some(flags) = &self.read_flags {
+            flags.borrow_mut()[idx] = true;
+        }
         self.slices[idx]
     }
 
@@ -510,10 +533,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not f32")]
     fn scalar_type_mismatch_panics() {
-        let s = Scalars::from_args(
-            &[KernelArg::I32(1)],
-            &[ArgSpec::new("x", ArgRole::Scalar)],
-        );
+        let s = Scalars::from_args(&[KernelArg::I32(1)], &[ArgSpec::new("x", ArgRole::Scalar)]);
         let _ = s.f32(0);
     }
 }

@@ -14,6 +14,8 @@
 //! * [`exec`] — the functional executor that really computes kernel results
 //!   for any flattened work-group range, so partitioning bugs corrupt real
 //!   data;
+//! * [`access`] — a shadow-memory layer over the executor recording
+//!   per-work-group read/write sets for the `fluidicl-check` sanitizer;
 //! * [`CommandQueue`] / [`Event`] / [`Platform`] — in-order command queues
 //!   with completion events and cross-queue waits (paper §2, §5.4);
 //! * [`ClDriver`] — the driver trait every runtime (single-device, FluidiCL,
@@ -25,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 mod driver;
 mod error;
 pub mod exec;
@@ -34,6 +37,7 @@ mod ndrange;
 mod queue;
 mod single;
 
+pub use access::{execute_groups_shadowed, AccessRecord, WriteMap};
 pub use driver::{ClDriver, DeviceKind};
 pub use error::{ClError, ClResult};
 pub use exec::Launch;

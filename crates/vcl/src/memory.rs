@@ -71,9 +71,7 @@ impl Memory {
     ///
     /// Returns [`ClError::InvalidBuffer`] if `id` was never allocated here.
     pub fn take(&mut self, id: BufferId) -> ClResult<Vec<f32>> {
-        self.buffers
-            .remove(&id)
-            .ok_or(ClError::InvalidBuffer(id.0))
+        self.buffers.remove(&id).ok_or(ClError::InvalidBuffer(id.0))
     }
 
     /// Overwrites a buffer with `data`.

@@ -55,14 +55,7 @@ impl NdRange {
     ///
     /// Returns [`ClError::InvalidNdRange`] if any size is zero or a global
     /// size is not a multiple of the corresponding local size.
-    pub fn d3(
-        gx: usize,
-        gy: usize,
-        gz: usize,
-        lx: usize,
-        ly: usize,
-        lz: usize,
-    ) -> ClResult<Self> {
+    pub fn d3(gx: usize, gy: usize, gz: usize, lx: usize, ly: usize, lz: usize) -> ClResult<Self> {
         Self::new([gx, gy, gz], [lx, ly, lz], 3)
     }
 
@@ -172,7 +165,10 @@ impl NdRange {
     ///
     /// Panics if the range is empty or out of bounds.
     pub fn covering_slice(&self, start: u64, end: u64) -> ([usize; 3], [usize; 3]) {
-        assert!(start < end && end <= self.num_groups(), "bad range {start}..{end}");
+        assert!(
+            start < end && end <= self.num_groups(),
+            "bad range {start}..{end}"
+        );
         let g = self.groups();
         match self.dims {
             1 => ([start as usize, 0, 0], [(end - start) as usize, 1, 1]),
@@ -295,7 +291,7 @@ mod tests {
     #[test]
     fn covering_slice_2d_rounds_to_rows() {
         let nd = NdRange::d2(50, 40, 10, 10).unwrap(); // 5 x 4 groups
-        // Range 7..12 spans the end of row 1 and start of row 2.
+                                                       // Range 7..12 spans the end of row 1 and start of row 2.
         let (off, cnt) = nd.covering_slice(7, 12);
         assert_eq!(off, [0, 1, 0]);
         assert_eq!(cnt, [5, 2, 1]);

@@ -218,7 +218,10 @@ impl CommandQueue {
                         .gpu
                         .range_time(profile, items, groups, AbortMode::None)
             }
-            DeviceKind::Cpu => self.machine.cpu.subkernel_time(profile, items, groups, false),
+            DeviceKind::Cpu => self
+                .machine
+                .cpu
+                .subkernel_time(profile, items, groups, false),
         };
         Ok(self.push(d))
     }

@@ -84,7 +84,10 @@ impl SingleDeviceRuntime {
                         .gpu
                         .range_time(profile, items, groups, AbortMode::None)
             }
-            DeviceKind::Cpu => self.machine.cpu.subkernel_time(profile, items, groups, false),
+            DeviceKind::Cpu => self
+                .machine
+                .cpu
+                .subkernel_time(profile, items, groups, false),
         })
     }
 }
@@ -109,8 +112,10 @@ impl ClDriver for SingleDeviceRuntime {
         let launch = Launch::new(def, ndrange, args.to_vec());
         let before = self.queue.tail();
         let ev = self.queue.enqueue_ndrange(&launch)?;
-        self.kernel_log
-            .push((kernel.to_string(), ev.complete_at().saturating_since(before)));
+        self.kernel_log.push((
+            kernel.to_string(),
+            ev.complete_at().saturating_since(before),
+        ));
         Ok(())
     }
 

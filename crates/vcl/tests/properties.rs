@@ -1,41 +1,44 @@
-//! Property-based tests of the virtual OpenCL substrate: geometry
+//! Randomized property tests of the virtual OpenCL substrate: geometry
 //! round-trips, covering slices, diff-merge algebra, and the partitioning
 //! property the whole FluidiCL design rests on — executing disjoint
-//! work-group ranges composes to the full-kernel result.
+//! work-group ranges composes to the full-kernel result. Cases come from
+//! the in-tree deterministic generator so failures replay bit-for-bit.
 
 use std::sync::Arc;
 
+use fluidicl_des::SplitMix64;
 use fluidicl_hetsim::KernelProfile;
 use fluidicl_vcl::exec::{execute_all, execute_groups, Launch};
-use fluidicl_vcl::{
-    diff_merge, ArgRole, ArgSpec, BufferId, KernelArg, KernelDef, Memory, NdRange,
-};
-use proptest::prelude::*;
+use fluidicl_vcl::{diff_merge, ArgRole, ArgSpec, BufferId, KernelArg, KernelDef, Memory, NdRange};
 
-fn arb_ndrange() -> impl Strategy<Value = NdRange> {
-    prop_oneof![
-        (1usize..40, 1usize..16)
-            .prop_map(|(g, l)| NdRange::d1(g * l, l).expect("valid 1d")),
-        (1usize..8, 1usize..8, 1usize..6, 1usize..6)
-            .prop_map(|(gx, gy, lx, ly)| NdRange::d2(gx * lx, gy * ly, lx, ly).expect("valid 2d")),
-        (
-            1usize..4,
-            1usize..4,
-            1usize..4,
-            1usize..3,
-            1usize..3,
-            1usize..3
-        )
-            .prop_map(|(gx, gy, gz, lx, ly, lz)| NdRange::d3(
-                gx * lx,
-                gy * ly,
-                gz * lz,
-                lx,
-                ly,
-                lz
-            )
-            .expect("valid 3d")),
-    ]
+const CASES: u64 = 64;
+
+fn arb_ndrange(rng: &mut SplitMix64) -> NdRange {
+    match rng.range_u64(0, 3) {
+        0 => {
+            let g = rng.range_usize(1, 40);
+            let l = rng.range_usize(1, 16);
+            NdRange::d1(g * l, l).expect("valid 1d")
+        }
+        1 => {
+            let (gx, gy) = (rng.range_usize(1, 8), rng.range_usize(1, 8));
+            let (lx, ly) = (rng.range_usize(1, 6), rng.range_usize(1, 6));
+            NdRange::d2(gx * lx, gy * ly, lx, ly).expect("valid 2d")
+        }
+        _ => {
+            let (gx, gy, gz) = (
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 4),
+            );
+            let (lx, ly, lz) = (
+                rng.range_usize(1, 3),
+                rng.range_usize(1, 3),
+                rng.range_usize(1, 3),
+            );
+            NdRange::d3(gx * lx, gy * ly, gz * lz, lx, ly, lz).expect("valid 3d")
+        }
+    }
 }
 
 fn stamp_kernel() -> Arc<KernelDef> {
@@ -53,40 +56,50 @@ fn stamp_kernel() -> Arc<KernelDef> {
     ))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Flatten/unflatten is a bijection over the whole group space.
-    #[test]
-    fn flatten_roundtrip(nd in arb_ndrange()) {
+/// Flatten/unflatten is a bijection over the whole group space.
+#[test]
+fn flatten_roundtrip() {
+    let mut rng = SplitMix64::new(0x7C51);
+    for _ in 0..CASES {
+        let nd = arb_ndrange(&mut rng);
         for flat in 0..nd.num_groups() {
             let coords = nd.unflatten_group(flat);
-            prop_assert_eq!(nd.flatten_group(coords), flat);
+            assert_eq!(nd.flatten_group(coords), flat);
             let g = nd.groups();
-            prop_assert!(coords[0] < g[0] && coords[1] < g[1] && coords[2] < g[2]);
+            assert!(coords[0] < g[0] && coords[1] < g[1] && coords[2] < g[2]);
         }
     }
+}
 
-    /// Flattening is dense: ids are exactly 0..num_groups.
-    #[test]
-    fn flattening_is_dense(nd in arb_ndrange()) {
+/// Flattening is dense: ids are exactly 0..num_groups.
+#[test]
+fn flattening_is_dense() {
+    let mut rng = SplitMix64::new(0x7C52);
+    for _ in 0..CASES {
+        let nd = arb_ndrange(&mut rng);
         let g = nd.groups();
         let mut seen = vec![false; nd.num_groups() as usize];
         for z in 0..g[2] {
             for y in 0..g[1] {
                 for x in 0..g[0] {
                     let flat = nd.flatten_group([x, y, z]) as usize;
-                    prop_assert!(!seen[flat], "duplicate flattened id");
+                    assert!(!seen[flat], "duplicate flattened id");
                     seen[flat] = true;
                 }
             }
         }
-        prop_assert!(seen.iter().all(|&b| b));
+        assert!(seen.iter().all(|&b| b));
     }
+}
 
-    /// The §5.2 covering slice contains every requested flattened id.
-    #[test]
-    fn covering_slice_contains_range(nd in arb_ndrange(), split in 0.0f64..1.0, width in 0.0f64..1.0) {
+/// The §5.2 covering slice contains every requested flattened id.
+#[test]
+fn covering_slice_contains_range() {
+    let mut rng = SplitMix64::new(0x7C53);
+    for _ in 0..CASES {
+        let nd = arb_ndrange(&mut rng);
+        let split = rng.next_f64();
+        let width = rng.next_f64();
         let total = nd.num_groups();
         let start = ((total - 1) as f64 * split) as u64;
         let len = (((total - start) as f64 * width) as u64).max(1);
@@ -101,26 +114,31 @@ proptest! {
             }
         }
         for flat in start..end {
-            prop_assert!(covered.contains(&flat), "id {flat} not covered");
+            assert!(covered.contains(&flat), "id {flat} not covered");
         }
         // The slice is itself contiguous in flattened space.
         let min = covered.iter().min().copied().expect("non-empty");
         let max = covered.iter().max().copied().expect("non-empty");
-        prop_assert_eq!(covered.len() as u64, max - min + 1);
+        assert_eq!(covered.len() as u64, max - min + 1);
     }
+}
 
-    /// FluidiCL's partitioning axiom: executing [0, k) on one memory and
-    /// [k, N) on another, then diff-merging against the original, equals
-    /// executing everything on one device.
-    #[test]
-    fn partitioned_execution_plus_merge_equals_whole(
-        nd in arb_ndrange(),
-        frac in 0.0f64..=1.0,
-    ) {
+/// FluidiCL's partitioning axiom: executing [0, k) on one memory and
+/// [k, N) on another, then diff-merging against the original, equals
+/// executing everything on one device.
+#[test]
+fn partitioned_execution_plus_merge_equals_whole() {
+    let mut rng = SplitMix64::new(0x7C54);
+    for _ in 0..CASES {
+        let nd = arb_ndrange(&mut rng);
+        let frac = rng.next_f64();
         let items = nd.num_items() as usize;
         let src: Vec<f32> = (0..items).map(|i| (i % 13) as f32 - 6.0).collect();
         let kernel = stamp_kernel();
-        let args = vec![KernelArg::Buffer(BufferId(0)), KernelArg::Buffer(BufferId(1))];
+        let args = vec![
+            KernelArg::Buffer(BufferId(0)),
+            KernelArg::Buffer(BufferId(1)),
+        ];
         let launch = Launch::new(kernel, nd, args);
 
         // Whole-kernel reference.
@@ -144,24 +162,29 @@ proptest! {
         execute_groups(&launch, &mut cpu, k, total).expect("cpu part");
         let cpu_data = cpu.get(BufferId(1)).expect("dst").to_vec();
         diff_merge(gpu.get_mut(BufferId(1)).expect("dst"), &cpu_data, &orig);
-        prop_assert_eq!(gpu.get(BufferId(1)).expect("dst"), want.as_slice());
+        assert_eq!(gpu.get(BufferId(1)).expect("dst"), want.as_slice());
     }
+}
 
-    /// Overlapping (duplicated) execution is harmless: both sides compute
-    /// identical values, so merging after overlap still matches.
-    #[test]
-    fn overlapping_execution_is_idempotent(
-        nd in arb_ndrange(),
-        lo in 0.0f64..=1.0,
-        hi in 0.0f64..=1.0,
-    ) {
+/// Overlapping (duplicated) execution is harmless: both sides compute
+/// identical values, so merging after overlap still matches.
+#[test]
+fn overlapping_execution_is_idempotent() {
+    let mut rng = SplitMix64::new(0x7C55);
+    for _ in 0..CASES {
+        let nd = arb_ndrange(&mut rng);
+        let lo = rng.next_f64();
+        let hi = rng.next_f64();
         let total = nd.num_groups();
         let a = ((total as f64) * lo.min(hi)).round() as u64;
         let b = ((total as f64) * lo.max(hi)).round() as u64;
         let items = nd.num_items() as usize;
         let src: Vec<f32> = (0..items).map(|i| (i % 7) as f32).collect();
         let kernel = stamp_kernel();
-        let args = vec![KernelArg::Buffer(BufferId(0)), KernelArg::Buffer(BufferId(1))];
+        let args = vec![
+            KernelArg::Buffer(BufferId(0)),
+            KernelArg::Buffer(BufferId(1)),
+        ];
         let launch = Launch::new(kernel, nd, args);
 
         let mut whole = Memory::new();
@@ -182,31 +205,34 @@ proptest! {
         execute_groups(&launch, &mut cpu, a, total).expect("cpu part");
         let cpu_data = cpu.get(BufferId(1)).expect("dst").to_vec();
         diff_merge(gpu.get_mut(BufferId(1)).expect("dst"), &cpu_data, &orig);
-        prop_assert_eq!(gpu.get(BufferId(1)).expect("dst"), want.as_slice());
+        assert_eq!(gpu.get(BufferId(1)).expect("dst"), want.as_slice());
     }
+}
 
-    /// diff-merge algebra: merging an unmodified copy is the identity, and
-    /// merging is idempotent.
-    #[test]
-    fn diff_merge_identity_and_idempotence(
-        data in proptest::collection::vec(-100.0f32..100.0, 1..200),
-        changes in proptest::collection::vec(any::<bool>(), 1..200),
-    ) {
+/// diff-merge algebra: merging an unmodified copy is the identity, and
+/// merging is idempotent.
+#[test]
+fn diff_merge_identity_and_idempotence() {
+    let mut rng = SplitMix64::new(0x7C56);
+    for _ in 0..CASES {
+        let len = rng.range_usize(1, 200);
+        let data: Vec<f32> = (0..len).map(|_| rng.range_f32(-100.0, 100.0)).collect();
+        let changes: Vec<bool> = (0..len).map(|_| rng.next_bool()).collect();
         let orig = data.clone();
         let mut gpu: Vec<f32> = data.iter().map(|v| v + 1.0).collect();
         // Identity: cpu == orig changes nothing.
         let before = gpu.clone();
         diff_merge(&mut gpu, &orig, &orig);
-        prop_assert_eq!(&gpu, &before);
+        assert_eq!(&gpu, &before);
         // Idempotence: applying the same merge twice equals once.
         let cpu: Vec<f32> = data
             .iter()
-            .zip(changes.iter().cycle())
+            .zip(changes.iter())
             .map(|(v, &c)| if c { v * 3.0 + 1.0 } else { *v })
             .collect();
         diff_merge(&mut gpu, &cpu, &orig);
         let once = gpu.clone();
         diff_merge(&mut gpu, &cpu, &orig);
-        prop_assert_eq!(gpu, once);
+        assert_eq!(gpu, once);
     }
 }

@@ -10,8 +10,8 @@
 //! faster *per kernel*, while buffer-version tracking keeps the shared
 //! matrix coherent between launches.
 
-use fluidicl_suite::prelude::*;
 use fluidicl_suite::polybench::{bicg, find};
+use fluidicl_suite::prelude::*;
 
 fn main() -> ClResult<()> {
     let bench = find("BICG").expect("BICG registered");

@@ -10,14 +10,14 @@
 //! schedulers, and FluidiCL. Every run is validated against the sequential
 //! reference before its time is reported.
 
-use fluidicl_suite::baselines::{
-    oracle_sweep, SoclRuntime, SoclScheduler, StaticPartitionRuntime,
-};
+use fluidicl_suite::baselines::{oracle_sweep, SoclRuntime, SoclScheduler, StaticPartitionRuntime};
 use fluidicl_suite::polybench::find;
 use fluidicl_suite::prelude::*;
 
 fn main() -> ClResult<()> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "SYRK".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SYRK".to_string());
     let bench = find(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark `{name}`; one of ATAX BICG CORR GESUMMV SYRK SYR2K");
         std::process::exit(2);
@@ -25,7 +25,10 @@ fn main() -> ClResult<()> {
     let n = bench.default_n;
     let seed = 99;
     let machine = MachineConfig::paper_testbed();
-    println!("{} ({n}x{n}), total running time in virtual time:\n", bench.name);
+    println!(
+        "{} ({n}x{n}), total running time in virtual time:\n",
+        bench.name
+    );
 
     let mut results: Vec<(String, fluidicl_suite::des::SimDuration)> = Vec::new();
 
@@ -37,7 +40,10 @@ fn main() -> ClResult<()> {
 
     let oracle = oracle_sweep(&machine, &bench, n, seed, 10)?;
     results.push((
-        format!("OracleSP ({}% CPU)", (oracle.best_cpu_fraction * 100.0) as u32),
+        format!(
+            "OracleSP ({}% CPU)",
+            (oracle.best_cpu_fraction * 100.0) as u32
+        ),
         oracle.best_time,
     ));
     // Show one deliberately bad static split for contrast.
@@ -53,8 +59,7 @@ fn main() -> ClResult<()> {
     {
         // Calibration pass (the paper runs ≥10 calibration runs; one replay
         // of the geometry suffices for our analytic models).
-        let mut probe =
-            SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
+        let mut probe = SoclRuntime::new(machine.clone(), (bench.program)(n), SoclScheduler::Eager);
         assert!(bench.run_and_validate_sized(&mut probe, n, seed)?);
         for (kernel, nd) in probe.geometry_log() {
             dmda.calibrate(kernel, *nd)?;

@@ -39,8 +39,8 @@ pub mod prelude {
     pub use fluidicl::{Fluidicl, FluidiclConfig};
     pub use fluidicl_hetsim::{AbortMode, KernelProfile, MachineConfig};
     pub use fluidicl_vcl::{
-        ArgRole, ArgSpec, ClDriver, ClError, ClResult, DeviceKind, KernelArg, KernelDef,
-        NdRange, Program, SingleDeviceRuntime,
+        ArgRole, ArgSpec, ClDriver, ClError, ClResult, DeviceKind, KernelArg, KernelDef, NdRange,
+        Program, SingleDeviceRuntime,
     };
 }
 

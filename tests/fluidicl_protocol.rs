@@ -4,9 +4,7 @@
 
 use fluidicl::{Finisher, Fluidicl, FluidiclConfig};
 use fluidicl_hetsim::{CpuModel, KernelProfile, MachineConfig};
-use fluidicl_vcl::{
-    ArgRole, ArgSpec, ClDriver, KernelArg, KernelDef, NdRange, Program,
-};
+use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, KernelArg, KernelDef, NdRange, Program};
 
 /// A generic row-reduction kernel whose device balance is set by the
 /// profile passed in.
@@ -54,9 +52,7 @@ fn drive(rt: &mut Fluidicl, n: usize, wg: usize) -> Vec<f32> {
 
 fn expected(n: usize) -> Vec<f32> {
     let a: Vec<f32> = (0..n * n).map(|i| (i % 97) as f32).collect();
-    (0..n)
-        .map(|i| a[i * n..(i + 1) * n].iter().sum())
-        .collect()
+    (0..n).map(|i| a[i * n..(i + 1) * n].iter().sum()).collect()
 }
 
 fn base_profile(n: usize) -> KernelProfile {
@@ -138,7 +134,10 @@ fn balanced_devices_split_the_kernel() {
         r.cpu_merged_wgs,
         r.total_wgs
     );
-    assert!(r.subkernels > 1, "the CPU should pipeline several subkernels");
+    assert!(
+        r.subkernels > 1,
+        "the CPU should pipeline several subkernels"
+    );
     // Coverage invariant: whatever was not merged from the CPU must have
     // been executed by the GPU.
     assert!(r.gpu_executed_wgs >= r.total_wgs - r.cpu_merged_wgs);
@@ -178,10 +177,8 @@ fn dead_link_starves_the_gpu_and_the_cpu_carries_the_kernel() {
     // guarantees: a device that cannot be fed does no useful work.
     let n = 256;
     let mut machine = MachineConfig::paper_testbed();
-    machine.h2d = fluidicl_hetsim::LinkModel::new(
-        fluidicl_des::SimDuration::from_millis(200),
-        0.001,
-    );
+    machine.h2d =
+        fluidicl_hetsim::LinkModel::new(fluidicl_des::SimDuration::from_millis(200), 0.001);
     let profile = base_profile(n).gpu_coalescing(0.5);
     let mut rt = Fluidicl::new(
         machine,
@@ -217,11 +214,7 @@ fn chained_kernels_report_increasing_ids_and_stay_coherent() {
             outs.at(0)[i] *= scalars.f32(0);
         },
     ));
-    let mut rt = Fluidicl::new(
-        MachineConfig::paper_testbed(),
-        FluidiclConfig::default(),
-        p,
-    );
+    let mut rt = Fluidicl::new(MachineConfig::paper_testbed(), FluidiclConfig::default(), p);
     let a: Vec<f32> = (0..n * n).map(|i| (i % 7) as f32).collect();
     let a_buf = rt.create_buffer(n * n);
     let out_buf = rt.create_buffer(n);

@@ -1,14 +1,18 @@
-//! Property-based tests: for *arbitrary* kernel geometries, cost profiles
-//! and runtime configurations, FluidiCL must compute exactly what a single
-//! device computes, and its reports must satisfy the protocol invariants.
+//! Randomized property tests: for *arbitrary* kernel geometries, cost
+//! profiles and runtime configurations, FluidiCL must compute exactly what
+//! a single device computes, and its reports must satisfy the protocol
+//! invariants. Cases come from the in-tree deterministic generator so
+//! failures replay bit-for-bit.
 
 use fluidicl::{Fluidicl, FluidiclConfig};
+use fluidicl_des::SplitMix64;
 use fluidicl_hetsim::{AbortMode, KernelProfile, MachineConfig};
 use fluidicl_vcl::{
     ArgRole, ArgSpec, ClDriver, DeviceKind, KernelArg, KernelDef, NdRange, Program,
     SingleDeviceRuntime,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// A position-dependent kernel: every element gets a value derived from its
 /// own global index and the input, so any mis-assigned or dropped
@@ -32,69 +36,61 @@ fn program(profile: KernelProfile) -> Program {
     p
 }
 
-fn arb_profile() -> impl Strategy<Value = KernelProfile> {
-    (
-        1.0f64..4096.0,          // flops per item
-        0.0f64..4096.0,          // bytes read per item
-        1u32..512,               // loop trips
-        0.0f64..=1.0,            // coalescing
-        0.0f64..=1.0,            // divergence
-        0.0f64..=1.0,            // locality
-        0.0f64..=1.0,            // simd
-    )
-        .prop_map(|(fl, br, trips, co, dv, lo, si)| {
-            KernelProfile::new("stamp")
-                .flops_per_item(fl)
-                .bytes_read_per_item(br)
-                .bytes_written_per_item(4.0)
-                .inner_loop_trips(trips)
-                .gpu_coalescing(co)
-                .gpu_divergence(dv)
-                .cpu_cache_locality(lo)
-                .cpu_simd_friendliness(si)
-        })
+fn arb_profile(rng: &mut SplitMix64) -> KernelProfile {
+    KernelProfile::new("stamp")
+        .flops_per_item(rng.range_f64(1.0, 4096.0))
+        .bytes_read_per_item(rng.range_f64(0.0, 4096.0))
+        .bytes_written_per_item(4.0)
+        .inner_loop_trips(rng.range_u64(1, 512) as u32)
+        .gpu_coalescing(rng.next_f64())
+        .gpu_divergence(rng.next_f64())
+        .cpu_cache_locality(rng.next_f64())
+        .cpu_simd_friendliness(rng.next_f64())
 }
 
-fn arb_geometry() -> impl Strategy<Value = NdRange> {
-    prop_oneof![
-        // 1-D: up to 2048 items in groups of 1..64.
-        (1usize..64, 1usize..64).prop_map(|(groups, local)| {
+fn arb_geometry(rng: &mut SplitMix64) -> NdRange {
+    match rng.range_u64(0, 3) {
+        // 1-D: up to 4096 items in groups of 1..64.
+        0 => {
+            let groups = rng.range_usize(1, 64);
+            let local = rng.range_usize(1, 64);
             NdRange::d1(groups * local, local).expect("valid 1d range")
-        }),
+        }
         // 2-D: small grids.
-        (1usize..12, 1usize..12, 1usize..8, 1usize..8).prop_map(|(gx, gy, lx, ly)| {
+        1 => {
+            let (gx, gy) = (rng.range_usize(1, 12), rng.range_usize(1, 12));
+            let (lx, ly) = (rng.range_usize(1, 8), rng.range_usize(1, 8));
             NdRange::d2(gx * lx, gy * ly, lx, ly).expect("valid 2d range")
-        }),
+        }
         // 3-D: tiny volumes.
-        (1usize..5, 1usize..5, 1usize..5, 1usize..4, 1usize..4, 1usize..4).prop_map(
-            |(gx, gy, gz, lx, ly, lz)| {
-                NdRange::d3(gx * lx, gy * ly, gz * lz, lx, ly, lz).expect("valid 3d range")
-            }
-        ),
-    ]
+        _ => {
+            let (gx, gy, gz) = (
+                rng.range_usize(1, 5),
+                rng.range_usize(1, 5),
+                rng.range_usize(1, 5),
+            );
+            let (lx, ly, lz) = (
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 4),
+            );
+            NdRange::d3(gx * lx, gy * ly, gz * lz, lx, ly, lz).expect("valid 3d range")
+        }
+    }
 }
 
-fn arb_config() -> impl Strategy<Value = FluidiclConfig> {
-    (
-        0.5f64..100.0,
-        0.0f64..10.0,
-        prop_oneof![
-            Just(AbortMode::WorkGroupStart),
-            Just(AbortMode::InLoop),
-            Just(AbortMode::InLoopUnrolled),
-        ],
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(chunk, step, abort, split, pool, track)| {
-            FluidiclConfig::default()
-                .with_chunk(chunk, step)
-                .with_abort_mode(abort)
-                .with_wg_split(split)
-                .with_buffer_pool(pool)
-                .with_location_tracking(track)
-        })
+fn arb_config(rng: &mut SplitMix64) -> FluidiclConfig {
+    let abort = match rng.range_u64(0, 3) {
+        0 => AbortMode::WorkGroupStart,
+        1 => AbortMode::InLoop,
+        _ => AbortMode::InLoopUnrolled,
+    };
+    FluidiclConfig::default()
+        .with_chunk(rng.range_f64(0.5, 100.0), rng.range_f64(0.0, 10.0))
+        .with_abort_mode(abort)
+        .with_wg_split(rng.next_bool())
+        .with_buffer_pool(rng.next_bool())
+        .with_location_tracking(rng.next_bool())
 }
 
 fn run_driver(driver: &mut dyn ClDriver, nd: NdRange) -> Vec<f32> {
@@ -117,59 +113,60 @@ fn run_driver(driver: &mut dyn ClDriver, nd: NdRange) -> Vec<f32> {
     driver.read_buffer(dst_buf).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// FluidiCL output is bit-identical to a single device's, for any
-    /// geometry, profile and configuration.
-    #[test]
-    fn fluidicl_equals_single_device(
-        profile in arb_profile(),
-        nd in arb_geometry(),
-        config in arb_config(),
-    ) {
+/// FluidiCL output is bit-identical to a single device's, for any geometry,
+/// profile and configuration.
+#[test]
+fn fluidicl_equals_single_device() {
+    let mut rng = SplitMix64::new(0xF151);
+    for _ in 0..CASES {
+        let profile = arb_profile(&mut rng);
+        let nd = arb_geometry(&mut rng);
+        let config = arb_config(&mut rng);
         let machine = MachineConfig::paper_testbed();
-        let mut single = SingleDeviceRuntime::new(
-            machine.clone(),
-            DeviceKind::Cpu,
-            program(profile.clone()),
-        );
+        let mut single =
+            SingleDeviceRuntime::new(machine.clone(), DeviceKind::Cpu, program(profile.clone()));
         let want = run_driver(&mut single, nd);
         let mut fcl = Fluidicl::new(machine, config, program(profile));
         let got = run_driver(&mut fcl, nd);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Report invariants: coverage, monotone time, plausible counters.
-    #[test]
-    fn report_invariants_hold(
-        profile in arb_profile(),
-        nd in arb_geometry(),
-        config in arb_config(),
-    ) {
+/// Report invariants: coverage, monotone time, plausible counters.
+#[test]
+fn report_invariants_hold() {
+    let mut rng = SplitMix64::new(0xF152);
+    for _ in 0..CASES {
+        let profile = arb_profile(&mut rng);
+        let nd = arb_geometry(&mut rng);
+        let config = arb_config(&mut rng);
         let machine = MachineConfig::paper_testbed();
         let mut fcl = Fluidicl::new(machine, config, program(profile));
         let _ = run_driver(&mut fcl, nd);
         let r = &fcl.reports()[0];
-        prop_assert_eq!(r.total_wgs, nd.num_groups());
+        assert_eq!(r.total_wgs, nd.num_groups());
         // Coverage: the GPU must have executed at least everything the CPU
         // did not deliver.
-        prop_assert!(r.gpu_executed_wgs + r.cpu_merged_wgs >= r.total_wgs
-            || r.cpu_executed_wgs == r.total_wgs);
-        prop_assert!(r.cpu_merged_wgs <= r.cpu_executed_wgs);
-        prop_assert!(r.complete_at >= r.enqueued_at);
-        prop_assert!(r.subkernel_log.len() as u64 == r.subkernels);
+        assert!(
+            r.gpu_executed_wgs + r.cpu_merged_wgs >= r.total_wgs
+                || r.cpu_executed_wgs == r.total_wgs
+        );
+        assert!(r.cpu_merged_wgs <= r.cpu_executed_wgs);
+        assert!(r.complete_at >= r.enqueued_at);
+        assert!(r.subkernel_log.len() as u64 == r.subkernels);
         let logged: u64 = r.subkernel_log.iter().map(|(w, _)| *w).sum();
-        prop_assert_eq!(logged, r.cpu_executed_wgs);
-        prop_assert!(r.cpu_share() >= 0.0 && r.cpu_share() <= 1.0);
+        assert_eq!(logged, r.cpu_executed_wgs);
+        assert!(r.cpu_share() >= 0.0 && r.cpu_share() <= 1.0);
     }
+}
 
-    /// Determinism across repeated runs for arbitrary inputs.
-    #[test]
-    fn repeated_runs_are_identical(
-        profile in arb_profile(),
-        nd in arb_geometry(),
-    ) {
+/// Determinism across repeated runs for arbitrary inputs.
+#[test]
+fn repeated_runs_are_identical() {
+    let mut rng = SplitMix64::new(0xF153);
+    for _ in 0..CASES {
+        let profile = arb_profile(&mut rng);
+        let nd = arb_geometry(&mut rng);
         let machine = MachineConfig::paper_testbed();
         let once = |machine: &MachineConfig| {
             let mut fcl = Fluidicl::new(
@@ -180,6 +177,6 @@ proptest! {
             let out = run_driver(&mut fcl, nd);
             (out, fcl.elapsed())
         };
-        prop_assert_eq!(once(&machine), once(&machine));
+        assert_eq!(once(&machine), once(&machine));
     }
 }
