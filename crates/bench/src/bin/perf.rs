@@ -1,0 +1,334 @@
+//! `perf` — wall-clock performance harness for the reproduction itself.
+//!
+//! The experiments measure *virtual* time; this binary measures the *real*
+//! time the harness spends producing them, so regressions in the executor
+//! hot paths show up in CI. It times:
+//!
+//! * the repro sweep (all experiments, or the `--quick` subset), fanned out
+//!   over the [`fluidicl_par`] pool exactly as `repro` runs it;
+//! * the micro-hotspots: sequential and parallel `execute_groups` on SYRK,
+//!   the `diff_merge` coherence primitive, and buffer snapshotting.
+//!
+//! Results go to `BENCH_repro.json` at the repository root (one section per
+//! line: median/p10/p90 nanoseconds, worker-thread count, git revision).
+//!
+//! ```text
+//! perf                    # full sweep + micro-hotspots
+//! perf --quick            # fast subset (CI)
+//! perf --jobs 4           # cap the worker pool
+//! perf --check            # also compare against ci/bench_baseline.json;
+//!                         # exit 1 on a >3x median regression
+//! perf --out PATH         # write the JSON somewhere else
+//! ```
+
+use std::time::Instant;
+
+use fluidicl::SnapshotPool;
+use fluidicl_bench::experiments::{experiments, find, Experiment};
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::data::gen_matrix;
+use fluidicl_polybench::syrk;
+use fluidicl_vcl::{diff_merge, execute_groups_par, BufferId, KernelArg, Launch, Memory, NdRange};
+
+/// Experiment ids of the `--quick` sweep (mirrors `repro --quick`).
+const QUICK_IDS: [&str; 4] = ["table1", "table2", "table3", "extended"];
+
+/// Allowed median slowdown vs the committed baseline before `--check`
+/// fails: generous because CI machines differ from the machine that
+/// recorded the baseline.
+const REGRESSION_FACTOR: f64 = 3.0;
+
+/// One timed section of the harness.
+struct Section {
+    name: &'static str,
+    iters: usize,
+    median_ns: u128,
+    p10_ns: u128,
+    p90_ns: u128,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut check = false;
+    let mut out: Option<String> = None;
+    let mut baseline = default_path("ci/bench_baseline.json");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--jobs requires a positive integer argument");
+                    std::process::exit(2);
+                };
+                fluidicl_par::configure_jobs(n);
+            }
+            "--out" => {
+                out = it.next();
+                if out.is_none() {
+                    eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+            "--baseline" => {
+                baseline = it.next().unwrap_or_else(|| {
+                    eprintln!("--baseline requires a path argument");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "usage: perf [--quick] [--check] [--jobs N] [--out PATH] [--baseline PATH]"
+                );
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| default_path("BENCH_repro.json"));
+    let jobs = fluidicl_par::jobs();
+    eprintln!(
+        "perf: {} sweep, {jobs} worker threads",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut sections = Vec::new();
+    sections.push(time_sweep(quick));
+    sections.extend(micro_hotspots(jobs));
+
+    let json = render_json(&sections, quick, jobs);
+    std::fs::write(&out, &json).expect("write BENCH_repro.json");
+    eprintln!("wrote {out}");
+    for s in &sections {
+        eprintln!(
+            "  {:24} median {:>10.3} ms  (p10 {:.3}, p90 {:.3})",
+            s.name,
+            s.median_ns as f64 / 1e6,
+            s.p10_ns as f64 / 1e6,
+            s.p90_ns as f64 / 1e6
+        );
+    }
+    if check && !check_against_baseline(&sections, &baseline) {
+        std::process::exit(1);
+    }
+}
+
+/// Resolves `rel` against the repository root (two levels above this
+/// crate's manifest).
+fn default_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Times the repro sweep: every selected experiment fanned out over the
+/// pool, like `repro all` / `repro --quick`.
+fn time_sweep(quick: bool) -> Section {
+    let selected: Vec<Experiment> = if quick {
+        QUICK_IDS
+            .iter()
+            .map(|id| find(id).expect("quick experiment registered"))
+            .collect()
+    } else {
+        experiments()
+    };
+    let machine = MachineConfig::paper_testbed();
+    let iters = 3;
+    let samples = collect(iters, || {
+        let sel = selected.clone();
+        let started = Instant::now();
+        let results = fluidicl_par::par_map(sel, |e| (e.run)(&machine));
+        let ns = started.elapsed().as_nanos();
+        assert!(!results.is_empty());
+        ns
+    });
+    stats(
+        if quick { "sweep_quick" } else { "sweep_full" },
+        iters,
+        samples,
+    )
+}
+
+/// Times the executor hot paths the coexec engine leans on.
+fn micro_hotspots(jobs: usize) -> Vec<Section> {
+    let n = 256;
+    let program = syrk::program(n);
+    let kernel = program.kernel("syrk").expect("syrk kernel");
+    let a = gen_matrix(n, n, 7);
+    let c0 = gen_matrix(n, n, 8);
+    let a_buf = BufferId(0);
+    let c_buf = BufferId(1);
+    let launch = Launch::new(
+        kernel,
+        NdRange::d2(n, n, syrk::WG, syrk::WG).expect("ndrange"),
+        vec![
+            KernelArg::Buffer(a_buf),
+            KernelArg::Buffer(c_buf),
+            KernelArg::F32(1.5),
+            KernelArg::F32(2.5),
+            KernelArg::Usize(n),
+        ],
+    );
+    let groups = launch.ndrange.num_groups();
+    let mut mem = Memory::new();
+    mem.install(a_buf, a);
+    mem.install(c_buf, c0.clone());
+
+    let iters = 10;
+    let seq = collect(iters, || {
+        mem.write(c_buf, &c0).expect("reset c");
+        let started = Instant::now();
+        fluidicl_vcl::exec::execute_groups(&launch, &mut mem, 0, groups).expect("execute");
+        started.elapsed().as_nanos()
+    });
+    let par = collect(iters, || {
+        mem.write(c_buf, &c0).expect("reset c");
+        let started = Instant::now();
+        execute_groups_par(&launch, &mut mem, 0, groups, jobs).expect("execute par");
+        started.elapsed().as_nanos()
+    });
+
+    // diff_merge over a 1M-element buffer with every 16th element changed —
+    // the §4.3 coherence primitive the CPU->GPU result path runs per
+    // subkernel.
+    let len = 1 << 20;
+    let original: Vec<f32> = (0..len).map(|i| i as f32).collect();
+    let mut cpu = original.clone();
+    for (i, v) in cpu.iter_mut().enumerate() {
+        if i % 16 == 0 {
+            *v += 1.0;
+        }
+    }
+    let mut dst = original.clone();
+    let merge = collect(iters, || {
+        dst.copy_from_slice(&original);
+        let started = Instant::now();
+        diff_merge(&mut dst, &cpu, &original);
+        started.elapsed().as_nanos()
+    });
+
+    // Snapshotting: acquire a pooled vec, copy a buffer into it, release —
+    // what coexec does for every output buffer of every kernel.
+    let mut pool = SnapshotPool::new();
+    let snap = collect(iters * 10, || {
+        let started = Instant::now();
+        let mut v = pool.acquire();
+        mem.copy_into(c_buf, &mut v).expect("copy_into");
+        pool.release(v);
+        started.elapsed().as_nanos()
+    });
+
+    vec![
+        stats("execute_groups_seq", iters, seq),
+        stats("execute_groups_par", iters, par),
+        stats("diff_merge_1m", iters, merge),
+        stats("snapshot_roundtrip", iters * 10, snap),
+    ]
+}
+
+fn collect(iters: usize, mut f: impl FnMut() -> u128) -> Vec<u128> {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        samples.push(f());
+    }
+    samples
+}
+
+fn stats(name: &'static str, iters: usize, mut samples: Vec<u128>) -> Section {
+    samples.sort_unstable();
+    let q = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+    Section {
+        name,
+        iters,
+        median_ns: q(0.5),
+        p10_ns: q(0.1),
+        p90_ns: q(0.9),
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Hand-written JSON: one section object per line, so the file diffs
+/// cleanly and the `--check` parser can stay a line scanner.
+fn render_json(sections: &[Section], quick: bool, jobs: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"sections\": [\n");
+    for (i, sec) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {}, \"p10_ns\": {}, \"p90_ns\": {}}}{comma}\n",
+            sec.name, sec.iters, sec.median_ns, sec.p10_ns, sec.p90_ns
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `(name, median_ns)` pairs from a JSON file in the line-per-
+/// section format written by [`render_json`].
+fn parse_medians(text: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..name_end].to_string();
+        let Some(med_at) = line.find("\"median_ns\": ") else {
+            continue;
+        };
+        let med: String = line[med_at + 13..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(v) = med.parse::<u128>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Compares section medians against the committed baseline; returns false
+/// (CI failure) on a regression beyond [`REGRESSION_FACTOR`].
+fn check_against_baseline(sections: &[Section], path: &str) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("perf --check: no baseline at {path}; skipping comparison");
+        return true;
+    };
+    let base = parse_medians(&text);
+    let mut ok = true;
+    for s in sections {
+        let Some((_, base_med)) = base.iter().find(|(n, _)| n == s.name) else {
+            eprintln!("  {:24} no baseline entry; skipped", s.name);
+            continue;
+        };
+        let factor = s.median_ns as f64 / (*base_med).max(1) as f64;
+        let verdict = if factor > REGRESSION_FACTOR {
+            ok = false;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        eprintln!("  {:24} {factor:>6.2}x baseline  {verdict}", s.name);
+    }
+    if !ok {
+        eprintln!("perf --check: median regression beyond {REGRESSION_FACTOR}x baseline");
+    }
+    ok
+}

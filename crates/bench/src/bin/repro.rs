@@ -7,7 +7,14 @@
 //! repro all             # run everything, in paper order
 //! repro fig2 table1 …   # run a subset
 //! repro all --csv DIR   # also write one CSV per table into DIR
+//! repro all --jobs 4    # cap the worker-thread pool at 4
+//! repro --quick         # fast subset (table1 table2 table3 extended)
 //! ```
+//!
+//! Experiments fan out over the [`fluidicl_par`] pool (also steered by
+//! `FLUIDICL_JOBS` / `RAYON_NUM_THREADS`); results are buffered and printed
+//! in selection order, so stdout and the CSVs are byte-identical to a
+//! sequential (`--jobs 1`) run — only the wall-time annotations vary.
 //!
 //! All results are virtual-time measurements over the simulated testbed;
 //! see EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -17,10 +24,13 @@ use std::io::Write as _;
 use fluidicl_bench::experiments::{experiments, find, Experiment, ExperimentResult};
 use fluidicl_hetsim::MachineConfig;
 
+/// Experiment ids of the fast subset selected by `--quick`.
+const QUICK_IDS: [&str; 4] = ["table1", "table2", "table3", "extended"];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: repro <list|all|id...> [--csv DIR]");
+        eprintln!("usage: repro <list|all|id...> [--csv DIR] [--jobs N] [--quick]");
         eprintln!("experiments:");
         for e in experiments() {
             eprintln!("  {:8} {}", e.id, e.title);
@@ -28,6 +38,7 @@ fn main() {
         return;
     }
     let mut csv_dir: Option<String> = None;
+    let mut quick = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -37,6 +48,14 @@ fn main() {
                 eprintln!("--csv requires a directory argument");
                 std::process::exit(2);
             }
+        } else if a == "--jobs" {
+            let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                eprintln!("--jobs requires a positive integer argument");
+                std::process::exit(2);
+            };
+            fluidicl_par::configure_jobs(n);
+        } else if a == "--quick" {
+            quick = true;
         } else {
             ids.push(a);
         }
@@ -47,27 +66,34 @@ fn main() {
         }
         return;
     }
-    let selected: Vec<Experiment> = if ids.iter().any(|i| i == "all") {
-        experiments()
+    let lookup = |id: &str| -> Experiment {
+        find(id).unwrap_or_else(|| {
+            eprintln!("unknown experiment `{id}`; try `repro list`");
+            std::process::exit(2);
+        })
+    };
+    let selected: Vec<Experiment> = if ids.iter().any(|i| i == "all") || (ids.is_empty() && quick) {
+        if quick {
+            QUICK_IDS.iter().map(|id| lookup(id)).collect()
+        } else {
+            experiments()
+        }
     } else {
-        ids.iter()
-            .map(|id| {
-                find(id).unwrap_or_else(|| {
-                    eprintln!("unknown experiment `{id}`; try `repro list`");
-                    std::process::exit(2);
-                })
-            })
-            .collect()
+        ids.iter().map(|id| lookup(id)).collect()
     };
     let machine = MachineConfig::paper_testbed();
-    for e in selected {
+    // One task per experiment; each experiment fans its own benchmark runs
+    // out over the same pool (nested fan-out degrades gracefully to
+    // sequential inside a worker). par_map preserves order, so results are
+    // printed exactly as a sequential loop would print them.
+    let results = fluidicl_par::par_map(selected, |e| {
         let started = std::time::Instant::now();
         let result = (e.run)(&machine);
+        (result, started.elapsed().as_secs_f64())
+    });
+    for (result, seconds) in results {
         println!("{}", result.render());
-        println!(
-            "(regenerated in {:.1}s wall time)\n",
-            started.elapsed().as_secs_f64()
-        );
+        println!("(regenerated in {seconds:.1}s wall time)\n");
         if let Some(dir) = &csv_dir {
             write_csvs(dir, &result);
         }

@@ -35,7 +35,7 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         &header,
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for b in benchmarks() {
+    let units = fluidicl_par::par_map(benchmarks(), |b| {
         // GESUMMV runs with 10 work-groups here (instead of Table 2's 8):
         // an allocation tail smaller than the thread count is what CPU
         // work-group splitting (§6.3) exists for, and 8 work-groups on 8
@@ -49,8 +49,11 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
             .iter()
             .map(|(_, config)| run_fluidicl(machine, config, &b, n).0.as_nanos() as f64)
             .collect();
+        (b.name, times)
+    });
+    for (name, times) in units {
         let base = times[0];
-        let mut row = vec![b.name.to_string()];
+        let mut row = vec![name.to_string()];
         row.extend(times.iter().map(|t| ratio(t / base)));
         table.row(row);
         for (c, t) in cols.iter_mut().zip(&times) {

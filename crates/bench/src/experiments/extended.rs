@@ -24,16 +24,19 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         &["benchmark", "CPU", "GPU", "FluidiCL"],
     );
     let mut norms = Vec::new();
-    for b in extended_benchmarks() {
+    let units = fluidicl_par::par_map(extended_benchmarks(), |b| {
         let n = b.default_n;
         let cpu = run_cpu_only(machine, &b, n);
         let gpu = run_gpu_only(machine, &b, n);
         let (fcl, _) = run_fluidicl(machine, &config, &b, n);
+        (b.name, cpu, gpu, fcl)
+    });
+    for (name, cpu, gpu, fcl) in units {
         let best = cpu.min(gpu).as_nanos() as f64;
         let norm = fcl.as_nanos() as f64 / best;
         norms.push(norm);
         table.row(vec![
-            b.name.to_string(),
+            name.to_string(),
             ratio(cpu.as_nanos() as f64 / best),
             ratio(gpu.as_nanos() as f64 / best),
             ratio(norm),

@@ -25,10 +25,13 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
     );
     let mut speedups = Vec::new();
     let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for n in SIZES {
+    let units = fluidicl_par::par_map(SIZES.to_vec(), |n| {
         let cpu = run_cpu_only(machine, &syrk, n);
         let gpu = run_gpu_only(machine, &syrk, n);
         let (fcl, _) = run_fluidicl(machine, &config, &syrk, n);
+        (n, cpu, gpu, fcl)
+    });
+    for (n, cpu, gpu, fcl) in units {
         let best = cpu.min(gpu).as_nanos() as f64;
         let norm = [
             cpu.as_nanos() as f64 / best,

@@ -27,7 +27,7 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         AbortMode::InLoopUnrolled,
     ];
     let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for b in benchmarks() {
+    let units = fluidicl_par::par_map(benchmarks(), |b| {
         let n = b.default_n;
         let times: Vec<f64> = modes
             .iter()
@@ -36,9 +36,12 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
                 run_fluidicl(machine, &config, &b, n).0.as_nanos() as f64
             })
             .collect();
+        (b.name, times)
+    });
+    for (name, times) in units {
         let allopt = times[2];
         table.row(vec![
-            b.name.to_string(),
+            name.to_string(),
             ratio(times[0] / allopt),
             ratio(times[1] / allopt),
             ratio(times[2] / allopt),

@@ -32,13 +32,16 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
     let mut cols: [Vec<f64>; 5] = Default::default();
     let mut vs_eager = Vec::new();
     let mut vs_dmda = Vec::new();
-    for b in benchmarks() {
+    let units = fluidicl_par::par_map(benchmarks(), |b| {
         let n = b.default_n;
         let cpu = run_cpu_only(machine, &b, n);
         let gpu = run_gpu_only(machine, &b, n);
         let eager = run_socl(machine, &b, n, SoclScheduler::Eager, false);
         let dmda = run_socl(machine, &b, n, SoclScheduler::Dmda, true);
         let (fcl, _) = run_fluidicl(machine, &config, &b, n);
+        (b.name, cpu, gpu, eager, dmda, fcl)
+    });
+    for (name, cpu, gpu, eager, dmda, fcl) in units {
         let best = cpu.min(gpu).as_nanos() as f64;
         let norm = [
             cpu.as_nanos() as f64 / best,
@@ -48,7 +51,7 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
             fcl.as_nanos() as f64 / best,
         ];
         table.row(vec![
-            b.name.to_string(),
+            name.to_string(),
             ratio(norm[0]),
             ratio(norm[1]),
             ratio(norm[2]),

@@ -28,7 +28,7 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         &header_refs,
     );
     let mut notes = Vec::new();
-    for b in benchmarks() {
+    let units = fluidicl_par::par_map(benchmarks(), |b| {
         let n = b.default_n;
         let times: Vec<f64> = CHUNKS
             .iter()
@@ -37,11 +37,14 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
                 run_fluidicl(machine, &config, &b, n).0.as_nanos() as f64
             })
             .collect();
+        (b.name, times)
+    });
+    for (name, times) in units {
         let base = times[0];
-        let mut row = vec![b.name.to_string()];
+        let mut row = vec![name.to_string()];
         row.extend(times.iter().map(|t| ratio(t / base)));
         table.row(row);
-        if b.name == "GESUMMV" {
+        if name == "GESUMMV" {
             let best = times.iter().copied().fold(f64::MAX, f64::min);
             notes.push(format!(
                 "GESUMMV prefers larger chunks; the default is within \
@@ -49,7 +52,7 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
                 (base / best - 1.0) * 100.0
             ));
         }
-        if b.name == "BICG" {
+        if name == "BICG" {
             notes.push(
                 "Deviation: the paper's BICG suffers from large chunks; here \
                  each BICG kernel is strongly single-device-favoured, so the \

@@ -28,7 +28,7 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         &header_refs,
     );
     let mut worst_default_gap = 0.0f64;
-    for b in benchmarks() {
+    let units = fluidicl_par::par_map(benchmarks(), |b| {
         let n = b.default_n;
         let times: Vec<f64> = STEPS
             .iter()
@@ -37,10 +37,13 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
                 run_fluidicl(machine, &config, &b, n).0.as_nanos() as f64
             })
             .collect();
+        (b.name, times)
+    });
+    for (name, times) in units {
         let base = times[DEFAULT_IDX];
         let best = times.iter().copied().fold(f64::MAX, f64::min);
         worst_default_gap = worst_default_gap.max(base / best - 1.0);
-        let mut row = vec![b.name.to_string()];
+        let mut row = vec![name.to_string()];
         row.extend(times.iter().map(|t| ratio(t / base)));
         table.row(row);
     }

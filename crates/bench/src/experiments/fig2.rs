@@ -20,9 +20,11 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
     let atax = find("ATAX").expect("ATAX registered");
     let syrk = find("SYRK").expect("SYRK registered");
     let sweep = |bench: &fluidicl_polybench::BenchmarkSpec| -> Vec<f64> {
-        let times: Vec<_> = (0..=10)
-            .map(|i| run_static(machine, bench, bench.default_n, 1.0 - i as f64 / 10.0))
-            .collect();
+        // Each static split is an independent run; par_map keeps the
+        // sweep order, so the normalized curve is unchanged.
+        let times = fluidicl_par::par_map((0..=10).collect::<Vec<u32>>(), |i| {
+            run_static(machine, bench, bench.default_n, 1.0 - f64::from(i) / 10.0)
+        });
         let best = times.iter().copied().min().expect("non-empty").as_nanos() as f64;
         times.iter().map(|t| t.as_nanos() as f64 / best).collect()
     };

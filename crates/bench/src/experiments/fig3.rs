@@ -25,9 +25,9 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         &["gpu_pct", "SYRK(Small)", "SYRK(Large)"],
     );
     let sweep = |n: usize| -> Vec<f64> {
-        let times: Vec<_> = (0..=10)
-            .map(|i| run_static(machine, &syrk, n, 1.0 - i as f64 / 10.0))
-            .collect();
+        let times = fluidicl_par::par_map((0..=10).collect::<Vec<u32>>(), |i| {
+            run_static(machine, &syrk, n, 1.0 - f64::from(i) / 10.0)
+        });
         let best = times.iter().copied().min().expect("non-empty").as_nanos() as f64;
         times.iter().map(|t| t.as_nanos() as f64 / best).collect()
     };

@@ -37,14 +37,24 @@ pub(super) fn run(_machine: &MachineConfig) -> ExperimentResult {
     );
     let mut per_machine_norms: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for b in benchmarks() {
+    // Every (benchmark, machine) cell is an independent unit; the nested
+    // machine loop stays inside each unit so a benchmark row is one task.
+    let units = fluidicl_par::par_map(benchmarks(), |b| {
         let n = b.default_n;
-        let mut row = vec![b.name.to_string()];
-        for (mi, (_, machine)) in machines.iter().enumerate() {
-            let cpu = run_cpu_only(machine, &b, n);
-            let gpu = run_gpu_only(machine, &b, n);
-            let (fcl, _) = run_fluidicl(machine, &config, &b, n);
-            let norm = fcl.as_nanos() as f64 / cpu.min(gpu).as_nanos() as f64;
+        let norms: Vec<f64> = machines
+            .iter()
+            .map(|(_, machine)| {
+                let cpu = run_cpu_only(machine, &b, n);
+                let gpu = run_gpu_only(machine, &b, n);
+                let (fcl, _) = run_fluidicl(machine, &config, &b, n);
+                fcl.as_nanos() as f64 / cpu.min(gpu).as_nanos() as f64
+            })
+            .collect();
+        (b.name, norms)
+    });
+    for (name, norms) in units {
+        let mut row = vec![name.to_string()];
+        for (mi, norm) in norms.into_iter().enumerate() {
             per_machine_norms[mi].push(norm);
             row.push(ratio(norm));
         }

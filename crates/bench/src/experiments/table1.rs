@@ -24,8 +24,9 @@ pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
         assert!(ok, "BICG validation failed on {device:?}");
         rt.kernel_times()
     };
-    let cpu = kernel_times(DeviceKind::Cpu);
-    let gpu = kernel_times(DeviceKind::Gpu);
+    let mut both = fluidicl_par::par_map(vec![DeviceKind::Cpu, DeviceKind::Gpu], kernel_times);
+    let gpu = both.pop().expect("gpu times");
+    let cpu = both.pop().expect("cpu times");
     let mut table = Table::new(
         "BICG kernel running times (ms)",
         &["kernel", "CPU only", "GPU only", "faster device"],

@@ -16,15 +16,29 @@ use super::ExperimentResult;
 pub(super) fn run(machine: &MachineConfig) -> ExperimentResult {
     let corr = find("CORR").expect("CORR registered");
     let n = corr.default_n;
-    let gpu = run_gpu_only(machine, &corr, n);
-    let cpu = run_cpu_only(machine, &corr, n);
-    let (fcl, _) = run_fluidicl(machine, &FluidiclConfig::default(), &corr, n);
-    let (fcl_pro, reports) = run_fluidicl(
-        machine,
-        &FluidiclConfig::default().with_online_profiling(true),
-        &corr,
-        n,
-    );
+    // The four runtimes are independent; fan them out and pull the results
+    // back in declaration order.
+    let mut units = fluidicl_par::par_map(vec![0usize, 1, 2, 3], |which| match which {
+        0 => (run_gpu_only(machine, &corr, n), Vec::new()),
+        1 => (run_cpu_only(machine, &corr, n), Vec::new()),
+        2 => {
+            let (t, _) = run_fluidicl(machine, &FluidiclConfig::default(), &corr, n);
+            (t, Vec::new())
+        }
+        _ => {
+            let (t, reports) = run_fluidicl(
+                machine,
+                &FluidiclConfig::default().with_online_profiling(true),
+                &corr,
+                n,
+            );
+            (t, reports)
+        }
+    });
+    let (fcl_pro, reports) = units.pop().expect("fcl_pro run");
+    let (fcl, _) = units.pop().expect("fcl run");
+    let (cpu, _) = units.pop().expect("cpu run");
+    let (gpu, _) = units.pop().expect("gpu run");
     let chosen = reports
         .iter()
         .find(|r| r.kernel == "corr_corr")

@@ -1,0 +1,42 @@
+//! Determinism of the parallel experiment harness: the CSVs produced with
+//! one worker thread must be byte-identical to the CSVs produced with many.
+//!
+//! Lives in its own integration-test binary because it reconfigures the
+//! global `fluidicl_par` job count, which must not race with other tests.
+
+use fluidicl_bench::experiments::find;
+use fluidicl_hetsim::MachineConfig;
+
+/// A fast subset that still exercises `par_map` in several shapes: two
+/// devices (table1), four runtimes (table3), and a benchmark fan-out
+/// (extended).
+const IDS: [&str; 3] = ["table1", "table3", "extended"];
+
+fn render_all(machine: &MachineConfig) -> Vec<String> {
+    IDS.iter()
+        .map(|id| {
+            let e = find(id).expect("experiment registered");
+            let result = (e.run)(machine);
+            let mut out = result.render();
+            for t in &result.tables {
+                out.push_str(&t.to_csv());
+            }
+            out
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_experiments_are_byte_identical_to_sequential() {
+    let machine = MachineConfig::paper_testbed();
+    fluidicl_par::configure_jobs(1);
+    let sequential = render_all(&machine);
+    fluidicl_par::configure_jobs(4);
+    let parallel = render_all(&machine);
+    for ((id, seq), par) in IDS.iter().zip(&sequential).zip(&parallel) {
+        assert_eq!(
+            seq, par,
+            "{id}: parallel output differs from the sequential run"
+        );
+    }
+}

@@ -6,57 +6,107 @@
 //! FluidiCL across three machine models and several runtime
 //! configurations with protocol validation on, then lints every kernel
 //! report again explicitly. Exits non-zero if anything is flagged.
+//!
+//! Both stages fan their independent units out over the [`fluidicl_par`]
+//! pool; per-unit output is buffered and printed in sweep order, so the
+//! report and the exit code are identical to a sequential (`--jobs 1`)
+//! run. `--quick` restricts stage 2 to the paper-testbed machine (CI's
+//! fast path); `--jobs N` caps the worker threads.
 
 use fluidicl::{lint_report, Fluidicl, FluidiclConfig, LintSeverity};
 use fluidicl_check::{AuditDriver, SWEEP_SEED};
 use fluidicl_hetsim::{AbortMode, MachineConfig};
 use fluidicl_polybench::all_benchmarks;
 
+/// Buffered result of one sweep unit: the lines it prints plus its error
+/// and warning counts.
+#[derive(Default)]
+struct UnitReport {
+    lines: Vec<String>,
+    problems: usize,
+    warnings: usize,
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--jobs requires a positive integer argument");
+                    std::process::exit(2);
+                };
+                fluidicl_par::configure_jobs(n);
+            }
+            other => {
+                eprintln!("usage: fluidicl-check [--quick] [--jobs N]");
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let mut problems = 0usize;
     let mut warnings = 0usize;
 
     println!("== stage 1: access sanitizer over the Polybench suite ==");
-    for b in all_benchmarks() {
+    let stage1 = fluidicl_par::par_map(all_benchmarks(), |b| {
+        let mut r = UnitReport::default();
         let n = fluidicl_check::sweep_size(b.name);
         let mut driver = AuditDriver::new((b.program)(n));
         match b.run_and_validate_sized(&mut driver, n, SWEEP_SEED) {
             Ok(true) => {}
             Ok(false) => {
-                println!("  {:8} n={n}: output mismatch vs reference", b.name);
-                problems += 1;
+                r.lines.push(format!(
+                    "  {:8} n={n}: output mismatch vs reference",
+                    b.name
+                ));
+                r.problems += 1;
             }
             Err(e) => {
-                println!("  {:8} n={n}: driver error: {e}", b.name);
-                problems += 1;
+                r.lines
+                    .push(format!("  {:8} n={n}: driver error: {e}", b.name));
+                r.problems += 1;
             }
         }
         let mut flagged = 0usize;
         for finding in driver.findings() {
             for d in &finding.diagnostics {
-                println!("  {:8} kernel `{}`: {d}", b.name, finding.kernel);
+                r.lines
+                    .push(format!("  {:8} kernel `{}`: {d}", b.name, finding.kernel));
                 match d.severity {
-                    LintSeverity::Error => problems += 1,
-                    LintSeverity::Warning => warnings += 1,
+                    LintSeverity::Error => r.problems += 1,
+                    LintSeverity::Warning => r.warnings += 1,
                 }
                 flagged += 1;
             }
         }
         if flagged == 0 {
-            println!(
+            r.lines.push(format!(
                 "  {:8} n={n}: {} launch(es) clean",
                 b.name,
                 driver.findings().len()
-            );
+            ));
         }
+        r
+    });
+    for r in stage1 {
+        for line in &r.lines {
+            println!("{line}");
+        }
+        problems += r.problems;
+        warnings += r.warnings;
     }
 
     println!("== stage 2: protocol linter across machines and configs ==");
-    let machines = [
-        ("paper-testbed", MachineConfig::paper_testbed()),
-        ("weak-gpu-laptop", MachineConfig::weak_gpu_laptop()),
-        ("big-gpu-node", MachineConfig::big_gpu_node()),
-    ];
+    let mut machines = vec![("paper-testbed", MachineConfig::paper_testbed())];
+    if !quick {
+        machines.push(("weak-gpu-laptop", MachineConfig::weak_gpu_laptop()));
+        machines.push(("big-gpu-node", MachineConfig::big_gpu_node()));
+    }
     let configs = [
         ("default", FluidiclConfig::default()),
         (
@@ -75,47 +125,62 @@ fn main() {
                 .with_location_tracking(false),
         ),
     ];
+    let mut units = Vec::new();
     for (mname, machine) in &machines {
         for (cname, config) in &configs {
-            let mut kernels = 0usize;
-            let mut flagged = 0usize;
-            for b in all_benchmarks() {
-                let n = fluidicl_check::sweep_size(b.name);
-                let config = config.clone().with_validate_protocol(true);
-                let mut rt = Fluidicl::new(machine.clone(), config, (b.program)(n));
-                match b.run_and_validate_sized(&mut rt, n, SWEEP_SEED) {
-                    Ok(true) => {}
-                    Ok(false) => {
-                        println!(
-                            "  {mname}/{cname} {:8}: output mismatch vs reference",
-                            b.name
-                        );
-                        problems += 1;
-                    }
-                    Err(e) => {
-                        println!("  {mname}/{cname} {:8}: {e}", b.name);
-                        problems += 1;
-                    }
+            units.push((*mname, machine.clone(), *cname, config.clone()));
+        }
+    }
+    let stage2 = fluidicl_par::par_map(units, |(mname, machine, cname, config)| {
+        let mut r = UnitReport::default();
+        let mut kernels = 0usize;
+        let mut flagged = 0usize;
+        for b in all_benchmarks() {
+            let n = fluidicl_check::sweep_size(b.name);
+            let config = config.clone().with_validate_protocol(true);
+            let mut rt = Fluidicl::new(machine.clone(), config, (b.program)(n));
+            match b.run_and_validate_sized(&mut rt, n, SWEEP_SEED) {
+                Ok(true) => {}
+                Ok(false) => {
+                    r.lines.push(format!(
+                        "  {mname}/{cname} {:8}: output mismatch vs reference",
+                        b.name
+                    ));
+                    r.problems += 1;
                 }
-                for report in rt.reports() {
-                    kernels += 1;
-                    for d in lint_report(report) {
-                        println!(
-                            "  {mname}/{cname} {:8} kernel `{}`: {d}",
-                            b.name, report.kernel
-                        );
-                        match d.severity {
-                            LintSeverity::Error => problems += 1,
-                            LintSeverity::Warning => warnings += 1,
-                        }
-                        flagged += 1;
-                    }
+                Err(e) => {
+                    r.lines.push(format!("  {mname}/{cname} {:8}: {e}", b.name));
+                    r.problems += 1;
                 }
             }
-            if flagged == 0 {
-                println!("  {mname}/{cname}: {kernels} kernel trace(s) clean");
+            for report in rt.reports() {
+                kernels += 1;
+                for d in lint_report(report) {
+                    r.lines.push(format!(
+                        "  {mname}/{cname} {:8} kernel `{}`: {d}",
+                        b.name, report.kernel
+                    ));
+                    match d.severity {
+                        LintSeverity::Error => r.problems += 1,
+                        LintSeverity::Warning => r.warnings += 1,
+                    }
+                    flagged += 1;
+                }
             }
         }
+        if flagged == 0 {
+            r.lines.push(format!(
+                "  {mname}/{cname}: {kernels} kernel trace(s) clean"
+            ));
+        }
+        r
+    });
+    for r in stage2 {
+        for line in &r.lines {
+            println!("{line}");
+        }
+        problems += r.problems;
+        warnings += r.warnings;
     }
 
     println!("== sweep done: {problems} error(s), {warnings} warning(s) ==");

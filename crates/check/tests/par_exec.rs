@@ -1,0 +1,35 @@
+//! End-to-end evidence for the intra-launch parallel executor: every
+//! benchmark of the suite — all of whose kernels the PR-1 sanitizer found
+//! to have disjoint per-group writes — must produce bit-identical outputs
+//! whether FluidiCL splits work-group ranges across one thread or four.
+
+use fluidicl::{Fluidicl, FluidiclConfig};
+use fluidicl_check::SWEEP_SEED;
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::{all_benchmarks, outputs_match};
+
+#[test]
+fn intra_launch_parallelism_is_bit_exact_on_every_benchmark() {
+    let machine = MachineConfig::paper_testbed();
+    for b in all_benchmarks() {
+        let n = fluidicl_check::sweep_size(b.name);
+        let run = |jobs: usize| {
+            let config = FluidiclConfig::default().with_intra_launch_jobs(jobs);
+            let mut rt = Fluidicl::new(machine.clone(), config, (b.program)(n));
+            (b.run)(&mut rt, n, SWEEP_SEED).expect("run failed")
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert!(
+            outputs_match(&seq, &par),
+            "{}: parallel intra-launch execution diverged from sequential",
+            b.name
+        );
+        let want = (b.reference)(n, SWEEP_SEED);
+        assert!(
+            outputs_match(&par, &want),
+            "{}: parallel execution diverged from the reference",
+            b.name
+        );
+    }
+}

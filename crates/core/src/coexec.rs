@@ -26,9 +26,10 @@
 
 use fluidicl_des::{SimDuration, SimTime, Simulation};
 use fluidicl_hetsim::MachineConfig;
-use fluidicl_vcl::exec::{execute_groups, Launch};
+use fluidicl_vcl::exec::{execute_groups_par, Launch};
 use fluidicl_vcl::{BufferId, ClResult, Memory};
 
+use crate::buffers::SnapshotPool;
 use crate::chunk::ChunkController;
 use crate::config::FluidiclConfig;
 use crate::stats::{Finisher, KernelReport};
@@ -56,6 +57,8 @@ pub(crate) struct CoexecInput<'a> {
     pub dh_free: SimTime,
     pub cpu_mem: &'a mut Memory,
     pub gpu_mem: &'a mut Memory,
+    /// Reusable allocations for the per-kernel original snapshots.
+    pub snapshots: &'a mut SnapshotPool,
 }
 
 /// Timeline outcome of one co-executed kernel.
@@ -106,6 +109,10 @@ struct Subkernel {
 
 pub(crate) struct Coexec<'a> {
     input: CoexecInput<'a>,
+    /// Clone of the launch used for CPU subkernels: its `version` field is
+    /// rewritten per subkernel instead of cloning the whole launch (the
+    /// cached argument plan is shared with the original through an `Arc`).
+    cpu_launch: Launch,
     // Geometry.
     total: u64,
     items: u64,
@@ -150,7 +157,8 @@ impl<'a> Coexec<'a> {
         let mut out_bytes = 0u64;
         let mut orig_snapshots = Vec::with_capacity(out_ids.len());
         for id in &out_ids {
-            let data = input.gpu_mem.get(*id)?.to_vec();
+            let mut data = input.snapshots.acquire();
+            input.gpu_mem.copy_into(*id, &mut data)?;
             out_bytes += data.len() as u64 * 4;
             orig_snapshots.push((*id, data));
         }
@@ -169,7 +177,9 @@ impl<'a> Coexec<'a> {
             0
         };
         let (hd_free, dh_free) = (input.hd_free, input.dh_free);
+        let cpu_launch = input.launch.clone();
         Ok(Coexec {
+            cpu_launch,
             total,
             items,
             out_bytes,
@@ -314,7 +324,13 @@ impl<'a> Coexec<'a> {
             wave.end
         };
         if exec_end > wave.start {
-            execute_groups(self.input.launch, self.input.gpu_mem, wave.start, exec_end)?;
+            execute_groups_par(
+                self.input.launch,
+                self.input.gpu_mem,
+                wave.start,
+                exec_end,
+                self.input.config.intra_launch_jobs,
+            )?;
             self.gpu_wgs_executed += exec_end - wave.start;
         }
         self.record(
@@ -376,10 +392,13 @@ impl<'a> Coexec<'a> {
     /// kernel of paper Figure 9 does: element-wise, wherever the CPU copy
     /// differs from the pristine original.
     fn merge_results(&mut self) -> ClResult<()> {
+        // The CPU and GPU address spaces are separate fields, so the CPU
+        // copy is borrowed in place — no temporary clone per buffer.
+        let cpu_mem: &Memory = self.input.cpu_mem;
+        let gpu_mem: &mut Memory = self.input.gpu_mem;
         for (id, orig) in &self.orig_snapshots {
-            let cpu = self.input.cpu_mem.get(*id)?.to_vec();
-            let gpu = self.input.gpu_mem.get_mut(*id)?;
-            fluidicl_vcl::diff_merge(gpu, &cpu, orig);
+            let cpu = cpu_mem.get(*id)?;
+            fluidicl_vcl::diff_merge(gpu_mem.get_mut(*id)?, cpu, orig);
         }
         Ok(())
     }
@@ -449,9 +468,14 @@ impl<'a> Coexec<'a> {
         };
         // The subkernel really computes its work-groups on the CPU copy,
         // using the selected kernel version's body.
-        let mut launch = self.input.launch.clone();
-        launch.version = version;
-        execute_groups(&launch, self.input.cpu_mem, from, to)?;
+        self.cpu_launch.version = version;
+        execute_groups_par(
+            &self.cpu_launch,
+            self.input.cpu_mem,
+            from,
+            to,
+            self.input.config.intra_launch_jobs,
+        )?;
         let wgs = to - from;
         self.cpu_wgs_executed += wgs;
         self.subkernel_log.push((wgs, duration));
@@ -591,9 +615,17 @@ impl<'a> Coexec<'a> {
         // Functional epilogue: the merged GPU content is the authoritative
         // final value (identical to the CPU copy wherever both computed);
         // mirror it into the CPU address space as the DH thread does.
-        for id in &self.out_ids {
-            let data = self.input.gpu_mem.get(*id)?.to_vec();
-            self.input.cpu_mem.write(*id, &data)?;
+        {
+            let gpu_mem: &Memory = self.input.gpu_mem;
+            let cpu_mem: &mut Memory = self.input.cpu_mem;
+            for id in &self.out_ids {
+                cpu_mem.write(*id, gpu_mem.get(*id)?)?;
+            }
+        }
+        // The snapshots served their purpose; recycle their allocations for
+        // the next kernel of this runtime.
+        for (_, v) in self.orig_snapshots.drain(..) {
+            self.input.snapshots.release(v);
         }
         self.record(
             complete_at,

@@ -46,6 +46,13 @@ pub struct FluidiclConfig {
     /// the enqueue with `ClError::ProtocolViolation` if an invariant broke.
     /// On by default in debug/test builds, off in release builds.
     pub validate_protocol: bool,
+    /// Thread budget for executing one device's work-group range (an
+    /// implementation-level speedup of the *functional* executor, not part
+    /// of the paper's protocol — virtual timings are unaffected). Values
+    /// above 1 split a range across threads only for kernels that declare
+    /// disjoint per-group writes; results stay byte-identical. Default 1
+    /// (sequential).
+    pub intra_launch_jobs: usize,
 }
 
 impl Default for FluidiclConfig {
@@ -60,6 +67,7 @@ impl Default for FluidiclConfig {
             location_tracking: true,
             chunk_growth_tolerance: 0.02,
             validate_protocol: cfg!(debug_assertions),
+            intra_launch_jobs: 1,
         }
     }
 }
@@ -125,6 +133,14 @@ impl FluidiclConfig {
         self.validate_protocol = enabled;
         self
     }
+
+    /// Returns a copy with a different intra-launch thread budget (values
+    /// below 1 are clamped to 1).
+    #[must_use]
+    pub fn with_intra_launch_jobs(mut self, jobs: usize) -> Self {
+        self.intra_launch_jobs = jobs.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +158,7 @@ mod tests {
         assert!(!cfg.online_profiling);
         assert!(cfg.location_tracking);
         assert_eq!(cfg.validate_protocol, cfg!(debug_assertions));
+        assert_eq!(cfg.intra_launch_jobs, 1, "parallel execution is opt-in");
     }
 
     #[test]
@@ -153,7 +170,8 @@ mod tests {
             .with_buffer_pool(false)
             .with_online_profiling(true)
             .with_location_tracking(false)
-            .with_validate_protocol(true);
+            .with_validate_protocol(true)
+            .with_intra_launch_jobs(0);
         assert_eq!(cfg.initial_chunk_pct, 10.0);
         assert_eq!(cfg.step_pct, 0.0);
         assert_eq!(cfg.abort_mode, AbortMode::WorkGroupStart);
@@ -162,6 +180,7 @@ mod tests {
         assert!(cfg.online_profiling);
         assert!(!cfg.location_tracking);
         assert!(cfg.validate_protocol);
+        assert_eq!(cfg.intra_launch_jobs, 1, "zero is clamped to sequential");
     }
 
     #[test]

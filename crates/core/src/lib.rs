@@ -40,7 +40,7 @@ mod runtime;
 mod stats;
 mod trace;
 
-pub use buffers::{BufferState, BufferTable, KernelId, PoolStats, ScratchPool};
+pub use buffers::{BufferState, BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
 pub use chunk::ChunkController;
 pub use config::FluidiclConfig;
 pub use lint::{lint_report, lint_trace, LintDiagnostic, LintSeverity};

@@ -12,7 +12,7 @@ use fluidicl_hetsim::MachineConfig;
 use fluidicl_vcl::exec::Launch;
 use fluidicl_vcl::{BufferId, ClDriver, ClError, ClResult, KernelArg, Memory, NdRange, Program};
 
-use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool};
+use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
 use crate::coexec::{Coexec, CoexecInput};
 use crate::config::FluidiclConfig;
 use crate::stats::{KernelReport, RuntimeSummary};
@@ -64,6 +64,7 @@ pub struct Fluidicl {
     gpu_mem: Memory,
     buffers: BufferTable,
     pool: ScratchPool,
+    snapshots: SnapshotPool,
     host_clock: SimTime,
     gpu_free: SimTime,
     hd_free: SimTime,
@@ -85,6 +86,7 @@ impl Fluidicl {
             gpu_mem: Memory::new(),
             buffers: BufferTable::new(),
             pool,
+            snapshots: SnapshotPool::new(),
             host_clock: SimTime::ZERO,
             gpu_free: SimTime::ZERO,
             hd_free: SimTime::ZERO,
@@ -112,6 +114,12 @@ impl Fluidicl {
     /// Scratch-buffer pool statistics (paper §6.1).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Snapshot-allocation pool statistics `(hits, misses)`: how often the
+    /// per-kernel original snapshots reused a pooled allocation.
+    pub fn snapshot_stats(&self) -> (u64, u64) {
+        self.snapshots.stats()
     }
 
     fn scratch_setup_cost(&mut self, out_ids: &[BufferId]) -> SimDuration {
@@ -214,6 +222,7 @@ impl ClDriver for Fluidicl {
             dh_free: self.dh_free,
             cpu_mem: &mut self.cpu_mem,
             gpu_mem: &mut self.gpu_mem,
+            snapshots: &mut self.snapshots,
         };
         let outcome = Coexec::new(input)?.run()?;
         if self.config.validate_protocol {
@@ -433,6 +442,87 @@ mod tests {
         // Reading via the CPU copy must never be slower than an extra
         // device-to-host transfer.
         assert!(run(true) <= run(false));
+    }
+
+    #[test]
+    fn snapshot_allocations_are_recycled_across_kernels() {
+        let mut rt = runtime();
+        let n = 2048;
+        let a = rt.create_buffer(n);
+        let b = rt.create_buffer(n);
+        rt.write_buffer(a, &vec![1.0; n]).unwrap();
+        for _ in 0..3 {
+            rt.enqueue_kernel(
+                "scale",
+                NdRange::d1(n, 64).unwrap(),
+                &[
+                    KernelArg::Buffer(a),
+                    KernelArg::Buffer(b),
+                    KernelArg::F32(2.0),
+                ],
+            )
+            .unwrap();
+        }
+        let (hits, misses) = rt.snapshot_stats();
+        assert_eq!(misses, 1, "only the first kernel allocates a snapshot");
+        assert_eq!(hits, 2, "later kernels reuse the pooled allocation");
+    }
+
+    #[test]
+    fn intra_launch_parallelism_is_byte_identical() {
+        let run = |jobs: usize| {
+            let mut program = Program::new();
+            program.register(
+                KernelDef::new(
+                    "scale",
+                    vec![
+                        ArgSpec::new("src", ArgRole::In),
+                        ArgSpec::new("dst", ArgRole::Out),
+                        ArgSpec::new("f", ArgRole::Scalar),
+                    ],
+                    KernelProfile::new("scale")
+                        .flops_per_item(4.0)
+                        .bytes_read_per_item(4.0)
+                        .bytes_written_per_item(4.0),
+                    |item, scalars, ins, outs| {
+                        let i = item.global_linear();
+                        // sin/exp give bit patterns that would expose any
+                        // reordering or double-execution.
+                        outs.at(0)[i] = (scalars.f32(0) * ins.get(0)[i]).sin().exp();
+                    },
+                )
+                .with_disjoint_writes(),
+            );
+            let mut rt = Fluidicl::new(
+                MachineConfig::paper_testbed(),
+                FluidiclConfig::default().with_intra_launch_jobs(jobs),
+                program,
+            );
+            let n = 4096;
+            let src = rt.create_buffer(n);
+            let dst = rt.create_buffer(n);
+            let input: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+            rt.write_buffer(src, &input).unwrap();
+            rt.enqueue_kernel(
+                "scale",
+                NdRange::d1(n, 64).unwrap(),
+                &[
+                    KernelArg::Buffer(src),
+                    KernelArg::Buffer(dst),
+                    KernelArg::F32(1.7),
+                ],
+            )
+            .unwrap();
+            (rt.read_buffer(dst).unwrap(), rt.elapsed())
+        };
+        let (seq, t_seq) = run(1);
+        let (par, t_par) = run(4);
+        assert_eq!(
+            seq.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "parallel execution must be byte-identical"
+        );
+        assert_eq!(t_seq, t_par, "virtual time must not see the thread count");
     }
 
     #[test]

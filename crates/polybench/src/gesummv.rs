@@ -33,35 +33,38 @@ fn profile(n: usize) -> KernelProfile {
 /// Builds the GESUMMV program for problem size `n`.
 pub fn program(n: usize) -> Program {
     let mut p = Program::new();
-    p.register(KernelDef::new(
-        "gesummv",
-        vec![
-            ArgSpec::new("a", ArgRole::In),
-            ArgSpec::new("b", ArgRole::In),
-            ArgSpec::new("x", ArgRole::In),
-            ArgSpec::new("y", ArgRole::Out),
-            ArgSpec::new("alpha", ArgRole::Scalar),
-            ArgSpec::new("beta", ArgRole::Scalar),
-            ArgSpec::new("n", ArgRole::Scalar),
-        ],
-        profile(n),
-        |item, scalars, ins, outs| {
-            let alpha = scalars.f32(0);
-            let beta = scalars.f32(1);
-            let n = scalars.usize(2);
-            let i = item.global[0];
-            let a = ins.get(0);
-            let b = ins.get(1);
-            let x = ins.get(2);
-            let mut acc_a = 0.0f32;
-            let mut acc_b = 0.0f32;
-            for j in 0..n {
-                acc_a += a[i * n + j] * x[j];
-                acc_b += b[i * n + j] * x[j];
-            }
-            outs.at(0)[i] = alpha * acc_a + beta * acc_b;
-        },
-    ));
+    p.register(
+        KernelDef::new(
+            "gesummv",
+            vec![
+                ArgSpec::new("a", ArgRole::In),
+                ArgSpec::new("b", ArgRole::In),
+                ArgSpec::new("x", ArgRole::In),
+                ArgSpec::new("y", ArgRole::Out),
+                ArgSpec::new("alpha", ArgRole::Scalar),
+                ArgSpec::new("beta", ArgRole::Scalar),
+                ArgSpec::new("n", ArgRole::Scalar),
+            ],
+            profile(n),
+            |item, scalars, ins, outs| {
+                let alpha = scalars.f32(0);
+                let beta = scalars.f32(1);
+                let n = scalars.usize(2);
+                let i = item.global[0];
+                let a = ins.get(0);
+                let b = ins.get(1);
+                let x = ins.get(2);
+                let mut acc_a = 0.0f32;
+                let mut acc_b = 0.0f32;
+                for j in 0..n {
+                    acc_a += a[i * n + j] * x[j];
+                    acc_b += b[i * n + j] * x[j];
+                }
+                outs.at(0)[i] = alpha * acc_a + beta * acc_b;
+            },
+        )
+        .with_disjoint_writes(),
+    );
     p
 }
 

@@ -7,11 +7,30 @@
 //! benchmark validation against sequential references — the timing models
 //! only decide *when* things happen, never *what* is computed.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::kernel::{Inputs, KernelDef, Outputs};
+use crate::kernel::{Inputs, KernelBody, KernelDef, Outputs, Scalars};
+use crate::memory::diff_merge;
 use crate::ndrange::for_each_item_in_group;
 use crate::{BufferId, ClError, ClResult, KernelArg, Memory, NdRange};
+
+/// The launch-wide execution plan: the argument classification that every
+/// wave and subkernel of one launch shares.
+///
+/// Deriving it means validating the argument list against the kernel
+/// signature and building three vectors; re-deriving it on every
+/// [`execute_groups`] call made it the per-launch constant most frequently
+/// recomputed in the hot loop. The plan is computed once per [`Launch`] and
+/// cached (cloned launches share it through an [`Arc`]).
+#[derive(Clone, Debug)]
+pub struct LaunchPlan {
+    /// `In`-role buffers, in signature order.
+    pub ins: Vec<BufferId>,
+    /// `Out`/`InOut`-role buffers, in signature order.
+    pub outs: Vec<BufferId>,
+    /// Scalar arguments of the launch.
+    pub scalars: Scalars,
+}
 
 /// A fully specified kernel launch (kernel + version + geometry + arguments).
 #[derive(Clone, Debug)]
@@ -23,7 +42,11 @@ pub struct Launch {
     /// Index space.
     pub ndrange: NdRange,
     /// Argument values matching the kernel signature.
+    ///
+    /// Mutating the arguments after the launch has executed is unsupported:
+    /// the classification is cached on first use (see [`Launch::plan`]).
     pub args: Vec<KernelArg>,
+    plan: OnceLock<Arc<LaunchPlan>>,
 }
 
 impl Launch {
@@ -34,7 +57,37 @@ impl Launch {
             version: 0,
             ndrange,
             args,
+            plan: OnceLock::new(),
         }
+    }
+
+    /// The cached argument classification of this launch.
+    ///
+    /// The first call validates the arguments against the kernel signature
+    /// and memoizes the result; later calls (every wave and subkernel of a
+    /// co-execution) return the cached plan. Classification *errors* are
+    /// not cached — they abort the launch before any hot loop runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signature validation errors from
+    /// [`KernelDef::classify_args`].
+    pub fn plan(&self) -> ClResult<&LaunchPlan> {
+        if let Some(plan) = self.plan.get() {
+            return Ok(plan);
+        }
+        let (ins, outs, scalars) = self.kernel.classify_args(&self.args)?;
+        let _ = self.plan.set(Arc::new(LaunchPlan { ins, outs, scalars }));
+        Ok(self.plan.get().expect("plan just initialized"))
+    }
+
+    /// The kernel version this launch resolves to (falling back to the
+    /// default implementation for an out-of-range index).
+    pub fn resolved_version(&self) -> &crate::kernel::KernelVersion {
+        self.kernel
+            .versions()
+            .get(self.version)
+            .unwrap_or_else(|| self.kernel.default_version())
     }
 
     /// Buffers the launch may modify (`Out`/`InOut`), in signature order.
@@ -43,7 +96,7 @@ impl Launch {
     ///
     /// Propagates signature validation errors.
     pub fn output_buffers(&self) -> ClResult<Vec<BufferId>> {
-        Ok(self.kernel.classify_args(&self.args)?.1)
+        Ok(self.plan()?.outs.clone())
     }
 
     /// Buffers the launch reads (`In`), in signature order.
@@ -52,7 +105,7 @@ impl Launch {
     ///
     /// Propagates signature validation errors.
     pub fn input_buffers(&self) -> ClResult<Vec<BufferId>> {
-        Ok(self.kernel.classify_args(&self.args)?.0)
+        Ok(self.plan()?.ins.clone())
     }
 }
 
@@ -69,21 +122,46 @@ pub fn execute_groups(launch: &Launch, mem: &mut Memory, from: u64, to: u64) -> 
             "group range {from}..{to} exceeds {total} groups"
         )));
     }
-    let (in_ids, out_ids, scalars) = launch.kernel.classify_args(&launch.args)?;
-    let version = launch
-        .kernel
-        .versions()
-        .get(launch.version)
-        .unwrap_or_else(|| launch.kernel.default_version());
+    let plan = launch.plan()?;
+    let version = launch.resolved_version();
 
     // Split borrows: move output buffers out of the memory map, then borrow
     // inputs immutably from what remains.
+    let mut taken = take_outputs(mem, &plan.outs)?;
+    let result = (|| -> ClResult<()> {
+        let mut in_slices = Vec::with_capacity(plan.ins.len());
+        for id in &plan.ins {
+            in_slices.push(mem.get(*id)?);
+        }
+        let ins = Inputs::new(in_slices);
+        let mut out_slices: Vec<&mut [f32]> =
+            taken.iter_mut().map(|(_, v)| v.as_mut_slice()).collect();
+        let mut outs = Outputs::new(std::mem::take(&mut out_slices));
+        run_range(
+            &version.body,
+            &launch.ndrange,
+            &plan.scalars,
+            &ins,
+            &mut outs,
+            from,
+            to,
+        );
+        Ok(())
+    })();
+    for (id, v) in taken {
+        mem.install(id, v);
+    }
+    result
+}
+
+/// Removes the output buffers from `mem` in signature order, restoring any
+/// already-taken buffers if one is missing.
+fn take_outputs(mem: &mut Memory, out_ids: &[BufferId]) -> ClResult<Vec<(BufferId, Vec<f32>)>> {
     let mut taken: Vec<(BufferId, Vec<f32>)> = Vec::with_capacity(out_ids.len());
-    for id in &out_ids {
+    for id in out_ids {
         match mem.take(*id) {
             Ok(v) => taken.push((*id, v)),
             Err(e) => {
-                // Restore anything already taken before bailing out.
                 for (id, v) in taken {
                     mem.install(id, v);
                 }
@@ -91,21 +169,107 @@ pub fn execute_groups(launch: &Launch, mem: &mut Memory, from: u64, to: u64) -> 
             }
         }
     }
+    Ok(taken)
+}
+
+/// Runs work-groups `[from, to)` of `ndrange` through `body`.
+fn run_range(
+    body: &Arc<KernelBody>,
+    ndrange: &NdRange,
+    scalars: &Scalars,
+    ins: &Inputs<'_>,
+    outs: &mut Outputs<'_>,
+    from: u64,
+    to: u64,
+) {
+    for flat in from..to {
+        let group = ndrange.unflatten_group(flat);
+        for_each_item_in_group(ndrange, group, |item| {
+            body(item, scalars, ins, outs);
+        });
+    }
+}
+
+/// Executes flattened work-groups `[from, to)` of `launch` against `mem`,
+/// splitting the range across up to `jobs` threads when it is provably safe.
+///
+/// The parallel path is taken only when the kernel declares
+/// [`KernelDef::disjoint_writes`] — the contract (verified per benchmark by
+/// the `fluidicl-check` sanitizer's write-maps) that distinct work-groups
+/// never write the same output element and never read another group's output
+/// writes. Under that contract each thread runs its contiguous chunk of
+/// groups against a private copy of the output buffers, and the chunks are
+/// [`diff_merge`]d back **in chunk order**, which is byte-identical to the
+/// sequential execution. Without the declaration — or when `jobs <= 1`, the
+/// range holds fewer than two groups, or the caller is already a pool worker
+/// — this falls back to [`execute_groups`].
+///
+/// # Errors
+///
+/// Same as [`execute_groups`].
+pub fn execute_groups_par(
+    launch: &Launch,
+    mem: &mut Memory,
+    from: u64,
+    to: u64,
+    jobs: usize,
+) -> ClResult<()> {
+    let span = to.saturating_sub(from);
+    if jobs <= 1 || span < 2 || !launch.kernel.disjoint_writes() || fluidicl_par::in_pool() {
+        return execute_groups(launch, mem, from, to);
+    }
+    let total = launch.ndrange.num_groups();
+    if from > to || to > total {
+        return Err(ClError::InvalidNdRange(format!(
+            "group range {from}..{to} exceeds {total} groups"
+        )));
+    }
+    let plan = launch.plan()?;
+    let version = launch.resolved_version();
+
+    let mut taken = take_outputs(mem, &plan.outs)?;
     let result = (|| -> ClResult<()> {
-        let mut in_slices = Vec::with_capacity(in_ids.len());
-        for id in &in_ids {
+        let mut in_slices: Vec<&[f32]> = Vec::with_capacity(plan.ins.len());
+        for id in &plan.ins {
             in_slices.push(mem.get(*id)?);
         }
-        let ins = Inputs::new(in_slices);
-        let mut out_slices: Vec<&mut [f32]> =
-            taken.iter_mut().map(|(_, v)| v.as_mut_slice()).collect();
-        let mut outs = Outputs::new(std::mem::take(&mut out_slices));
+        // Pristine originals: the diff-merge baseline for every chunk.
+        let orig: Vec<Vec<f32>> = taken.iter().map(|(_, v)| v.clone()).collect();
+
+        // Contiguous chunks in range order.
+        let workers = (jobs as u64).min(span);
+        let chunk = span.div_ceil(workers);
+        let ranges: Vec<(u64, u64)> = (0..workers)
+            .map(|w| {
+                let a = from + w * chunk;
+                (a, (a + chunk).min(to))
+            })
+            .filter(|(a, b)| a < b)
+            .collect();
+
         let body = &version.body;
-        for flat in from..to {
-            let group = launch.ndrange.unflatten_group(flat);
-            for_each_item_in_group(&launch.ndrange, group, |item| {
-                body(item, &scalars, &ins, &mut outs);
+        let ndrange = &launch.ndrange;
+        let scalars = &plan.scalars;
+        let locals: Vec<Vec<Vec<f32>>> =
+            fluidicl_par::par_map_jobs(ranges.clone(), jobs, |(a, b)| {
+                let mut bufs: Vec<Vec<f32>> = orig.clone();
+                // `Inputs` carries interior mutability (read-tracking flags), so
+                // each worker builds its own view over the shared slices.
+                let ins = Inputs::new(in_slices.clone());
+                let mut out_slices: Vec<&mut [f32]> =
+                    bufs.iter_mut().map(Vec::as_mut_slice).collect();
+                let mut outs = Outputs::new(std::mem::take(&mut out_slices));
+                run_range(body, ndrange, scalars, &ins, &mut outs, a, b);
+                bufs
             });
+
+        // Merge chunk results back in range order: with disjoint writes each
+        // element is changed by at most one chunk, so order is irrelevant to
+        // the value — but merging in order keeps the procedure deterministic.
+        for local in &locals {
+            for ((dst, l), o) in taken.iter_mut().zip(local).zip(&orig) {
+                diff_merge(&mut dst.1, l, o);
+            }
         }
         Ok(())
     })();
@@ -271,6 +435,179 @@ mod tests {
         );
         execute_all(&launch, &mut mem).unwrap();
         assert_eq!(mem.get(BufferId(5)).unwrap(), &[11.0, 21.0]);
+    }
+
+    #[test]
+    fn plan_is_cached_across_calls() {
+        let (_, k) = setup(4);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(4, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(1.0),
+            ],
+        );
+        let first: *const LaunchPlan = launch.plan().unwrap();
+        let second: *const LaunchPlan = launch.plan().unwrap();
+        assert_eq!(first, second, "second call must return the cached plan");
+    }
+
+    #[test]
+    fn plan_errors_are_not_cached() {
+        let (_, k) = setup(4);
+        let launch = Launch::new(k, NdRange::d1(4, 4).unwrap(), vec![]);
+        assert!(launch.plan().is_err());
+        assert!(launch.plan().is_err(), "error repeats, no stale cache");
+    }
+
+    fn scale_kernel_disjoint() -> Arc<KernelDef> {
+        Arc::new(
+            KernelDef::new(
+                "scale",
+                vec![
+                    ArgSpec::new("src", ArgRole::In),
+                    ArgSpec::new("dst", ArgRole::Out),
+                    ArgSpec::new("factor", ArgRole::Scalar),
+                ],
+                KernelProfile::new("scale"),
+                |item, scalars, ins, outs| {
+                    let i = item.global_linear();
+                    outs.at(0)[i] = ins.get(0)[i] * scalars.f32(0);
+                },
+            )
+            .with_disjoint_writes(),
+        )
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let n = 64;
+        let args = vec![
+            KernelArg::Buffer(BufferId(0)),
+            KernelArg::Buffer(BufferId(1)),
+            KernelArg::F32(2.5),
+        ];
+        let mut seq_mem = Memory::new();
+        seq_mem.install(BufferId(0), (0..n).map(|i| i as f32).collect());
+        seq_mem.alloc(BufferId(1), n);
+        let mut par_mem = seq_mem.clone();
+
+        let k = scale_kernel_disjoint();
+        let nd = NdRange::d1(n, 4).unwrap();
+        let seq_launch = Launch::new(Arc::clone(&k), nd, args.clone());
+        let par_launch = Launch::new(k, nd, args);
+
+        execute_groups(&seq_launch, &mut seq_mem, 0, 16).unwrap();
+        execute_groups_par(&par_launch, &mut par_mem, 0, 16, 4).unwrap();
+        assert_eq!(
+            seq_mem.get(BufferId(1)).unwrap(),
+            par_mem.get(BufferId(1)).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_execution_respects_partial_ranges() {
+        let n = 64;
+        let mut mem = Memory::new();
+        mem.install(BufferId(0), (0..n).map(|i| i as f32).collect());
+        mem.alloc(BufferId(1), n);
+        let launch = Launch::new(
+            scale_kernel_disjoint(),
+            NdRange::d1(n, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(3.0),
+            ],
+        );
+        // Groups 4..12 → items 16..48; 3 jobs over 8 groups exercises the
+        // uneven chunk split.
+        execute_groups_par(&launch, &mut mem, 4, 12, 3).unwrap();
+        let out = mem.get(BufferId(1)).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            if (16..48).contains(&i) {
+                assert_eq!(v, 3.0 * i as f32);
+            } else {
+                assert_eq!(v, 0.0, "groups outside the range must stay zero");
+            }
+        }
+    }
+
+    #[test]
+    fn undeclared_kernels_fall_back_to_sequential() {
+        // The plain scale kernel never declares disjoint writes, so the
+        // parallel entry point must still produce the sequential result.
+        let (mut mem, k) = setup(16);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(16, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(2.0),
+            ],
+        );
+        execute_groups_par(&launch, &mut mem, 0, 4, 8).unwrap();
+        let out = mem.get(BufferId(1)).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 2.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn parallel_inout_kernel_matches_sequential() {
+        let body = |item: &crate::WorkItem, _: &Scalars, _: &Inputs<'_>, outs: &mut Outputs<'_>| {
+            let i = item.global_linear();
+            outs.at(0)[i] += (i as f32) + 1.0;
+        };
+        let mk = || {
+            Arc::new(
+                KernelDef::new(
+                    "incr",
+                    vec![ArgSpec::new("data", ArgRole::InOut)],
+                    KernelProfile::new("incr"),
+                    body,
+                )
+                .with_disjoint_writes(),
+            )
+        };
+        let mut seq_mem = Memory::new();
+        seq_mem.install(BufferId(3), vec![10.0; 32]);
+        let mut par_mem = seq_mem.clone();
+        let nd = NdRange::d1(32, 4).unwrap();
+        let args = vec![KernelArg::Buffer(BufferId(3))];
+        execute_groups(
+            &Launch::new(mk(), nd, args.clone()),
+            &mut seq_mem,
+            0,
+            8,
+        )
+        .unwrap();
+        execute_groups_par(&Launch::new(mk(), nd, args), &mut par_mem, 0, 8, 4).unwrap();
+        assert_eq!(
+            seq_mem.get(BufferId(3)).unwrap(),
+            par_mem.get(BufferId(3)).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_out_of_range_is_rejected() {
+        let (mut mem, _) = setup(16);
+        let launch = Launch::new(
+            scale_kernel_disjoint(),
+            NdRange::d1(16, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(1.0),
+            ],
+        );
+        assert!(matches!(
+            execute_groups_par(&launch, &mut mem, 0, 5, 4),
+            Err(ClError::InvalidNdRange(_))
+        ));
     }
 
     #[test]

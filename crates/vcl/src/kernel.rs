@@ -263,6 +263,7 @@ pub struct KernelDef {
     name: String,
     args: Vec<ArgSpec>,
     versions: Vec<KernelVersion>,
+    disjoint_writes: bool,
 }
 
 impl KernelDef {
@@ -281,7 +282,34 @@ impl KernelDef {
                 body: Arc::new(body),
                 profile,
             }],
+            disjoint_writes: false,
         }
+    }
+
+    /// Declares that distinct work-groups of this kernel write disjoint
+    /// output elements and never read output elements written by another
+    /// work-group (each group reads only launch inputs plus its own
+    /// `InOut` cells).
+    ///
+    /// This is the evidence the intra-launch parallel executor
+    /// ([`execute_groups_par`](crate::exec::execute_groups_par)) requires
+    /// to split one group range across host threads: with disjoint writes,
+    /// merging per-thread results in any order is byte-identical to
+    /// sequential execution. The access sanitizer's shadow-memory write
+    /// maps verify the claim — a kernel with a write conflict or an
+    /// out-read-before-write is flagged by `fluidicl-check`, and such a
+    /// kernel must not carry this marker.
+    #[must_use]
+    pub fn with_disjoint_writes(mut self) -> Self {
+        self.disjoint_writes = true;
+        self
+    }
+
+    /// Whether [`with_disjoint_writes`](Self::with_disjoint_writes) was
+    /// declared. Without it, the executor always runs group ranges
+    /// sequentially.
+    pub fn disjoint_writes(&self) -> bool {
+        self.disjoint_writes
     }
 
     /// Adds an alternate implementation (same signature and semantics) for
@@ -502,6 +530,14 @@ mod tests {
             ])
             .unwrap_err();
         assert_eq!(err, ClError::AliasedBuffer(1));
+    }
+
+    #[test]
+    fn disjoint_writes_defaults_off_and_is_declarable() {
+        let k = copy_kernel();
+        assert!(!k.disjoint_writes());
+        let k = k.with_disjoint_writes();
+        assert!(k.disjoint_writes());
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod single;
 pub use access::{execute_groups_shadowed, AccessRecord, WriteMap};
 pub use driver::{ClDriver, DeviceKind};
 pub use error::{ClError, ClResult};
-pub use exec::Launch;
+pub use exec::{execute_groups_par, Launch, LaunchPlan};
 pub use kernel::{
     ArgRole, ArgSpec, Inputs, KernelArg, KernelBody, KernelDef, KernelVersion, Outputs, Program,
     Scalars,

@@ -31,8 +31,17 @@ impl Memory {
     }
 
     /// Allocates (or reallocates) `id` with `len` zeroed elements.
+    ///
+    /// Re-allocating an existing buffer reuses its heap allocation: the
+    /// content is zero-filled in place and the vector only grows when
+    /// `len` exceeds the existing capacity.
     pub fn alloc(&mut self, id: BufferId, len: usize) {
-        self.buffers.insert(id, vec![0.0; len]);
+        if let Some(buf) = self.buffers.get_mut(&id) {
+            buf.clear();
+            buf.resize(len, 0.0);
+        } else {
+            self.buffers.insert(id, vec![0.0; len]);
+        }
     }
 
     /// Installs `data` as the content of `id`, allocating if needed.
@@ -92,6 +101,22 @@ impl Memory {
             });
         }
         buf.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copies the content of `id` into `dst`, reusing `dst`'s allocation.
+    ///
+    /// This is the allocation-free snapshot primitive: callers keep a pool
+    /// of `Vec<f32>`s and refresh them per kernel instead of cloning the
+    /// buffer (`get(id)?.to_vec()`) on every launch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if `id` was never allocated here.
+    pub fn copy_into(&self, id: BufferId, dst: &mut Vec<f32>) -> ClResult<()> {
+        let src = self.get(id)?;
+        dst.clear();
+        dst.extend_from_slice(src);
         Ok(())
     }
 
@@ -160,6 +185,40 @@ mod tests {
         assert_eq!(m.get(id).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(m.len_of(id).unwrap(), 4);
         assert_eq!(m.bytes_of(id).unwrap(), 16);
+    }
+
+    #[test]
+    fn alloc_reuses_the_existing_allocation() {
+        let mut m = Memory::new();
+        let id = BufferId(1);
+        m.alloc(id, 4);
+        m.write(id, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let ptr_before = m.get(id).unwrap().as_ptr();
+        // Same length: zero-filled in place, no new allocation.
+        m.alloc(id, 4);
+        assert_eq!(m.get(id).unwrap(), &[0.0; 4]);
+        assert_eq!(m.get(id).unwrap().as_ptr(), ptr_before);
+        // Shrinking also reuses the allocation.
+        m.write(id, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        m.alloc(id, 2);
+        assert_eq!(m.get(id).unwrap(), &[0.0; 2]);
+        assert_eq!(m.get(id).unwrap().as_ptr(), ptr_before);
+    }
+
+    #[test]
+    fn copy_into_refreshes_and_reuses_dst() {
+        let mut m = Memory::new();
+        let id = BufferId(1);
+        m.install(id, vec![1.0, 2.0, 3.0]);
+        let mut dst = Vec::with_capacity(8);
+        let ptr_before = dst.as_ptr();
+        m.copy_into(id, &mut dst).unwrap();
+        assert_eq!(dst, vec![1.0, 2.0, 3.0]);
+        assert_eq!(dst.as_ptr(), ptr_before, "capacity is reused");
+        assert_eq!(
+            m.copy_into(BufferId(9), &mut dst),
+            Err(ClError::InvalidBuffer(9))
+        );
     }
 
     #[test]
