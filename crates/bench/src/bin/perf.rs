@@ -7,17 +7,27 @@
 //! * the repro sweep (all experiments, or the `--quick` subset), fanned out
 //!   over the [`fluidicl_par`] pool exactly as `repro` runs it;
 //! * the micro-hotspots: sequential and parallel `execute_groups` on SYRK,
-//!   the `diff_merge` coherence primitive, and buffer snapshotting.
+//!   the `diff_merge` / `diff_merge_ranged` coherence primitives,
+//!   dirty-range coalescing, and buffer snapshotting.
 //!
 //! Results go to `BENCH_repro.json` at the repository root (one section per
-//! line: median/p10/p90 nanoseconds, worker-thread count, git revision).
+//! line: median/p10/p90 nanoseconds, worker-thread count, git revision,
+//! runner key).
+//!
+//! `--check` compares medians against `ci/bench_baseline.json`. The
+//! baseline holds a fallback section list (compared at a generous blanket
+//! factor, because unknown machines differ from the one that recorded it)
+//! plus optional per-runner blocks keyed by `<os>-<cpus>cpu` — a runner
+//! block carries its own, tighter factor and wins over the fallback when
+//! its key matches the current machine.
 //!
 //! ```text
 //! perf                    # full sweep + micro-hotspots
 //! perf --quick            # fast subset (CI)
 //! perf --jobs 4           # cap the worker pool
 //! perf --check            # also compare against ci/bench_baseline.json;
-//!                         # exit 1 on a >3x median regression
+//!                         # exit 1 on a median regression beyond the
+//!                         # baseline's factor for this runner
 //! perf --out PATH         # write the JSON somewhere else
 //! ```
 
@@ -28,15 +38,25 @@ use fluidicl_bench::experiments::{experiments, find, Experiment};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_polybench::data::gen_matrix;
 use fluidicl_polybench::syrk;
-use fluidicl_vcl::{diff_merge, execute_groups_par, BufferId, KernelArg, Launch, Memory, NdRange};
+use fluidicl_vcl::{
+    diff_merge, diff_merge_ranged, execute_groups_par, BufferId, DirtyRanges, KernelArg, Launch,
+    Memory, NdRange,
+};
 
 /// Experiment ids of the `--quick` sweep (mirrors `repro --quick`).
 const QUICK_IDS: [&str; 4] = ["table1", "table2", "table3", "extended"];
 
-/// Allowed median slowdown vs the committed baseline before `--check`
-/// fails: generous because CI machines differ from the machine that
-/// recorded the baseline.
+/// Allowed median slowdown vs the committed *fallback* baseline before
+/// `--check` fails: generous because unknown machines differ from the
+/// machine that recorded it. Per-runner baseline blocks override this
+/// with their own (tighter) factor.
 const REGRESSION_FACTOR: f64 = 3.0;
+
+/// Key identifying the machine class a baseline was recorded on.
+fn runner_key() -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    format!("{}-{cpus}cpu", std::env::consts::OS)
+}
 
 /// One timed section of the harness.
 struct Section {
@@ -207,6 +227,36 @@ fn micro_hotspots(jobs: usize) -> Vec<Section> {
         started.elapsed().as_nanos()
     });
 
+    // diff_merge_ranged over the same 1M buffer with a realistic captured
+    // footprint: 128 spans of 512 dirty elements (1/16 of the buffer) —
+    // what the dirty-range protocol hands the merge per subkernel.
+    let span = 512;
+    let stride = len / 128;
+    let ranges = DirtyRanges::from_ranges((0..128).map(|j| (j * stride, j * stride + span)));
+    let mut cpu_spans = original.clone();
+    for (s, e) in ranges.iter() {
+        for v in &mut cpu_spans[s..e] {
+            *v += 1.0;
+        }
+    }
+    let merge_ranged = collect(iters, || {
+        dst.copy_from_slice(&original);
+        let started = Instant::now();
+        diff_merge_ranged(&mut dst, &cpu_spans, &original, &ranges).expect("ranged merge");
+        started.elapsed().as_nanos()
+    });
+
+    // Coalescing 65536 scattered dirty indices (every 16th element) into
+    // ranges — the capture-side cost of the dirty-range protocol.
+    let indices: Vec<usize> = (0..len).filter(|i| i % 16 == 0).collect();
+    let coalesce = collect(iters, || {
+        let started = Instant::now();
+        let r = DirtyRanges::from_indices(indices.iter().copied());
+        let ns = started.elapsed().as_nanos();
+        assert_eq!(r.element_count(), indices.len());
+        ns
+    });
+
     // Snapshotting: acquire a pooled vec, copy a buffer into it, release —
     // what coexec does for every output buffer of every kernel.
     let mut pool = SnapshotPool::new();
@@ -222,6 +272,8 @@ fn micro_hotspots(jobs: usize) -> Vec<Section> {
         stats("execute_groups_seq", iters, seq),
         stats("execute_groups_par", iters, par),
         stats("diff_merge_1m", iters, merge),
+        stats("diff_merge_ranged_1m", iters, merge_ranged),
+        stats("dirty_coalesce", iters, coalesce),
         stats("snapshot_roundtrip", iters * 10, snap),
     ]
 }
@@ -265,6 +317,7 @@ fn render_json(sections: &[Section], quick: bool, jobs: usize) -> String {
     s.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
     s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"runner\": \"{}\",\n", runner_key()));
     s.push_str("  \"sections\": [\n");
     for (i, sec) in sections.iter().enumerate() {
         let comma = if i + 1 < sections.len() { "," } else { "" };
@@ -277,49 +330,103 @@ fn render_json(sections: &[Section], quick: bool, jobs: usize) -> String {
     s
 }
 
-/// Extracts `(name, median_ns)` pairs from a JSON file in the line-per-
-/// section format written by [`render_json`].
-fn parse_medians(text: &str) -> Vec<(String, u128)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let Some(name_at) = line.find("\"name\": \"") else {
-            continue;
-        };
-        let rest = &line[name_at + 9..];
-        let Some(name_end) = rest.find('"') else {
-            continue;
-        };
-        let name = rest[..name_end].to_string();
-        let Some(med_at) = line.find("\"median_ns\": ") else {
-            continue;
-        };
-        let med: String = line[med_at + 13..]
+/// Extracts a quoted string value for `key` from a JSON line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)?;
+    let rest = &line[at + pat.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts a bare numeric value for `key` from a JSON line.
+fn json_num(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)?;
+    Some(
+        line[at + pat.len()..]
             .chars()
-            .take_while(char::is_ascii_digit)
-            .collect();
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect(),
+    )
+}
+
+/// One baseline block: a section list compared at `factor`. The fallback
+/// block has `runner == None` and applies to machines without a matching
+/// per-runner block.
+struct BaselineBlock {
+    runner: Option<String>,
+    factor: f64,
+    sections: Vec<(String, u128)>,
+}
+
+/// Parses a baseline file in the line-per-section format: `"name"` lines
+/// before any `"runner"` line form the fallback block (compared at
+/// [`REGRESSION_FACTOR`]); each `"runner"` line opens a per-runner block
+/// whose `"factor"` (same line) governs its sections.
+fn parse_baseline(text: &str) -> Vec<BaselineBlock> {
+    let mut blocks = vec![BaselineBlock {
+        runner: None,
+        factor: REGRESSION_FACTOR,
+        sections: Vec::new(),
+    }];
+    for line in text.lines() {
+        if let Some(runner) = json_str(line, "runner") {
+            let factor = json_num(line, "factor")
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(REGRESSION_FACTOR);
+            blocks.push(BaselineBlock {
+                runner: Some(runner),
+                factor,
+                sections: Vec::new(),
+            });
+            continue;
+        }
+        let (Some(name), Some(med)) = (json_str(line, "name"), json_num(line, "median_ns")) else {
+            continue;
+        };
         if let Ok(v) = med.parse::<u128>() {
-            out.push((name, v));
+            blocks
+                .last_mut()
+                .expect("fallback block")
+                .sections
+                .push((name, v));
         }
     }
-    out
+    blocks
 }
 
 /// Compares section medians against the committed baseline; returns false
-/// (CI failure) on a regression beyond [`REGRESSION_FACTOR`].
+/// (CI failure) on a regression beyond the selected block's factor.
 fn check_against_baseline(sections: &[Section], path: &str) -> bool {
     let Ok(text) = std::fs::read_to_string(path) else {
         eprintln!("perf --check: no baseline at {path}; skipping comparison");
         return true;
     };
-    let base = parse_medians(&text);
+    let blocks = parse_baseline(&text);
+    let key = runner_key();
+    let block = blocks
+        .iter()
+        .find(|b| b.runner.as_deref() == Some(key.as_str()))
+        .or_else(|| blocks.iter().find(|b| !b.sections.is_empty()))
+        .expect("fallback block always present");
+    match &block.runner {
+        Some(r) => eprintln!(
+            "perf --check: runner baseline `{r}` (factor {})",
+            block.factor
+        ),
+        None => eprintln!(
+            "perf --check: no baseline for runner `{key}`; using fallback (factor {})",
+            block.factor
+        ),
+    }
     let mut ok = true;
     for s in sections {
-        let Some((_, base_med)) = base.iter().find(|(n, _)| n == s.name) else {
+        let Some((_, base_med)) = block.sections.iter().find(|(n, _)| n == s.name) else {
             eprintln!("  {:24} no baseline entry; skipped", s.name);
             continue;
         };
         let factor = s.median_ns as f64 / (*base_med).max(1) as f64;
-        let verdict = if factor > REGRESSION_FACTOR {
+        let verdict = if factor > block.factor {
             ok = false;
             "REGRESSION"
         } else {
@@ -328,7 +435,10 @@ fn check_against_baseline(sections: &[Section], path: &str) -> bool {
         eprintln!("  {:24} {factor:>6.2}x baseline  {verdict}", s.name);
     }
     if !ok {
-        eprintln!("perf --check: median regression beyond {REGRESSION_FACTOR}x baseline");
+        eprintln!(
+            "perf --check: median regression beyond {}x baseline",
+            block.factor
+        );
     }
     ok
 }

@@ -1,0 +1,193 @@
+//! Disjoint-write verification for `with_disjoint_writes` declarations.
+//!
+//! Kernels marked [`KernelDef::with_disjoint_writes`] promise that no two
+//! work-groups write the same element of any output buffer. The runtime
+//! leans on that promise twice: `execute_groups_par` splits a work-group
+//! range across threads without synchronization, and the dirty-range
+//! transfer accounting treats per-subkernel write footprints as
+//! non-overlapping. A false declaration therefore corrupts co-executed
+//! results silently. [`prove_disjoint`] turns the promise into a checked
+//! fact: it replays the launch one work-group at a time over shadow memory
+//! ([`fluidicl_vcl::execute_groups_shadowed`]) under two different
+//! sentinel poisons and verifies that the per-group write maps are
+//! pairwise disjoint.
+//!
+//! Like the sanitizer's `write-conflict` rule, a group that rewrites an
+//! element with the value it already holds is invisible to the shadow
+//! diff; running under two sentinel poisons makes a value coincidence in
+//! one run diverge in the other, so only writes that are bit-identical
+//! under *both* poisons — semantically benign duplicates — can slip
+//! through.
+//!
+//! [`KernelDef::with_disjoint_writes`]: fluidicl_vcl::KernelDef::with_disjoint_writes
+
+use std::collections::BTreeMap;
+
+use fluidicl_des::SimDuration;
+use fluidicl_vcl::exec::execute_all;
+use fluidicl_vcl::{
+    execute_groups_shadowed, ArgRole, BufferId, ClDriver, ClResult, KernelArg, Launch, Memory,
+    NdRange, Program,
+};
+
+use crate::sanitize::{SENTINEL_A, SENTINEL_B};
+
+/// Verdict of one launch's disjoint-write proof.
+#[derive(Clone, Debug)]
+pub struct DisjointFinding {
+    /// Kernel name.
+    pub kernel: String,
+    /// Whether the kernel declares `with_disjoint_writes`.
+    pub declared: bool,
+    /// Whether the proof went through: every pair of work-groups writes
+    /// disjoint element sets on every output buffer.
+    pub proven: bool,
+    /// Work-groups the proof covered.
+    pub groups: u64,
+    /// Human-readable description of the first overlap found, if any.
+    pub detail: Option<String>,
+}
+
+impl DisjointFinding {
+    /// A declaration the proof could not back up — the dangerous case.
+    pub fn is_false_declaration(&self) -> bool {
+        self.declared && !self.proven
+    }
+}
+
+/// Proves (or refutes) that `launch`'s work-groups write pairwise-disjoint
+/// element sets, over a clone of `mem`.
+///
+/// Returns `(proven, first_overlap)`; `proven == true` means no overlap
+/// was observed under either sentinel poison.
+///
+/// # Errors
+///
+/// Propagates execution errors (signature mismatch, missing buffer).
+pub fn prove_disjoint(launch: &Launch, mem: &Memory) -> ClResult<(bool, Option<String>)> {
+    let (_ins, out_ids, _scalars) = launch.kernel.classify_args(&launch.args)?;
+    let specs: Vec<_> = launch
+        .kernel
+        .args()
+        .iter()
+        .filter(|s| s.role.is_output())
+        .collect();
+    let total = launch.ndrange.num_groups();
+    for poison in [SENTINEL_A, SENTINEL_B] {
+        let mut m = mem.clone();
+        for (k, id) in out_ids.iter().enumerate() {
+            if specs[k].role == ArgRole::Out {
+                m.get_mut(*id)?.fill(poison);
+            }
+        }
+        let rec = execute_groups_shadowed(launch, &mut m, 0, total)?;
+        for (k, spec) in specs.iter().enumerate() {
+            let mut owner: BTreeMap<usize, u64> = BTreeMap::new();
+            for (g, maps) in &rec.groups {
+                for &i in maps[k].keys() {
+                    if let Some(&g0) = owner.get(&i) {
+                        return Ok((
+                            false,
+                            Some(format!(
+                                "work-groups {g0} and {g} both write element {i} of `{}`",
+                                spec.name
+                            )),
+                        ));
+                    }
+                    owner.insert(i, *g);
+                }
+            }
+        }
+    }
+    Ok((true, None))
+}
+
+/// A [`ClDriver`] that runs [`prove_disjoint`] on every enqueued kernel,
+/// mirroring [`AuditDriver`](crate::AuditDriver): host programs run on it
+/// unmodified and results stay exact.
+pub struct DisjointDriver {
+    program: Program,
+    mem: Memory,
+    next_id: u64,
+    findings: Vec<DisjointFinding>,
+}
+
+impl DisjointDriver {
+    /// Creates a disjoint-write auditing driver for `program`.
+    pub fn new(program: Program) -> Self {
+        DisjointDriver {
+            program,
+            mem: Memory::new(),
+            next_id: 0,
+            findings: Vec::new(),
+        }
+    }
+
+    /// Per-launch verdicts, in enqueue order.
+    pub fn findings(&self) -> &[DisjointFinding] {
+        &self.findings
+    }
+
+    /// Launches whose `with_disjoint_writes` declaration the proof refuted.
+    pub fn false_declarations(&self) -> Vec<&DisjointFinding> {
+        self.findings
+            .iter()
+            .filter(|f| f.is_false_declaration())
+            .collect()
+    }
+
+    /// Launches that declared disjoint writes and were proven.
+    pub fn verified_declarations(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.declared && f.proven)
+            .count()
+    }
+}
+
+impl ClDriver for DisjointDriver {
+    fn create_buffer(&mut self, len: usize) -> BufferId {
+        let id = BufferId(self.next_id);
+        self.next_id += 1;
+        self.mem.alloc(id, len);
+        id
+    }
+
+    fn write_buffer(&mut self, id: BufferId, data: &[f32]) -> ClResult<()> {
+        self.mem.write(id, data)
+    }
+
+    fn enqueue_kernel(
+        &mut self,
+        kernel: &str,
+        ndrange: NdRange,
+        args: &[KernelArg],
+    ) -> ClResult<()> {
+        let def = self.program.kernel(kernel)?;
+        let launch = Launch::new(def, ndrange, args.to_vec());
+        let (proven, detail) = prove_disjoint(&launch, &self.mem)?;
+        self.findings.push(DisjointFinding {
+            kernel: kernel.to_string(),
+            declared: launch.kernel.disjoint_writes(),
+            proven,
+            groups: launch.ndrange.num_groups(),
+            detail,
+        });
+        execute_all(&launch, &mut self.mem)
+    }
+
+    fn read_buffer(&mut self, id: BufferId) -> ClResult<Vec<f32>> {
+        self.mem.get(id).map(<[f32]>::to_vec)
+    }
+
+    fn elapsed(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn kernel_times(&self) -> Vec<(String, SimDuration)> {
+        self.findings
+            .iter()
+            .map(|f| (f.kernel.clone(), SimDuration::ZERO))
+            .collect()
+    }
+}

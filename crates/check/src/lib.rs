@@ -14,7 +14,13 @@
 //!   unused inputs;
 //! * the **protocol-trace linter** (re-exported from [`fluidicl`]) replays a
 //!   co-executed kernel's event trace and checks the watermark, queue
-//!   ordering, wave/subkernel contiguity and coverage invariants.
+//!   ordering, wave/subkernel contiguity, coverage and transfer-byte
+//!   invariants;
+//! * the **disjoint-write prover** ([`disjoint`]) replays each launch one
+//!   work-group at a time and checks that `with_disjoint_writes`
+//!   declarations — which license lock-free parallel execution and
+//!   dirty-range accounting — hold on real data (`--emit-disjoint` in the
+//!   sweep binary).
 //!
 //! [`AuditDriver`] packages the sanitizer as a drop-in
 //! [`ClDriver`](fluidicl_vcl::ClDriver), so any host program — every
@@ -26,9 +32,11 @@
 #![warn(missing_docs)]
 
 mod audit;
+pub mod disjoint;
 pub mod sanitize;
 
 pub use audit::{AuditDriver, KernelFinding};
+pub use disjoint::{prove_disjoint, DisjointDriver, DisjointFinding};
 pub use fluidicl::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use sanitize::{sanitize_launch, SENTINEL_A, SENTINEL_B};
 

@@ -11,10 +11,14 @@
 //! pool; per-unit output is buffered and printed in sweep order, so the
 //! report and the exit code are identical to a sequential (`--jobs 1`)
 //! run. `--quick` restricts stage 2 to the paper-testbed machine (CI's
-//! fast path); `--jobs N` caps the worker threads.
+//! fast path); `--jobs N` caps the worker threads. `--emit-disjoint`
+//! inserts a disjoint-write audit ([`fluidicl_check::DisjointDriver`])
+//! between the stages: every launch's per-work-group write footprints are
+//! replayed and `with_disjoint_writes` declarations that the replay
+//! refutes are errors.
 
 use fluidicl::{lint_report, Fluidicl, FluidiclConfig, LintSeverity};
-use fluidicl_check::{AuditDriver, SWEEP_SEED};
+use fluidicl_check::{AuditDriver, DisjointDriver, SWEEP_SEED};
 use fluidicl_hetsim::{AbortMode, MachineConfig};
 use fluidicl_polybench::all_benchmarks;
 
@@ -30,10 +34,12 @@ struct UnitReport {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut emit_disjoint = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--emit-disjoint" => emit_disjoint = true,
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("--jobs requires a positive integer argument");
@@ -42,7 +48,7 @@ fn main() {
                 fluidicl_par::configure_jobs(n);
             }
             other => {
-                eprintln!("usage: fluidicl-check [--quick] [--jobs N]");
+                eprintln!("usage: fluidicl-check [--quick] [--emit-disjoint] [--jobs N]");
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
             }
@@ -101,6 +107,62 @@ fn main() {
         warnings += r.warnings;
     }
 
+    if emit_disjoint {
+        println!("== disjoint-write audit over the Polybench suite ==");
+        let audit = fluidicl_par::par_map(all_benchmarks(), |b| {
+            let mut r = UnitReport::default();
+            let n = fluidicl_check::sweep_size(b.name);
+            let mut driver = DisjointDriver::new((b.program)(n));
+            match b.run_and_validate_sized(&mut driver, n, SWEEP_SEED) {
+                Ok(true) => {}
+                Ok(false) => {
+                    r.lines.push(format!(
+                        "  {:8} n={n}: output mismatch vs reference",
+                        b.name
+                    ));
+                    r.problems += 1;
+                }
+                Err(e) => {
+                    r.lines
+                        .push(format!("  {:8} n={n}: driver error: {e}", b.name));
+                    r.problems += 1;
+                }
+            }
+            for f in driver.findings() {
+                let verdict = match (f.declared, f.proven) {
+                    (true, true) => "declared disjoint, proven".to_string(),
+                    (false, true) => "undeclared, proven disjoint".to_string(),
+                    (false, false) => format!(
+                        "overlapping writes ({})",
+                        f.detail.as_deref().unwrap_or("no detail")
+                    ),
+                    (true, false) => {
+                        r.problems += 1;
+                        format!(
+                            "FALSE `with_disjoint_writes` declaration: {}",
+                            f.detail.as_deref().unwrap_or("overlap found")
+                        )
+                    }
+                };
+                r.lines.push(format!(
+                    "  {:8} kernel `{}` ({} group(s)): {verdict}",
+                    b.name, f.kernel, f.groups
+                ));
+            }
+            (r, driver.verified_declarations())
+        });
+        let mut verified = 0usize;
+        for (r, v) in audit {
+            for line in &r.lines {
+                println!("{line}");
+            }
+            problems += r.problems;
+            warnings += r.warnings;
+            verified += v;
+        }
+        println!("  {verified} declared-disjoint launch(es) verified");
+    }
+
     println!("== stage 2: protocol linter across machines and configs ==");
     let mut machines = vec![("paper-testbed", MachineConfig::paper_testbed())];
     if !quick {
@@ -123,6 +185,10 @@ fn main() {
                 .with_wg_split(false)
                 .with_buffer_pool(false)
                 .with_location_tracking(false),
+        ),
+        (
+            "dirty-range",
+            FluidiclConfig::default().with_dirty_range_transfers(true),
         ),
     ];
     let mut units = Vec::new();

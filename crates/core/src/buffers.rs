@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use fluidicl_des::SimTime;
-use fluidicl_vcl::BufferId;
+use fluidicl_vcl::{BufferId, DirtyRanges};
 
 /// Monotonic kernel identifier assigned per launch (paper §5.3 uses these as
 /// buffer version numbers).
@@ -38,6 +38,16 @@ pub struct BufferState {
     /// Whether the GPU-side "original" snapshot for diff-merge is current
     /// (made at the end of the previous kernel, paper §5.5).
     pub orig_snapshot_current: bool,
+    /// Ranges of the GPU copy modified since the `orig_snapshot` was last
+    /// refreshed: a stale snapshot needs only these ranges re-copied.
+    /// `None` means unknown (the whole buffer must be treated as dirty);
+    /// only maintained under dirty-range transfers.
+    pub gpu_dirty: Option<DirtyRanges>,
+    /// Ranges where the host/CPU copy is stale relative to the
+    /// authoritative device copy — what a D2H read-back must ship. `None`
+    /// means unknown (whole buffer); only maintained under dirty-range
+    /// transfers.
+    pub host_dirty: Option<DirtyRanges>,
 }
 
 impl BufferState {
@@ -50,6 +60,8 @@ impl BufferState {
             gpu_version: None,
             gpu_ready_at: now,
             orig_snapshot_current: false,
+            gpu_dirty: None,
+            host_dirty: None,
         }
     }
 
@@ -57,6 +69,22 @@ impl BufferState {
     /// the condition under which the CPU scheduler must wait (paper §5.3).
     pub fn cpu_is_stale(&self) -> bool {
         self.expected_version != self.cpu_version
+    }
+
+    /// Bytes a refresh of the `orig_snapshot` must copy: the known GPU
+    /// dirty ranges, or the whole buffer when tracking is off/unknown.
+    pub fn snapshot_refresh_bytes(&self) -> u64 {
+        self.gpu_dirty
+            .as_ref()
+            .map_or_else(|| self.bytes(), |r| r.byte_count().min(self.bytes()))
+    }
+
+    /// Bytes a D2H read-back of this buffer must ship to bring the host
+    /// copy current: the known host-stale ranges, or the whole buffer.
+    pub fn read_back_bytes(&self) -> u64 {
+        self.host_dirty
+            .as_ref()
+            .map_or_else(|| self.bytes(), |r| r.byte_count().min(self.bytes()))
     }
 
     /// Size in bytes.
@@ -121,6 +149,10 @@ impl BufferTable {
         s.gpu_version = None;
         s.gpu_ready_at = gpu_at;
         s.orig_snapshot_current = false;
+        // The host replaced the content: the snapshot's delta vs the new
+        // content is unknown, while host and device copies now agree.
+        s.gpu_dirty = None;
+        s.host_dirty = Some(DirtyRanges::empty());
     }
 
     /// Marks the start of kernel `kid` writing `id`: the expected version
@@ -129,6 +161,25 @@ impl BufferTable {
         let s = self.state_mut(id);
         s.expected_version = Some(kid);
         s.orig_snapshot_current = false;
+        // The kernel will dirty the host copy in as-yet-unknown ranges.
+        s.host_dirty = None;
+    }
+
+    /// Records the dirty state after a co-executed kernel completed on
+    /// `id` (dirty-range transfers only): the epilogue refreshed the orig
+    /// snapshot and the D2H return (or CPU finish) brought the host copy
+    /// current, so both dirty sets collapse to `stale_after` — empty in
+    /// the steady state, which is what lets the *next* kernel's snapshot
+    /// refresh and read-backs skip whole-buffer copies.
+    pub fn record_kernel_dirty(
+        &mut self,
+        id: BufferId,
+        gpu_dirty: DirtyRanges,
+        host_dirty: DirtyRanges,
+    ) {
+        let s = self.state_mut(id);
+        s.gpu_dirty = Some(gpu_dirty);
+        s.host_dirty = Some(host_dirty);
     }
 
     /// Records that kernel `kid`'s result for `id` is available on the CPU
@@ -382,6 +433,64 @@ mod tests {
         t.record_host_write(a, SimTime::from_nanos(10), SimTime::from_nanos(40));
         assert!(!t.state(a).cpu_is_stale());
         assert_eq!(t.gpu_ready_time(&[a]), SimTime::from_nanos(40));
+    }
+
+    #[test]
+    fn fresh_buffer_has_unknown_dirty_ranges() {
+        let mut t = BufferTable::new();
+        let a = t.register(256, SimTime::ZERO);
+        assert_eq!(t.state(a).gpu_dirty, None);
+        assert_eq!(t.state(a).host_dirty, None);
+        // Unknown ranges must be treated as whole-buffer copies.
+        assert_eq!(t.state(a).snapshot_refresh_bytes(), 1024);
+        assert_eq!(t.state(a).read_back_bytes(), 1024);
+    }
+
+    #[test]
+    fn kernel_dirty_ranges_bound_refresh_and_read_back() {
+        let mut t = BufferTable::new();
+        let a = t.register(256, SimTime::ZERO);
+        t.record_kernel_dirty(
+            a,
+            DirtyRanges::from_ranges([(0, 64), (128, 160)]),
+            DirtyRanges::from_ranges([(200, 220)]),
+        );
+        // 96 elements GPU-dirty, 20 elements host-stale (×4 bytes each).
+        assert_eq!(t.state(a).snapshot_refresh_bytes(), 384);
+        assert_eq!(t.state(a).read_back_bytes(), 80);
+        // A host write invalidates the snapshot delta but makes host and
+        // device copies agree.
+        t.record_host_write(a, SimTime::from_nanos(10), SimTime::from_nanos(40));
+        assert_eq!(t.state(a).gpu_dirty, None);
+        assert_eq!(t.state(a).host_dirty, Some(DirtyRanges::empty()));
+        assert_eq!(t.state(a).snapshot_refresh_bytes(), 1024);
+        assert_eq!(t.state(a).read_back_bytes(), 0);
+    }
+
+    #[test]
+    fn kernel_write_makes_host_staleness_unknown() {
+        let mut t = BufferTable::new();
+        let a = t.register(64, SimTime::ZERO);
+        t.record_kernel_dirty(a, DirtyRanges::empty(), DirtyRanges::empty());
+        assert_eq!(t.state(a).snapshot_refresh_bytes(), 0);
+        t.begin_kernel_write(a, 1);
+        assert_eq!(t.state(a).host_dirty, None, "in-flight writes are unknown");
+        assert_eq!(t.state(a).read_back_bytes(), 256);
+        // The snapshot delta is untouched: nothing changed the GPU copy yet.
+        assert_eq!(t.state(a).snapshot_refresh_bytes(), 0);
+    }
+
+    #[test]
+    fn dirty_byte_counts_clamp_to_the_buffer_size() {
+        let mut t = BufferTable::new();
+        let a = t.register(8, SimTime::ZERO);
+        t.record_kernel_dirty(
+            a,
+            DirtyRanges::from_ranges([(0, 1000)]),
+            DirtyRanges::from_ranges([(0, 1000)]),
+        );
+        assert_eq!(t.state(a).snapshot_refresh_bytes(), 32);
+        assert_eq!(t.state(a).read_back_bytes(), 32);
     }
 
     #[test]

@@ -27,13 +27,13 @@
 use fluidicl_des::{SimDuration, SimTime, Simulation};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_vcl::exec::{execute_groups_par, Launch};
-use fluidicl_vcl::{BufferId, ClResult, Memory};
+use fluidicl_vcl::{diff_merge_ranged, BufferId, ClError, ClResult, DirtyRanges, Memory};
 
 use crate::buffers::SnapshotPool;
 use crate::chunk::ChunkController;
 use crate::config::FluidiclConfig;
 use crate::stats::{Finisher, KernelReport};
-use crate::trace::{TraceEvent, TraceKind};
+use crate::trace::{TraceEvent, TraceKind, STATUS_MSG_BYTES};
 
 /// Inputs to one co-executed kernel launch, carrying the global timeline
 /// state the runtime threads across kernels.
@@ -105,6 +105,10 @@ struct Subkernel {
     to: u64,
     version: usize,
     duration: SimDuration,
+    /// Bytes this subkernel newly dirtied (coalesced, across all output
+    /// buffers) — its partial-transfer payload. Zero until the subkernel
+    /// completes; only maintained when dirty-range transfers are on.
+    dirty_bytes: u64,
 }
 
 pub(crate) struct Coexec<'a> {
@@ -119,6 +123,16 @@ pub(crate) struct Coexec<'a> {
     out_bytes: u64,
     out_ids: Vec<BufferId>,
     orig_snapshots: Vec<(BufferId, Vec<f32>)>,
+    // Dirty-range transfer modelling (config.dirty_range_transfers).
+    /// Whether subkernels ship only their dirty ranges (paper §4.2's data
+    /// message shrunk to what was actually written).
+    dirty_enabled: bool,
+    /// Cumulative dirty ranges of the CPU copy vs the original snapshot,
+    /// one entry per `orig_snapshots` slot; what the ranged merge walks.
+    cum_dirty: Vec<DirtyRanges>,
+    /// Total dirty payload bytes actually shipped through the hd queue —
+    /// what the merge kernel is charged for.
+    shipped_dirty_bytes: u64,
     // GPU state.
     gpu_next: u64,
     watermark: u64,
@@ -145,9 +159,6 @@ pub(crate) struct Coexec<'a> {
     subkernel_log: Vec<(u64, SimDuration)>,
     trace: Vec<TraceEvent>,
 }
-
-/// Size in bytes of a CPU→GPU execution-status message (paper §4.2).
-const STATUS_MSG_BYTES: u64 = 16;
 
 impl<'a> Coexec<'a> {
     pub(crate) fn new(input: CoexecInput<'a>) -> ClResult<Self> {
@@ -178,6 +189,8 @@ impl<'a> Coexec<'a> {
         };
         let (hd_free, dh_free) = (input.hd_free, input.dh_free);
         let cpu_launch = input.launch.clone();
+        let dirty_enabled = input.config.dirty_range_transfers;
+        let cum_dirty = vec![DirtyRanges::empty(); orig_snapshots.len()];
         Ok(Coexec {
             cpu_launch,
             total,
@@ -185,6 +198,9 @@ impl<'a> Coexec<'a> {
             out_bytes,
             out_ids,
             orig_snapshots,
+            dirty_enabled,
+            cum_dirty,
+            shipped_dirty_bytes: 0,
             gpu_next: 0,
             watermark: total,
             wave: None,
@@ -371,7 +387,14 @@ impl<'a> Coexec<'a> {
         self.record(t, TraceKind::GpuExit);
         if self.watermark < self.total {
             // CPU data arrived: run the diff-merge kernel (paper §4.3).
-            let dur = self.input.machine.gpu.merge_time(self.out_bytes);
+            // Under dirty-range transfers the merge only walks the bytes
+            // that were actually shipped, not whole output buffers.
+            let merge_bytes = if self.dirty_enabled {
+                self.shipped_dirty_bytes
+            } else {
+                self.out_bytes
+            };
+            let dur = self.input.machine.gpu.merge_time(merge_bytes);
             sim.schedule_at(t + dur, Ev::GpuMergeDone);
         } else {
             // GPU executed the entire NDRange; the merge is skipped.
@@ -396,9 +419,33 @@ impl<'a> Coexec<'a> {
         // copy is borrowed in place — no temporary clone per buffer.
         let cpu_mem: &Memory = self.input.cpu_mem;
         let gpu_mem: &mut Memory = self.input.gpu_mem;
-        for (id, orig) in &self.orig_snapshots {
+        for (j, (id, orig)) in self.orig_snapshots.iter().enumerate() {
             let cpu = cpu_mem.get(*id)?;
-            fluidicl_vcl::diff_merge(gpu_mem.get_mut(*id)?, cpu, orig);
+            let dst = gpu_mem.get_mut(*id)?;
+            if dst.len() != cpu.len() || cpu.len() != orig.len() {
+                // A mis-sized buffer mid-simulation is a protocol breach,
+                // not a programming error in the merge itself: surface it
+                // through the runtime's error path instead of panicking.
+                return Err(ClError::ProtocolViolation {
+                    kernel: self.input.launch.kernel.name().to_string(),
+                    detail: format!(
+                        "diff-merge size mismatch on buffer {}: gpu {} vs cpu {} vs original {} elements",
+                        id.0,
+                        dst.len(),
+                        cpu.len(),
+                        orig.len()
+                    ),
+                });
+            }
+            // With dirty tracking the merge walks only the ranges the CPU
+            // actually changed; `cum_dirty` is by construction exactly the
+            // set of elements where `cpu` differs from `orig`, so this is
+            // functionally identical to the full-buffer merge.
+            if self.dirty_enabled {
+                diff_merge_ranged(dst, cpu, orig, &self.cum_dirty[j])?;
+            } else {
+                fluidicl_vcl::diff_merge(dst, cpu, orig);
+            }
         }
         Ok(())
     }
@@ -451,6 +498,7 @@ impl<'a> Coexec<'a> {
             to: self.cpu_top,
             version,
             duration,
+            dirty_bytes: 0,
         });
         self.cpu_top -= k;
         sim.schedule_at(t + duration, Ev::CpuSubkernelDone { idx: idx as u32 });
@@ -476,6 +524,21 @@ impl<'a> Coexec<'a> {
             to,
             self.input.config.intra_launch_jobs,
         )?;
+        // Dirty-range capture: diff the CPU copy against the pristine
+        // original to learn exactly which elements this subkernel wrote
+        // (the same write evidence the shadowed sanitizer run produces,
+        // obtained blockwise). The diff is cumulative across subkernels,
+        // so this subkernel's payload is the newly dirtied delta.
+        let mut dirty_delta = 0u64;
+        if self.dirty_enabled {
+            for (j, (id, orig)) in self.orig_snapshots.iter().enumerate() {
+                let cur = DirtyRanges::from_diff(self.input.cpu_mem.get(*id)?, orig);
+                let prev = self.cum_dirty[j].element_count();
+                dirty_delta += 4 * cur.element_count().saturating_sub(prev) as u64;
+                self.cum_dirty[j] = cur;
+            }
+            self.subkernels[idx as usize].dirty_bytes = dirty_delta;
+        }
         let wgs = to - from;
         self.cpu_wgs_executed += wgs;
         self.subkernel_log.push((wgs, duration));
@@ -505,29 +568,48 @@ impl<'a> Coexec<'a> {
             return Ok(());
         }
         // Intermediate host copy so the next subkernel can proceed while
-        // the data is in flight (paper §5.5).
-        let copy = self.input.machine.host.copy_time(self.out_bytes);
+        // the data is in flight (paper §5.5); with dirty tracking only the
+        // newly dirtied ranges are staged.
+        let copy_bytes = if self.dirty_enabled {
+            dirty_delta
+        } else {
+            self.out_bytes
+        };
+        let copy = self.input.machine.host.copy_time(copy_bytes);
         sim.schedule_at(t + copy, Ev::CpuCopyDone { idx });
         Ok(())
     }
 
     fn on_copy_done(&mut self, sim: &mut Simulation<Ev>, t: SimTime, idx: u32) {
-        let boundary = self.subkernels[idx as usize].from;
+        let (boundary, dirty_bytes) = {
+            let sk = &self.subkernels[idx as usize];
+            (sk.from, sk.dirty_bytes)
+        };
         if self.gpu_exited_at.is_none() {
             // In-order hd queue: computed data first, then the status
             // message, so a work-group only counts as complete when its
-            // results are already on the GPU (paper §4.2).
-            let data_arrival =
-                self.hd_free.max(t) + self.input.machine.h2d.transfer_time(self.out_bytes);
+            // results are already on the GPU (paper §4.2). With dirty
+            // tracking the data message carries only the subkernel's
+            // coalesced dirty ranges.
+            let payload = if self.dirty_enabled {
+                dirty_bytes
+            } else {
+                self.out_bytes
+            };
+            let data_arrival = self.hd_free.max(t) + self.input.machine.h2d.transfer_time(payload);
             let status_arrival =
                 data_arrival + self.input.machine.h2d.transfer_time(STATUS_MSG_BYTES);
             self.hd_free = status_arrival;
-            self.hd_bytes += self.out_bytes + STATUS_MSG_BYTES;
+            self.hd_bytes += payload + STATUS_MSG_BYTES;
+            if self.dirty_enabled {
+                self.shipped_dirty_bytes += payload;
+            }
             self.record(
                 t,
                 TraceKind::HdEnqueued {
                     boundary,
-                    bytes: self.out_bytes + STATUS_MSG_BYTES,
+                    bytes: payload + STATUS_MSG_BYTES,
+                    dirty_bytes: self.dirty_enabled.then_some(dirty_bytes),
                 },
             );
             sim.schedule_at(status_arrival, Ev::StatusArrived { boundary });
@@ -592,14 +674,32 @@ impl<'a> Coexec<'a> {
             Some(tc) if tc < merge_done => (tc, Finisher::Cpu),
             _ => (merge_done, Finisher::Gpu),
         };
+        // Host-stale ranges: where the merged GPU content differs from the
+        // CPU copy — i.e. everything the GPU computed that the host does
+        // not already hold. The D2H return and the functional mirror only
+        // need these ranges. Empty when the CPU finished the whole range.
+        let stales: Vec<DirtyRanges> = if self.dirty_enabled {
+            let gpu_mem: &Memory = self.input.gpu_mem;
+            let cpu_mem: &Memory = self.input.cpu_mem;
+            self.out_ids
+                .iter()
+                .map(|id| Ok(DirtyRanges::from_diff(gpu_mem.get(*id)?, cpu_mem.get(*id)?)))
+                .collect::<ClResult<_>>()?
+        } else {
+            Vec::new()
+        };
         // Device-to-host transfers of modified buffers (paper §4.4, §5.6),
         // skipped when the CPU already holds the final data (paper §6.2).
         let (cpu_results_at, dh_free) = if finished_by == Finisher::Cpu {
             (complete_at, self.dh_free)
         } else {
             let mut t = self.dh_free.max(merge_done);
-            for id in &self.out_ids {
-                let bytes = self.input.gpu_mem.get(*id)?.len() as u64 * 4;
+            for (i, id) in self.out_ids.iter().enumerate() {
+                let bytes = if self.dirty_enabled {
+                    stales[i].byte_count()
+                } else {
+                    self.input.gpu_mem.get(*id)?.len() as u64 * 4
+                };
                 t += self.input.machine.d2h.transfer_time(bytes);
                 self.dh_bytes += bytes;
             }
@@ -607,19 +707,35 @@ impl<'a> Coexec<'a> {
         };
         // After the merge the GPU copies the out buffers into their
         // "original" scratch buffers so the next kernel can start while the
-        // device-to-host transfer proceeds (paper §5.5).
+        // device-to-host transfer proceeds (paper §5.5). With dirty
+        // tracking only the ranges this kernel actually changed (vs the
+        // still-valid snapshot) are refreshed.
+        let orig_copy_bytes = if self.dirty_enabled {
+            let mut bytes = 0u64;
+            for (id, orig) in &self.orig_snapshots {
+                bytes += DirtyRanges::from_diff(self.input.gpu_mem.get(*id)?, orig).byte_count();
+            }
+            bytes
+        } else {
+            self.out_bytes
+        };
         let orig_copy = SimDuration::from_nanos(
-            (2.0 * self.out_bytes as f64 / self.input.machine.gpu.peak_mem_bytes_per_ns()) as u64,
+            (2.0 * orig_copy_bytes as f64 / self.input.machine.gpu.peak_mem_bytes_per_ns()) as u64,
         );
         let gpu_busy_until = merge_done + orig_copy;
         // Functional epilogue: the merged GPU content is the authoritative
         // final value (identical to the CPU copy wherever both computed);
-        // mirror it into the CPU address space as the DH thread does.
+        // mirror it into the CPU address space as the DH thread does —
+        // ranged when the stale set is known, whole-buffer otherwise.
         {
             let gpu_mem: &Memory = self.input.gpu_mem;
             let cpu_mem: &mut Memory = self.input.cpu_mem;
-            for id in &self.out_ids {
-                cpu_mem.write(*id, gpu_mem.get(*id)?)?;
+            for (i, id) in self.out_ids.iter().enumerate() {
+                if self.dirty_enabled {
+                    stales[i].copy_ranges(gpu_mem.get(*id)?, cpu_mem.get_mut(*id)?);
+                } else {
+                    cpu_mem.write(*id, gpu_mem.get(*id)?)?;
+                }
             }
         }
         // The snapshots served their purpose; recycle their allocations for

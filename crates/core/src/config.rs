@@ -46,6 +46,13 @@ pub struct FluidiclConfig {
     /// the enqueue with `ClError::ProtocolViolation` if an invariant broke.
     /// On by default in debug/test builds, off in release builds.
     pub validate_protocol: bool,
+    /// Ship only the dirty (written) element ranges of each CPU subkernel
+    /// through the H2D queue instead of whole output buffers, charge the
+    /// GPU merge for the shipped bytes only, and track per-buffer dirty
+    /// ranges so snapshot refreshes and D2H read-backs copy only stale
+    /// data. Off by default so modelled timings, traces and experiment
+    /// renders stay byte-identical to the whole-buffer protocol.
+    pub dirty_range_transfers: bool,
     /// Thread budget for executing one device's work-group range (an
     /// implementation-level speedup of the *functional* executor, not part
     /// of the paper's protocol — virtual timings are unaffected). Values
@@ -67,6 +74,7 @@ impl Default for FluidiclConfig {
             location_tracking: true,
             chunk_growth_tolerance: 0.02,
             validate_protocol: cfg!(debug_assertions),
+            dirty_range_transfers: false,
             intra_launch_jobs: 1,
         }
     }
@@ -134,6 +142,14 @@ impl FluidiclConfig {
         self
     }
 
+    /// Returns a copy with dirty-range transfer modelling enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_dirty_range_transfers(mut self, enabled: bool) -> Self {
+        self.dirty_range_transfers = enabled;
+        self
+    }
+
     /// Returns a copy with a different intra-launch thread budget (values
     /// below 1 are clamped to 1).
     #[must_use]
@@ -158,6 +174,10 @@ mod tests {
         assert!(!cfg.online_profiling);
         assert!(cfg.location_tracking);
         assert_eq!(cfg.validate_protocol, cfg!(debug_assertions));
+        assert!(
+            !cfg.dirty_range_transfers,
+            "dirty-range transfer modelling is opt-in"
+        );
         assert_eq!(cfg.intra_launch_jobs, 1, "parallel execution is opt-in");
     }
 
@@ -171,6 +191,7 @@ mod tests {
             .with_online_profiling(true)
             .with_location_tracking(false)
             .with_validate_protocol(true)
+            .with_dirty_range_transfers(true)
             .with_intra_launch_jobs(0);
         assert_eq!(cfg.initial_chunk_pct, 10.0);
         assert_eq!(cfg.step_pct, 0.0);
@@ -180,6 +201,7 @@ mod tests {
         assert!(cfg.online_profiling);
         assert!(!cfg.location_tracking);
         assert!(cfg.validate_protocol);
+        assert!(cfg.dirty_range_transfers);
         assert_eq!(cfg.intra_launch_jobs, 1, "zero is clamped to sequential");
     }
 

@@ -46,4 +46,4 @@ pub use config::FluidiclConfig;
 pub use lint::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use runtime::Fluidicl;
 pub use stats::{Finisher, KernelReport, RuntimeSummary};
-pub use trace::{render_lanes, render_timeline, TraceEvent, TraceKind};
+pub use trace::{render_lanes, render_timeline, TraceEvent, TraceKind, STATUS_MSG_BYTES};

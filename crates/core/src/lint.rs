@@ -18,7 +18,10 @@
 //!   (§4.2, Fig. 7), one in flight at a time;
 //! * GPU-executed ranges and the CPU-merged region together **cover**
 //!   `[0, total)` — no work-group is lost (§4.3);
-//! * exactly one **exit → merge → complete** sequence, in order (§4.3–4.4).
+//! * exactly one **exit → merge → complete** sequence, in order (§4.3–4.4);
+//! * under dirty-range transfers, every enqueued transfer ships exactly
+//!   its **coalesced dirty payload plus the status message** — no
+//!   over- or under-shipping.
 //!
 //! [`lint_trace`] checks a bare event log; [`lint_report`] additionally
 //! cross-checks the log against the [`KernelReport`] counters. The runtime
@@ -32,7 +35,7 @@ use std::fmt;
 use fluidicl_des::SimTime;
 
 use crate::stats::{Finisher, KernelReport};
-use crate::trace::{TraceEvent, TraceKind};
+use crate::trace::{TraceEvent, TraceKind, STATUS_MSG_BYTES};
 
 /// How bad a lint finding is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -321,7 +324,25 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                     ));
                 }
             },
-            TraceKind::HdEnqueued { boundary, .. } => {
+            TraceKind::HdEnqueued {
+                boundary,
+                bytes,
+                dirty_bytes,
+            } => {
+                // Byte accounting under dirty-range transfers: the data
+                // message is exactly the coalesced dirty payload, followed
+                // by the fixed-size status message.
+                if let Some(d) = dirty_bytes {
+                    if *bytes != d + STATUS_MSG_BYTES {
+                        out.push(LintDiagnostic::error(
+                            "transfer-bytes",
+                            format!(
+                                "transfer (boundary {boundary}) ships {bytes} B but its dirty \
+                                 payload is {d} B + {STATUS_MSG_BYTES} B status"
+                            ),
+                        ));
+                    }
+                }
                 if exited {
                     out.push(LintDiagnostic::error(
                         "data-before-status",
@@ -496,6 +517,7 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
     let mut gpu_executed = 0u64;
     let mut cpu_executed = 0u64;
     let mut subkernel_starts = 0u64;
+    let mut trace_hd_bytes = 0u64;
     let mut final_watermark = report.total_wgs;
     let mut complete: Option<(SimTime, Finisher)> = None;
     let mut trace_total: Option<u64> = None;
@@ -515,6 +537,7 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
             } => gpu_executed += executed_to.saturating_sub(*from),
             TraceKind::CpuSubkernelStart { .. } => subkernel_starts += 1,
             TraceKind::CpuSubkernelDone { from, to } => cpu_executed += to - from,
+            TraceKind::HdEnqueued { bytes, .. } => trace_hd_bytes += bytes,
             TraceKind::StatusArrived { boundary } => {
                 final_watermark = final_watermark.min(*boundary);
             }
@@ -551,6 +574,7 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
         report.cpu_merged_wgs,
     );
     mismatch("subkernels", subkernel_starts, report.subkernels);
+    mismatch("hd bytes", trace_hd_bytes, report.hd_bytes);
     if let Some((at, finisher)) = complete {
         if at != report.complete_at || finisher != report.finished_by {
             out.push(LintDiagnostic::error(
@@ -596,6 +620,7 @@ mod tests {
                 TraceKind::HdEnqueued {
                     boundary: 3,
                     bytes: 64,
+                    dirty_bytes: None,
                 },
             ),
             ev(
@@ -622,6 +647,7 @@ mod tests {
                 TraceKind::HdEnqueued {
                     boundary: 2,
                     bytes: 64,
+                    dirty_bytes: None,
                 },
             ),
             ev(
@@ -805,6 +831,41 @@ mod tests {
         }
         let diags = lint_trace(&t);
         assert!(diags.iter().any(|d| d.rule == "completion"), "{diags:?}");
+    }
+
+    #[test]
+    fn consistent_dirty_byte_accounting_is_clean() {
+        let mut t = legal_trace();
+        for e in &mut t {
+            if let TraceKind::HdEnqueued {
+                bytes, dirty_bytes, ..
+            } = &mut e.kind
+            {
+                *dirty_bytes = Some(48);
+                *bytes = 48 + STATUS_MSG_BYTES;
+            }
+        }
+        assert_eq!(lint_trace(&t), vec![]);
+    }
+
+    #[test]
+    fn over_shipped_transfer_is_flagged() {
+        let mut t = legal_trace();
+        for e in &mut t {
+            if let TraceKind::HdEnqueued {
+                bytes, dirty_bytes, ..
+            } = &mut e.kind
+            {
+                // Claims 32 dirty bytes but ships a 64 B payload.
+                *dirty_bytes = Some(32);
+                *bytes = 64 + STATUS_MSG_BYTES;
+            }
+        }
+        let diags = lint_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.rule == "transfer-bytes"),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@
 use fluidicl_des::{SimDuration, SimTime};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_vcl::exec::Launch;
-use fluidicl_vcl::{BufferId, ClDriver, ClError, ClResult, KernelArg, Memory, NdRange, Program};
+use fluidicl_vcl::{
+    BufferId, ClDriver, ClError, ClResult, DirtyRanges, KernelArg, Memory, NdRange, Program,
+};
 
 use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
 use crate::coexec::{Coexec, CoexecInput};
@@ -128,6 +130,14 @@ impl Fluidicl {
             let state = self.buffers.state(*id);
             let len = state.len;
             let bytes = state.bytes();
+            let snapshot_current = state.orig_snapshot_current;
+            // Under dirty-range transfers a stale snapshot only re-copies
+            // the ranges the GPU copy changed since the last refresh.
+            let refresh_bytes = if self.config.dirty_range_transfers {
+                state.snapshot_refresh_bytes()
+            } else {
+                bytes
+            };
             // Two scratch buffers per modified buffer: the CPU-data landing
             // area and the pristine original (paper §4.1).
             for _ in 0..2 {
@@ -137,8 +147,8 @@ impl Fluidicl {
             }
             // Snapshot the original on the GPU unless the previous kernel's
             // end-of-kernel copy already did (paper §5.5).
-            if !state.orig_snapshot_current {
-                let copy_ns = 2.0 * bytes as f64 / self.machine.gpu.peak_mem_bytes_per_ns();
+            if !snapshot_current {
+                let copy_ns = 2.0 * refresh_bytes as f64 / self.machine.gpu.peak_mem_bytes_per_ns();
                 cost += SimDuration::from_nanos(copy_ns as u64);
             }
         }
@@ -249,6 +259,13 @@ impl ClDriver for Fluidicl {
             // The end-of-kernel copy refreshed the original snapshot
             // (paper §5.5).
             self.buffers.state_mut(*id).orig_snapshot_current = true;
+            if self.config.dirty_range_transfers {
+                // The epilogue just refreshed the snapshot and the return
+                // path (D2H thread or CPU finish, §4.4) brought the host
+                // copy current, so both dirty sets collapse to empty.
+                self.buffers
+                    .record_kernel_dirty(*id, DirtyRanges::empty(), DirtyRanges::empty());
+            }
         }
         self.release_scratch(&out_ids);
         self.reports.push(outcome.report);
@@ -269,7 +286,13 @@ impl ClDriver for Fluidicl {
             Ok(data)
         } else {
             let data = self.gpu_mem.get(id)?.to_vec();
-            let bytes = data.len() as u64 * 4;
+            // Under dirty-range transfers only the ranges where the host
+            // copy is stale cross the link; the rest is already resident.
+            let bytes = if self.config.dirty_range_transfers {
+                state.read_back_bytes()
+            } else {
+                data.len() as u64 * 4
+            };
             let start = self.host_clock.max(state.gpu_ready_at).max(self.dh_free);
             let arrival = start + self.machine.d2h.transfer_time(bytes);
             self.dh_free = arrival;
@@ -523,6 +546,69 @@ mod tests {
             "parallel execution must be byte-identical"
         );
         assert_eq!(t_seq, t_par, "virtual time must not see the thread count");
+    }
+
+    #[test]
+    fn dirty_range_transfers_cut_bytes_and_preserve_results() {
+        // A kernel that writes only the first half of its output: the
+        // dirty-range protocol should ship roughly half the H2D payload.
+        let half_program = || {
+            let mut p = Program::new();
+            p.register(KernelDef::new(
+                "halfscale",
+                vec![
+                    ArgSpec::new("src", ArgRole::In),
+                    ArgSpec::new("dst", ArgRole::Out),
+                ],
+                KernelProfile::new("halfscale")
+                    .flops_per_item(4.0)
+                    .bytes_read_per_item(4.0)
+                    .bytes_written_per_item(2.0),
+                |item, _, ins, outs| {
+                    let i = item.global_linear();
+                    let half = outs.at(0).len() / 2;
+                    if i < half {
+                        outs.at(0)[i] = 2.0 * ins.get(0)[i] + 1.0;
+                    }
+                },
+            ));
+            p
+        };
+        let run = |dirty: bool| {
+            let mut rt = Fluidicl::new(
+                MachineConfig::paper_testbed(),
+                FluidiclConfig::default()
+                    .with_validate_protocol(true)
+                    .with_dirty_range_transfers(dirty),
+                half_program(),
+            );
+            let n = 1 << 15;
+            let a = rt.create_buffer(n);
+            let b = rt.create_buffer(n);
+            rt.write_buffer(a, &vec![1.0; n]).unwrap();
+            for _ in 0..2 {
+                rt.enqueue_kernel(
+                    "halfscale",
+                    NdRange::d1(n, 64).unwrap(),
+                    &[KernelArg::Buffer(a), KernelArg::Buffer(b)],
+                )
+                .unwrap();
+            }
+            let hd: u64 = rt.reports().iter().map(|r| r.hd_bytes).sum();
+            (rt.read_buffer(b).unwrap(), rt.elapsed(), hd)
+        };
+        let (full_v, full_t, full_hd) = run(false);
+        let (dirty_v, dirty_t, dirty_hd) = run(true);
+        assert_eq!(
+            full_v.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            dirty_v.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "dirty-range transfers must not change functional results"
+        );
+        assert!(
+            dirty_hd < full_hd,
+            "partial writes must ship fewer H2D bytes ({dirty_hd} vs {full_hd})"
+        );
+        assert!(dirty_t <= full_t, "shipping less must never slow the model");
     }
 
     #[test]

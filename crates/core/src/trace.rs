@@ -12,6 +12,12 @@ use fluidicl_des::SimTime;
 
 use crate::stats::Finisher;
 
+/// Size of the completion-status message sent after each subkernel's data
+/// (paper §4.2: subkernel number + boundary). Shared by the coexec engine
+/// (which charges it per H2D send) and the protocol linter (which checks
+/// transferred bytes against dirty payload + status).
+pub const STATUS_MSG_BYTES: u64 = 16;
+
 /// One protocol event of a co-executed kernel.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceKind {
@@ -76,6 +82,10 @@ pub enum TraceKind {
         boundary: u64,
         /// Payload size in bytes.
         bytes: u64,
+        /// Coalesced dirty payload in bytes when dirty-range transfers
+        /// are on (`bytes` must equal this plus [`STATUS_MSG_BYTES`]);
+        /// `None` under the whole-buffer protocol.
+        dirty_bytes: Option<u64>,
     },
     /// A status message reached the GPU: everything at or above `boundary`
     /// is now CPU-complete *and* resident on the GPU (paper §4.2).
@@ -125,12 +135,22 @@ impl fmt::Display for TraceKind {
             TraceKind::CpuSubkernelDone { from, to } => {
                 write!(f, "[cpu] subkernel {from}..{to} done")
             }
-            TraceKind::HdEnqueued { boundary, bytes } => {
-                write!(
+            TraceKind::HdEnqueued {
+                boundary,
+                bytes,
+                dirty_bytes,
+            } => match dirty_bytes {
+                // No dirty accounting: render exactly the whole-buffer
+                // protocol line so gate-off traces stay byte-identical.
+                None => write!(
                     f,
                     "[hd ] data+status enqueued (boundary {boundary}, {bytes} B)"
-                )
-            }
+                ),
+                Some(d) => write!(
+                    f,
+                    "[hd ] data+status enqueued (boundary {boundary}, {bytes} B, dirty {d} B)"
+                ),
+            },
             TraceKind::StatusArrived { boundary } => {
                 write!(f, "[hd ] status arrived: watermark -> {boundary}")
             }
@@ -281,6 +301,12 @@ mod tests {
             TraceKind::HdEnqueued {
                 boundary: 200,
                 bytes: 4096,
+                dirty_bytes: None,
+            },
+            TraceKind::HdEnqueued {
+                boundary: 200,
+                bytes: 4096 + STATUS_MSG_BYTES,
+                dirty_bytes: Some(4096),
             },
             TraceKind::StatusArrived { boundary: 200 },
             TraceKind::KernelComplete {
@@ -290,6 +316,30 @@ mod tests {
         for k in kinds {
             assert!(!k.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn hd_enqueued_renders_identically_without_dirty_accounting() {
+        // The gate-off line must stay byte-identical to the historical
+        // whole-buffer protocol rendering.
+        let off = TraceKind::HdEnqueued {
+            boundary: 3,
+            bytes: 80,
+            dirty_bytes: None,
+        };
+        assert_eq!(
+            off.to_string(),
+            "[hd ] data+status enqueued (boundary 3, 80 B)"
+        );
+        let on = TraceKind::HdEnqueued {
+            boundary: 3,
+            bytes: 48 + STATUS_MSG_BYTES,
+            dirty_bytes: Some(48),
+        };
+        assert_eq!(
+            on.to_string(),
+            "[hd ] data+status enqueued (boundary 3, 64 B, dirty 48 B)"
+        );
     }
 
     #[test]
@@ -320,6 +370,7 @@ mod tests {
                 TraceKind::HdEnqueued {
                     boundary: 8,
                     bytes: 64,
+                    dirty_bytes: None,
                 },
             ),
             ev(200, TraceKind::GpuLaunch),

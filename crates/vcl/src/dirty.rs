@@ -1,0 +1,325 @@
+//! Dirty element ranges.
+//!
+//! FluidiCL only needs to ship the elements a CPU subkernel actually
+//! wrote (paper §4.2): everything else is bit-identical to the pristine
+//! original on both devices. [`DirtyRanges`] is the repo-wide currency
+//! for "which elements changed": a sorted, coalesced set of half-open
+//! element ranges, cheap to union/intersect and to turn into a byte
+//! count for transfer costing. Ranges come from three sources — the
+//! sanitizer's per-group [`WriteMap`]s, explicit index streams, and
+//! blockwise buffer diffs ([`DirtyRanges::from_diff`]).
+
+use crate::access::WriteMap;
+
+/// A sorted, coalesced set of half-open `[start, end)` element ranges.
+///
+/// Invariants: ranges are sorted by start, non-empty, non-overlapping
+/// and non-adjacent (touching ranges are merged on construction), so
+/// equality of two `DirtyRanges` is equality of the element sets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirtyRanges {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl DirtyRanges {
+    /// The empty set: nothing dirty.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The full buffer `[0, len)` (empty when `len == 0`).
+    pub fn full(len: usize) -> Self {
+        if len == 0 {
+            Self::empty()
+        } else {
+            Self {
+                ranges: vec![(0, len)],
+            }
+        }
+    }
+
+    /// Builds from arbitrary `(start, end)` ranges in any order; empty,
+    /// overlapping and adjacent input ranges are normalised away.
+    pub fn from_ranges(iter: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut v: Vec<(usize, usize)> = iter.into_iter().filter(|(s, e)| s < e).collect();
+        v.sort_unstable();
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(v.len());
+        for (s, e) in v {
+            match ranges.last_mut() {
+                Some((_, last_end)) if s <= *last_end => *last_end = (*last_end).max(e),
+                _ => ranges.push((s, e)),
+            }
+        }
+        Self { ranges }
+    }
+
+    /// Builds from single element indices in any order (duplicates fine).
+    pub fn from_indices(iter: impl IntoIterator<Item = usize>) -> Self {
+        Self::from_ranges(iter.into_iter().map(|i| (i, i + 1)))
+    }
+
+    /// Builds from a sanitizer write map (element index → written bits).
+    ///
+    /// `BTreeMap` keys are already sorted, so this is a single coalescing
+    /// pass over the map.
+    pub fn from_write_map(map: &WriteMap) -> Self {
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        for &i in map.keys() {
+            match ranges.last_mut() {
+                Some((_, end)) if *end == i => *end += 1,
+                _ => ranges.push((i, i + 1)),
+            }
+        }
+        Self { ranges }
+    }
+
+    /// The ranges where `a` and `b` differ bitwise.
+    ///
+    /// This is the capture primitive coexec uses to learn what a CPU
+    /// subkernel wrote: diff the device copy against the pristine
+    /// original. The scan compares eight `f32`s at a time as `u32` bit
+    /// blocks (clean blocks are skipped without per-element branches)
+    /// with a scalar tail, mirroring [`diff_merge_ranged`]'s walk.
+    ///
+    /// [`diff_merge_ranged`]: crate::memory::diff_merge_ranged
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_diff(a: &[f32], b: &[f32]) -> Self {
+        assert_eq!(a.len(), b.len(), "from_diff requires equally sized buffers");
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let push = |ranges: &mut Vec<(usize, usize)>, i: usize| match ranges.last_mut() {
+            Some((_, end)) if *end == i => *end += 1,
+            _ => ranges.push((i, i + 1)),
+        };
+        let mut ac = a.chunks_exact(8);
+        let mut bc = b.chunks_exact(8);
+        let mut base = 0usize;
+        for (ab, bb) in (&mut ac).zip(&mut bc) {
+            let mut diff = 0u32;
+            for (x, y) in ab.iter().zip(bb) {
+                diff |= x.to_bits() ^ y.to_bits();
+            }
+            if diff != 0 {
+                for (k, (x, y)) in ab.iter().zip(bb).enumerate() {
+                    if x.to_bits() != y.to_bits() {
+                        push(&mut ranges, base + k);
+                    }
+                }
+            }
+            base += 8;
+        }
+        for (k, (x, y)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                push(&mut ranges, base + k);
+            }
+        }
+        Self { ranges }
+    }
+
+    /// Adds `[start, end)` to the set (no-op when `start >= end`).
+    pub fn insert(&mut self, start: usize, end: usize) {
+        if start >= end {
+            return;
+        }
+        *self = self.union(&Self {
+            ranges: vec![(start, end)],
+        });
+    }
+
+    /// Set union, preserving the coalesced invariants.
+    pub fn union(&self, other: &Self) -> Self {
+        Self::from_ranges(
+            self.ranges
+                .iter()
+                .chain(other.ranges.iter())
+                .copied()
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Set intersection (two-pointer walk over both sorted lists).
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut ranges = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (as_, ae) = self.ranges[i];
+            let (bs, be) = other.ranges[j];
+            let s = as_.max(bs);
+            let e = ae.min(be);
+            if s < e {
+                ranges.push((s, e));
+            }
+            if ae <= be {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Self { ranges }
+    }
+
+    /// Total number of dirty elements.
+    pub fn element_count(&self) -> usize {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Total dirty bytes (`f32` elements, 4 bytes each) — the transfer
+    /// payload a partial CPU→GPU shipment of this set would move.
+    pub fn byte_count(&self) -> u64 {
+        self.element_count() as u64 * 4
+    }
+
+    /// Whether no element is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Whether the set is exactly `[0, len)`.
+    pub fn is_full(&self, len: usize) -> bool {
+        *self == Self::full(len)
+    }
+
+    /// One past the highest dirty index (0 when empty).
+    pub fn bound(&self) -> usize {
+        self.ranges.last().map_or(0, |&(_, e)| e)
+    }
+
+    /// Number of coalesced ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether `idx` is dirty.
+    pub fn contains(&self, idx: usize) -> bool {
+        self.ranges
+            .binary_search_by(|&(s, e)| {
+                if idx < s {
+                    std::cmp::Ordering::Greater
+                } else if idx >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Iterates the coalesced `(start, end)` ranges in order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// The coalesced ranges as a slice.
+    pub fn as_slice(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Copies `src[s..e]` into `dst[s..e]` for every dirty range — the
+    /// partial-mirror primitive for refreshing a stale copy without
+    /// touching clean elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` and `src` differ in length or a range exceeds it.
+    pub fn copy_ranges(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(
+            src.len(),
+            dst.len(),
+            "copy_ranges requires equally sized buffers"
+        );
+        for &(s, e) in &self.ranges {
+            dst[s..e].copy_from_slice(&src[s..e]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_coalesces_any_order() {
+        let a = DirtyRanges::from_ranges([(4, 6), (0, 2), (2, 4), (10, 12)]);
+        assert_eq!(a.as_slice(), &[(0, 6), (10, 12)]);
+        let b = DirtyRanges::from_ranges([(10, 12), (0, 6)]);
+        assert_eq!(a, b, "order-independent");
+        assert_eq!(a.union(&a), a, "idempotent");
+        assert_eq!(a.element_count(), 8);
+        assert_eq!(a.byte_count(), 32);
+        assert_eq!(a.bound(), 12);
+    }
+
+    #[test]
+    fn from_indices_merges_adjacent_and_duplicates() {
+        let r = DirtyRanges::from_indices([3, 1, 2, 2, 7]);
+        assert_eq!(r.as_slice(), &[(1, 4), (7, 8)]);
+        assert!(r.contains(3));
+        assert!(!r.contains(4));
+        assert!(!r.contains(0));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert!(DirtyRanges::empty().is_empty());
+        assert!(DirtyRanges::full(0).is_empty());
+        let f = DirtyRanges::full(5);
+        assert!(f.is_full(5));
+        assert!(!f.is_full(6));
+        assert_eq!(f.element_count(), 5);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a = DirtyRanges::from_ranges([(0, 4), (8, 12)]);
+        let b = DirtyRanges::from_ranges([(2, 9), (20, 22)]);
+        assert_eq!(a.union(&b).as_slice(), &[(0, 12), (20, 22)]);
+        assert_eq!(a.intersect(&b).as_slice(), &[(2, 4), (8, 9)]);
+        assert_eq!(a.intersect(&DirtyRanges::empty()), DirtyRanges::empty());
+        assert_eq!(a.union(&DirtyRanges::empty()), a);
+    }
+
+    #[test]
+    fn insert_extends_in_place() {
+        let mut r = DirtyRanges::empty();
+        r.insert(4, 6);
+        r.insert(0, 2);
+        r.insert(2, 4); // bridges the gap
+        r.insert(9, 9); // empty: no-op
+        assert_eq!(r.as_slice(), &[(0, 6)]);
+    }
+
+    #[test]
+    fn from_write_map_coalesces_sorted_keys() {
+        let mut map = WriteMap::new();
+        for i in [5usize, 6, 7, 12] {
+            map.insert(i, 1.0f32.to_bits());
+        }
+        let r = DirtyRanges::from_write_map(&map);
+        assert_eq!(r.as_slice(), &[(5, 8), (12, 13)]);
+    }
+
+    #[test]
+    fn from_diff_finds_bitwise_differences() {
+        let a: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let mut b = a.clone();
+        b[3] = -3.0;
+        b[4] = -4.0;
+        b[17] = 0.5; // in the scalar tail
+        let r = DirtyRanges::from_diff(&a, &b);
+        assert_eq!(r.as_slice(), &[(3, 5), (17, 18)]);
+        assert_eq!(DirtyRanges::from_diff(&a, &a), DirtyRanges::empty());
+        // -0.0 vs 0.0 and distinct NaN payloads are bitwise diffs.
+        let r2 = DirtyRanges::from_diff(&[0.0], &[-0.0]);
+        assert_eq!(r2.as_slice(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn copy_ranges_mirrors_only_dirty_spans() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut dst = [0.0; 5];
+        DirtyRanges::from_ranges([(1, 3), (4, 5)]).copy_ranges(&src, &mut dst);
+        assert_eq!(dst, [0.0, 2.0, 3.0, 0.0, 5.0]);
+    }
+}

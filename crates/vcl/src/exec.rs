@@ -578,13 +578,7 @@ mod tests {
         let mut par_mem = seq_mem.clone();
         let nd = NdRange::d1(32, 4).unwrap();
         let args = vec![KernelArg::Buffer(BufferId(3))];
-        execute_groups(
-            &Launch::new(mk(), nd, args.clone()),
-            &mut seq_mem,
-            0,
-            8,
-        )
-        .unwrap();
+        execute_groups(&Launch::new(mk(), nd, args.clone()), &mut seq_mem, 0, 8).unwrap();
         execute_groups_par(&Launch::new(mk(), nd, args), &mut par_mem, 0, 8, 4).unwrap();
         assert_eq!(
             seq_mem.get(BufferId(3)).unwrap(),

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod dirty;
 mod driver;
 mod error;
 pub mod exec;
@@ -38,6 +39,7 @@ mod queue;
 mod single;
 
 pub use access::{execute_groups_shadowed, AccessRecord, WriteMap};
+pub use dirty::DirtyRanges;
 pub use driver::{ClDriver, DeviceKind};
 pub use error::{ClError, ClResult};
 pub use exec::{execute_groups_par, Launch, LaunchPlan};
@@ -45,7 +47,7 @@ pub use kernel::{
     ArgRole, ArgSpec, Inputs, KernelArg, KernelBody, KernelDef, KernelVersion, Outputs, Program,
     Scalars,
 };
-pub use memory::{diff_merge, BufferId, Memory};
+pub use memory::{diff_merge, diff_merge_ranged, BufferId, Memory};
 pub use ndrange::{NdRange, WorkItem};
 pub use queue::{CommandQueue, Event, Platform};
 pub use single::SingleDeviceRuntime;

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use crate::dirty::DirtyRanges;
 use crate::{ClError, ClResult};
 
 /// Handle identifying a logical buffer across address spaces.
@@ -120,6 +121,41 @@ impl Memory {
         Ok(())
     }
 
+    /// Ranged variant of [`copy_into`](Self::copy_into): refreshes only
+    /// the given dirty ranges when `dst` already mirrors the buffer (same
+    /// length), and falls back to a full copy otherwise — e.g. when `dst`
+    /// is a freshly acquired (empty) pool vector.
+    ///
+    /// This is the partial `orig_snapshot` refresh primitive: a snapshot
+    /// that is stale only in known ranges is brought current without
+    /// re-copying the clean elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if `id` was never allocated
+    /// here, or [`ClError::SizeMismatch`] if a range exceeds the buffer.
+    pub fn copy_into_ranged(
+        &self,
+        id: BufferId,
+        dst: &mut Vec<f32>,
+        ranges: &DirtyRanges,
+    ) -> ClResult<()> {
+        let src = self.get(id)?;
+        if ranges.bound() > src.len() {
+            return Err(ClError::SizeMismatch {
+                expected: src.len(),
+                got: ranges.bound(),
+            });
+        }
+        if dst.len() != src.len() {
+            dst.clear();
+            dst.extend_from_slice(src);
+        } else {
+            ranges.copy_ranges(src, dst);
+        }
+        Ok(())
+    }
+
     /// Length in elements of a buffer.
     ///
     /// # Errors
@@ -154,7 +190,8 @@ impl Memory {
 /// CPU value overwrites the destination (the GPU buffer).
 ///
 /// Comparison is on bit patterns so `NaN`s and signed zeros behave like the
-/// byte comparison the paper performs.
+/// byte comparison the paper performs. This is the `ranges == full` special
+/// case of [`diff_merge_ranged`], sharing its blockwise compare.
 ///
 /// # Panics
 ///
@@ -164,9 +201,76 @@ pub fn diff_merge(dst_gpu: &mut [f32], cpu: &[f32], original: &[f32]) {
         dst_gpu.len() == cpu.len() && cpu.len() == original.len(),
         "diff_merge requires equally sized buffers"
     );
-    for ((d, &c), &o) in dst_gpu.iter_mut().zip(cpu).zip(original) {
-        if c.to_bits() != o.to_bits() {
-            *d = c;
+    merge_span(dst_gpu, cpu, original);
+}
+
+/// Ranged diff-merge: like [`diff_merge`] but walks only the given dirty
+/// ranges, skipping elements known to be clean entirely. With
+/// `ranges == DirtyRanges::full(len)` it is exactly the full merge.
+///
+/// # Errors
+///
+/// Returns [`ClError::SizeMismatch`] if the three slices differ in length
+/// or a range exceeds them (the fallible twin of [`diff_merge`]'s panic,
+/// for callers mid-simulation that must surface a proper error).
+pub fn diff_merge_ranged(
+    dst_gpu: &mut [f32],
+    cpu: &[f32],
+    original: &[f32],
+    ranges: &DirtyRanges,
+) -> ClResult<()> {
+    if dst_gpu.len() != cpu.len() || cpu.len() != original.len() {
+        let got = if cpu.len() != dst_gpu.len() {
+            cpu.len()
+        } else {
+            original.len()
+        };
+        return Err(ClError::SizeMismatch {
+            expected: dst_gpu.len(),
+            got,
+        });
+    }
+    if ranges.bound() > dst_gpu.len() {
+        return Err(ClError::SizeMismatch {
+            expected: dst_gpu.len(),
+            got: ranges.bound(),
+        });
+    }
+    for (s, e) in ranges.iter() {
+        merge_span(&mut dst_gpu[s..e], &cpu[s..e], &original[s..e]);
+    }
+    Ok(())
+}
+
+/// Blockwise merge over one span: compares eight `f32`s at a time as
+/// `u32` bit blocks (OR-reduced XOR), descending to per-element copies
+/// only inside blocks that actually differ, with a scalar tail. Callers
+/// guarantee equal lengths.
+fn merge_span(dst: &mut [f32], cpu: &[f32], original: &[f32]) {
+    let mut d = dst.chunks_exact_mut(8);
+    let mut c = cpu.chunks_exact(8);
+    let mut o = original.chunks_exact(8);
+    for ((db, cb), ob) in (&mut d).zip(&mut c).zip(&mut o) {
+        let mut diff = 0u32;
+        for (cv, ov) in cb.iter().zip(ob) {
+            diff |= cv.to_bits() ^ ov.to_bits();
+        }
+        if diff != 0 {
+            for ((dv, cv), ov) in db.iter_mut().zip(cb).zip(ob) {
+                if cv.to_bits() != ov.to_bits() {
+                    *dv = *cv;
+                }
+            }
+        }
+    }
+    for ((dv, cv), ov) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(c.remainder())
+        .zip(o.remainder())
+    {
+        if cv.to_bits() != ov.to_bits() {
+            *dv = *cv;
         }
     }
 }
@@ -288,5 +392,74 @@ mod tests {
     fn diff_merge_rejects_mismatched_lengths() {
         let mut d = [0.0f32; 2];
         diff_merge(&mut d, &[0.0; 2], &[0.0; 3]);
+    }
+
+    #[test]
+    fn diff_merge_ranged_full_matches_diff_merge() {
+        let len = 37; // exercises blocks and the scalar tail
+        let original: Vec<f32> = (0..len).map(|i| i as f32).collect();
+        let mut cpu = original.clone();
+        for i in (0..len).step_by(3) {
+            cpu[i] = -(i as f32) - 0.5;
+        }
+        let mut full = original.clone();
+        diff_merge(&mut full, &cpu, &original);
+        let mut ranged = original.clone();
+        diff_merge_ranged(&mut ranged, &cpu, &original, &DirtyRanges::full(len)).unwrap();
+        assert_eq!(full, ranged);
+    }
+
+    #[test]
+    fn diff_merge_ranged_touches_dirty_ranges_only() {
+        let original = [0.0f32; 8];
+        let cpu = [1.0f32; 8]; // every element differs from the original
+        let mut gpu = [9.0f32; 8];
+        let ranges = DirtyRanges::from_ranges([(2, 4), (6, 7)]);
+        diff_merge_ranged(&mut gpu, &cpu, &original, &ranges).unwrap();
+        assert_eq!(gpu, [9.0, 9.0, 1.0, 1.0, 9.0, 9.0, 1.0, 9.0]);
+    }
+
+    #[test]
+    fn diff_merge_ranged_reports_size_mismatches() {
+        let mut d = [0.0f32; 2];
+        assert_eq!(
+            diff_merge_ranged(&mut d, &[0.0; 2], &[0.0; 3], &DirtyRanges::empty()),
+            Err(ClError::SizeMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+        assert_eq!(
+            diff_merge_ranged(&mut d, &[0.0; 2], &[0.0; 2], &DirtyRanges::full(4)),
+            Err(ClError::SizeMismatch {
+                expected: 2,
+                got: 4
+            })
+        );
+    }
+
+    #[test]
+    fn copy_into_ranged_refreshes_stale_spans() {
+        let mut m = Memory::new();
+        let id = BufferId(1);
+        m.install(id, vec![1.0, 2.0, 3.0, 4.0]);
+        // Same length: only the dirty span is refreshed.
+        let mut snap = vec![9.0; 4];
+        m.copy_into_ranged(id, &mut snap, &DirtyRanges::from_ranges([(1, 3)]))
+            .unwrap();
+        assert_eq!(snap, vec![9.0, 2.0, 3.0, 9.0]);
+        // Length mismatch (fresh pool vec): falls back to a full copy.
+        let mut fresh = Vec::new();
+        m.copy_into_ranged(id, &mut fresh, &DirtyRanges::empty())
+            .unwrap();
+        assert_eq!(fresh, vec![1.0, 2.0, 3.0, 4.0]);
+        // Out-of-bounds range is an error.
+        assert_eq!(
+            m.copy_into_ranged(id, &mut snap, &DirtyRanges::full(9)),
+            Err(ClError::SizeMismatch {
+                expected: 4,
+                got: 9
+            })
+        );
     }
 }

@@ -236,3 +236,75 @@ fn diff_merge_identity_and_idempotence() {
         assert_eq!(gpu, once);
     }
 }
+
+/// Ranged merge over any superset of the true dirty set equals the full
+/// merge bit-for-bit — the equivalence the dirty-range protocol rests on.
+#[test]
+fn ranged_merge_over_covering_ranges_equals_full_merge() {
+    use fluidicl_vcl::{diff_merge_ranged, DirtyRanges};
+    let mut rng = SplitMix64::new(0x7C57);
+    for _ in 0..CASES {
+        let len = rng.range_usize(1, 300);
+        let orig: Vec<f32> = (0..len).map(|_| rng.range_f32(-50.0, 50.0)).collect();
+        let cpu: Vec<f32> = orig
+            .iter()
+            .map(|v| if rng.next_bool() { v * 1.5 + 0.25 } else { *v })
+            .collect();
+        let gpu0: Vec<f32> = orig.iter().map(|v| v - 2.0).collect();
+
+        let mut full = gpu0.clone();
+        diff_merge(&mut full, &cpu, &orig);
+        let want: Vec<u32> = full.iter().map(|v| v.to_bits()).collect();
+
+        // The exact dirty set suffices...
+        let exact = DirtyRanges::from_diff(&cpu, &orig);
+        let mut ranged = gpu0.clone();
+        diff_merge_ranged(&mut ranged, &cpu, &orig, &exact).expect("exact");
+        assert_eq!(ranged.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), want);
+
+        // ...and so does any superset (extra clean ranges merge nothing).
+        let extra = DirtyRanges::from_ranges((0..rng.range_usize(1, 5)).filter_map(|_| {
+            let s = rng.range_usize(0, len);
+            let e = (s + rng.range_usize(1, 24)).min(len);
+            (s < e).then_some((s, e))
+        }));
+        let superset = exact.union(&extra);
+        let mut ranged = gpu0.clone();
+        diff_merge_ranged(&mut ranged, &cpu, &orig, &superset).expect("superset");
+        assert_eq!(ranged.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), want);
+    }
+}
+
+/// Coalescing algebra: building from ranges is order-independent,
+/// idempotent, and agrees with building from the individual indices.
+#[test]
+fn dirty_range_coalescing_is_canonical() {
+    use fluidicl_vcl::DirtyRanges;
+    let mut rng = SplitMix64::new(0x7C58);
+    for _ in 0..CASES {
+        let len = rng.range_usize(8, 400);
+        let raw: Vec<(usize, usize)> = (0..rng.range_usize(1, 12))
+            .filter_map(|_| {
+                let s = rng.range_usize(0, len);
+                let e = (s + rng.range_usize(1, 40)).min(len);
+                (s < e).then_some((s, e))
+            })
+            .collect();
+        let forward = DirtyRanges::from_ranges(raw.iter().copied());
+        let backward = DirtyRanges::from_ranges(raw.iter().rev().copied());
+        assert_eq!(forward, backward, "order must not matter");
+        let again = DirtyRanges::from_ranges(forward.iter());
+        assert_eq!(forward, again, "coalescing is idempotent");
+        let from_idx = DirtyRanges::from_indices(raw.iter().flat_map(|&(s, e)| s..e));
+        assert_eq!(forward, from_idx, "ranges and their indices agree");
+        // Canonical form: sorted, non-overlapping, non-adjacent.
+        let v: Vec<_> = forward.iter().collect();
+        for w in v.windows(2) {
+            assert!(w[0].1 < w[1].0, "ranges stay separated: {v:?}");
+        }
+        assert_eq!(
+            forward.element_count(),
+            v.iter().map(|(s, e)| e - s).sum::<usize>()
+        );
+    }
+}

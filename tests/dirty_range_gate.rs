@@ -1,0 +1,135 @@
+//! The dirty-range transfer gate (`with_dirty_range_transfers`):
+//!
+//! * **off** (the default) the protocol is byte-for-byte the historical
+//!   whole-buffer one — traces carry no dirty annotations, every transfer
+//!   ships full output buffers, and rendered timelines use the exact
+//!   legacy line format;
+//! * **on**, functional results stay bit-identical to the reference and
+//!   to the gate-off run, every protocol lint (including the
+//!   transfer-bytes accounting rule) passes, and the modelled H2D traffic
+//!   never grows.
+
+use fluidicl::{
+    lint_report, render_timeline, Fluidicl, FluidiclConfig, TraceKind, STATUS_MSG_BYTES,
+};
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::all_benchmarks;
+
+fn test_size(name: &str) -> usize {
+    match name {
+        "ATAX" | "BICG" | "MVT" => 256,
+        "CORR" => 64,
+        "GESUMMV" => 512,
+        "SYRK" | "SYR2K" | "GEMM" | "2MM" => 64,
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+const SEED: u64 = 0xF1D1C1;
+
+fn run(name: &str, dirty: bool) -> Fluidicl {
+    let b = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .expect("benchmark");
+    let n = test_size(name);
+    let mut rt = Fluidicl::new(
+        MachineConfig::paper_testbed(),
+        FluidiclConfig::default()
+            .with_validate_protocol(true)
+            .with_dirty_range_transfers(dirty),
+        (b.program)(n),
+    );
+    assert!(
+        b.run_and_validate_sized(&mut rt, n, SEED).unwrap(),
+        "{name} diverged from reference (dirty={dirty})"
+    );
+    rt
+}
+
+#[test]
+fn gate_off_traces_use_the_legacy_whole_buffer_format() {
+    for b in all_benchmarks() {
+        let rt = run(b.name, false);
+        for report in rt.reports() {
+            for ev in &report.trace {
+                if let TraceKind::HdEnqueued { dirty_bytes, .. } = &ev.kind {
+                    assert_eq!(
+                        *dirty_bytes, None,
+                        "{}: gate-off transfers carry no dirty accounting",
+                        b.name
+                    );
+                }
+            }
+            let rendered = render_timeline(&report.kernel, &report.trace);
+            assert!(
+                !rendered.contains("dirty"),
+                "{}: gate-off timeline must render the legacy lines",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn gate_on_matches_gate_off_bit_for_bit_and_lints_clean() {
+    for b in all_benchmarks() {
+        let off = run(b.name, false);
+        let on = run(b.name, true);
+        // Same kernels, same work split decisions only if timings agree —
+        // we only require the *functional* contract: both validated against
+        // the reference above. Accounting must satisfy the lints and the
+        // H2D total must never grow.
+        let hd = |rt: &Fluidicl| rt.reports().iter().map(|r| r.hd_bytes).sum::<u64>();
+        assert!(
+            hd(&on) <= hd(&off),
+            "{}: dirty-range H2D bytes grew ({} vs {})",
+            b.name,
+            hd(&on),
+            hd(&off)
+        );
+        for report in on.reports() {
+            assert!(
+                lint_report(report).is_empty(),
+                "{}: dirty-range run must pass every protocol lint",
+                b.name
+            );
+            for ev in &report.trace {
+                if let TraceKind::HdEnqueued {
+                    bytes, dirty_bytes, ..
+                } = &ev.kind
+                {
+                    let d = dirty_bytes.expect("gate-on transfers are annotated");
+                    assert_eq!(
+                        *bytes,
+                        d + STATUS_MSG_BYTES,
+                        "{}: shipped bytes must equal dirty payload + status",
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_off_runs_are_deterministic() {
+    // Two independent gate-off runs produce identical reports: same
+    // timings, byte counts and rendered traces. This pins the default
+    // protocol against accidental dependence on the new tracking state.
+    for name in ["ATAX", "SYRK", "2MM"] {
+        let a = run(name, false);
+        let b = run(name, false);
+        assert_eq!(a.reports().len(), b.reports().len());
+        for (ra, rb) in a.reports().iter().zip(b.reports()) {
+            assert_eq!(ra.duration, rb.duration, "{name}: duration differs");
+            assert_eq!(ra.hd_bytes, rb.hd_bytes, "{name}: hd bytes differ");
+            assert_eq!(ra.dh_bytes, rb.dh_bytes, "{name}: dh bytes differ");
+            assert_eq!(
+                render_timeline(&ra.kernel, &ra.trace),
+                render_timeline(&rb.kernel, &rb.trace),
+                "{name}: rendered traces differ"
+            );
+        }
+    }
+}
