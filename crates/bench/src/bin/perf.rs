@@ -33,7 +33,7 @@
 
 use std::time::Instant;
 
-use fluidicl::SnapshotPool;
+use fluidicl::{Fluidicl, FluidiclConfig, SnapshotPool};
 use fluidicl_bench::experiments::{experiments, find, Experiment};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_polybench::data::gen_matrix;
@@ -51,6 +51,11 @@ const QUICK_IDS: [&str; 4] = ["table1", "table2", "table3", "extended"];
 /// machine that recorded it. Per-runner baseline blocks override this
 /// with their own (tighter) factor.
 const REGRESSION_FACTOR: f64 = 3.0;
+
+/// Allowed median slowdown of a `with_dirty_range_transfers` co-execution
+/// over the ungated protocol. Self-relative (both states measured in the
+/// same process on the same machine), so the bound holds everywhere.
+const DIRTY_GATE_FACTOR: f64 = 3.0;
 
 /// Key identifying the machine class a baseline was recorded on.
 fn runner_key() -> String {
@@ -117,6 +122,8 @@ fn main() {
     let mut sections = Vec::new();
     sections.push(time_sweep(quick));
     sections.extend(micro_hotspots(jobs));
+    let (gate_sections, gate_factor) = dirty_gate_sections();
+    sections.extend(gate_sections);
 
     let json = render_json(&sections, quick, jobs);
     std::fs::write(&out, &json).expect("write BENCH_repro.json");
@@ -130,9 +137,49 @@ fn main() {
             s.p90_ns as f64 / 1e6
         );
     }
+    eprintln!(
+        "  dirty-range gate overhead: {gate_factor:.2}x ungated (bound {DIRTY_GATE_FACTOR}x)"
+    );
+    if gate_factor > DIRTY_GATE_FACTOR {
+        eprintln!(
+            "perf: dirty-range gated co-execution exceeds {DIRTY_GATE_FACTOR}x the ungated path"
+        );
+        std::process::exit(1);
+    }
     if check && !check_against_baseline(&sections, &baseline) {
         std::process::exit(1);
     }
+}
+
+/// Times a full SYRK co-execution with `with_dirty_range_transfers` off
+/// and on — both gate states exercised every CI run — and returns the
+/// sections plus the gated/ungated median ratio, which `main` holds to
+/// [`DIRTY_GATE_FACTOR`].
+fn dirty_gate_sections() -> (Vec<Section>, f64) {
+    let b = fluidicl_polybench::find("SYRK").expect("SYRK registered");
+    let n = 128;
+    let machine = MachineConfig::paper_testbed();
+    let run_once = |dirty: bool| {
+        let mut rt = Fluidicl::new(
+            machine.clone(),
+            FluidiclConfig::default().with_dirty_range_transfers(dirty),
+            (b.program)(n),
+        );
+        let started = Instant::now();
+        let ok = b
+            .run_and_validate_sized(&mut rt, n, 0xF1D1C1)
+            .expect("SYRK co-execution");
+        let ns = started.elapsed().as_nanos();
+        assert!(ok, "SYRK diverged from reference (dirty={dirty})");
+        ns
+    };
+    let iters = 7;
+    let off = collect(iters, || run_once(false));
+    let on = collect(iters, || run_once(true));
+    let off = stats("coexec_dirty_off", iters, off);
+    let on = stats("coexec_dirty_on", iters, on);
+    let factor = on.median_ns as f64 / off.median_ns.max(1) as f64;
+    (vec![off, on], factor)
 }
 
 /// Resolves `rel` against the repository root (two levels above this

@@ -1,0 +1,215 @@
+//! Fault-injection sweep: every Polybench benchmark × every [`FaultKind`]
+//! × N seeds, with protocol validation on.
+//!
+//! Each cell runs one benchmark under a seeded, deterministic
+//! [`FaultPlan`]. The recovery contract says the run must either
+//! **recover** — outputs bit-identical to the sequential reference, i.e.
+//! byte-identical to a fault-free run — or surface a **typed** error
+//! ([`ClError::DeviceLost`] / [`ClError::Timeout`]); anything else
+//! (mismatched output, an untyped error) is a sweep failure. Every cell
+//! executes twice and both executions must reach the same outcome,
+//! pinning the determinism the fault layer promises: same seed, same
+//! schedule, same result.
+//!
+//! The sweep binary runs this via `fluidicl-check --faults [--seeds N]`
+//! and writes a `FAULTS_summary.json` artifact in the same hand-written
+//! line-per-record JSON style as `BENCH_repro.json`.
+
+use fluidicl::{Fluidicl, FluidiclConfig};
+use fluidicl_hetsim::MachineConfig;
+use fluidicl_polybench::{all_benchmarks, BenchmarkSpec};
+use fluidicl_vcl::{ClError, FaultKind, FaultPlan};
+
+use crate::{sweep_size, SWEEP_SEED};
+
+/// Outcome of one (benchmark × fault kind × seed) sweep cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Outputs bit-identical to the sequential reference (and therefore to
+    /// a fault-free run, which is validated against the same reference).
+    Recovered,
+    /// The run surfaced a typed, contract-sanctioned error.
+    TypedError(String),
+    /// Outputs diverged from the reference — a sweep failure.
+    Mismatch,
+    /// An error outside the fault contract — a sweep failure.
+    UnexpectedError(String),
+}
+
+impl CellOutcome {
+    /// Whether this outcome satisfies the recovery contract.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Recovered | CellOutcome::TypedError(_))
+    }
+
+    /// Stable label used in the JSON summary.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Recovered => "recovered",
+            CellOutcome::TypedError(_) => "typed-error",
+            CellOutcome::Mismatch => "mismatch",
+            CellOutcome::UnexpectedError(_) => "unexpected-error",
+        }
+    }
+}
+
+/// One fully-described sweep cell.
+#[derive(Clone, Debug)]
+pub struct FaultCell {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Injected fault kind.
+    pub kind: FaultKind,
+    /// Sweep seed index (0..seeds).
+    pub seed: u64,
+    /// Derived fault-plan seed the cell actually ran with.
+    pub plan_seed: u64,
+    /// Outcome of the first execution.
+    pub outcome: CellOutcome,
+    /// Whether the planned fault actually triggered (small benchmarks may
+    /// finish before the trigger point is reached — then the run is simply
+    /// fault-free).
+    pub fired: bool,
+    /// Whether the second execution reproduced the first bit-for-bit.
+    pub deterministic: bool,
+}
+
+impl FaultCell {
+    /// Whether this cell fails the sweep.
+    pub fn is_failure(&self) -> bool {
+        !self.outcome.is_ok() || !self.deterministic
+    }
+}
+
+/// Derives the per-cell fault seed from the sweep seed and the cell
+/// coordinates (splitmix64 finalizer: stable across runs, well mixed).
+fn plan_seed(bench_idx: u64, kind_idx: u64, seed: u64) -> u64 {
+    let mut z = SWEEP_SEED
+        .wrapping_add(bench_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(kind_idx.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add(seed.wrapping_mul(0x1656_67B1_9E37_79F9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn run_once(b: &BenchmarkSpec, kind: FaultKind, plan_seed: u64) -> (CellOutcome, bool) {
+    let n = sweep_size(b.name);
+    let config = FluidiclConfig::default()
+        .with_validate_protocol(true)
+        .with_faults(Some(FaultPlan::new(kind, plan_seed)));
+    let mut rt = Fluidicl::new(MachineConfig::paper_testbed(), config, (b.program)(n));
+    let outcome = match b.run_and_validate_sized(&mut rt, n, SWEEP_SEED) {
+        Ok(true) => CellOutcome::Recovered,
+        Ok(false) => CellOutcome::Mismatch,
+        Err(e @ (ClError::DeviceLost { .. } | ClError::Timeout { .. })) => {
+            CellOutcome::TypedError(e.to_string())
+        }
+        Err(e) => CellOutcome::UnexpectedError(e.to_string()),
+    };
+    (outcome, rt.fault_fired())
+}
+
+/// Runs one sweep cell: two executions of `bench` under `kind` with the
+/// given plan seed, checking the recovery contract and determinism.
+pub fn run_fault_cell(b: &BenchmarkSpec, kind: FaultKind, seed: u64, plan_seed: u64) -> FaultCell {
+    let (outcome, fired) = run_once(b, kind, plan_seed);
+    let (again, fired_again) = run_once(b, kind, plan_seed);
+    FaultCell {
+        bench: b.name,
+        kind,
+        seed,
+        plan_seed,
+        deterministic: outcome == again && fired == fired_again,
+        outcome,
+        fired,
+    }
+}
+
+/// Runs the full sweep — every benchmark × fault kind × `seeds` seed
+/// indices — fanned out over the worker pool, in stable cell order.
+pub fn run_fault_sweep(seeds: u64) -> Vec<FaultCell> {
+    let mut units = Vec::new();
+    for (bi, b) in all_benchmarks().into_iter().enumerate() {
+        for (ki, kind) in FaultKind::all().into_iter().enumerate() {
+            for s in 0..seeds {
+                units.push((b, kind, s, plan_seed(bi as u64, ki as u64, s)));
+            }
+        }
+    }
+    fluidicl_par::par_map(units, |(b, kind, s, ps)| run_fault_cell(&b, kind, s, ps))
+}
+
+/// Minimal JSON string escaping for outcome details.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the sweep as hand-written JSON, one cell per line (the same
+/// diff-friendly style as `BENCH_repro.json`): the CI artifact uploaded
+/// next to the perf numbers.
+pub fn render_faults_json(cells: &[FaultCell], seeds: u64) -> String {
+    let recovered = cells
+        .iter()
+        .filter(|c| c.outcome == CellOutcome::Recovered)
+        .count();
+    let typed = cells
+        .iter()
+        .filter(|c| matches!(c.outcome, CellOutcome::TypedError(_)))
+        .count();
+    let fired = cells.iter().filter(|c| c.fired).count();
+    let failures = cells.iter().filter(|c| c.is_failure()).count();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"seeds\": {seeds},\n"));
+    s.push_str(&format!("  \"cells\": {},\n", cells.len()));
+    s.push_str(&format!("  \"fired\": {fired},\n"));
+    s.push_str(&format!("  \"recovered\": {recovered},\n"));
+    s.push_str(&format!("  \"typed_errors\": {typed},\n"));
+    s.push_str(&format!("  \"failures\": {failures},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let detail = match &c.outcome {
+            CellOutcome::TypedError(d) | CellOutcome::UnexpectedError(d) => {
+                format!(", \"detail\": \"{}\"", esc(d))
+            }
+            _ => String::new(),
+        };
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"kind\": \"{}\", \"seed\": {}, \"plan_seed\": {}, \
+             \"outcome\": \"{}\", \"fired\": {}, \"deterministic\": {}{detail}}}{comma}\n",
+            c.bench,
+            c.kind.name(),
+            c.seed,
+            c.plan_seed,
+            c.outcome.label(),
+            c.fired,
+            c.deterministic
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_seed_is_stable_and_distinct() {
+        assert_eq!(plan_seed(0, 0, 0), plan_seed(0, 0, 0));
+        let seeds: Vec<u64> = (0..4)
+            .flat_map(|b| (0..7).flat_map(move |k| (0..4).map(move |s| plan_seed(b, k, s))))
+            .collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(seeds.len(), dedup.len(), "cell seeds must not collide");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(esc("a \"b\" \\c"), "a \\\"b\\\" \\\\c");
+    }
+}

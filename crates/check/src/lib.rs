@@ -33,10 +33,12 @@
 
 mod audit;
 pub mod disjoint;
+pub mod faults;
 pub mod sanitize;
 
 pub use audit::{AuditDriver, KernelFinding};
 pub use disjoint::{prove_disjoint, DisjointDriver, DisjointFinding};
+pub use faults::{render_faults_json, run_fault_cell, run_fault_sweep, CellOutcome, FaultCell};
 pub use fluidicl::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use sanitize::{sanitize_launch, SENTINEL_A, SENTINEL_B};
 
@@ -58,3 +60,26 @@ pub fn sweep_size(name: &str) -> usize {
 
 /// Data seed shared by the sweep binary and the test suites.
 pub const SWEEP_SEED: u64 = 0xF1D1C1;
+
+/// Renders a disjoint-write proof manifest: the JSON the runtime consumes
+/// at startup via [`fluidicl::parse_disjoint_manifest`] and
+/// `Fluidicl::apply_disjoint_proofs` to promote `with_disjoint_writes` on
+/// kernels the prover verified on every launch of the sweep.
+///
+/// # Examples
+///
+/// ```
+/// let text = fluidicl_check::disjoint_manifest(&["syrk".into(), "gemm".into()]);
+/// assert_eq!(
+///     fluidicl::parse_disjoint_manifest(&text),
+///     vec!["syrk".to_string(), "gemm".to_string()]
+/// );
+/// ```
+pub fn disjoint_manifest(proven: &[String]) -> String {
+    let list = proven
+        .iter()
+        .map(|k| format!("\"{k}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{\n  \"proven\": [{list}]\n}}\n")
+}

@@ -14,11 +14,20 @@
 //! fast path); `--jobs N` caps the worker threads. `--emit-disjoint`
 //! inserts a disjoint-write audit ([`fluidicl_check::DisjointDriver`])
 //! between the stages: every launch's per-work-group write footprints are
-//! replayed and `with_disjoint_writes` declarations that the replay
-//! refutes are errors.
+//! replayed, `with_disjoint_writes` declarations that the replay refutes
+//! are errors, and kernels proven disjoint on *every* launch are written
+//! to `ci/disjoint_proofs.json` — the manifest the runtime consumes via
+//! `Fluidicl::apply_disjoint_proofs`.
+//!
+//! `--faults [--seeds N]` switches to the fault-injection sweep instead:
+//! every benchmark × fault kind × seed must recover bit-identically or
+//! fail with a typed error, twice over (determinism); the summary goes to
+//! `FAULTS_summary.json` and any contract violation fails the run.
+
+use std::collections::BTreeMap;
 
 use fluidicl::{lint_report, Fluidicl, FluidiclConfig, LintSeverity};
-use fluidicl_check::{AuditDriver, DisjointDriver, SWEEP_SEED};
+use fluidicl_check::{AuditDriver, CellOutcome, DisjointDriver, SWEEP_SEED};
 use fluidicl_hetsim::{AbortMode, MachineConfig};
 use fluidicl_polybench::all_benchmarks;
 
@@ -31,15 +40,38 @@ struct UnitReport {
     warnings: usize,
 }
 
+/// Resolves `rel` against the repository root (two levels above this
+/// crate's manifest), so artifact paths work from any working directory.
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut emit_disjoint = false;
+    let mut faults = false;
+    let mut seeds = 4u64;
+    let mut faults_out = repo_path("FAULTS_summary.json");
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--emit-disjoint" => emit_disjoint = true,
+            "--faults" => faults = true,
+            "--seeds" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--seeds requires a positive integer argument");
+                    std::process::exit(2);
+                };
+                seeds = n.max(1);
+            }
+            "--faults-out" => {
+                faults_out = it.next().unwrap_or_else(|| {
+                    eprintln!("--faults-out requires a path argument");
+                    std::process::exit(2);
+                });
+            }
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("--jobs requires a positive integer argument");
@@ -48,11 +80,19 @@ fn main() {
                 fluidicl_par::configure_jobs(n);
             }
             other => {
-                eprintln!("usage: fluidicl-check [--quick] [--emit-disjoint] [--jobs N]");
+                eprintln!(
+                    "usage: fluidicl-check [--quick] [--emit-disjoint] [--jobs N] \
+                     [--faults [--seeds N] [--faults-out PATH]]"
+                );
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
             }
         }
+    }
+
+    if faults {
+        run_faults_mode(seeds, &faults_out);
+        return;
     }
 
     let mut problems = 0usize;
@@ -149,18 +189,43 @@ fn main() {
                     b.name, f.kernel, f.groups
                 ));
             }
-            (r, driver.verified_declarations())
+            let proofs: Vec<(String, bool)> = driver
+                .findings()
+                .iter()
+                .map(|f| (f.kernel.clone(), f.proven))
+                .collect();
+            (r, driver.verified_declarations(), proofs)
         });
         let mut verified = 0usize;
-        for (r, v) in audit {
+        // A kernel earns a manifest entry only if *every* launch of it,
+        // across the whole sweep, was proven disjoint.
+        let mut proven_by_kernel: BTreeMap<String, bool> = BTreeMap::new();
+        for (r, v, proofs) in audit {
             for line in &r.lines {
                 println!("{line}");
             }
             problems += r.problems;
             warnings += r.warnings;
             verified += v;
+            for (kernel, proven) in proofs {
+                proven_by_kernel
+                    .entry(kernel)
+                    .and_modify(|p| *p &= proven)
+                    .or_insert(proven);
+            }
         }
         println!("  {verified} declared-disjoint launch(es) verified");
+        let proven: Vec<String> = proven_by_kernel
+            .into_iter()
+            .filter_map(|(k, p)| p.then_some(k))
+            .collect();
+        let manifest_path = repo_path("ci/disjoint_proofs.json");
+        std::fs::write(&manifest_path, fluidicl_check::disjoint_manifest(&proven))
+            .expect("write disjoint proof manifest");
+        println!(
+            "  {} kernel(s) proven disjoint on every launch -> {manifest_path}",
+            proven.len()
+        );
     }
 
     println!("== stage 2: protocol linter across machines and configs ==");
@@ -251,6 +316,59 @@ fn main() {
 
     println!("== sweep done: {problems} error(s), {warnings} warning(s) ==");
     if problems > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The `--faults` sweep: checks the recovery contract over every
+/// benchmark × fault kind × seed cell and writes the JSON artifact.
+fn run_faults_mode(seeds: u64, out: &str) {
+    let kinds = fluidicl_vcl::FaultKind::all().len();
+    let benches = all_benchmarks().len();
+    println!(
+        "== fault-injection sweep: {benches} benchmarks x {kinds} fault kinds x \
+         {seeds} seed(s), each cell twice =="
+    );
+    let cells = fluidicl_check::run_fault_sweep(seeds);
+    let mut failures = 0usize;
+    for c in &cells {
+        if c.is_failure() {
+            failures += 1;
+            let what = if c.deterministic {
+                c.outcome.label()
+            } else {
+                "NON-DETERMINISTIC"
+            };
+            let detail = match &c.outcome {
+                CellOutcome::TypedError(d) | CellOutcome::UnexpectedError(d) => d.as_str(),
+                _ => "",
+            };
+            println!(
+                "  {:8} {:18} seed {}: {what} {detail}",
+                c.bench,
+                c.kind.name(),
+                c.seed
+            );
+        }
+    }
+    let fired = cells.iter().filter(|c| c.fired).count();
+    let recovered = cells
+        .iter()
+        .filter(|c| c.outcome == CellOutcome::Recovered)
+        .count();
+    let typed = cells
+        .iter()
+        .filter(|c| matches!(c.outcome, CellOutcome::TypedError(_)))
+        .count();
+    println!(
+        "  {} cell(s): {recovered} recovered, {typed} typed error(s), {fired} fault(s) \
+         fired, {failures} failure(s)",
+        cells.len()
+    );
+    let json = fluidicl_check::render_faults_json(&cells, seeds);
+    std::fs::write(out, &json).expect("write FAULTS_summary.json");
+    println!("  wrote {out}");
+    if failures > 0 {
         std::process::exit(1);
     }
 }

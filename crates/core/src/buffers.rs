@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use fluidicl_des::SimTime;
-use fluidicl_vcl::{BufferId, DirtyRanges};
+use fluidicl_vcl::{BufferId, ClError, ClResult, DirtyRanges};
 
 /// Monotonic kernel identifier assigned per launch (paper §5.3 uses these as
 /// buffer version numbers).
@@ -132,6 +132,18 @@ impl BufferTable {
     /// Panics if the buffer is unknown.
     pub fn state_mut(&mut self, id: BufferId) -> &mut BufferState {
         self.states.get_mut(&id).expect("unknown buffer id")
+    }
+
+    /// State of one buffer, or [`fluidicl_vcl::ClError::InvalidBuffer`] for
+    /// a handle this table never issued — the non-panicking accessor the
+    /// runtime uses on paths reachable from application-supplied arguments.
+    pub fn try_state(&self, id: BufferId) -> ClResult<&BufferState> {
+        self.states.get(&id).ok_or(ClError::InvalidBuffer(id.0))
+    }
+
+    /// Mutable variant of [`BufferTable::try_state`].
+    pub fn try_state_mut(&mut self, id: BufferId) -> ClResult<&mut BufferState> {
+        self.states.get_mut(&id).ok_or(ClError::InvalidBuffer(id.0))
     }
 
     /// Whether the table knows this buffer.
@@ -340,6 +352,13 @@ impl SnapshotPool {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Number of free (returned) allocations currently pooled. Balanced
+    /// accounting means `free_count() == acquires - outstanding`, including
+    /// across launches that failed mid-flight.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +398,22 @@ mod tests {
         assert_eq!(t.state(a).len, 10);
         assert_eq!(t.state(b).bytes(), 80);
         assert!(t.contains(a));
+    }
+
+    #[test]
+    fn forged_ids_yield_typed_errors() {
+        let mut t = BufferTable::new();
+        let real = t.register(4, SimTime::ZERO);
+        let forged = BufferId(real.0 + 1000);
+        assert!(t.try_state(real).is_ok());
+        assert!(matches!(
+            t.try_state(forged),
+            Err(ClError::InvalidBuffer(id)) if id == forged.0
+        ));
+        assert!(matches!(
+            t.try_state_mut(forged),
+            Err(ClError::InvalidBuffer(_))
+        ));
     }
 
     #[test]

@@ -27,7 +27,10 @@
 use fluidicl_des::{SimDuration, SimTime, Simulation};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_vcl::exec::{execute_groups_par, Launch};
-use fluidicl_vcl::{diff_merge_ranged, BufferId, ClError, ClResult, DirtyRanges, Memory};
+use fluidicl_vcl::{
+    diff_merge_ranged, payload_checksum, BufferId, ClError, ClResult, DeviceKind, DirtyRanges,
+    FaultInjector, Memory, TransferFate,
+};
 
 use crate::buffers::SnapshotPool;
 use crate::chunk::ChunkController;
@@ -59,6 +62,10 @@ pub(crate) struct CoexecInput<'a> {
     pub gpu_mem: &'a mut Memory,
     /// Reusable allocations for the per-kernel original snapshots.
     pub snapshots: &'a mut SnapshotPool,
+    /// Fault oracle shared across the runtime's kernels. `None` disables
+    /// injection *and* every watchdog, keeping the event timeline
+    /// byte-identical to the fault-free engine.
+    pub injector: Option<&'a mut FaultInjector>,
 }
 
 /// Timeline outcome of one co-executed kernel.
@@ -78,18 +85,59 @@ pub(crate) struct CoexecOutcome {
     pub gpu_results_at: SimTime,
     /// Per-kernel statistics.
     pub report: KernelReport,
+    /// Device declared permanently lost during this kernel (the run still
+    /// completed on the survivor).
+    pub lost_device: Option<DeviceKind>,
 }
 
 #[derive(Debug)]
 enum Ev {
     GpuBegin,
-    GpuWaveDone { gen: u32 },
-    GpuWaveAbort { gen: u32 },
+    GpuWaveDone {
+        gen: u32,
+    },
+    GpuWaveAbort {
+        gen: u32,
+    },
     GpuMergeDone,
     CpuBegin,
-    CpuSubkernelDone { idx: u32 },
-    CpuCopyDone { idx: u32 },
-    StatusArrived { boundary: u64 },
+    CpuSubkernelDone {
+        idx: u32,
+    },
+    CpuCopyDone {
+        idx: u32,
+    },
+    StatusArrived {
+        seq: u32,
+    },
+    // Fault-recovery events: none of these are ever scheduled without an
+    // injector, so the fault-free event stream is unchanged.
+    /// Deadline check on a launched GPU wave.
+    WaveWatchdog {
+        gen: u32,
+    },
+    /// Deadline check on a launched CPU subkernel.
+    SubkernelWatchdog {
+        idx: u32,
+    },
+    /// Deadline check on an enqueued hd transfer.
+    TransferWatchdog {
+        seq: u32,
+    },
+    /// A transfer attempt failed transiently (detected at its expected
+    /// completion).
+    TransferNack {
+        seq: u32,
+    },
+    /// Backed-off retry of subkernel `idx`'s transfer.
+    TransferRetry {
+        idx: u32,
+        attempt: u32,
+    },
+    /// A delivered transfer turned out corrupt (checksum verification).
+    TransferCorrupt {
+        seq: u32,
+    },
 }
 
 struct Wave {
@@ -97,7 +145,9 @@ struct Wave {
     end: u64,
     started_at: SimTime,
     gen: u32,
-    token: fluidicl_des::EventToken,
+    /// Completion-event token; `None` for a wave the injector killed (it
+    /// will never complete — only its watchdog notices).
+    token: Option<fluidicl_des::EventToken>,
 }
 
 struct Subkernel {
@@ -109,6 +159,21 @@ struct Subkernel {
     /// buffers) — its partial-transfer payload. Zero until the subkernel
     /// completes; only maintained when dirty-range transfers are on.
     dirty_bytes: u64,
+    /// Whether the subkernel reported completion (watchdogs check this).
+    done: bool,
+}
+
+/// One hd-queue send (data + status) and its recovery bookkeeping.
+struct SendOp {
+    /// Subkernel whose results this send carries.
+    sub_idx: u32,
+    /// Completion boundary the status message carries.
+    boundary: u64,
+    /// 1-based attempt number (retries and resends re-enqueue with +1).
+    attempt: u32,
+    /// Whether the send reached a terminal state (status arrived, failure
+    /// detected, or timed out) — watchdogs no-op on resolved sends.
+    resolved: bool,
 }
 
 pub(crate) struct Coexec<'a> {
@@ -158,6 +223,29 @@ pub(crate) struct Coexec<'a> {
     dh_bytes: u64,
     subkernel_log: Vec<(u64, SimDuration)>,
     trace: Vec<TraceEvent>,
+    // Fault-recovery state. All of it stays at its initial value when no
+    // injector is attached, and none of it affects the fault-free timeline.
+    /// Every hd send attempted this kernel, in enqueue order.
+    sends: Vec<SendOp>,
+    /// The GPU missed a wave deadline and is considered permanently gone.
+    gpu_lost: bool,
+    /// The CPU missed a subkernel deadline and is considered permanently
+    /// gone.
+    cpu_lost: bool,
+    /// An hd send stalled: the in-order queue is blocked until its watchdog
+    /// gives up on it.
+    link_wedged: bool,
+    /// The hd link was abandoned after a stalled send timed out; no further
+    /// sends are attempted and the CPU scheduler stops taking work.
+    link_dead: bool,
+    /// Rejected/failed sends awaiting a successful re-delivery. While a
+    /// hole is open, later statuses are buffered instead of applied — the
+    /// watermark must only ever cover in-order-accepted data (paper §4.2's
+    /// in-order queue argument, kept sound under reordering by recovery).
+    holes: u32,
+    /// Status boundaries received while a hole was open, applied once the
+    /// re-delivery closes it.
+    buffered_statuses: Vec<u64>,
 }
 
 impl<'a> Coexec<'a> {
@@ -222,8 +310,47 @@ impl<'a> Coexec<'a> {
             dh_bytes: 0,
             subkernel_log: Vec::new(),
             trace: Vec::new(),
+            sends: Vec::new(),
+            gpu_lost: false,
+            cpu_lost: false,
+            link_wedged: false,
+            link_dead: false,
+            holes: 0,
+            buffered_statuses: Vec::new(),
             input,
         })
+    }
+
+    // ---- Fault plumbing -------------------------------------------------
+
+    /// Whether fault injection (and therefore the watchdog machinery) is on.
+    fn faulty(&self) -> bool {
+        self.input.injector.is_some()
+    }
+
+    fn deadline(&self, expected: SimDuration) -> SimDuration {
+        self.input.config.recovery.deadline(expected)
+    }
+
+    fn kill_gpu_wave(&mut self) -> bool {
+        self.input
+            .injector
+            .as_deref_mut()
+            .is_some_and(FaultInjector::kill_gpu_wave)
+    }
+
+    fn kill_cpu_subkernel(&mut self) -> bool {
+        self.input
+            .injector
+            .as_deref_mut()
+            .is_some_and(FaultInjector::kill_cpu_subkernel)
+    }
+
+    fn transfer_fate(&mut self, attempt: u32) -> TransferFate {
+        match self.input.injector.as_deref_mut() {
+            Some(inj) => inj.transfer_fate(attempt),
+            None => TransferFate::Deliver,
+        }
     }
 
     /// Runs the co-execution to completion.
@@ -255,9 +382,19 @@ impl<'a> Coexec<'a> {
             }
         }
         if let Some(e) = exec_err {
+            // The kernel is being abandoned mid-flight: the snapshot
+            // allocations must still return to their pool (their content is
+            // garbage now, but the accounting stays balanced).
+            self.release_snapshots();
             return Err(e);
         }
         self.finish()
+    }
+
+    fn release_snapshots(&mut self) {
+        for (_, v) in self.orig_snapshots.drain(..) {
+            self.input.snapshots.release(v);
+        }
     }
 
     fn dispatch(&mut self, sim: &mut Simulation<Ev>, t: SimTime, ev: Ev) -> ClResult<()> {
@@ -272,7 +409,13 @@ impl<'a> Coexec<'a> {
             Ev::CpuBegin => self.maybe_launch_subkernel(sim, t),
             Ev::CpuSubkernelDone { idx } => self.on_subkernel_done(sim, t, idx)?,
             Ev::CpuCopyDone { idx } => self.on_copy_done(sim, t, idx),
-            Ev::StatusArrived { boundary } => self.on_status_arrived(sim, t, boundary),
+            Ev::StatusArrived { seq } => self.on_status_arrived(sim, t, seq)?,
+            Ev::WaveWatchdog { gen } => self.on_wave_watchdog(sim, t, gen)?,
+            Ev::SubkernelWatchdog { idx } => self.on_subkernel_watchdog(t, idx)?,
+            Ev::TransferWatchdog { seq } => self.on_transfer_watchdog(t, seq),
+            Ev::TransferNack { seq } => self.on_transfer_nack(sim, t, seq)?,
+            Ev::TransferRetry { idx, attempt } => self.send_transfer(sim, t, idx, attempt),
+            Ev::TransferCorrupt { seq } => self.on_transfer_corrupt(sim, t, seq)?,
         }
         Ok(())
     }
@@ -312,7 +455,16 @@ impl<'a> Coexec<'a> {
                 to: end,
             },
         );
-        let token = sim.schedule_at(t + dur, Ev::GpuWaveDone { gen });
+        // A killed wave starts but never completes: its completion event is
+        // simply never scheduled, and only the watchdog below notices.
+        let token = if self.kill_gpu_wave() {
+            None
+        } else {
+            Some(sim.schedule_at(t + dur, Ev::GpuWaveDone { gen }))
+        };
+        if self.faulty() {
+            sim.schedule_at(t + self.deadline(dur), Ev::WaveWatchdog { gen });
+        }
         self.wave = Some(Wave {
             start,
             end,
@@ -320,6 +472,37 @@ impl<'a> Coexec<'a> {
             gen,
             token,
         });
+        Ok(())
+    }
+
+    fn on_wave_watchdog(&mut self, sim: &mut Simulation<Ev>, t: SimTime, gen: u32) -> ClResult<()> {
+        let Some(wave) = self.wave.take() else {
+            return Ok(());
+        };
+        if wave.gen != gen {
+            self.wave = Some(wave);
+            return Ok(());
+        }
+        // The wave is still open past its deadline: the GPU is gone. The
+        // CPU scheduler keeps descending (its gpu-exit guard never fires,
+        // since a dead GPU never exits) and the run completes on the CPU.
+        if let Some(token) = wave.token {
+            sim.cancel(token);
+        }
+        self.gpu_lost = true;
+        self.record(
+            t,
+            TraceKind::DeviceLost {
+                device: DeviceKind::Gpu,
+            },
+        );
+        if self.cpu_lost {
+            return Err(ClError::DeviceLost {
+                device: DeviceKind::Gpu,
+                detail: "GPU wave missed its watchdog deadline after the CPU was already lost"
+                    .into(),
+            });
+        }
         Ok(())
     }
 
@@ -465,9 +648,11 @@ impl<'a> Coexec<'a> {
     }
 
     fn maybe_launch_subkernel(&mut self, sim: &mut Simulation<Ev>, t: SimTime) {
-        // The scheduler stops once the GPU kernel has exited (paper §5) or
-        // when the CPU has taken the whole NDRange.
-        if self.gpu_exited_at.is_some() || self.cpu_top == 0 {
+        // The scheduler stops once the GPU kernel has exited (paper §5),
+        // when the CPU has taken the whole NDRange, when the CPU itself was
+        // declared lost, or when the hd link was abandoned (further CPU
+        // results could never reach the GPU, so the GPU covers the rest).
+        if self.gpu_exited_at.is_some() || self.cpu_top == 0 || self.cpu_lost || self.link_dead {
             return;
         }
         let idx = self.subkernels.len();
@@ -499,9 +684,45 @@ impl<'a> Coexec<'a> {
             version,
             duration,
             dirty_bytes: 0,
+            done: false,
         });
         self.cpu_top -= k;
-        sim.schedule_at(t + duration, Ev::CpuSubkernelDone { idx: idx as u32 });
+        // A killed subkernel launches but never reports completion (and
+        // never executes, so no partial writes are published); only its
+        // watchdog notices.
+        if !self.kill_cpu_subkernel() {
+            sim.schedule_at(t + duration, Ev::CpuSubkernelDone { idx: idx as u32 });
+        }
+        if self.faulty() {
+            sim.schedule_at(
+                t + self.deadline(duration),
+                Ev::SubkernelWatchdog { idx: idx as u32 },
+            );
+        }
+    }
+
+    fn on_subkernel_watchdog(&mut self, t: SimTime, idx: u32) -> ClResult<()> {
+        if self.subkernels[idx as usize].done || self.cpu_lost {
+            return Ok(());
+        }
+        // The subkernel is still open past its deadline: the CPU is gone.
+        // Its claimed range was never delivered, so the watermark still
+        // covers it and the GPU executes it as part of [0, watermark).
+        self.cpu_lost = true;
+        self.record(
+            t,
+            TraceKind::DeviceLost {
+                device: DeviceKind::Cpu,
+            },
+        );
+        if self.gpu_lost {
+            return Err(ClError::DeviceLost {
+                device: DeviceKind::Cpu,
+                detail: "CPU subkernel missed its watchdog deadline after the GPU was already lost"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 
     fn on_subkernel_done(
@@ -511,7 +732,8 @@ impl<'a> Coexec<'a> {
         idx: u32,
     ) -> ClResult<()> {
         let (from, to, version, duration) = {
-            let sk = &self.subkernels[idx as usize];
+            let sk = &mut self.subkernels[idx as usize];
+            sk.done = true;
             (sk.from, sk.to, sk.version, sk.duration)
         };
         // The subkernel really computes its work-groups on the CPU copy,
@@ -562,6 +784,12 @@ impl<'a> Coexec<'a> {
             // ignored.
             self.cpu_finished_at = Some(t);
         }
+        if self.gpu_lost {
+            // No GPU to ship to: skip the host copy and the transfer and
+            // keep descending — the CPU is finishing the range alone.
+            self.maybe_launch_subkernel(sim, t);
+            return Ok(());
+        }
         if self.gpu_exited_at.is_some() {
             // The kernel already completed on the GPU; the scheduler exits
             // without copying or transferring this late result.
@@ -581,64 +809,167 @@ impl<'a> Coexec<'a> {
     }
 
     fn on_copy_done(&mut self, sim: &mut Simulation<Ev>, t: SimTime, idx: u32) {
+        self.send_transfer(sim, t, idx, 1);
+        self.maybe_launch_subkernel(sim, t);
+    }
+
+    /// Enqueues subkernel `idx`'s data + status send on the in-order hd
+    /// queue (attempt 1), or re-enqueues it after a transient failure or a
+    /// checksum rejection (attempt > 1). The attached injector decides the
+    /// send's fate; without one every send simply delivers.
+    fn send_transfer(&mut self, sim: &mut Simulation<Ev>, t: SimTime, idx: u32, attempt: u32) {
+        if self.gpu_exited_at.is_some() || self.gpu_lost || self.link_wedged || self.link_dead {
+            // Nobody is listening (or the queue is blocked): the send is
+            // dropped; the GPU covers the range below the watermark itself.
+            return;
+        }
         let (boundary, dirty_bytes) = {
             let sk = &self.subkernels[idx as usize];
             (sk.from, sk.dirty_bytes)
         };
-        if self.gpu_exited_at.is_none() {
-            // In-order hd queue: computed data first, then the status
-            // message, so a work-group only counts as complete when its
-            // results are already on the GPU (paper §4.2). With dirty
-            // tracking the data message carries only the subkernel's
-            // coalesced dirty ranges.
-            let payload = if self.dirty_enabled {
-                dirty_bytes
-            } else {
-                self.out_bytes
-            };
-            let data_arrival = self.hd_free.max(t) + self.input.machine.h2d.transfer_time(payload);
-            let status_arrival =
-                data_arrival + self.input.machine.h2d.transfer_time(STATUS_MSG_BYTES);
-            self.hd_free = status_arrival;
-            self.hd_bytes += payload + STATUS_MSG_BYTES;
-            if self.dirty_enabled {
-                self.shipped_dirty_bytes += payload;
+        // In-order hd queue: computed data first, then the status message,
+        // so a work-group only counts as complete when its results are
+        // already on the GPU (paper §4.2). With dirty tracking the data
+        // message carries only the subkernel's coalesced dirty ranges.
+        let payload = if self.dirty_enabled {
+            dirty_bytes
+        } else {
+            self.out_bytes
+        };
+        let fate = self.transfer_fate(attempt);
+        let data_arrival = self.hd_free.max(t) + self.input.machine.h2d.transfer_time(payload);
+        let status_arrival = data_arrival + self.input.machine.h2d.transfer_time(STATUS_MSG_BYTES);
+        self.hd_bytes += payload + STATUS_MSG_BYTES;
+        self.record(
+            t,
+            TraceKind::HdEnqueued {
+                boundary,
+                bytes: payload + STATUS_MSG_BYTES,
+                dirty_bytes: self.dirty_enabled.then_some(dirty_bytes),
+            },
+        );
+        let seq = self.sends.len() as u32;
+        self.sends.push(SendOp {
+            sub_idx: idx,
+            boundary,
+            attempt,
+            resolved: false,
+        });
+        match fate {
+            TransferFate::Deliver => {
+                self.hd_free = status_arrival;
+                if self.dirty_enabled {
+                    self.shipped_dirty_bytes += payload;
+                }
+                sim.schedule_at(status_arrival, Ev::StatusArrived { seq });
+                if self.faulty() {
+                    let deadline = self.deadline(status_arrival.saturating_since(t));
+                    sim.schedule_at(t + deadline, Ev::TransferWatchdog { seq });
+                }
             }
-            self.record(
-                t,
-                TraceKind::HdEnqueued {
-                    boundary,
-                    bytes: payload + STATUS_MSG_BYTES,
-                    dirty_bytes: self.dirty_enabled.then_some(dirty_bytes),
-                },
-            );
-            sim.schedule_at(status_arrival, Ev::StatusArrived { boundary });
+            TransferFate::Stall => {
+                // The op never completes and the in-order queue is blocked
+                // behind it; only the watchdog gets the link unstuck (by
+                // abandoning it).
+                self.link_wedged = true;
+                let deadline = self.deadline(status_arrival.saturating_since(t));
+                sim.schedule_at(t + deadline, Ev::TransferWatchdog { seq });
+            }
+            TransferFate::TransientFail => {
+                // The link time is spent, but the payload is lost; the
+                // failure is detected when the completion should have come.
+                self.hd_free = status_arrival;
+                sim.schedule_at(status_arrival, Ev::TransferNack { seq });
+            }
+            TransferFate::CorruptPayload => {
+                // Delivered on time, but the payload arrives damaged; the
+                // checksum check at data arrival catches it.
+                self.hd_free = status_arrival;
+                sim.schedule_at(data_arrival, Ev::TransferCorrupt { seq });
+            }
+            TransferFate::CorruptStatus => {
+                // The status word itself is damaged; caught when the status
+                // message arrives.
+                self.hd_free = status_arrival;
+                sim.schedule_at(status_arrival, Ev::TransferCorrupt { seq });
+            }
         }
-        self.maybe_launch_subkernel(sim, t);
     }
 
-    fn on_status_arrived(&mut self, sim: &mut Simulation<Ev>, t: SimTime, boundary: u64) {
-        if self.gpu_exited_at.is_some() {
+    fn on_status_arrived(
+        &mut self,
+        sim: &mut Simulation<Ev>,
+        t: SimTime,
+        seq: u32,
+    ) -> ClResult<()> {
+        self.sends[seq as usize].resolved = true;
+        if self.gpu_exited_at.is_some() || self.gpu_lost {
             // Late message: discarded via buffer versions (paper §5.3).
-            return;
+            return Ok(());
         }
+        self.accept_status(sim, t, seq)
+    }
+
+    /// Receiver-side acceptance of a delivered send. While an earlier send
+    /// awaits re-delivery (an open *hole*), later statuses are buffered:
+    /// applying them early would advance the watermark over data that is
+    /// not on the GPU yet. The successful re-delivery closes the hole and
+    /// applies everything buffered behind it.
+    fn accept_status(&mut self, sim: &mut Simulation<Ev>, t: SimTime, seq: u32) -> ClResult<()> {
+        let (boundary, attempt) = {
+            let s = &self.sends[seq as usize];
+            (s.boundary, s.attempt)
+        };
+        if attempt > 1 {
+            self.holes = self.holes.saturating_sub(1);
+        }
+        if self.holes > 0 {
+            self.buffered_statuses.push(boundary);
+            return Ok(());
+        }
+        let mut boundaries = vec![boundary];
+        boundaries.append(&mut self.buffered_statuses);
+        for b in boundaries {
+            self.apply_watermark(sim, t, b)?;
+        }
+        Ok(())
+    }
+
+    fn apply_watermark(
+        &mut self,
+        sim: &mut Simulation<Ev>,
+        t: SimTime,
+        boundary: u64,
+    ) -> ClResult<()> {
         self.watermark = self.watermark.min(boundary);
         self.record(t, TraceKind::StatusArrived { boundary });
         // A running wave fully covered by the CPU aborts at its next
         // in-loop check (paper §6.4).
         if !self.input.config.abort_mode.allows_early_abort() {
-            return;
+            return Ok(());
         }
-        let Some(wave) = &self.wave else { return };
+        let Some(wave) = &self.wave else {
+            return Ok(());
+        };
         if self.watermark > wave.start {
-            return;
+            return Ok(());
         }
-        let quantum = self
-            .input
-            .machine
-            .gpu
-            .abort_quantum(self.gpu_profile(), self.items, self.input.config.abort_mode)
-            .expect("early-abort mode has a quantum");
+        let Some(quantum) = self.input.machine.gpu.abort_quantum(
+            self.gpu_profile(),
+            self.items,
+            self.input.config.abort_mode,
+        ) else {
+            // An abort mode that allows early abort always defines a check
+            // quantum; a machine model violating that is a configuration
+            // breach, not a reason to crash the host program.
+            return Err(ClError::ProtocolViolation {
+                kernel: self.input.launch.kernel.name().to_string(),
+                detail: format!(
+                    "abort mode {:?} allows early abort but defines no check quantum",
+                    self.input.config.abort_mode
+                ),
+            });
+        };
         let elapsed = t.saturating_since(wave.started_at).as_nanos();
         let q = quantum.as_nanos().max(1);
         let checks = elapsed.div_ceil(q).max(1);
@@ -652,18 +983,140 @@ impl<'a> Coexec<'a> {
             );
         if abort_at < natural_done {
             let gen = wave.gen;
-            let token = wave.token;
-            sim.cancel(token);
-            sim.schedule_at(abort_at, Ev::GpuWaveAbort { gen });
+            // A killed wave has no completion event to cancel; its watchdog
+            // will declare the GPU lost instead of an abort racing it.
+            if let Some(token) = wave.token {
+                sim.cancel(token);
+                sim.schedule_at(abort_at, Ev::GpuWaveAbort { gen });
+            }
         }
+        Ok(())
+    }
+
+    fn on_transfer_watchdog(&mut self, t: SimTime, seq: u32) {
+        if self.sends[seq as usize].resolved
+            || self.gpu_exited_at.is_some()
+            || self.gpu_lost
+            || self.link_dead
+        {
+            return;
+        }
+        // The send never completed: abandon the hd link. The CPU stops
+        // taking work and the GPU executes everything still above the
+        // watermark (the stalled subkernel's range is below it, so nothing
+        // is lost — only re-executed).
+        let boundary = self.sends[seq as usize].boundary;
+        self.sends[seq as usize].resolved = true;
+        self.record(t, TraceKind::TransferTimeout { boundary });
+        self.link_wedged = false;
+        self.link_dead = true;
+        self.hd_free = self.hd_free.max(t);
+    }
+
+    fn on_transfer_nack(&mut self, sim: &mut Simulation<Ev>, t: SimTime, seq: u32) -> ClResult<()> {
+        self.sends[seq as usize].resolved = true;
+        if self.gpu_exited_at.is_some() || self.gpu_lost {
+            return Ok(());
+        }
+        let (idx, boundary, attempt) = {
+            let s = &self.sends[seq as usize];
+            (s.sub_idx, s.boundary, s.attempt)
+        };
+        self.record(t, TraceKind::TransferFault { boundary, attempt });
+        if attempt > self.input.config.recovery.max_transfer_retries {
+            return Err(ClError::Timeout {
+                op: "h2d transfer".into(),
+                detail: format!(
+                    "transfer for boundary {boundary} still failing after {attempt} attempts"
+                ),
+            });
+        }
+        if attempt == 1 {
+            self.holes += 1;
+        }
+        let backoff = self.input.config.recovery.backoff(attempt);
+        sim.schedule_at(
+            t + backoff,
+            Ev::TransferRetry {
+                idx,
+                attempt: attempt + 1,
+            },
+        );
+        Ok(())
+    }
+
+    fn on_transfer_corrupt(
+        &mut self,
+        sim: &mut Simulation<Ev>,
+        t: SimTime,
+        seq: u32,
+    ) -> ClResult<()> {
+        self.sends[seq as usize].resolved = true;
+        if self.gpu_exited_at.is_some() || self.gpu_lost {
+            return Ok(());
+        }
+        let (idx, boundary, attempt) = {
+            let s = &self.sends[seq as usize];
+            (s.sub_idx, s.boundary, s.attempt)
+        };
+        if self.checksum_rejects()? {
+            // Reject-and-resend: the damaged delivery is discarded and the
+            // subkernel's results are re-enqueued immediately (the payload
+            // is still staged host-side from the intermediate copy).
+            self.record(t, TraceKind::TransferRejected { boundary });
+            if attempt == 1 {
+                self.holes += 1;
+            }
+            self.send_transfer(sim, t, idx, attempt + 1);
+            return Ok(());
+        }
+        // The injected flip collided with the checksum (or there was
+        // nothing to corrupt): the delivery is accepted as-is.
+        if self.dirty_enabled {
+            self.shipped_dirty_bytes += self.subkernels[idx as usize].dirty_bytes;
+        }
+        self.accept_status(sim, t, seq)
+    }
+
+    /// Verifies the per-transfer checksum the way the receiving device
+    /// would: computes the checksum of the staged payload, applies the
+    /// injector's single-word corruption to a copy, and compares. Returns
+    /// whether the delivery must be rejected.
+    fn checksum_rejects(&self) -> ClResult<bool> {
+        let Some(inj) = self.input.injector.as_deref() else {
+            return Ok(false);
+        };
+        let Some(id) = self.out_ids.first() else {
+            return Ok(false);
+        };
+        let data = self.input.cpu_mem.get(*id)?;
+        if data.is_empty() {
+            return Ok(false);
+        }
+        let clean = payload_checksum(data);
+        let mut wire = data.to_vec();
+        let i = inj.corrupt_index(wire.len());
+        wire[i] = f32::from_bits(wire[i].to_bits() ^ inj.flip_mask());
+        Ok(payload_checksum(&wire) != clean)
     }
 
     // ---- Completion -----------------------------------------------------
 
     fn finish(mut self) -> ClResult<CoexecOutcome> {
-        let merge_done = self
-            .merge_done_at
-            .expect("GPU path always reaches merge completion");
+        if self.gpu_lost {
+            return self.finish_after_gpu_loss();
+        }
+        let Some(merge_done) = self.merge_done_at else {
+            // With a healthy GPU the wave loop always reaches the exit and
+            // the merge; an empty event queue without one is an engine
+            // defect — surfaced as a typed error, never a panic.
+            self.release_snapshots();
+            return Err(ClError::ProtocolViolation {
+                kernel: self.input.launch.kernel.name().to_string(),
+                detail: "co-execution drained its event queue without reaching merge completion"
+                    .into(),
+            });
+        };
         // Merge the functional results now if the timed merge ran (the
         // no-CPU-data path already merged inside `gpu_exit`).
         if self.watermark < self.total {
@@ -740,9 +1193,7 @@ impl<'a> Coexec<'a> {
         }
         // The snapshots served their purpose; recycle their allocations for
         // the next kernel of this runtime.
-        for (_, v) in self.orig_snapshots.drain(..) {
-            self.input.snapshots.release(v);
-        }
+        self.release_snapshots();
         self.record(
             complete_at,
             TraceKind::KernelComplete {
@@ -779,6 +1230,61 @@ impl<'a> Coexec<'a> {
             cpu_results_at,
             gpu_results_at,
             report,
+            // A lost CPU still reaches this path: the GPU finished the
+            // kernel normally (the un-delivered ranges stayed above the
+            // watermark), but the runtime must stop scheduling CPU work.
+            lost_device: self.cpu_lost.then_some(DeviceKind::Cpu),
+        })
+    }
+
+    /// Graceful degradation after a permanent GPU loss: the CPU scheduler
+    /// kept descending (its gpu-exit guard never fired) and computed the
+    /// whole NDRange, so the CPU copy is authoritative exactly as in the
+    /// paper's CPU-finishes-first case (§4.2) — no merge, no D2H transfer.
+    fn finish_after_gpu_loss(mut self) -> ClResult<CoexecOutcome> {
+        self.release_snapshots();
+        let Some(complete_at) = self.cpu_finished_at else {
+            // Both devices failed to produce the full range; nothing can
+            // finish this kernel.
+            return Err(ClError::DeviceLost {
+                device: DeviceKind::Gpu,
+                detail: "GPU lost and the CPU did not complete the NDRange".into(),
+            });
+        };
+        self.record(
+            complete_at,
+            TraceKind::KernelComplete {
+                finisher: Finisher::Cpu,
+            },
+        );
+        self.trace.sort_by_key(|e| e.at);
+        let report = KernelReport {
+            kernel: self.input.launch.kernel.name().to_string(),
+            kernel_id: self.input.kernel_id,
+            enqueued_at: self.input.enqueue_at,
+            complete_at,
+            total_wgs: self.total,
+            gpu_executed_wgs: self.gpu_wgs_executed,
+            cpu_executed_wgs: self.cpu_wgs_executed,
+            cpu_merged_wgs: 0,
+            subkernels: self.subkernels.len() as u64,
+            subkernel_log: self.subkernel_log,
+            hd_bytes: self.hd_bytes,
+            dh_bytes: self.dh_bytes,
+            cpu_version_used: self.selected_version,
+            finished_by: Finisher::Cpu,
+            duration: complete_at.saturating_since(self.input.enqueue_at),
+            trace: self.trace,
+        };
+        Ok(CoexecOutcome {
+            complete_at,
+            gpu_busy_until: complete_at,
+            hd_free: self.hd_free,
+            dh_free: self.dh_free,
+            cpu_results_at: complete_at,
+            gpu_results_at: complete_at,
+            report,
+            lost_device: Some(DeviceKind::Gpu),
         })
     }
 }

@@ -1,6 +1,9 @@
 //! Runtime configuration: chunk-sizing parameters and optimization toggles.
 
 use fluidicl_hetsim::AbortMode;
+use fluidicl_vcl::FaultPlan;
+
+use crate::recover::RecoveryPolicy;
 
 /// Configuration of the FluidiCL runtime.
 ///
@@ -60,6 +63,12 @@ pub struct FluidiclConfig {
     /// disjoint per-group writes; results stay byte-identical. Default 1
     /// (sequential).
     pub intra_launch_jobs: usize,
+    /// Seeded fault-injection plan. `None` (the default) means no faults
+    /// *and* no recovery machinery on the event timeline — traces and
+    /// timings stay byte-identical to a build without the fault subsystem.
+    pub faults: Option<FaultPlan>,
+    /// Watchdog/retry tuning used when `faults` is set.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for FluidiclConfig {
@@ -76,6 +85,8 @@ impl Default for FluidiclConfig {
             validate_protocol: cfg!(debug_assertions),
             dirty_range_transfers: false,
             intra_launch_jobs: 1,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -157,6 +168,21 @@ impl FluidiclConfig {
         self.intra_launch_jobs = jobs.max(1);
         self
     }
+
+    /// Returns a copy with a seeded fault-injection plan (or `None` to
+    /// disable injection).
+    #[must_use]
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Returns a copy with different recovery tuning.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +205,8 @@ mod tests {
             "dirty-range transfer modelling is opt-in"
         );
         assert_eq!(cfg.intra_launch_jobs, 1, "parallel execution is opt-in");
+        assert_eq!(cfg.faults, None, "fault injection is opt-in");
+        assert_eq!(cfg.recovery, RecoveryPolicy::default());
     }
 
     #[test]
@@ -203,6 +231,18 @@ mod tests {
         assert!(cfg.validate_protocol);
         assert!(cfg.dirty_range_transfers);
         assert_eq!(cfg.intra_launch_jobs, 1, "zero is clamped to sequential");
+    }
+
+    #[test]
+    fn fault_builders_compose() {
+        use fluidicl_vcl::FaultKind;
+        let plan = FaultPlan::new(FaultKind::TransferStall, 3);
+        let cfg = FluidiclConfig::default()
+            .with_faults(Some(plan))
+            .with_recovery(RecoveryPolicy::default().with_max_transfer_retries(1));
+        assert_eq!(cfg.faults, Some(plan));
+        assert_eq!(cfg.recovery.max_transfer_retries, 1);
+        assert_eq!(cfg.with_faults(None).faults, None);
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod chunk;
 mod coexec;
 mod config;
 mod lint;
+mod recover;
 mod runtime;
 mod stats;
 mod trace;
@@ -44,6 +45,7 @@ pub use buffers::{BufferState, BufferTable, KernelId, PoolStats, ScratchPool, Sn
 pub use chunk::ChunkController;
 pub use config::FluidiclConfig;
 pub use lint::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
-pub use runtime::Fluidicl;
+pub use recover::RecoveryPolicy;
+pub use runtime::{parse_disjoint_manifest, Fluidicl};
 pub use stats::{Finisher, KernelReport, RuntimeSummary};
 pub use trace::{render_lanes, render_timeline, TraceEvent, TraceKind, STATUS_MSG_BYTES};

@@ -23,6 +23,18 @@
 //!   its **coalesced dirty payload plus the status message** — no
 //!   over- or under-shipping.
 //!
+//! When the trace contains fault or recovery events
+//! ([`TraceKind::TransferFault`], [`TraceKind::TransferRejected`],
+//! [`TraceKind::TransferTimeout`], [`TraceKind::DeviceLost`],
+//! [`TraceKind::DegradedRun`]) the linter switches to a *recovery-aware*
+//! mode: retried and resent transfers may repeat boundaries out of the
+//! strict descent order, a truncated trace is legal as long as it is
+//! consistent with the recorded recovery (a lost CPU may leave its killed
+//! subkernel open; a lost GPU finishes without exit or merge, by the CPU),
+//! and a degraded single-device span replaces the co-execution shape
+//! entirely. Everything that is *not* explained by a recorded recovery
+//! event is still an error — faults excuse exactly the damage they cause.
+//!
 //! [`lint_trace`] checks a bare event log; [`lint_report`] additionally
 //! cross-checks the log against the [`KernelReport`] counters. The runtime
 //! calls `lint_report` after every co-executed kernel when
@@ -33,6 +45,7 @@
 use std::fmt;
 
 use fluidicl_des::SimTime;
+use fluidicl_vcl::DeviceKind;
 
 use crate::stats::{Finisher, KernelReport};
 use crate::trace::{TraceEvent, TraceKind, STATUS_MSG_BYTES};
@@ -110,6 +123,35 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
         return out;
     };
 
+    // Pre-scan for fault/recovery events: their presence switches the
+    // replay into recovery-aware mode (see the module docs).
+    let mut lost_gpu = false;
+    let mut lost_cpu = false;
+    let mut degraded = false;
+    let mut relaxed = false;
+    for e in events {
+        match &e.kind {
+            TraceKind::TransferFault { .. }
+            | TraceKind::TransferRejected { .. }
+            | TraceKind::TransferTimeout { .. } => relaxed = true,
+            TraceKind::DeviceLost { device } => {
+                relaxed = true;
+                match device {
+                    DeviceKind::Gpu => lost_gpu = true,
+                    DeviceKind::Cpu => lost_cpu = true,
+                }
+            }
+            TraceKind::DegradedRun { .. } => {
+                relaxed = true;
+                degraded = true;
+            }
+            _ => {}
+        }
+    }
+    if degraded {
+        return lint_degraded(events, total, out);
+    }
+
     let mut prev_at = first.at;
     // Watermark replay: statuses are the only events that move it.
     let mut watermark = total;
@@ -130,6 +172,8 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
     let mut last_completed_from: Option<u64> = None;
     let mut done_subs: Vec<(SimTime, u64, u64)> = Vec::new();
     let mut completes: Vec<(SimTime, Finisher)> = Vec::new();
+    let mut gpu_lost_seen = false;
+    let mut cpu_lost_seen = false;
 
     for e in &events[1..] {
         if e.at < prev_at {
@@ -349,22 +393,37 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                         format!("transfer (boundary {boundary}) enqueued after the gpu exit"),
                     ));
                 }
-                match last_completed_from {
-                    None => out.push(LintDiagnostic::error(
-                        "data-before-status",
-                        format!(
-                            "transfer (boundary {boundary}) enqueued before any subkernel \
-                             completed"
-                        ),
-                    )),
-                    Some(f) if f != *boundary => out.push(LintDiagnostic::error(
-                        "data-before-status",
-                        format!(
-                            "transfer carries boundary {boundary} but the last completed \
-                             subkernel starts at {f}"
-                        ),
-                    )),
-                    Some(_) => {}
+                if relaxed {
+                    // Retries and resends re-ship an older boundary after
+                    // newer subkernels completed: any completed subkernel
+                    // start is a legal boundary under recovery.
+                    if !done_subs.iter().any(|(_, f, _)| f == boundary) {
+                        out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "transfer carries boundary {boundary} but no completed \
+                                 subkernel starts there"
+                            ),
+                        ));
+                    }
+                } else {
+                    match last_completed_from {
+                        None => out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "transfer (boundary {boundary}) enqueued before any subkernel \
+                                 completed"
+                            ),
+                        )),
+                        Some(f) if f != *boundary => out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "transfer carries boundary {boundary} but the last completed \
+                                 subkernel starts at {f}"
+                            ),
+                        )),
+                        Some(_) => {}
+                    }
                 }
                 hd_sends.push((e.at, *boundary));
             }
@@ -375,30 +434,51 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                         format!("status (boundary {boundary}) arrived after the gpu exit"),
                     ));
                 }
-                match hd_sends.get(statuses_seen) {
-                    None => out.push(LintDiagnostic::error(
-                        "data-before-status",
-                        format!(
-                            "status (boundary {boundary}) arrived without a matching \
-                             enqueued transfer"
-                        ),
-                    )),
-                    Some((sent_at, sent_boundary)) => {
-                        if sent_boundary != boundary {
-                            out.push(LintDiagnostic::error(
-                                "data-before-status",
-                                format!(
-                                    "status boundary {boundary} does not match the in-order \
-                                     queue (transfer {statuses_seen} carried \
-                                     {sent_boundary})"
-                                ),
-                            ));
-                        }
-                        if e.at < *sent_at {
-                            out.push(LintDiagnostic::error(
-                                "data-before-status",
-                                format!("status (boundary {boundary}) arrived before it was sent"),
-                            ));
+                if relaxed {
+                    // Failed sends produce no status and resends duplicate
+                    // boundaries, so index pairing no longer holds. The
+                    // surviving invariant: every accepted status must follow
+                    // a transfer that carried its boundary.
+                    if !hd_sends
+                        .iter()
+                        .any(|(sent_at, b)| b == boundary && *sent_at <= e.at)
+                    {
+                        out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "status (boundary {boundary}) arrived without a prior \
+                                 transfer carrying it"
+                            ),
+                        ));
+                    }
+                } else {
+                    match hd_sends.get(statuses_seen) {
+                        None => out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "status (boundary {boundary}) arrived without a matching \
+                                 enqueued transfer"
+                            ),
+                        )),
+                        Some((sent_at, sent_boundary)) => {
+                            if sent_boundary != boundary {
+                                out.push(LintDiagnostic::error(
+                                    "data-before-status",
+                                    format!(
+                                        "status boundary {boundary} does not match the in-order \
+                                         queue (transfer {statuses_seen} carried \
+                                         {sent_boundary})"
+                                    ),
+                                ));
+                            }
+                            if e.at < *sent_at {
+                                out.push(LintDiagnostic::error(
+                                    "data-before-status",
+                                    format!(
+                                        "status (boundary {boundary}) arrived before it was sent"
+                                    ),
+                                ));
+                            }
                         }
                     }
                 }
@@ -414,6 +494,38 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
             TraceKind::KernelComplete { finisher } => {
                 completes.push((e.at, *finisher));
             }
+            TraceKind::TransferFault { boundary, .. }
+            | TraceKind::TransferRejected { boundary }
+            | TraceKind::TransferTimeout { boundary } => {
+                if !hd_sends.iter().any(|(_, b)| b == boundary) {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!(
+                            "transfer fault reported for boundary {boundary} but no \
+                             enqueued transfer carried it"
+                        ),
+                    ));
+                }
+            }
+            TraceKind::DeviceLost { device } => {
+                let seen = match device {
+                    DeviceKind::Gpu => &mut gpu_lost_seen,
+                    DeviceKind::Cpu => &mut cpu_lost_seen,
+                };
+                if *seen {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!("device {device:?} was declared lost twice"),
+                    ));
+                }
+                *seen = true;
+            }
+            TraceKind::DegradedRun { .. } => {
+                out.push(LintDiagnostic::error(
+                    "trace-shape",
+                    "degraded single-device span inside a co-executed trace",
+                ));
+            }
         }
     }
 
@@ -424,10 +536,72 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
         ));
     }
     if let Some((sf, st)) = open_sub {
-        out.push(LintDiagnostic::error(
-            "cpu-contiguity",
-            format!("subkernel {sf}..{st} never completed"),
-        ));
+        // A lost CPU legally leaves exactly its killed subkernel open.
+        if !lost_cpu {
+            out.push(LintDiagnostic::error(
+                "cpu-contiguity",
+                format!("subkernel {sf}..{st} never completed"),
+            ));
+        }
+    }
+    if lost_gpu {
+        // A lost GPU never exits and never merges: the CPU scheduler keeps
+        // descending and finishes the whole NDRange alone (engine
+        // `finish_after_gpu_loss`), so completion and coverage are judged
+        // against the CPU subkernel log instead.
+        if exit_at.is_some() {
+            out.push(LintDiagnostic::error(
+                "recovery",
+                "gpu exited although it was declared lost",
+            ));
+        }
+        if merge_at.is_some() {
+            out.push(LintDiagnostic::error(
+                "recovery",
+                "diff-merge completed although the gpu was lost",
+            ));
+        }
+        match completes.as_slice() {
+            [(at, Finisher::Cpu)] => {
+                if !done_subs.iter().any(|(t, f, _)| *f == 0 && t == at) {
+                    out.push(LintDiagnostic::error(
+                        "completion",
+                        "cpu finisher without a subkernel reaching work-group 0 at that time",
+                    ));
+                }
+            }
+            [(_, Finisher::Gpu)] => out.push(LintDiagnostic::error(
+                "completion",
+                "a kernel whose gpu was lost cannot be finished by the gpu",
+            )),
+            [] => out.push(LintDiagnostic::error(
+                "completion",
+                "kernel never completed",
+            )),
+            _ => out.push(LintDiagnostic::error(
+                "completion",
+                "kernel completed more than once",
+            )),
+        }
+        let mut covered: Vec<(u64, u64)> = done_subs.iter().map(|(_, f, t)| (*f, *t)).collect();
+        covered.sort_unstable();
+        let mut reach = 0u64;
+        for (from, to) in covered {
+            if from > reach {
+                out.push(LintDiagnostic::error(
+                    "coverage",
+                    format!("work-groups {reach}..{from} were never executed by the cpu"),
+                ));
+            }
+            reach = reach.max(to);
+        }
+        if reach < total {
+            out.push(LintDiagnostic::error(
+                "coverage",
+                format!("work-groups {reach}..{total} were never executed by the cpu"),
+            ));
+        }
+        return out;
     }
     if let Some((wf, wt)) = open_wave {
         if exit_at.is_none() {
@@ -510,6 +684,70 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
     out
 }
 
+/// Lints the trace of a degraded single-device run: after a permanent
+/// device loss, the runtime executes the whole NDRange on the survivor and
+/// records `[Enqueued, DegradedRun, KernelComplete]` — no co-execution
+/// machinery (waves, subkernels, transfers) may appear.
+fn lint_degraded(
+    events: &[TraceEvent],
+    total: u64,
+    mut out: Vec<LintDiagnostic>,
+) -> Vec<LintDiagnostic> {
+    let mut prev_at = events[0].at;
+    let mut spans: Vec<(u64, u64)> = Vec::new();
+    let mut completes = 0usize;
+    for e in &events[1..] {
+        if e.at < prev_at {
+            out.push(LintDiagnostic::error(
+                "chronology",
+                format!("event `{}` is timestamped before its predecessor", e.kind),
+            ));
+        }
+        prev_at = e.at;
+        match &e.kind {
+            TraceKind::DegradedRun { from, to, .. } => {
+                if from >= to {
+                    out.push(LintDiagnostic::error(
+                        "degraded-shape",
+                        format!("degraded span {from}..{to} is empty or reversed"),
+                    ));
+                }
+                spans.push((*from, *to));
+            }
+            TraceKind::KernelComplete { .. } => completes += 1,
+            TraceKind::DeviceLost { .. } => {}
+            other => out.push(LintDiagnostic::error(
+                "degraded-shape",
+                format!("event `{other}` has no place in a degraded single-device trace"),
+            )),
+        }
+    }
+    if completes != 1 {
+        out.push(LintDiagnostic::error(
+            "completion",
+            format!("degraded run completed {completes} times, expected exactly once"),
+        ));
+    }
+    spans.sort_unstable();
+    let mut reach = 0u64;
+    for (from, to) in spans {
+        if from > reach {
+            out.push(LintDiagnostic::error(
+                "coverage",
+                format!("work-groups {reach}..{from} were never executed by the survivor"),
+            ));
+        }
+        reach = reach.max(to);
+    }
+    if reach < total {
+        out.push(LintDiagnostic::error(
+            "coverage",
+            format!("work-groups {reach}..{total} were never executed by the survivor"),
+        ));
+    }
+    out
+}
+
 /// Lints a kernel report: runs [`lint_trace`] on its trace and cross-checks
 /// the report counters against what the trace records.
 pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
@@ -521,6 +759,7 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
     let mut final_watermark = report.total_wgs;
     let mut complete: Option<(SimTime, Finisher)> = None;
     let mut trace_total: Option<u64> = None;
+    let mut device_lost = false;
     for e in &report.trace {
         match &e.kind {
             TraceKind::Enqueued { total_wgs } => {
@@ -542,6 +781,11 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
                 final_watermark = final_watermark.min(*boundary);
             }
             TraceKind::KernelComplete { finisher } => complete = Some((e.at, *finisher)),
+            TraceKind::DegradedRun { device, from, to } => match device {
+                DeviceKind::Cpu => cpu_executed += to - from,
+                DeviceKind::Gpu => gpu_executed += to - from,
+            },
+            TraceKind::DeviceLost { .. } => device_lost = true,
             _ => {}
         }
     }
@@ -568,11 +812,16 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
         cpu_executed,
         report.cpu_executed_wgs,
     );
-    mismatch(
-        "cpu-merged work-groups",
-        report.total_wgs - final_watermark,
-        report.cpu_merged_wgs,
-    );
+    // After a device loss the merged region is decoupled from the
+    // watermark (a lost GPU merges nothing at all), so the watermark
+    // cross-check only holds for fault-free and transfer-fault runs.
+    if !device_lost {
+        mismatch(
+            "cpu-merged work-groups",
+            report.total_wgs - final_watermark,
+            report.cpu_merged_wgs,
+        );
+    }
     mismatch("subkernels", subkernel_starts, report.subkernels);
     mismatch("hd bytes", trace_hd_bytes, report.hd_bytes);
     if let Some((at, finisher)) = complete {
@@ -864,6 +1113,340 @@ mod tests {
         let diags = lint_trace(&t);
         assert!(
             diags.iter().any(|d| d.rule == "transfer-bytes"),
+            "{diags:?}"
+        );
+    }
+
+    /// A legal GPU-loss recovery over 4 work-groups: the first wave is
+    /// killed (never completes), the CPU keeps descending to work-group 0
+    /// and finishes the kernel alone — no exit, no merge.
+    fn gpu_loss_trace() -> Vec<TraceEvent> {
+        vec![
+            ev(0, TraceKind::Enqueued { total_wgs: 4 }),
+            ev(
+                5,
+                TraceKind::CpuSubkernelStart {
+                    from: 3,
+                    to: 4,
+                    version: 0,
+                },
+            ),
+            ev(10, TraceKind::GpuLaunch),
+            ev(10, TraceKind::GpuWaveStart { from: 0, to: 2 }),
+            ev(20, TraceKind::CpuSubkernelDone { from: 3, to: 4 }),
+            ev(
+                25,
+                TraceKind::HdEnqueued {
+                    boundary: 3,
+                    bytes: 64,
+                    dirty_bytes: None,
+                },
+            ),
+            ev(
+                25,
+                TraceKind::CpuSubkernelStart {
+                    from: 2,
+                    to: 3,
+                    version: 0,
+                },
+            ),
+            ev(35, TraceKind::StatusArrived { boundary: 3 }),
+            ev(38, TraceKind::CpuSubkernelDone { from: 2, to: 3 }),
+            ev(
+                39,
+                TraceKind::HdEnqueued {
+                    boundary: 2,
+                    bytes: 64,
+                    dirty_bytes: None,
+                },
+            ),
+            ev(
+                39,
+                TraceKind::CpuSubkernelStart {
+                    from: 1,
+                    to: 2,
+                    version: 0,
+                },
+            ),
+            ev(45, TraceKind::CpuSubkernelDone { from: 1, to: 2 }),
+            ev(
+                46,
+                TraceKind::CpuSubkernelStart {
+                    from: 0,
+                    to: 1,
+                    version: 0,
+                },
+            ),
+            ev(
+                50,
+                TraceKind::DeviceLost {
+                    device: DeviceKind::Gpu,
+                },
+            ),
+            ev(52, TraceKind::CpuSubkernelDone { from: 0, to: 1 }),
+            ev(
+                52,
+                TraceKind::KernelComplete {
+                    finisher: Finisher::Cpu,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn gpu_loss_recovery_trace_is_legal() {
+        assert_eq!(lint_trace(&gpu_loss_trace()), vec![]);
+    }
+
+    #[test]
+    fn gpu_finisher_after_gpu_loss_is_flagged() {
+        let mut t = gpu_loss_trace();
+        for e in &mut t {
+            if let TraceKind::KernelComplete { finisher } = &mut e.kind {
+                *finisher = Finisher::Gpu;
+            }
+        }
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "completion"), "{diags:?}");
+    }
+
+    #[test]
+    fn gpu_loss_with_incomplete_cpu_descent_is_flagged() {
+        let mut t = gpu_loss_trace();
+        // Drop the final 0..1 subkernel: nobody executed work-group 0.
+        t.retain(|e| {
+            !matches!(
+                e.kind,
+                TraceKind::CpuSubkernelStart { from: 0, .. }
+                    | TraceKind::CpuSubkernelDone { from: 0, .. }
+            )
+        });
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "coverage"), "{diags:?}");
+    }
+
+    #[test]
+    fn cpu_loss_open_subkernel_is_legal() {
+        // The kernel completes normally on the GPU while the killed CPU
+        // subkernel stays open; the loss is detected (and recorded) only
+        // when the watchdog drains after completion.
+        let mut t = legal_trace();
+        t.insert(
+            12,
+            ev(
+                39,
+                TraceKind::CpuSubkernelStart {
+                    from: 1,
+                    to: 2,
+                    version: 0,
+                },
+            ),
+        );
+        t.push(ev(
+            60,
+            TraceKind::DeviceLost {
+                device: DeviceKind::Cpu,
+            },
+        ));
+        t.sort_by_key(|e| e.at);
+        assert_eq!(lint_trace(&t), vec![]);
+    }
+
+    #[test]
+    fn open_subkernel_without_recorded_loss_is_still_flagged() {
+        let mut t = legal_trace();
+        t.insert(
+            12,
+            ev(
+                39,
+                TraceKind::CpuSubkernelStart {
+                    from: 1,
+                    to: 2,
+                    version: 0,
+                },
+            ),
+        );
+        t.sort_by_key(|e| e.at);
+        let diags = lint_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.rule == "cpu-contiguity"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn transient_retry_resend_is_legal() {
+        // The first transfer (boundary 3) fails transiently and is resent;
+        // its status arrives late, interleaved with the boundary-2 send.
+        let t = vec![
+            ev(0, TraceKind::Enqueued { total_wgs: 4 }),
+            ev(
+                5,
+                TraceKind::CpuSubkernelStart {
+                    from: 3,
+                    to: 4,
+                    version: 0,
+                },
+            ),
+            ev(10, TraceKind::GpuLaunch),
+            ev(10, TraceKind::GpuWaveStart { from: 0, to: 2 }),
+            ev(20, TraceKind::CpuSubkernelDone { from: 3, to: 4 }),
+            ev(
+                25,
+                TraceKind::HdEnqueued {
+                    boundary: 3,
+                    bytes: 64,
+                    dirty_bytes: None,
+                },
+            ),
+            ev(
+                25,
+                TraceKind::CpuSubkernelStart {
+                    from: 2,
+                    to: 3,
+                    version: 0,
+                },
+            ),
+            ev(
+                30,
+                TraceKind::GpuWaveDone {
+                    from: 0,
+                    to: 2,
+                    executed_to: 2,
+                },
+            ),
+            ev(30, TraceKind::GpuWaveStart { from: 2, to: 4 }),
+            ev(
+                35,
+                TraceKind::TransferFault {
+                    boundary: 3,
+                    attempt: 1,
+                },
+            ),
+            ev(
+                36,
+                TraceKind::HdEnqueued {
+                    boundary: 3,
+                    bytes: 64,
+                    dirty_bytes: None,
+                },
+            ),
+            ev(38, TraceKind::CpuSubkernelDone { from: 2, to: 3 }),
+            ev(
+                39,
+                TraceKind::HdEnqueued {
+                    boundary: 2,
+                    bytes: 64,
+                    dirty_bytes: None,
+                },
+            ),
+            ev(39, TraceKind::StatusArrived { boundary: 3 }),
+            ev(
+                40,
+                TraceKind::GpuWaveDone {
+                    from: 2,
+                    to: 4,
+                    executed_to: 3,
+                },
+            ),
+            ev(40, TraceKind::GpuExit),
+            ev(45, TraceKind::MergeDone),
+            ev(
+                45,
+                TraceKind::KernelComplete {
+                    finisher: Finisher::Gpu,
+                },
+            ),
+        ];
+        assert_eq!(lint_trace(&t), vec![]);
+    }
+
+    #[test]
+    fn fault_event_for_unsent_boundary_is_flagged() {
+        let mut t = legal_trace();
+        t.insert(
+            10,
+            ev(
+                36,
+                TraceKind::TransferFault {
+                    boundary: 1,
+                    attempt: 1,
+                },
+            ),
+        );
+        t.sort_by_key(|e| e.at);
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "recovery"), "{diags:?}");
+    }
+
+    #[test]
+    fn degraded_trace_is_legal() {
+        let t = vec![
+            ev(0, TraceKind::Enqueued { total_wgs: 8 }),
+            ev(
+                3,
+                TraceKind::DegradedRun {
+                    device: DeviceKind::Cpu,
+                    from: 0,
+                    to: 8,
+                },
+            ),
+            ev(
+                90,
+                TraceKind::KernelComplete {
+                    finisher: Finisher::Cpu,
+                },
+            ),
+        ];
+        assert_eq!(lint_trace(&t), vec![]);
+    }
+
+    #[test]
+    fn degraded_trace_with_coverage_gap_is_flagged() {
+        let t = vec![
+            ev(0, TraceKind::Enqueued { total_wgs: 8 }),
+            ev(
+                3,
+                TraceKind::DegradedRun {
+                    device: DeviceKind::Gpu,
+                    from: 0,
+                    to: 6,
+                },
+            ),
+            ev(
+                90,
+                TraceKind::KernelComplete {
+                    finisher: Finisher::Gpu,
+                },
+            ),
+        ];
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "coverage"), "{diags:?}");
+    }
+
+    #[test]
+    fn coexec_machinery_inside_degraded_trace_is_flagged() {
+        let t = vec![
+            ev(0, TraceKind::Enqueued { total_wgs: 8 }),
+            ev(2, TraceKind::GpuLaunch),
+            ev(
+                3,
+                TraceKind::DegradedRun {
+                    device: DeviceKind::Gpu,
+                    from: 0,
+                    to: 8,
+                },
+            ),
+            ev(
+                90,
+                TraceKind::KernelComplete {
+                    finisher: Finisher::Gpu,
+                },
+            ),
+        ];
+        let diags = lint_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.rule == "degraded-shape"),
             "{diags:?}"
         );
     }

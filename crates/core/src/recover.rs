@@ -1,0 +1,130 @@
+//! Recovery policy: watchdog deadlines, bounded retry, backoff.
+//!
+//! The co-execution engine never waits unboundedly: every enqueued
+//! operation (GPU wave, CPU subkernel, hd transfer) gets a watchdog
+//! deadline derived from its *expected* duration, and every transient
+//! transfer failure is retried a bounded number of times with exponential
+//! backoff. The policy lives here so the coexec state machine reads like
+//! the protocol and the tuning knobs read like configuration.
+
+use fluidicl_des::SimDuration;
+
+/// Watchdog and retry tuning for fault recovery.
+///
+/// # Examples
+///
+/// ```
+/// use fluidicl::RecoveryPolicy;
+/// use fluidicl_des::SimDuration;
+///
+/// let p = RecoveryPolicy::default();
+/// let expected = SimDuration::from_nanos(500);
+/// assert!(p.deadline(expected) >= expected, "deadlines trail the estimate");
+/// assert!(p.backoff(2) > p.backoff(1), "backoff grows per attempt");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Watchdog deadline as a multiple of the operation's expected
+    /// duration. Larger factors tolerate more model error before declaring
+    /// an operation dead.
+    pub watchdog_factor: f64,
+    /// Floor for watchdog deadlines, so near-zero estimated durations still
+    /// get a meaningful grace period.
+    pub watchdog_min: SimDuration,
+    /// Maximum retries for a transient transfer failure before it is
+    /// reported as a [`fluidicl_vcl::ClError::Timeout`].
+    pub max_transfer_retries: u32,
+    /// Backoff before the first retry; doubles on each further attempt.
+    pub backoff_base: SimDuration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            watchdog_factor: 4.0,
+            watchdog_min: SimDuration::from_nanos(1_000),
+            max_transfer_retries: 3,
+            backoff_base: SimDuration::from_nanos(2_000),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Sets the watchdog factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0` (a deadline shorter than the estimate would
+    /// declare healthy operations dead).
+    pub fn with_watchdog_factor(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "watchdog factor must be >= 1, got {factor}");
+        self.watchdog_factor = factor;
+        self
+    }
+
+    /// Sets the retry budget for transient transfer failures.
+    pub fn with_max_transfer_retries(mut self, retries: u32) -> Self {
+        self.max_transfer_retries = retries;
+        self
+    }
+
+    /// Watchdog deadline (a duration from the operation's start) for an
+    /// operation expected to take `expected`.
+    pub fn deadline(&self, expected: SimDuration) -> SimDuration {
+        let scaled = SimDuration::from_nanos(
+            (expected.as_nanos() as f64 * self.watchdog_factor).ceil() as u64,
+        );
+        scaled.max(self.watchdog_min)
+    }
+
+    /// Backoff to wait before retry number `attempt` (1-based): exponential
+    /// in the attempt count.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64 << (attempt.saturating_sub(1)).min(16);
+        SimDuration::from_nanos(self.backoff_base.as_nanos().saturating_mul(factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_scales_and_floors() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(
+            p.deadline(SimDuration::from_nanos(10_000)),
+            SimDuration::from_nanos(40_000)
+        );
+        // Tiny estimates get the floor.
+        assert_eq!(p.deadline(SimDuration::ZERO), p.watchdog_min);
+        assert_eq!(p.deadline(SimDuration::from_nanos(3)), p.watchdog_min);
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.backoff(1), SimDuration::from_nanos(2_000));
+        assert_eq!(p.backoff(2), SimDuration::from_nanos(4_000));
+        assert_eq!(p.backoff(3), SimDuration::from_nanos(8_000));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = RecoveryPolicy::default()
+            .with_watchdog_factor(8.0)
+            .with_max_transfer_retries(0);
+        assert_eq!(p.watchdog_factor, 8.0);
+        assert_eq!(p.max_transfer_retries, 0);
+        assert_eq!(
+            p.deadline(SimDuration::from_nanos(1_000)),
+            SimDuration::from_nanos(8_000)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog factor")]
+    fn rejects_sub_unit_watchdog_factor() {
+        let _ = RecoveryPolicy::default().with_watchdog_factor(0.5);
+    }
+}

@@ -11,13 +11,15 @@ use fluidicl_des::{SimDuration, SimTime};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_vcl::exec::Launch;
 use fluidicl_vcl::{
-    BufferId, ClDriver, ClError, ClResult, DirtyRanges, KernelArg, Memory, NdRange, Program,
+    execute_groups_injected, BufferId, ClDriver, ClError, ClResult, DeviceKind, DirtyRanges,
+    FaultInjector, KernelArg, Memory, NdRange, Program,
 };
 
 use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
 use crate::coexec::{Coexec, CoexecInput};
 use crate::config::FluidiclConfig;
-use crate::stats::{KernelReport, RuntimeSummary};
+use crate::stats::{Finisher, KernelReport, RuntimeSummary};
+use crate::trace::{TraceEvent, TraceKind};
 
 /// The FluidiCL runtime over a simulated CPU+GPU machine.
 ///
@@ -73,6 +75,15 @@ pub struct Fluidicl {
     dh_free: SimTime,
     next_kernel_id: KernelId,
     reports: Vec<KernelReport>,
+    /// Fault oracle derived from `config.faults`; `None` disables injection
+    /// and every watchdog.
+    injector: Option<FaultInjector>,
+    /// Device lost during an earlier kernel: later kernels run degraded on
+    /// the survivor.
+    lost: Option<DeviceKind>,
+    /// Unrecoverable error (both devices gone): every later enqueue returns
+    /// a clone of it instead of touching dead hardware.
+    fatal: Option<ClError>,
 }
 
 impl Fluidicl {
@@ -80,6 +91,7 @@ impl Fluidicl {
     /// `program` (kernels are built for both devices, paper §4.1).
     pub fn new(machine: MachineConfig, config: FluidiclConfig, program: Program) -> Self {
         let pool = ScratchPool::new(config.buffer_pool);
+        let injector = config.faults.map(FaultInjector::new);
         Fluidicl {
             machine,
             config,
@@ -95,6 +107,9 @@ impl Fluidicl {
             dh_free: SimTime::ZERO,
             next_kernel_id: 1,
             reports: Vec::new(),
+            injector,
+            lost: None,
+            fatal: None,
         }
     }
 
@@ -122,6 +137,47 @@ impl Fluidicl {
     /// per-kernel original snapshots reused a pooled allocation.
     pub fn snapshot_stats(&self) -> (u64, u64) {
         self.snapshots.stats()
+    }
+
+    /// Number of snapshot allocations currently sitting free in the pool —
+    /// balanced accounting even across launches that returned `Err`.
+    pub fn snapshot_free_count(&self) -> usize {
+        self.snapshots.free_count()
+    }
+
+    /// Number of scratch buffers currently sitting free in the pool.
+    pub fn scratch_free_count(&self) -> usize {
+        self.pool.free_count()
+    }
+
+    /// Whether the configured fault plan has fired yet.
+    pub fn fault_fired(&self) -> bool {
+        self.injector.as_ref().is_some_and(FaultInjector::fired)
+    }
+
+    /// Device declared permanently lost during an earlier kernel, if any.
+    /// Subsequent kernels run degraded on the survivor.
+    pub fn lost_device(&self) -> Option<DeviceKind> {
+        self.lost
+    }
+
+    /// Promotes every kernel named in `proven` to declared-disjoint writes
+    /// (see [`Program::promote_disjoint`]) and, if at least one promotion
+    /// applied, raises the intra-launch thread budget to `jobs`. Returns
+    /// the number of kernels promoted. This is how a disjoint-writes proof
+    /// manifest emitted by `fluidicl-check --emit-disjoint` turns into
+    /// enabled parallelism at run time.
+    pub fn apply_disjoint_proofs(&mut self, proven: &[String], jobs: usize) -> usize {
+        let mut promoted = 0;
+        for name in proven {
+            if self.program.promote_disjoint(name) {
+                promoted += 1;
+            }
+        }
+        if promoted > 0 {
+            self.config.intra_launch_jobs = jobs.max(1);
+        }
+        promoted
     }
 
     fn scratch_setup_cost(&mut self, out_ids: &[BufferId]) -> SimDuration {
@@ -162,6 +218,188 @@ impl Fluidicl {
             self.pool.release(len);
         }
     }
+
+    /// Re-establishes cross-device coherence on the output buffers of a
+    /// kernel that failed mid-flight: the two copies have diverged (partial
+    /// CPU subkernels vs partial GPU waves, no merge), which would poison
+    /// the *next* kernel's diff-merge. The GPU copy is taken as the
+    /// authority — exactly what its "original" scratch snapshot would hold.
+    fn restore_coherence(&mut self, out_ids: &[BufferId]) {
+        for id in out_ids {
+            // Both memories allocated this id at create_buffer; a missing
+            // entry here means the failure happened before any divergence.
+            let Ok(gpu) = self.gpu_mem.get(*id) else {
+                continue;
+            };
+            let gpu = gpu.to_vec();
+            let _ = self.cpu_mem.write(*id, &gpu);
+        }
+    }
+
+    /// Executes a kernel on the single surviving device after a permanent
+    /// device loss: no co-execution, no subkernels, no transfers — the
+    /// paper's protocol degrades to plain single-device OpenCL.
+    fn enqueue_degraded(
+        &mut self,
+        kernel: &str,
+        launch: &Launch,
+        in_ids: &[BufferId],
+        out_ids: &[BufferId],
+        kid: KernelId,
+        survivor: DeviceKind,
+    ) -> ClResult<()> {
+        let total = launch.ndrange.num_groups();
+        let items = launch.ndrange.items_per_group();
+        let profile = &launch.kernel.default_version().profile;
+        let mut trace = vec![TraceEvent {
+            at: self.host_clock,
+            kind: TraceKind::Enqueued { total_wgs: total },
+        }];
+        let mut all_bufs: Vec<BufferId> = in_ids.to_vec();
+        all_bufs.extend(out_ids.iter().copied());
+        let (start, duration, finisher) = match survivor {
+            DeviceKind::Cpu => {
+                let start = self.buffers.cpu_ready_time(&all_bufs).max(self.host_clock);
+                let dur =
+                    self.machine
+                        .cpu
+                        .subkernel_time(profile, items, total, self.config.wg_split);
+                (start, dur, Finisher::Cpu)
+            }
+            DeviceKind::Gpu => {
+                let start = self
+                    .buffers
+                    .gpu_ready_time(&all_bufs)
+                    .max(self.gpu_free)
+                    .max(self.host_clock)
+                    + self.machine.gpu.launch_overhead();
+                let dur =
+                    self.machine
+                        .gpu
+                        .range_time(profile, items, total, self.config.abort_mode);
+                (start, dur, Finisher::Gpu)
+            }
+        };
+        let mem = match survivor {
+            DeviceKind::Cpu => &mut self.cpu_mem,
+            DeviceKind::Gpu => &mut self.gpu_mem,
+        };
+        let exec = execute_groups_injected(
+            launch,
+            mem,
+            0,
+            total,
+            self.config.intra_launch_jobs,
+            self.injector.as_ref(),
+            survivor,
+        );
+        if let Err(e) = exec {
+            if matches!(e, ClError::DeviceLost { .. }) {
+                self.fatal = Some(e.clone());
+            }
+            return Err(e);
+        }
+        let complete_at = start + duration;
+        trace.push(TraceEvent {
+            at: start,
+            kind: TraceKind::DegradedRun {
+                device: survivor,
+                from: 0,
+                to: total,
+            },
+        });
+        trace.push(TraceEvent {
+            at: complete_at,
+            kind: TraceKind::KernelComplete { finisher },
+        });
+        let report = KernelReport {
+            kernel: kernel.to_string(),
+            kernel_id: kid,
+            enqueued_at: self.host_clock,
+            complete_at,
+            total_wgs: total,
+            gpu_executed_wgs: if survivor == DeviceKind::Gpu {
+                total
+            } else {
+                0
+            },
+            cpu_executed_wgs: if survivor == DeviceKind::Cpu {
+                total
+            } else {
+                0
+            },
+            cpu_merged_wgs: 0,
+            subkernels: 0,
+            subkernel_log: Vec::new(),
+            hd_bytes: 0,
+            dh_bytes: 0,
+            cpu_version_used: 0,
+            finished_by: finisher,
+            duration: complete_at.saturating_since(self.host_clock),
+            trace,
+        };
+        if self.config.validate_protocol {
+            let diags = crate::lint::lint_report(&report);
+            if let Some(first) = diags
+                .iter()
+                .find(|d| d.severity == crate::lint::LintSeverity::Error)
+            {
+                return Err(ClError::ProtocolViolation {
+                    kernel: kernel.to_string(),
+                    detail: format!("{first} ({} finding(s) total)", diags.len()),
+                });
+            }
+        }
+        self.host_clock = complete_at;
+        for id in out_ids {
+            match survivor {
+                DeviceKind::Cpu => self.buffers.record_cpu_arrival(*id, kid, complete_at),
+                DeviceKind::Gpu => {
+                    self.gpu_free = complete_at;
+                    self.buffers.record_gpu_arrival(*id, kid, complete_at);
+                }
+            }
+        }
+        self.reports.push(report);
+        Ok(())
+    }
+}
+
+/// Parses a disjoint-writes proof manifest (the JSON emitted by
+/// `fluidicl-check --emit-disjoint`, of the form
+/// `{"proven": ["kernel_a", "kernel_b"]}`) and returns the proven kernel
+/// names. The parser is deliberately tolerant — whitespace, trailing
+/// commas and unknown sibling keys are all accepted; a missing or
+/// malformed `proven` array yields an empty list rather than an error, so
+/// a stale or hand-edited manifest can never break a run.
+///
+/// # Examples
+///
+/// ```
+/// use fluidicl::parse_disjoint_manifest;
+///
+/// let names = parse_disjoint_manifest(r#"{ "proven": ["atax_1", "gemm"] }"#);
+/// assert_eq!(names, vec!["atax_1".to_string(), "gemm".to_string()]);
+/// assert!(parse_disjoint_manifest("not json").is_empty());
+/// ```
+pub fn parse_disjoint_manifest(text: &str) -> Vec<String> {
+    let Some(key) = text.find("\"proven\"") else {
+        return Vec::new();
+    };
+    let after_key = &text[key + "\"proven\"".len()..];
+    let Some(open) = after_key.find('[') else {
+        return Vec::new();
+    };
+    let body = &after_key[open + 1..];
+    let Some(close) = body.find(']') else {
+        return Vec::new();
+    };
+    body[..close]
+        .split('"')
+        .skip(1)
+        .step_by(2)
+        .map(str::to_string)
+        .collect()
 }
 
 impl ClDriver for Fluidicl {
@@ -184,9 +422,15 @@ impl ClDriver for Fluidicl {
         // device and an h2d transfer for the GPU (paper §4.1). The h2d is
         // DMA on the in-order hd queue; the host only performs the copy,
         // and whoever needs the GPU copy waits for its arrival (§5.5).
+        // After a permanent GPU loss nothing crosses the link any more.
         let cpu_at = self.host_clock + self.machine.host.copy_time(bytes);
-        let gpu_at = self.hd_free.max(self.host_clock) + self.machine.h2d.transfer_time(bytes);
-        self.hd_free = gpu_at;
+        let gpu_at = if self.lost == Some(DeviceKind::Gpu) {
+            cpu_at
+        } else {
+            let at = self.hd_free.max(self.host_clock) + self.machine.h2d.transfer_time(bytes);
+            self.hd_free = at;
+            at
+        };
         self.buffers.record_host_write(id, cpu_at, gpu_at);
         self.host_clock = cpu_at;
         Ok(())
@@ -198,14 +442,29 @@ impl ClDriver for Fluidicl {
         ndrange: NdRange,
         args: &[KernelArg],
     ) -> ClResult<()> {
+        if let Some(fatal) = &self.fatal {
+            // Both devices are gone; nothing can execute. The original
+            // failure is replayed so the application sees a stable error.
+            return Err(fatal.clone());
+        }
         let def = self.program.kernel(kernel)?;
         let launch = Launch::new(def, ndrange, args.to_vec());
         let in_ids = launch.input_buffers()?;
         let out_ids = launch.output_buffers()?;
+        // Reject forged buffer handles up front with a typed error; every
+        // later table access on this path may then index infallibly.
+        for id in in_ids.iter().chain(out_ids.iter()) {
+            self.buffers.try_state(*id)?;
+        }
         let kid = self.next_kernel_id;
         self.next_kernel_id += 1;
         for id in &out_ids {
             self.buffers.begin_kernel_write(*id, kid);
+        }
+        if let Some(lost) = self.lost {
+            // Graceful degradation: the survivor executes the whole NDRange
+            // as a plain single-device launch.
+            return self.enqueue_degraded(kernel, &launch, &in_ids, &out_ids, kid, lost.other());
         }
         // The CPU scheduler waits for its inputs (In + InOut) to be current
         // (paper §5.3); `begin_kernel_write` just reset InOut readiness, so
@@ -233,14 +492,30 @@ impl ClDriver for Fluidicl {
             cpu_mem: &mut self.cpu_mem,
             gpu_mem: &mut self.gpu_mem,
             snapshots: &mut self.snapshots,
+            injector: self.injector.as_mut(),
         };
-        let outcome = Coexec::new(input)?.run()?;
+        let outcome = match Coexec::new(input).and_then(Coexec::run) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // The launch is abandoned: return the scratch buffers the
+                // setup acquired (snapshot allocations were drained inside
+                // the engine) and re-align the two address spaces so a
+                // later kernel's diff-merge cannot fold stale divergence.
+                self.release_scratch(&out_ids);
+                self.restore_coherence(&out_ids);
+                if matches!(e, ClError::DeviceLost { .. }) {
+                    self.fatal = Some(e.clone());
+                }
+                return Err(e);
+            }
+        };
         if self.config.validate_protocol {
             let diags = crate::lint::lint_report(&outcome.report);
             if let Some(first) = diags
                 .iter()
                 .find(|d| d.severity == crate::lint::LintSeverity::Error)
             {
+                self.release_scratch(&out_ids);
                 return Err(ClError::ProtocolViolation {
                     kernel: kernel.to_string(),
                     detail: format!("{first} ({} finding(s) total)", diags.len()),
@@ -251,30 +526,46 @@ impl ClDriver for Fluidicl {
         self.gpu_free = outcome.gpu_busy_until;
         self.hd_free = outcome.hd_free;
         self.dh_free = outcome.dh_free;
+        let gpu_usable = outcome.lost_device != Some(DeviceKind::Gpu);
         for id in &out_ids {
             self.buffers
                 .record_cpu_arrival(*id, kid, outcome.cpu_results_at);
-            self.buffers
-                .record_gpu_arrival(*id, kid, outcome.gpu_results_at);
-            // The end-of-kernel copy refreshed the original snapshot
-            // (paper §5.5).
-            self.buffers.state_mut(*id).orig_snapshot_current = true;
-            if self.config.dirty_range_transfers {
-                // The epilogue just refreshed the snapshot and the return
-                // path (D2H thread or CPU finish, §4.4) brought the host
-                // copy current, so both dirty sets collapse to empty.
+            if gpu_usable {
                 self.buffers
-                    .record_kernel_dirty(*id, DirtyRanges::empty(), DirtyRanges::empty());
+                    .record_gpu_arrival(*id, kid, outcome.gpu_results_at);
+                // The end-of-kernel copy refreshed the original snapshot
+                // (paper §5.5).
+                self.buffers.state_mut(*id).orig_snapshot_current = true;
+                if self.config.dirty_range_transfers {
+                    // The epilogue just refreshed the snapshot and the
+                    // return path (D2H thread or CPU finish, §4.4) brought
+                    // the host copy current, so both dirty sets collapse to
+                    // empty.
+                    self.buffers.record_kernel_dirty(
+                        *id,
+                        DirtyRanges::empty(),
+                        DirtyRanges::empty(),
+                    );
+                }
             }
         }
         self.release_scratch(&out_ids);
+        if let Some(lost) = outcome.lost_device {
+            self.lost = Some(lost);
+        }
         self.reports.push(outcome.report);
         Ok(())
     }
 
     fn read_buffer(&mut self, id: BufferId) -> ClResult<Vec<f32>> {
-        let state = self.buffers.state(id).clone();
-        let use_cpu_copy = self.config.location_tracking && !state.cpu_is_stale();
+        let state = self.buffers.try_state(id)?.clone();
+        // After a device loss the surviving copy is the only valid one,
+        // regardless of what location tracking would prefer.
+        let use_cpu_copy = match self.lost {
+            Some(DeviceKind::Gpu) => true,
+            Some(DeviceKind::Cpu) => false,
+            None => self.config.location_tracking && !state.cpu_is_stale(),
+        };
         if use_cpu_copy {
             // Data-location tracking (paper §6.2): the device-to-host thread
             // (or a CPU-finished kernel) already placed the data on the CPU;

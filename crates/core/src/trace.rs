@@ -9,6 +9,7 @@
 use std::fmt;
 
 use fluidicl_des::SimTime;
+use fluidicl_vcl::DeviceKind;
 
 use crate::stats::Finisher;
 
@@ -98,6 +99,41 @@ pub enum TraceKind {
         /// Which device established the final data.
         finisher: Finisher,
     },
+    /// A transfer attempt failed transiently (detected at its expected
+    /// completion instant) and will be retried after a backoff.
+    TransferFault {
+        /// Boundary the failed send carried.
+        boundary: u64,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// A delivered transfer failed its payload/status checksum and was
+    /// rejected; the sender resends.
+    TransferRejected {
+        /// Boundary the rejected send carried.
+        boundary: u64,
+    },
+    /// A transfer missed its watchdog deadline: the hd link is abandoned
+    /// and no further subkernels are shipped.
+    TransferTimeout {
+        /// Boundary the stalled send carried.
+        boundary: u64,
+    },
+    /// A device missed a watchdog deadline and was declared lost.
+    DeviceLost {
+        /// The device that died.
+        device: DeviceKind,
+    },
+    /// The surviving device executed work-groups `[from, to)` alone
+    /// (single-device degraded mode after a permanent loss).
+    DegradedRun {
+        /// The surviving device.
+        device: DeviceKind,
+        /// First flattened work-group of the degraded run.
+        from: u64,
+        /// One past the last work-group of the degraded run.
+        to: u64,
+    },
 }
 
 impl fmt::Display for TraceKind {
@@ -156,6 +192,30 @@ impl fmt::Display for TraceKind {
             }
             TraceKind::KernelComplete { finisher } => {
                 write!(f, "[all] kernel complete (finished by {finisher:?})")
+            }
+            TraceKind::TransferFault { boundary, attempt } => {
+                write!(
+                    f,
+                    "[flt] transfer for boundary {boundary} failed (attempt {attempt}), retrying"
+                )
+            }
+            TraceKind::TransferRejected { boundary } => {
+                write!(
+                    f,
+                    "[flt] transfer for boundary {boundary} failed checksum, resending"
+                )
+            }
+            TraceKind::TransferTimeout { boundary } => {
+                write!(
+                    f,
+                    "[flt] transfer for boundary {boundary} missed its deadline, link abandoned"
+                )
+            }
+            TraceKind::DeviceLost { device } => {
+                write!(f, "[flt] {} lost (watchdog deadline missed)", device.name())
+            }
+            TraceKind::DegradedRun { device, from, to } => {
+                write!(f, "[deg] {} finishing {from}..{to} alone", device.name())
             }
         }
     }
@@ -248,6 +308,17 @@ pub fn render_lanes(kernel: &str, events: &[TraceEvent], width: usize) -> String
             TraceKind::HdEnqueued { .. } => hd[b] = '>',
             TraceKind::StatusArrived { .. } => hd[b] = '*',
             TraceKind::KernelComplete { .. } => gpu[b] = '!',
+            TraceKind::TransferFault { .. } => hd[b] = 'f',
+            TraceKind::TransferRejected { .. } => hd[b] = 'r',
+            TraceKind::TransferTimeout { .. } => hd[b] = 'T',
+            TraceKind::DeviceLost { device } => match device {
+                DeviceKind::Gpu => gpu[b] = 'X',
+                DeviceKind::Cpu => cpu[b] = 'X',
+            },
+            TraceKind::DegradedRun { device, .. } => match device {
+                DeviceKind::Gpu => gpu[b] = 'D',
+                DeviceKind::Cpu => cpu[b] = 'D',
+            },
         }
     }
     let lane =
@@ -311,6 +382,20 @@ mod tests {
             TraceKind::StatusArrived { boundary: 200 },
             TraceKind::KernelComplete {
                 finisher: Finisher::Gpu,
+            },
+            TraceKind::TransferFault {
+                boundary: 200,
+                attempt: 1,
+            },
+            TraceKind::TransferRejected { boundary: 200 },
+            TraceKind::TransferTimeout { boundary: 200 },
+            TraceKind::DeviceLost {
+                device: DeviceKind::Gpu,
+            },
+            TraceKind::DegradedRun {
+                device: DeviceKind::Cpu,
+                from: 0,
+                to: 120,
             },
         ];
         for k in kinds {
@@ -393,6 +478,41 @@ mod tests {
     #[test]
     fn lanes_handle_empty_trace() {
         assert!(render_lanes("k", &[], 40).contains("no events"));
+    }
+
+    #[test]
+    fn fault_events_render_with_their_own_markers() {
+        let events = vec![
+            ev(
+                0,
+                TraceKind::TransferFault {
+                    boundary: 8,
+                    attempt: 1,
+                },
+            ),
+            ev(
+                100,
+                TraceKind::DeviceLost {
+                    device: DeviceKind::Gpu,
+                },
+            ),
+            ev(
+                200,
+                TraceKind::DegradedRun {
+                    device: DeviceKind::Cpu,
+                    from: 0,
+                    to: 16,
+                },
+            ),
+        ];
+        let text = render_lanes("k", &events, 40);
+        assert!(text.contains('f'), "fault marker missing: {text}");
+        assert!(text.contains('X'), "loss marker missing: {text}");
+        assert!(text.contains('D'), "degraded marker missing: {text}");
+        // The legend line itself is unchanged from the fault-free renderer.
+        assert!(text.starts_with(
+            "lanes of `k` over 0.2us ([ start, ] done, x abort, > send, * status, M merge, ! complete)\n"
+        ));
     }
 
     #[test]

@@ -29,6 +29,14 @@ impl DeviceKind {
             DeviceKind::Gpu => "GPU",
         }
     }
+
+    /// The other device of the pair — the survivor when this one is lost.
+    pub fn other(self) -> DeviceKind {
+        match self {
+            DeviceKind::Cpu => DeviceKind::Gpu,
+            DeviceKind::Gpu => DeviceKind::Cpu,
+        }
+    }
 }
 
 /// The OpenCL-subset driver interface host programs are written against.
@@ -88,5 +96,14 @@ mod tests {
         assert_eq!(DeviceKind::Cpu.name(), "CPU");
         assert_eq!(DeviceKind::Gpu.name(), "GPU");
         assert!(DeviceKind::Cpu < DeviceKind::Gpu);
+    }
+
+    #[test]
+    fn other_is_an_involution() {
+        assert_eq!(DeviceKind::Cpu.other(), DeviceKind::Gpu);
+        assert_eq!(DeviceKind::Gpu.other(), DeviceKind::Cpu);
+        for d in [DeviceKind::Cpu, DeviceKind::Gpu] {
+            assert_eq!(d.other().other(), d);
+        }
     }
 }

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::DeviceKind;
+
 /// Errors returned by the virtual OpenCL runtime and the runtimes layered on
 /// top of it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,6 +41,22 @@ pub enum ClError {
         /// First violated invariant, plus the total violation count.
         detail: String,
     },
+    /// A device died and no surviving device could complete the work.
+    DeviceLost {
+        /// The device that was lost (for a double loss, the one whose
+        /// failure made the run unrecoverable).
+        device: DeviceKind,
+        /// What the runtime was doing when the loss became fatal.
+        detail: String,
+    },
+    /// An operation missed its watchdog deadline and could not be retried
+    /// within the configured recovery policy.
+    Timeout {
+        /// The operation that timed out (e.g. `h2d transfer`).
+        op: String,
+        /// What exceeded the deadline, and any retry history.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ClError {
@@ -62,6 +80,10 @@ impl fmt::Display for ClError {
             ClError::ProtocolViolation { kernel, detail } => {
                 write!(f, "protocol violation in kernel `{kernel}`: {detail}")
             }
+            ClError::DeviceLost { device, detail } => {
+                write!(f, "device lost ({}): {detail}", device.name())
+            }
+            ClError::Timeout { op, detail } => write!(f, "timeout in {op}: {detail}"),
         }
     }
 }
@@ -93,6 +115,14 @@ mod tests {
             ClError::ProtocolViolation {
                 kernel: "k".into(),
                 detail: "watermark increased".into(),
+            },
+            ClError::DeviceLost {
+                device: DeviceKind::Gpu,
+                detail: "wave 2 missed its watchdog deadline".into(),
+            },
+            ClError::Timeout {
+                op: "h2d transfer".into(),
+                detail: "3 retries exhausted".into(),
             },
         ];
         for e in cases {

@@ -279,6 +279,36 @@ pub fn execute_groups_par(
     result
 }
 
+/// Fault-aware variant of [`execute_groups_par`]: consults `injector` (when
+/// present) before touching `mem`, so an execution attributed to a lost
+/// `device` fails with [`ClError::DeviceLost`] instead of computing results
+/// a dead device could never have produced. Used by the degraded
+/// (single-survivor) path of the cooperative runtime.
+///
+/// # Errors
+///
+/// [`ClError::DeviceLost`] when `device` is dead, otherwise the same as
+/// [`execute_groups`].
+pub fn execute_groups_injected(
+    launch: &Launch,
+    mem: &mut Memory,
+    from: u64,
+    to: u64,
+    jobs: usize,
+    injector: Option<&crate::fault::FaultInjector>,
+    device: crate::DeviceKind,
+) -> ClResult<()> {
+    if let Some(inj) = injector {
+        if inj.device_lost(device) {
+            return Err(ClError::DeviceLost {
+                device,
+                detail: format!("cannot execute groups {from}..{to} on a lost device"),
+            });
+        }
+    }
+    execute_groups_par(launch, mem, from, to, jobs)
+}
+
 /// Executes the entire NDRange of `launch` against `mem`.
 ///
 /// # Errors
@@ -602,6 +632,47 @@ mod tests {
             execute_groups_par(&launch, &mut mem, 0, 5, 4),
             Err(ClError::InvalidNdRange(_))
         ));
+    }
+
+    #[test]
+    fn injected_execution_refuses_a_lost_device() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+        let (mut mem, k) = setup(16);
+        let launch = Launch::new(
+            k,
+            NdRange::d1(16, 4).unwrap(),
+            vec![
+                KernelArg::Buffer(BufferId(0)),
+                KernelArg::Buffer(BufferId(1)),
+                KernelArg::F32(2.0),
+            ],
+        );
+        let mut inj = FaultInjector::new(FaultPlan::new(FaultKind::GpuLost, 1));
+        while !inj.kill_gpu_wave() {}
+        assert!(matches!(
+            execute_groups_injected(
+                &launch,
+                &mut mem,
+                0,
+                4,
+                1,
+                Some(&inj),
+                crate::DeviceKind::Gpu
+            ),
+            Err(ClError::DeviceLost { .. })
+        ));
+        // The surviving device still executes.
+        execute_groups_injected(
+            &launch,
+            &mut mem,
+            0,
+            4,
+            1,
+            Some(&inj),
+            crate::DeviceKind::Cpu,
+        )
+        .unwrap();
+        assert_eq!(mem.get(BufferId(1)).unwrap()[8], 16.0);
     }
 
     #[test]

@@ -437,6 +437,23 @@ impl Program {
         self.kernels.keys().map(String::as_str)
     }
 
+    /// Marks kernel `name` as having disjoint per-group writes, as
+    /// [`KernelDef::with_disjoint_writes`] would at registration. Returns
+    /// whether anything changed (`false` if the kernel is unknown or was
+    /// already declared disjoint). This is the consumption side of a
+    /// machine-checked disjointness proof: an external prover that verified
+    /// every launch can promote the kernel without touching its source
+    /// registration.
+    pub fn promote_disjoint(&mut self, name: &str) -> bool {
+        match self.kernels.get_mut(name) {
+            Some(def) if !def.disjoint_writes() => {
+                Arc::make_mut(def).disjoint_writes = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Number of registered kernels.
     pub fn len(&self) -> usize {
         self.kernels.len()
@@ -484,6 +501,21 @@ mod tests {
         assert_eq!(ins, vec![BufferId(1)]);
         assert_eq!(outs, vec![BufferId(2)]);
         assert_eq!(scalars.usize(0), 8);
+    }
+
+    #[test]
+    fn promote_disjoint_flips_the_flag_once() {
+        let mut p = Program::new();
+        p.register(copy_kernel());
+        // A lookup taken before the promotion keeps the old declaration
+        // (promotion copy-on-writes the shared definition).
+        let before = p.kernel("copy").unwrap();
+        assert!(!before.disjoint_writes());
+        assert!(p.promote_disjoint("copy"), "first promotion applies");
+        assert!(!p.promote_disjoint("copy"), "second is a no-op");
+        assert!(!p.promote_disjoint("missing"), "unknown kernels are no-ops");
+        assert!(p.kernel("copy").unwrap().disjoint_writes());
+        assert!(!before.disjoint_writes(), "old handles are unaffected");
     }
 
     #[test]

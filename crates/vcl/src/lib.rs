@@ -32,6 +32,7 @@ pub mod dirty;
 mod driver;
 mod error;
 pub mod exec;
+pub mod fault;
 mod kernel;
 mod memory;
 mod ndrange;
@@ -42,7 +43,8 @@ pub use access::{execute_groups_shadowed, AccessRecord, WriteMap};
 pub use dirty::DirtyRanges;
 pub use driver::{ClDriver, DeviceKind};
 pub use error::{ClError, ClResult};
-pub use exec::{execute_groups_par, Launch, LaunchPlan};
+pub use exec::{execute_groups_injected, execute_groups_par, Launch, LaunchPlan};
+pub use fault::{payload_checksum, FaultInjector, FaultKind, FaultPlan, TransferFate};
 pub use kernel::{
     ArgRole, ArgSpec, Inputs, KernelArg, KernelBody, KernelDef, KernelVersion, Outputs, Program,
     Scalars,

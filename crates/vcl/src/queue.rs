@@ -17,7 +17,8 @@ use fluidicl_des::{SimDuration, SimTime};
 use fluidicl_hetsim::{AbortMode, MachineConfig};
 
 use crate::exec::{execute_all, Launch};
-use crate::{BufferId, ClResult, DeviceKind, Memory};
+use crate::fault::{FaultInjector, TransferFate};
+use crate::{BufferId, ClError, ClResult, DeviceKind, Memory};
 
 /// Completion marker of one enqueued command.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -62,6 +63,7 @@ pub struct CommandQueue {
     next_buffer: u64,
     next_event: u64,
     commands: u64,
+    injector: Option<FaultInjector>,
 }
 
 impl CommandQueue {
@@ -76,7 +78,71 @@ impl CommandQueue {
             next_buffer: 0,
             next_event: 0,
             commands: 0,
+            injector: None,
         }
+    }
+
+    /// Attaches a fault injector: subsequent commands consult it and surface
+    /// injected device loss and stalls as typed errors. A single-device
+    /// queue has no cooperating peer, so transient failures are retried in
+    /// place (at zero modeled cost) and corrupt deliveries are re-read from
+    /// host memory — only unrecoverable faults reach the caller.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Kill/health check at the kernel-launch points: a launch on a lost
+    /// device fails with [`ClError::DeviceLost`].
+    fn check_device(&mut self) -> ClResult<()> {
+        let device = self.device;
+        if let Some(inj) = self.injector.as_mut() {
+            let dead = match device {
+                DeviceKind::Gpu => inj.kill_gpu_wave(),
+                DeviceKind::Cpu => inj.kill_cpu_subkernel(),
+            };
+            if dead {
+                return Err(ClError::DeviceLost {
+                    device,
+                    detail: "kernel launch on a lost device".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault check at the transfer points: stalls surface as
+    /// [`ClError::Timeout`], a lost device as [`ClError::DeviceLost`];
+    /// transient and corrupt fates are consumed and recovered in place.
+    fn check_transfer(&mut self, op: &str) -> ClResult<()> {
+        let device = self.device;
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.device_lost(device) {
+                return Err(ClError::DeviceLost {
+                    device,
+                    detail: format!("{op} on a lost device"),
+                });
+            }
+            let mut attempt = 1;
+            loop {
+                match inj.transfer_fate(attempt) {
+                    TransferFate::Stall => {
+                        return Err(ClError::Timeout {
+                            op: op.into(),
+                            detail: "transfer stalled past its watchdog deadline".into(),
+                        })
+                    }
+                    TransferFate::TransientFail
+                    | TransferFate::CorruptPayload
+                    | TransferFate::CorruptStatus => {
+                        // Retry/re-read; the injector bounds consecutive
+                        // failures, so this terminates.
+                        attempt += 1;
+                    }
+                    TransferFate::Deliver => return Ok(()),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The device this queue feeds.
@@ -156,6 +222,7 @@ impl CommandQueue {
     ///
     /// Fails if the buffer is unknown or the size differs.
     pub fn enqueue_write(&mut self, id: BufferId, data: &[f32]) -> ClResult<Event> {
+        self.check_transfer("enqueue_write")?;
         self.memory.write(id, data)?;
         let d = self.transfer_in_time(data.len() as u64 * 4);
         Ok(self.push(d))
@@ -168,6 +235,7 @@ impl CommandQueue {
     ///
     /// Fails if the buffer is unknown.
     pub fn enqueue_read(&mut self, id: BufferId) -> ClResult<(Vec<f32>, Event)> {
+        self.check_transfer("enqueue_read")?;
         let data = self.memory.get(id)?.to_vec();
         let d = self.transfer_out_time(data.len() as u64 * 4);
         let ev = self.push(d);
@@ -180,6 +248,7 @@ impl CommandQueue {
     ///
     /// Fails if either buffer is unknown or sizes differ.
     pub fn enqueue_copy(&mut self, src: BufferId, dst: BufferId) -> ClResult<Event> {
+        self.check_transfer("enqueue_copy")?;
         let data = self.memory.get(src)?.to_vec();
         self.memory.write(dst, &data)?;
         let bytes = data.len() as u64 * 4;
@@ -201,6 +270,7 @@ impl CommandQueue {
     ///
     /// Fails on signature mismatches or missing buffers.
     pub fn enqueue_ndrange(&mut self, launch: &Launch) -> ClResult<Event> {
+        self.check_device()?;
         execute_all(launch, &mut self.memory)?;
         let version = launch
             .kernel
@@ -382,5 +452,74 @@ mod tests {
         let a = q.enqueue_marker();
         let b = q.enqueue_marker();
         assert!(b.id() > a.id());
+    }
+
+    #[test]
+    fn injected_gpu_loss_fails_launches_permanently() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+        let mut q = CommandQueue::new(MachineConfig::paper_testbed(), DeviceKind::Gpu);
+        q.set_fault_injector(FaultInjector::new(FaultPlan::new(FaultKind::GpuLost, 42)));
+        let src = q.create_buffer(64);
+        let dst = q.create_buffer(64);
+        q.enqueue_write(src, &vec![1.0; 64]).unwrap();
+        let launch = scale_launch(src, dst, 64);
+        let results: Vec<_> = (0..4).map(|_| q.enqueue_ndrange(&launch)).collect();
+        let first_err = results
+            .iter()
+            .position(Result::is_err)
+            .expect("loss fires within 3 launches");
+        assert!(first_err < 3);
+        for r in &results[first_err..] {
+            assert!(
+                matches!(
+                    r,
+                    Err(ClError::DeviceLost {
+                        device: DeviceKind::Gpu,
+                        ..
+                    })
+                ),
+                "loss is permanent and typed: {r:?}"
+            );
+        }
+        // Transfers on the dead device fail too.
+        assert!(matches!(
+            q.enqueue_write(src, &vec![2.0; 64]),
+            Err(ClError::DeviceLost { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_stall_surfaces_as_timeout() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+        let mut q = CommandQueue::new(MachineConfig::paper_testbed(), DeviceKind::Gpu);
+        q.set_fault_injector(FaultInjector::new(FaultPlan::new(
+            FaultKind::TransferStall,
+            5,
+        )));
+        let b = q.create_buffer(16);
+        let results: Vec<_> = (0..4).map(|_| q.enqueue_write(b, &[0.5; 16])).collect();
+        let stalled = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(stalled, 1, "exactly one transfer stalls: {results:?}");
+        let err = results.iter().find(|r| r.is_err()).unwrap();
+        assert!(matches!(err, Err(ClError::Timeout { .. })));
+    }
+
+    #[test]
+    fn transient_and_corrupt_faults_recover_in_place() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+        for kind in [
+            FaultKind::TransferTransient,
+            FaultKind::CorruptPayload,
+            FaultKind::CorruptStatus,
+        ] {
+            let mut q = CommandQueue::new(MachineConfig::paper_testbed(), DeviceKind::Gpu);
+            q.set_fault_injector(FaultInjector::new(FaultPlan::new(kind, 9)));
+            let b = q.create_buffer(16);
+            for i in 0..4 {
+                q.enqueue_write(b, &[i as f32; 16])
+                    .unwrap_or_else(|e| panic!("{} attempt {i} must recover: {e}", kind.name()));
+            }
+            assert_eq!(q.memory().get(b).unwrap(), &[3.0; 16][..]);
+        }
     }
 }

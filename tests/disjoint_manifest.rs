@@ -1,0 +1,97 @@
+//! End-to-end loop for disjoint-write proof manifests: the sweep binary
+//! (`fluidicl-check --emit-disjoint`) proves kernels disjoint on real
+//! launches and writes `ci/disjoint_proofs.json`; the runtime consumes it
+//! via `parse_disjoint_manifest` + `Fluidicl::apply_disjoint_proofs`,
+//! promoting proven kernels and unlocking intra-launch parallelism without
+//! hand-editing `with_disjoint_writes` declarations.
+
+use fluidicl::{parse_disjoint_manifest, Fluidicl, FluidiclConfig};
+use fluidicl_hetsim::{KernelProfile, MachineConfig};
+use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, KernelArg, KernelDef, NdRange, Program};
+
+#[test]
+fn checked_in_manifest_parses_and_covers_the_suite() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/ci/disjoint_proofs.json");
+    let text = std::fs::read_to_string(path).expect("ci/disjoint_proofs.json is checked in");
+    let proven = parse_disjoint_manifest(&text);
+    assert!(
+        proven.iter().any(|k| k == "syrk"),
+        "the prover verifies SYRK on every sweep launch: {proven:?}"
+    );
+    assert!(proven.len() >= 9, "one kernel per benchmark at minimum");
+}
+
+/// A kernel that is disjoint in practice but does NOT declare it — the
+/// situation the prover + manifest exist for.
+fn undeclared_program() -> Program {
+    let mut p = Program::new();
+    p.register(KernelDef::new(
+        "scale_undeclared",
+        vec![
+            ArgSpec::new("src", ArgRole::In),
+            ArgSpec::new("dst", ArgRole::Out),
+            ArgSpec::new("f", ArgRole::Scalar),
+        ],
+        KernelProfile::new("scale_undeclared")
+            .flops_per_item(4.0)
+            .bytes_read_per_item(4.0)
+            .bytes_written_per_item(4.0),
+        |item, scalars, ins, outs| {
+            let i = item.global_linear();
+            outs.at(0)[i] = (scalars.f32(0) * ins.get(0)[i]).sin().exp();
+        },
+    ));
+    p
+}
+
+#[test]
+fn applying_a_proof_manifest_promotes_and_stays_bit_identical() {
+    let run = |apply_manifest: bool| {
+        let mut rt = Fluidicl::new(
+            MachineConfig::paper_testbed(),
+            FluidiclConfig::default().with_validate_protocol(true),
+            undeclared_program(),
+        );
+        if apply_manifest {
+            let manifest = r#"{ "proven": ["scale_undeclared", "not_in_program"] }"#;
+            let proven = parse_disjoint_manifest(manifest);
+            assert_eq!(
+                rt.apply_disjoint_proofs(&proven, 4),
+                1,
+                "one kernel promoted"
+            );
+            assert_eq!(
+                rt.apply_disjoint_proofs(&proven, 4),
+                0,
+                "promotion is idempotent"
+            );
+        }
+        let n = 4096;
+        let src = rt.create_buffer(n);
+        let dst = rt.create_buffer(n);
+        let input: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+        rt.write_buffer(src, &input).unwrap();
+        rt.enqueue_kernel(
+            "scale_undeclared",
+            NdRange::d1(n, 64).unwrap(),
+            &[
+                KernelArg::Buffer(src),
+                KernelArg::Buffer(dst),
+                KernelArg::F32(1.7),
+            ],
+        )
+        .unwrap();
+        (rt.read_buffer(dst).unwrap(), rt.elapsed())
+    };
+    let (plain, t_plain) = run(false);
+    let (promoted, t_promoted) = run(true);
+    assert_eq!(
+        plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        promoted.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "promoted parallel execution must be byte-identical"
+    );
+    assert_eq!(
+        t_plain, t_promoted,
+        "promotion unlocks host threads, not modelled time"
+    );
+}
