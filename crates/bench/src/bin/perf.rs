@@ -124,6 +124,7 @@ fn main() {
     sections.extend(micro_hotspots(jobs));
     let (gate_sections, gate_factor) = dirty_gate_sections();
     sections.extend(gate_sections);
+    sections.extend(pipeline_sections());
 
     let json = render_json(&sections, quick, jobs);
     std::fs::write(&out, &json).expect("write BENCH_repro.json");
@@ -180,6 +181,46 @@ fn dirty_gate_sections() -> (Vec<Section>, f64) {
     let on = stats("coexec_dirty_on", iters, on);
     let factor = on.median_ns as f64 / off.median_ns.max(1) as f64;
     (vec![off, on], factor)
+}
+
+/// Times a full SYRK co-execution at pipeline depths 1, 2 and 4: the
+/// harness cost of the pipelined CPU subkernel executor (the copy channel,
+/// batch coalescing and exposed-stall bookkeeping) at the serial, default
+/// and deep settings.
+fn pipeline_sections() -> Vec<Section> {
+    let b = fluidicl_polybench::find("SYRK").expect("SYRK registered");
+    let n = 128;
+    let machine = MachineConfig::paper_testbed();
+    let run_once = |depth: u32| {
+        let mut rt = Fluidicl::new(
+            machine.clone(),
+            FluidiclConfig::default().with_pipeline_depth(depth),
+            (b.program)(n),
+        );
+        let started = Instant::now();
+        let ok = b
+            .run_and_validate_sized(&mut rt, n, 0xF1D1C1)
+            .expect("SYRK co-execution");
+        let ns = started.elapsed().as_nanos();
+        assert!(ok, "SYRK diverged from reference (depth={depth})");
+        ns
+    };
+    let iters = 7;
+    [1u32, 2, 4]
+        .into_iter()
+        .map(|depth| {
+            let samples = collect(iters, || run_once(depth));
+            stats(
+                match depth {
+                    1 => "coexec_pipeline_1",
+                    2 => "coexec_pipeline_2",
+                    _ => "coexec_pipeline_4",
+                },
+                iters,
+                samples,
+            )
+        })
+        .collect()
 }
 
 /// Resolves `rel` against the repository root (two levels above this

@@ -15,7 +15,7 @@
 //! and writes a `FAULTS_summary.json` artifact in the same hand-written
 //! line-per-record JSON style as `BENCH_repro.json`.
 
-use fluidicl::{Fluidicl, FluidiclConfig};
+use fluidicl::{Fluidicl, FluidiclConfig, RecoveryPolicy, TraceKind};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_polybench::{all_benchmarks, BenchmarkSpec};
 use fluidicl_vcl::{ClError, FaultKind, FaultPlan};
@@ -140,6 +140,120 @@ pub fn run_fault_sweep(seeds: u64) -> Vec<FaultCell> {
     fluidicl_par::par_map(units, |(b, kind, s, ps)| run_fault_cell(&b, kind, s, ps))
 }
 
+/// One row of the fault-aware chunk-shrink comparison: the same benchmark
+/// under the same `TransferTransient` fault plan, once with
+/// `shrink_chunk_on_retry` on (the default) and once with it off.
+///
+/// With the shrink enabled the controller halves the CPU chunk as soon as
+/// a transfer needs a retry, so every subkernel launched after the fault
+/// is smaller: its results reach the GPU in finer batches, and the work
+/// stranded un-acknowledged on the flaky link at any instant — the work a
+/// later watchdog abandonment would lose — shrinks with it. `at_risk_*`
+/// measures exactly that: the largest subkernel launched after the first
+/// transfer fault (in work-groups). The merged counts are reported for
+/// context; the *contract* is that the shrink never enlarges the at-risk
+/// window and keeps strictly more CPU work mergeable somewhere in the
+/// sweep.
+#[derive(Clone, Debug)]
+pub struct ShrinkCell {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Derived fault-plan seed the cell ran with.
+    pub plan_seed: u64,
+    /// Whether the transient fault actually fired.
+    pub fired: bool,
+    /// Largest post-fault subkernel (work-groups) with the shrink enabled.
+    pub at_risk_with_shrink: u64,
+    /// Largest post-fault subkernel (work-groups) with the shrink disabled.
+    pub at_risk_without_shrink: u64,
+    /// CPU work-groups merged with shrink-on-retry enabled.
+    pub merged_with_shrink: u64,
+    /// CPU work-groups merged with shrink-on-retry disabled.
+    pub merged_without_shrink: u64,
+}
+
+impl ShrinkCell {
+    /// Whether this cell violates the shrink contract: halving the chunk
+    /// on retry must never launch a *larger* post-fault subkernel.
+    pub fn is_failure(&self) -> bool {
+        self.at_risk_with_shrink > self.at_risk_without_shrink
+    }
+
+    /// Whether the shrink strictly reduced the post-fault at-risk window.
+    pub fn improved(&self) -> bool {
+        self.at_risk_with_shrink < self.at_risk_without_shrink
+    }
+}
+
+/// Runs one benchmark under a transient-transfer plan and extracts the
+/// merged work-group total plus the largest subkernel launched after the
+/// first transfer fault (0 if no subkernel starts after the fault).
+fn transient_run(b: &BenchmarkSpec, plan_seed: u64, shrink: bool) -> (u64, u64, bool) {
+    let n = sweep_size(b.name);
+    let config = FluidiclConfig::default()
+        .with_validate_protocol(true)
+        .with_recovery(RecoveryPolicy::default().with_shrink_chunk_on_retry(shrink))
+        .with_faults(Some(FaultPlan::new(
+            FaultKind::TransferTransient,
+            plan_seed,
+        )));
+    let mut rt = Fluidicl::new(MachineConfig::paper_testbed(), config, (b.program)(n));
+    let ok = b
+        .run_and_validate_sized(&mut rt, n, SWEEP_SEED)
+        .expect("transient transfer faults are always recoverable");
+    assert!(
+        ok,
+        "{}: transient-fault run diverged from reference",
+        b.name
+    );
+    let merged = rt.reports().iter().map(|r| r.cpu_merged_wgs).sum();
+    let mut at_risk = 0u64;
+    for r in rt.reports() {
+        let mut fault_at = None;
+        for ev in &r.trace {
+            match ev.kind {
+                TraceKind::TransferFault { .. } if fault_at.is_none() => fault_at = Some(ev.at),
+                TraceKind::CpuSubkernelStart { from, to, .. }
+                    if fault_at.is_some_and(|f| ev.at >= f) =>
+                {
+                    at_risk = at_risk.max(to.saturating_sub(from));
+                }
+                _ => {}
+            }
+        }
+    }
+    (merged, at_risk, rt.fault_fired())
+}
+
+/// Runs the chunk-shrink comparison over every benchmark × `seeds` seed
+/// indices (reusing the sweep's per-cell seed derivation so the transient
+/// fault lands at the same point in both runs).
+pub fn run_shrink_comparison(seeds: u64) -> Vec<ShrinkCell> {
+    let kind_idx = FaultKind::all()
+        .iter()
+        .position(|k| *k == FaultKind::TransferTransient)
+        .expect("transient kind") as u64;
+    let mut units = Vec::new();
+    for (bi, b) in all_benchmarks().into_iter().enumerate() {
+        for s in 0..seeds {
+            units.push((b, plan_seed(bi as u64, kind_idx, s)));
+        }
+    }
+    fluidicl_par::par_map(units, |(b, ps)| {
+        let (merged_on, risk_on, fired_on) = transient_run(&b, ps, true);
+        let (merged_off, risk_off, fired_off) = transient_run(&b, ps, false);
+        ShrinkCell {
+            bench: b.name,
+            plan_seed: ps,
+            fired: fired_on || fired_off,
+            at_risk_with_shrink: risk_on,
+            at_risk_without_shrink: risk_off,
+            merged_with_shrink: merged_on,
+            merged_without_shrink: merged_off,
+        }
+    })
+}
+
 /// Minimal JSON string escaping for outcome details.
 fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -148,7 +262,7 @@ fn esc(s: &str) -> String {
 /// Renders the sweep as hand-written JSON, one cell per line (the same
 /// diff-friendly style as `BENCH_repro.json`): the CI artifact uploaded
 /// next to the perf numbers.
-pub fn render_faults_json(cells: &[FaultCell], seeds: u64) -> String {
+pub fn render_faults_json(cells: &[FaultCell], shrink: &[ShrinkCell], seeds: u64) -> String {
     let recovered = cells
         .iter()
         .filter(|c| c.outcome == CellOutcome::Recovered)
@@ -186,6 +300,23 @@ pub fn render_faults_json(cells: &[FaultCell], seeds: u64) -> String {
             c.outcome.label(),
             c.fired,
             c.deterministic
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"shrink_on_retry\": [\n");
+    for (i, c) in shrink.iter().enumerate() {
+        let comma = if i + 1 < shrink.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"plan_seed\": {}, \"fired\": {}, \
+             \"at_risk_with_shrink\": {}, \"at_risk_without_shrink\": {}, \
+             \"merged_with_shrink\": {}, \"merged_without_shrink\": {}}}{comma}\n",
+            c.bench,
+            c.plan_seed,
+            c.fired,
+            c.at_risk_with_shrink,
+            c.at_risk_without_shrink,
+            c.merged_with_shrink,
+            c.merged_without_shrink
         ));
     }
     s.push_str("  ]\n}\n");

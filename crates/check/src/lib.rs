@@ -38,7 +38,10 @@ pub mod sanitize;
 
 pub use audit::{AuditDriver, KernelFinding};
 pub use disjoint::{prove_disjoint, DisjointDriver, DisjointFinding};
-pub use faults::{render_faults_json, run_fault_cell, run_fault_sweep, CellOutcome, FaultCell};
+pub use faults::{
+    render_faults_json, run_fault_cell, run_fault_sweep, run_shrink_comparison, CellOutcome,
+    FaultCell, ShrinkCell,
+};
 pub use fluidicl::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use sanitize::{sanitize_launch, SENTINEL_A, SENTINEL_B};
 

@@ -252,8 +252,16 @@ fn main() {
                 .with_location_tracking(false),
         ),
         (
-            "dirty-range",
-            FluidiclConfig::default().with_dirty_range_transfers(true),
+            "whole-buffer",
+            FluidiclConfig::default().with_whole_buffer_transfers(),
+        ),
+        (
+            "pipeline=1",
+            FluidiclConfig::default().with_pipeline_depth(1),
+        ),
+        (
+            "pipeline=4",
+            FluidiclConfig::default().with_pipeline_depth(4),
         ),
     ];
     let mut units = Vec::new();
@@ -365,7 +373,34 @@ fn run_faults_mode(seeds: u64, out: &str) {
          fired, {failures} failure(s)",
         cells.len()
     );
-    let json = fluidicl_check::render_faults_json(&cells, seeds);
+    // Fault-aware chunk shrink: under transient transfer faults, halving
+    // the chunk on retry must never launch a *larger* post-fault subkernel
+    // (the work a watchdog abandonment would strand un-merged), and must
+    // strictly shrink that at-risk window somewhere in the sweep.
+    let shrink = fluidicl_check::run_shrink_comparison(seeds);
+    let mut shrink_regressions = 0usize;
+    for c in &shrink {
+        if c.is_failure() {
+            shrink_regressions += 1;
+            println!(
+                "  {:8} plan_seed {}: shrink-on-retry at-risk window grew \
+                 ({} wgs vs {} without)",
+                c.bench, c.plan_seed, c.at_risk_with_shrink, c.at_risk_without_shrink
+            );
+        }
+    }
+    let shrink_gains = shrink.iter().filter(|c| c.improved()).count();
+    if shrink_gains == 0 {
+        println!("  shrink-on-retry: no cell shrank its at-risk window");
+        shrink_regressions += 1;
+    }
+    println!(
+        "  shrink-on-retry: {} comparison(s), {shrink_gains} with a smaller \
+         post-fault at-risk window, {shrink_regressions} regression(s)",
+        shrink.len()
+    );
+    failures += shrink_regressions;
+    let json = fluidicl_check::render_faults_json(&cells, &shrink, seeds);
     std::fs::write(out, &json).expect("write FAULTS_summary.json");
     println!("  wrote {out}");
     if failures > 0 {

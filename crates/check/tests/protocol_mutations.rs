@@ -87,7 +87,7 @@ fn mutation_rising_watermark() {
     let reports = real_reports();
     let mut t = rich_trace(&reports);
     let total = match t[0].kind {
-        TraceKind::Enqueued { total_wgs } => total_wgs,
+        TraceKind::Enqueued { total_wgs, .. } => total_wgs,
         _ => unreachable!(),
     };
     // Make the last status claim a boundary above the whole NDRange: the

@@ -18,13 +18,19 @@
 //!   folds the CPU results into the GPU buffer (§4.3), and a device-to-host
 //!   thread returns the final data (§4.4, §5.6);
 //! * if the CPU finishes the whole NDRange first, its copy is authoritative
-//!   and no device-to-host transfer is needed (§4.2, §6.2).
+//!   and no device-to-host transfer is needed (§4.2, §6.2);
+//! * with a pipeline depth ≥ 2 the CPU starts subkernel *k+1* while
+//!   subkernel *k*'s data + status is still being staged and shipped (the
+//!   completed-but-unshipped window is bounded by the depth), and copies
+//!   that complete while the hd link is busy are coalesced into one
+//!   data payload + one status message; depth 1 reproduces the serial
+//!   protocol byte-for-byte.
 //!
 //! Work-groups are *really executed* against device memory at the moments
 //! the protocol decides, so a scheduling bug produces wrong numbers, not
 //! just wrong timings.
 
-use fluidicl_des::{SimDuration, SimTime, Simulation};
+use fluidicl_des::{Channel, SimDuration, SimTime, Simulation};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_vcl::exec::{execute_groups_par, Launch};
 use fluidicl_vcl::{
@@ -107,6 +113,9 @@ enum Ev {
     CpuCopyDone {
         idx: u32,
     },
+    /// Flush the pending coalesced batch once the hd link frees up
+    /// (pipeline depth ≥ 2 only; depth 1 ships each subkernel directly).
+    HdFlush,
     StatusArrived {
         seq: u32,
     },
@@ -129,9 +138,10 @@ enum Ev {
     TransferNack {
         seq: u32,
     },
-    /// Backed-off retry of subkernel `idx`'s transfer.
+    /// Backed-off retry of send `seq`'s batch (re-enqueues the same
+    /// subkernels as a fresh send with an incremented attempt number).
     TransferRetry {
-        idx: u32,
+        seq: u32,
         attempt: u32,
     },
     /// A delivered transfer turned out corrupt (checksum verification).
@@ -161,14 +171,24 @@ struct Subkernel {
     dirty_bytes: u64,
     /// Whether the subkernel reported completion (watchdogs check this).
     done: bool,
+    /// Transfer stall exposed before this subkernel launched (the wait
+    /// between the previous subkernel finishing and this one starting) —
+    /// fed to the chunk controller separately from compute time.
+    exposed: SimDuration,
 }
 
-/// One hd-queue send (data + status) and its recovery bookkeeping.
+/// One hd-queue send (data + status) and its recovery bookkeeping. A send
+/// carries one subkernel's results in the serial protocol, or a coalesced
+/// batch of back-to-back completed subkernels under pipelined execution.
 struct SendOp {
-    /// Subkernel whose results this send carries.
-    sub_idx: u32,
-    /// Completion boundary the status message carries.
+    /// Subkernels whose results this send carries, in completion order.
+    subs: Vec<u32>,
+    /// Completion boundary the status message carries: the lowest `from`
+    /// across the batch (the watermark of the whole batch).
     boundary: u64,
+    /// Data payload bytes of the batch (excluding the status message) —
+    /// the single source for both link accounting and merge charging.
+    payload: u64,
     /// 1-based attempt number (retries and resends re-enqueue with +1).
     attempt: u32,
     /// Whether the send reached a terminal state (status arrived, failure
@@ -212,6 +232,22 @@ pub(crate) struct Coexec<'a> {
     subkernels: Vec<Subkernel>,
     cpu_finished_at: Option<SimTime>,
     cpu_wgs_executed: u64,
+    // Pipelined execution (config.pipeline_depth).
+    /// Bound on completed-but-unshipped subkernels; 1 is the serial
+    /// protocol (compute waits for the previous staging copy).
+    depth: u32,
+    /// A subkernel is currently computing (the CPU core is busy).
+    cpu_busy: bool,
+    /// Completed subkernels whose staging copy has not finished yet.
+    unshipped: u32,
+    /// When the CPU last went idle; the gap until the next launch is the
+    /// *exposed* transfer stall reported to the chunk controller.
+    cpu_free_at: Option<SimTime>,
+    /// The host staging-copy engine: one copy at a time, in order.
+    copy_chan: Channel,
+    /// Copies that completed while the hd link was busy, waiting to be
+    /// coalesced into one data+status batch at the next link-free instant.
+    pending_batch: Vec<u32>,
     // Online profiling (paper §6.6).
     trial_versions: usize,
     trial_results: Vec<(usize, SimDuration)>,
@@ -301,6 +337,12 @@ impl<'a> Coexec<'a> {
             subkernels: Vec::new(),
             cpu_finished_at: None,
             cpu_wgs_executed: 0,
+            depth: input.config.pipeline_depth.max(1),
+            cpu_busy: false,
+            unshipped: 0,
+            cpu_free_at: None,
+            copy_chan: Channel::new(SimTime::ZERO),
+            pending_batch: Vec::new(),
             trial_versions,
             trial_results: Vec::new(),
             selected_version: 0,
@@ -362,6 +404,7 @@ impl<'a> Coexec<'a> {
             start,
             TraceKind::Enqueued {
                 total_wgs: self.total,
+                pipeline_depth: self.depth,
             },
         );
         let mut sim = Simulation::starting_at(start);
@@ -409,12 +452,16 @@ impl<'a> Coexec<'a> {
             Ev::CpuBegin => self.maybe_launch_subkernel(sim, t),
             Ev::CpuSubkernelDone { idx } => self.on_subkernel_done(sim, t, idx)?,
             Ev::CpuCopyDone { idx } => self.on_copy_done(sim, t, idx),
+            Ev::HdFlush => self.on_hd_flush(sim, t),
             Ev::StatusArrived { seq } => self.on_status_arrived(sim, t, seq)?,
             Ev::WaveWatchdog { gen } => self.on_wave_watchdog(sim, t, gen)?,
             Ev::SubkernelWatchdog { idx } => self.on_subkernel_watchdog(t, idx)?,
             Ev::TransferWatchdog { seq } => self.on_transfer_watchdog(t, seq),
             Ev::TransferNack { seq } => self.on_transfer_nack(sim, t, seq)?,
-            Ev::TransferRetry { idx, attempt } => self.send_transfer(sim, t, idx, attempt),
+            Ev::TransferRetry { seq, attempt } => {
+                let subs = self.sends[seq as usize].subs.clone();
+                self.send_batch(sim, t, subs, attempt);
+            }
             Ev::TransferCorrupt { seq } => self.on_transfer_corrupt(sim, t, seq)?,
         }
         Ok(())
@@ -652,9 +699,25 @@ impl<'a> Coexec<'a> {
         // when the CPU has taken the whole NDRange, when the CPU itself was
         // declared lost, or when the hd link was abandoned (further CPU
         // results could never reach the GPU, so the GPU covers the rest).
-        if self.gpu_exited_at.is_some() || self.cpu_top == 0 || self.cpu_lost || self.link_dead {
+        if self.gpu_exited_at.is_some()
+            || self.cpu_top == 0
+            || self.cpu_lost
+            || self.link_dead
+            || self.cpu_busy
+        {
             return;
         }
+        // Bounded in-flight window: with `depth` subkernels already computed
+        // but not yet staged, the scheduler waits for a copy to complete
+        // before taking more work. Depth 1 is the serial protocol — every
+        // subkernel waits for the previous one's staging copy.
+        if self.unshipped >= self.depth {
+            return;
+        }
+        let exposed = self
+            .cpu_free_at
+            .take()
+            .map_or(SimDuration::ZERO, |f| t.saturating_since(f));
         let idx = self.subkernels.len();
         let version = self.version_for(idx);
         let min_chunk = u64::from(self.input.machine.cpu.threads());
@@ -685,8 +748,10 @@ impl<'a> Coexec<'a> {
             duration,
             dirty_bytes: 0,
             done: false,
+            exposed,
         });
         self.cpu_top -= k;
+        self.cpu_busy = true;
         // A killed subkernel launches but never reports completion (and
         // never executes, so no partial writes are published); only its
         // watchdog notices.
@@ -731,11 +796,13 @@ impl<'a> Coexec<'a> {
         t: SimTime,
         idx: u32,
     ) -> ClResult<()> {
-        let (from, to, version, duration) = {
+        let (from, to, version, duration, exposed) = {
             let sk = &mut self.subkernels[idx as usize];
             sk.done = true;
-            (sk.from, sk.to, sk.version, sk.duration)
+            (sk.from, sk.to, sk.version, sk.duration, sk.exposed)
         };
+        self.cpu_busy = false;
+        self.cpu_free_at = Some(t);
         // The subkernel really computes its work-groups on the CPU copy,
         // using the selected kernel version's body.
         self.cpu_launch.version = version;
@@ -776,7 +843,7 @@ impl<'a> Coexec<'a> {
                     .unwrap_or(0);
             }
         } else {
-            self.chunk.observe(wgs, duration);
+            self.chunk.observe(wgs, duration, exposed);
         }
         if from == 0 {
             // The CPU computed the entire NDRange: final data lives on the
@@ -797,70 +864,143 @@ impl<'a> Coexec<'a> {
         }
         // Intermediate host copy so the next subkernel can proceed while
         // the data is in flight (paper §5.5); with dirty tracking only the
-        // newly dirtied ranges are staged.
+        // newly dirtied ranges are staged. The staging engine copies one
+        // subkernel at a time, in completion order.
         let copy_bytes = if self.dirty_enabled {
             dirty_delta
         } else {
             self.out_bytes
         };
         let copy = self.input.machine.host.copy_time(copy_bytes);
-        sim.schedule_at(t + copy, Ev::CpuCopyDone { idx });
+        self.unshipped += 1;
+        let copy_done = self.copy_chan.enqueue(t, copy);
+        sim.schedule_at(copy_done, Ev::CpuCopyDone { idx });
+        // Pipelined launch: with depth ≥ 2 the next subkernel starts now,
+        // while this one's data+status is still in flight. At depth 1 the
+        // window is full (`unshipped == 1`) and this is a no-op — the
+        // launch happens at copy completion, exactly the serial protocol.
+        self.maybe_launch_subkernel(sim, t);
         Ok(())
     }
 
     fn on_copy_done(&mut self, sim: &mut Simulation<Ev>, t: SimTime, idx: u32) {
-        self.send_transfer(sim, t, idx, 1);
+        self.unshipped = self.unshipped.saturating_sub(1);
+        if self.depth <= 1 {
+            // Serial protocol: each subkernel ships alone, immediately.
+            self.send_batch(sim, t, vec![idx], 1);
+        } else if !self.pending_batch.is_empty() {
+            // A flush is already scheduled for the link-free instant; this
+            // subkernel's results join the batch.
+            self.pending_batch.push(idx);
+        } else if self.hd_free <= t {
+            // The link is idle: nothing to coalesce with, ship now.
+            self.send_batch(sim, t, vec![idx], 1);
+        } else {
+            // The link is busy: open a batch and flush it the moment the
+            // queue frees up, coalescing any copies that complete until
+            // then into one data payload + one status message.
+            self.pending_batch.push(idx);
+            sim.schedule_at(self.hd_free, Ev::HdFlush);
+        }
         self.maybe_launch_subkernel(sim, t);
     }
 
-    /// Enqueues subkernel `idx`'s data + status send on the in-order hd
-    /// queue (attempt 1), or re-enqueues it after a transient failure or a
-    /// checksum rejection (attempt > 1). The attached injector decides the
-    /// send's fate; without one every send simply delivers.
-    fn send_transfer(&mut self, sim: &mut Simulation<Ev>, t: SimTime, idx: u32, attempt: u32) {
+    /// Ships the pending coalesced batch. Scheduled for the instant the hd
+    /// link was expected to free up when the batch was opened; the gates in
+    /// [`Coexec::send_batch`] drop it if the world changed since (GPU
+    /// exited or lost, link wedged or abandoned).
+    fn on_hd_flush(&mut self, sim: &mut Simulation<Ev>, t: SimTime) {
+        let batch = std::mem::take(&mut self.pending_batch);
+        if !batch.is_empty() {
+            self.send_batch(sim, t, batch, 1);
+        }
+    }
+
+    /// Batch payload bytes (excluding the status message): the dirty sum
+    /// across the batch, or one whole-buffer image in legacy mode (a batch
+    /// ships the buffers once, regardless of how many subkernels it
+    /// carries — later results overwrite earlier ones in the same image).
+    fn batch_payload(&self, subs: &[u32]) -> u64 {
+        if self.dirty_enabled {
+            subs.iter()
+                .map(|&i| self.subkernels[i as usize].dirty_bytes)
+                .sum()
+        } else {
+            self.out_bytes
+        }
+    }
+
+    /// Ship accounting shared by the healthy delivery path and the
+    /// recovery path that accepts a corrupted-in-vain delivery: the bytes
+    /// that actually landed on the GPU are what the merge kernel is
+    /// charged for.
+    fn note_shipped(&mut self, seq: u32) {
+        if self.dirty_enabled {
+            self.shipped_dirty_bytes += self.sends[seq as usize].payload;
+        }
+    }
+
+    /// Enqueues a batch of completed subkernels as one data + status send
+    /// on the in-order hd queue (attempt 1), or re-enqueues a batch after
+    /// a transient failure or a checksum rejection (attempt > 1). The
+    /// attached injector decides the send's fate; without one every send
+    /// simply delivers.
+    fn send_batch(&mut self, sim: &mut Simulation<Ev>, t: SimTime, subs: Vec<u32>, attempt: u32) {
         if self.gpu_exited_at.is_some() || self.gpu_lost || self.link_wedged || self.link_dead {
             // Nobody is listening (or the queue is blocked): the send is
             // dropped; the GPU covers the range below the watermark itself.
             return;
         }
-        let (boundary, dirty_bytes) = {
-            let sk = &self.subkernels[idx as usize];
-            (sk.from, sk.dirty_bytes)
-        };
+        // The status message carries the lowest completion boundary in the
+        // batch — the watermark only ever covers data that is on the GPU.
+        let boundary = subs
+            .iter()
+            .map(|&i| self.subkernels[i as usize].from)
+            .min()
+            .expect("a send carries at least one subkernel");
         // In-order hd queue: computed data first, then the status message,
         // so a work-group only counts as complete when its results are
         // already on the GPU (paper §4.2). With dirty tracking the data
-        // message carries only the subkernel's coalesced dirty ranges.
-        let payload = if self.dirty_enabled {
-            dirty_bytes
-        } else {
-            self.out_bytes
-        };
+        // message carries only the batch's coalesced dirty ranges.
+        let payload = self.batch_payload(&subs);
+        let dirty_bytes = self.dirty_enabled.then_some(payload);
         let fate = self.transfer_fate(attempt);
         let data_arrival = self.hd_free.max(t) + self.input.machine.h2d.transfer_time(payload);
         let status_arrival = data_arrival + self.input.machine.h2d.transfer_time(STATUS_MSG_BYTES);
         self.hd_bytes += payload + STATUS_MSG_BYTES;
-        self.record(
-            t,
-            TraceKind::HdEnqueued {
-                boundary,
-                bytes: payload + STATUS_MSG_BYTES,
-                dirty_bytes: self.dirty_enabled.then_some(dirty_bytes),
-            },
-        );
+        let bytes = payload + STATUS_MSG_BYTES;
+        if subs.len() == 1 {
+            self.record(
+                t,
+                TraceKind::HdEnqueued {
+                    boundary,
+                    bytes,
+                    dirty_bytes,
+                },
+            );
+        } else {
+            self.record(
+                t,
+                TraceKind::CoalescedSend {
+                    boundary,
+                    bytes,
+                    dirty_bytes,
+                    subkernels: subs.len() as u32,
+                },
+            );
+        }
         let seq = self.sends.len() as u32;
         self.sends.push(SendOp {
-            sub_idx: idx,
+            subs,
             boundary,
+            payload,
             attempt,
             resolved: false,
         });
         match fate {
             TransferFate::Deliver => {
                 self.hd_free = status_arrival;
-                if self.dirty_enabled {
-                    self.shipped_dirty_bytes += payload;
-                }
+                self.note_shipped(seq);
                 sim.schedule_at(status_arrival, Ev::StatusArrived { seq });
                 if self.faulty() {
                     let deadline = self.deadline(status_arrival.saturating_since(t));
@@ -1013,14 +1153,24 @@ impl<'a> Coexec<'a> {
         self.hd_free = self.hd_free.max(t);
     }
 
+    /// Fault-aware chunk shrink: a transfer retry is evidence of a flaky
+    /// link, so the next subkernel is halved — smaller batches produce
+    /// more frequent statuses, keeping more CPU work acknowledged (and
+    /// mergeable) before a watchdog abandons the link.
+    fn shrink_on_retry(&mut self) {
+        if self.input.config.recovery.shrink_chunk_on_retry {
+            self.chunk.on_transfer_retry();
+        }
+    }
+
     fn on_transfer_nack(&mut self, sim: &mut Simulation<Ev>, t: SimTime, seq: u32) -> ClResult<()> {
         self.sends[seq as usize].resolved = true;
         if self.gpu_exited_at.is_some() || self.gpu_lost {
             return Ok(());
         }
-        let (idx, boundary, attempt) = {
+        let (boundary, attempt) = {
             let s = &self.sends[seq as usize];
-            (s.sub_idx, s.boundary, s.attempt)
+            (s.boundary, s.attempt)
         };
         self.record(t, TraceKind::TransferFault { boundary, attempt });
         if attempt > self.input.config.recovery.max_transfer_retries {
@@ -1034,11 +1184,12 @@ impl<'a> Coexec<'a> {
         if attempt == 1 {
             self.holes += 1;
         }
+        self.shrink_on_retry();
         let backoff = self.input.config.recovery.backoff(attempt);
         sim.schedule_at(
             t + backoff,
             Ev::TransferRetry {
-                idx,
+                seq,
                 attempt: attempt + 1,
             },
         );
@@ -1055,26 +1206,26 @@ impl<'a> Coexec<'a> {
         if self.gpu_exited_at.is_some() || self.gpu_lost {
             return Ok(());
         }
-        let (idx, boundary, attempt) = {
+        let (boundary, attempt) = {
             let s = &self.sends[seq as usize];
-            (s.sub_idx, s.boundary, s.attempt)
+            (s.boundary, s.attempt)
         };
         if self.checksum_rejects()? {
             // Reject-and-resend: the damaged delivery is discarded and the
-            // subkernel's results are re-enqueued immediately (the payload
-            // is still staged host-side from the intermediate copy).
+            // batch's results are re-enqueued immediately (the payload is
+            // still staged host-side from the intermediate copies).
             self.record(t, TraceKind::TransferRejected { boundary });
             if attempt == 1 {
                 self.holes += 1;
             }
-            self.send_transfer(sim, t, idx, attempt + 1);
+            self.shrink_on_retry();
+            let subs = self.sends[seq as usize].subs.clone();
+            self.send_batch(sim, t, subs, attempt + 1);
             return Ok(());
         }
         // The injected flip collided with the checksum (or there was
         // nothing to corrupt): the delivery is accepted as-is.
-        if self.dirty_enabled {
-            self.shipped_dirty_bytes += self.subkernels[idx as usize].dirty_bytes;
-        }
+        self.note_shipped(seq);
         self.accept_status(sim, t, seq)
     }
 

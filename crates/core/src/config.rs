@@ -53,9 +53,18 @@ pub struct FluidiclConfig {
     /// through the H2D queue instead of whole output buffers, charge the
     /// GPU merge for the shipped bytes only, and track per-buffer dirty
     /// ranges so snapshot refreshes and D2H read-backs copy only stale
-    /// data. Off by default so modelled timings, traces and experiment
-    /// renders stay byte-identical to the whole-buffer protocol.
+    /// data. On by default; [`FluidiclConfig::with_whole_buffer_transfers`]
+    /// restores the legacy whole-buffer protocol byte-for-byte.
     pub dirty_range_transfers: bool,
+    /// Bound on the CPU's compute/transfer overlap: how many completed
+    /// subkernels may sit in the staging-copy/ship window before the
+    /// scheduler stops taking new work. Depth 1 reproduces the serial
+    /// protocol byte-for-byte (each subkernel waits for the previous one's
+    /// staging copy); depth ≥ 2 lets subkernel *k+1* compute while *k*'s
+    /// data+status is still in flight, and back-to-back completed
+    /// subkernels waiting on a busy link are coalesced into one
+    /// data+status batch. Default 2.
+    pub pipeline_depth: u32,
     /// Thread budget for executing one device's work-group range (an
     /// implementation-level speedup of the *functional* executor, not part
     /// of the paper's protocol — virtual timings are unaffected). Values
@@ -83,7 +92,8 @@ impl Default for FluidiclConfig {
             location_tracking: true,
             chunk_growth_tolerance: 0.02,
             validate_protocol: cfg!(debug_assertions),
-            dirty_range_transfers: false,
+            dirty_range_transfers: true,
+            pipeline_depth: 2,
             intra_launch_jobs: 1,
             faults: None,
             recovery: RecoveryPolicy::default(),
@@ -161,6 +171,24 @@ impl FluidiclConfig {
         self
     }
 
+    /// Returns a copy using the legacy whole-buffer transfer protocol:
+    /// every CPU subkernel ships its full output buffers and the merge
+    /// walks them entirely. Compatibility alias for
+    /// `with_dirty_range_transfers(false)` — with pipeline depth 1 it
+    /// reproduces the historical serial traces byte-for-byte.
+    #[must_use]
+    pub fn with_whole_buffer_transfers(self) -> Self {
+        self.with_dirty_range_transfers(false)
+    }
+
+    /// Returns a copy with a different pipeline depth (values below 1 are
+    /// clamped to 1; depth 1 is the serial protocol).
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: u32) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
     /// Returns a copy with a different intra-launch thread budget (values
     /// below 1 are clamped to 1).
     #[must_use]
@@ -201,9 +229,10 @@ mod tests {
         assert!(cfg.location_tracking);
         assert_eq!(cfg.validate_protocol, cfg!(debug_assertions));
         assert!(
-            !cfg.dirty_range_transfers,
-            "dirty-range transfer modelling is opt-in"
+            cfg.dirty_range_transfers,
+            "dirty-range transfers are the default; whole-buffer is the compat path"
         );
+        assert_eq!(cfg.pipeline_depth, 2, "one subkernel overlaps its ship");
         assert_eq!(cfg.intra_launch_jobs, 1, "parallel execution is opt-in");
         assert_eq!(cfg.faults, None, "fault injection is opt-in");
         assert_eq!(cfg.recovery, RecoveryPolicy::default());
@@ -219,7 +248,8 @@ mod tests {
             .with_online_profiling(true)
             .with_location_tracking(false)
             .with_validate_protocol(true)
-            .with_dirty_range_transfers(true)
+            .with_whole_buffer_transfers()
+            .with_pipeline_depth(0)
             .with_intra_launch_jobs(0);
         assert_eq!(cfg.initial_chunk_pct, 10.0);
         assert_eq!(cfg.step_pct, 0.0);
@@ -229,8 +259,12 @@ mod tests {
         assert!(cfg.online_profiling);
         assert!(!cfg.location_tracking);
         assert!(cfg.validate_protocol);
-        assert!(cfg.dirty_range_transfers);
+        assert!(!cfg.dirty_range_transfers, "compat flag turns dirty off");
+        assert_eq!(cfg.pipeline_depth, 1, "zero is clamped to serial");
         assert_eq!(cfg.intra_launch_jobs, 1, "zero is clamped to sequential");
+        let cfg = cfg.with_dirty_range_transfers(true).with_pipeline_depth(4);
+        assert!(cfg.dirty_range_transfers);
+        assert_eq!(cfg.pipeline_depth, 4);
     }
 
     #[test]

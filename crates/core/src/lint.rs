@@ -21,7 +21,14 @@
 //! * exactly one **exit → merge → complete** sequence, in order (§4.3–4.4);
 //! * under dirty-range transfers, every enqueued transfer ships exactly
 //!   its **coalesced dirty payload plus the status message** — no
-//!   over- or under-shipping.
+//!   over- or under-shipping;
+//! * under pipelined execution (the enqueue record carries the pipeline
+//!   depth), shipped batches — plain transfers and
+//!   [`TraceKind::CoalescedSend`] events alike — still pair the k-th
+//!   status with the k-th send, carry exactly the next unshipped completed
+//!   subkernels, and keep their **per-batch boundaries strictly
+//!   descending**; a coalesced send must carry at least two subkernels and
+//!   may not appear in a serial (depth-1) trace.
 //!
 //! When the trace contains fault or recovery events
 //! ([`TraceKind::TransferFault`], [`TraceKind::TransferRejected`],
@@ -112,7 +119,11 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
         out.push(LintDiagnostic::error("trace-shape", "trace is empty"));
         return out;
     };
-    let TraceKind::Enqueued { total_wgs: total } = first.kind else {
+    let TraceKind::Enqueued {
+        total_wgs: total,
+        pipeline_depth: depth,
+    } = first.kind
+    else {
         out.push(LintDiagnostic::error(
             "trace-shape",
             format!(
@@ -171,6 +182,9 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
     let mut next_sub_to = total;
     let mut last_completed_from: Option<u64> = None;
     let mut done_subs: Vec<(SimTime, u64, u64)> = Vec::new();
+    // Pipelined shipping replay: how many completed subkernels earlier
+    // sends (single or coalesced) have already carried to the GPU.
+    let mut shipped_subs = 0usize;
     let mut completes: Vec<(SimTime, Finisher)> = Vec::new();
     let mut gpu_lost_seen = false;
     let mut cpu_lost_seen = false;
@@ -372,7 +386,40 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                 boundary,
                 bytes,
                 dirty_bytes,
+            }
+            | TraceKind::CoalescedSend {
+                boundary,
+                bytes,
+                dirty_bytes,
+                ..
             } => {
+                let batch = match &e.kind {
+                    TraceKind::CoalescedSend { subkernels, .. } => *subkernels as usize,
+                    _ => 1,
+                };
+                if let TraceKind::CoalescedSend { subkernels, .. } = &e.kind {
+                    // A coalesced send exists precisely because more than
+                    // one copy queued up behind a busy link; a singleton
+                    // batch must have been recorded as a plain transfer.
+                    if *subkernels < 2 {
+                        out.push(LintDiagnostic::error(
+                            "coalesced-send",
+                            format!(
+                                "coalesced send (boundary {boundary}) carries {subkernels} \
+                                 subkernels, expected at least 2"
+                            ),
+                        ));
+                    }
+                    if depth <= 1 {
+                        out.push(LintDiagnostic::error(
+                            "coalesced-send",
+                            format!(
+                                "coalesced send (boundary {boundary}) in a serial trace \
+                                 (pipeline depth {depth})"
+                            ),
+                        ));
+                    }
+                }
                 // Byte accounting under dirty-range transfers: the data
                 // message is exactly the coalesced dirty payload, followed
                 // by the fixed-size status message.
@@ -406,7 +453,7 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                             ),
                         ));
                     }
-                } else {
+                } else if depth <= 1 {
                     match last_completed_from {
                         None => out.push(LintDiagnostic::error(
                             "data-before-status",
@@ -424,6 +471,32 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                         )),
                         Some(_) => {}
                     }
+                } else {
+                    // Pipelined fault-free shipping: copies complete in
+                    // subkernel-completion order, so the k-th shipped batch
+                    // carries exactly the next `batch` completed-but-
+                    // unshipped subkernels and its boundary is the lowest
+                    // (last) of their starts. Boundaries therefore still
+                    // strictly descend per batch.
+                    match done_subs.get((shipped_subs + batch).saturating_sub(1)) {
+                        None => out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "transfer batch of {batch} (boundary {boundary}) outruns the \
+                                 {} completed subkernels",
+                                done_subs.len()
+                            ),
+                        )),
+                        Some((_, f, _)) if f != boundary => out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "transfer batch of {batch} carries boundary {boundary} but the \
+                                 batch's last unshipped subkernel starts at {f}"
+                            ),
+                        )),
+                        Some(_) => {}
+                    }
+                    shipped_subs += batch;
                 }
                 hd_sends.push((e.at, *boundary));
             }
@@ -762,7 +835,7 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
     let mut device_lost = false;
     for e in &report.trace {
         match &e.kind {
-            TraceKind::Enqueued { total_wgs } => {
+            TraceKind::Enqueued { total_wgs, .. } => {
                 trace_total.get_or_insert(*total_wgs);
                 if e.at != report.enqueued_at {
                     out.push(LintDiagnostic::error(
@@ -776,7 +849,9 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
             } => gpu_executed += executed_to.saturating_sub(*from),
             TraceKind::CpuSubkernelStart { .. } => subkernel_starts += 1,
             TraceKind::CpuSubkernelDone { from, to } => cpu_executed += to - from,
-            TraceKind::HdEnqueued { bytes, .. } => trace_hd_bytes += bytes,
+            TraceKind::HdEnqueued { bytes, .. } | TraceKind::CoalescedSend { bytes, .. } => {
+                trace_hd_bytes += bytes
+            }
             TraceKind::StatusArrived { boundary } => {
                 final_watermark = final_watermark.min(*boundary);
             }
@@ -852,7 +927,13 @@ mod tests {
     /// does (its transfer is in flight when the GPU exits).
     fn legal_trace() -> Vec<TraceEvent> {
         vec![
-            ev(0, TraceKind::Enqueued { total_wgs: 4 }),
+            ev(
+                0,
+                TraceKind::Enqueued {
+                    total_wgs: 4,
+                    pipeline_depth: 1,
+                },
+            ),
             ev(
                 5,
                 TraceKind::CpuSubkernelStart {
@@ -1122,7 +1203,13 @@ mod tests {
     /// and finishes the kernel alone — no exit, no merge.
     fn gpu_loss_trace() -> Vec<TraceEvent> {
         vec![
-            ev(0, TraceKind::Enqueued { total_wgs: 4 }),
+            ev(
+                0,
+                TraceKind::Enqueued {
+                    total_wgs: 4,
+                    pipeline_depth: 1,
+                },
+            ),
             ev(
                 5,
                 TraceKind::CpuSubkernelStart {
@@ -1279,7 +1366,13 @@ mod tests {
         // The first transfer (boundary 3) fails transiently and is resent;
         // its status arrives late, interleaved with the boundary-2 send.
         let t = vec![
-            ev(0, TraceKind::Enqueued { total_wgs: 4 }),
+            ev(
+                0,
+                TraceKind::Enqueued {
+                    total_wgs: 4,
+                    pipeline_depth: 1,
+                },
+            ),
             ev(
                 5,
                 TraceKind::CpuSubkernelStart {
@@ -1382,7 +1475,13 @@ mod tests {
     #[test]
     fn degraded_trace_is_legal() {
         let t = vec![
-            ev(0, TraceKind::Enqueued { total_wgs: 8 }),
+            ev(
+                0,
+                TraceKind::Enqueued {
+                    total_wgs: 8,
+                    pipeline_depth: 1,
+                },
+            ),
             ev(
                 3,
                 TraceKind::DegradedRun {
@@ -1404,7 +1503,13 @@ mod tests {
     #[test]
     fn degraded_trace_with_coverage_gap_is_flagged() {
         let t = vec![
-            ev(0, TraceKind::Enqueued { total_wgs: 8 }),
+            ev(
+                0,
+                TraceKind::Enqueued {
+                    total_wgs: 8,
+                    pipeline_depth: 1,
+                },
+            ),
             ev(
                 3,
                 TraceKind::DegradedRun {
@@ -1427,7 +1532,13 @@ mod tests {
     #[test]
     fn coexec_machinery_inside_degraded_trace_is_flagged() {
         let t = vec![
-            ev(0, TraceKind::Enqueued { total_wgs: 8 }),
+            ev(
+                0,
+                TraceKind::Enqueued {
+                    total_wgs: 8,
+                    pipeline_depth: 1,
+                },
+            ),
             ev(2, TraceKind::GpuLaunch),
             ev(
                 3,

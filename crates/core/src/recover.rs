@@ -36,6 +36,12 @@ pub struct RecoveryPolicy {
     pub max_transfer_retries: u32,
     /// Backoff before the first retry; doubles on each further attempt.
     pub backoff_base: SimDuration,
+    /// Halve the next CPU chunk when a transfer retry occurs
+    /// ([`crate::ChunkController::on_transfer_retry`]): smaller batches get
+    /// acknowledged more often on a flaky link, so more CPU work is already
+    /// mergeable if the watchdog later abandons it. On by default; only
+    /// consulted when fault injection is active.
+    pub shrink_chunk_on_retry: bool,
 }
 
 impl Default for RecoveryPolicy {
@@ -45,6 +51,7 @@ impl Default for RecoveryPolicy {
             watchdog_min: SimDuration::from_nanos(1_000),
             max_transfer_retries: 3,
             backoff_base: SimDuration::from_nanos(2_000),
+            shrink_chunk_on_retry: true,
         }
     }
 }
@@ -65,6 +72,19 @@ impl RecoveryPolicy {
     /// Sets the retry budget for transient transfer failures.
     pub fn with_max_transfer_retries(mut self, retries: u32) -> Self {
         self.max_transfer_retries = retries;
+        self
+    }
+
+    /// Sets the backoff before the first retry (doubles per attempt).
+    pub fn with_backoff_base(mut self, base: SimDuration) -> Self {
+        self.backoff_base = base;
+        self
+    }
+
+    /// Enables or disables the fault-aware chunk shrink on transfer
+    /// retries.
+    pub fn with_shrink_chunk_on_retry(mut self, enabled: bool) -> Self {
+        self.shrink_chunk_on_retry = enabled;
         self
     }
 
@@ -113,9 +133,15 @@ mod tests {
     fn builders_compose() {
         let p = RecoveryPolicy::default()
             .with_watchdog_factor(8.0)
-            .with_max_transfer_retries(0);
+            .with_max_transfer_retries(0)
+            .with_shrink_chunk_on_retry(false);
         assert_eq!(p.watchdog_factor, 8.0);
         assert_eq!(p.max_transfer_retries, 0);
+        assert!(!p.shrink_chunk_on_retry);
+        assert!(
+            RecoveryPolicy::default().shrink_chunk_on_retry,
+            "fault-aware shrink is the default"
+        );
         assert_eq!(
             p.deadline(SimDuration::from_nanos(1_000)),
             SimDuration::from_nanos(8_000)

@@ -253,7 +253,12 @@ impl Fluidicl {
         let profile = &launch.kernel.default_version().profile;
         let mut trace = vec![TraceEvent {
             at: self.host_clock,
-            kind: TraceKind::Enqueued { total_wgs: total },
+            // A degraded run has no CPU/transfer overlap to speak of; its
+            // trace always reads as the serial protocol.
+            kind: TraceKind::Enqueued {
+                total_wgs: total,
+                pipeline_depth: 1,
+            },
         }];
         let mut all_bufs: Vec<BufferId> = in_ids.to_vec();
         all_bufs.extend(out_ids.iter().copied());
@@ -730,9 +735,17 @@ mod tests {
     #[test]
     fn location_tracking_skips_dh_transfer_on_reads() {
         let run = |tracking: bool| {
+            // Whole-buffer transfers: the untracked read pays a full
+            // device-to-host transfer, so the CPU-copy path must win. (With
+            // dirty-range transfers the untracked read ships only stale
+            // ranges, which can legitimately undercut a full-buffer host
+            // memcpy — the tracked read's virtue there is staying off the
+            // link, asserted separately below.)
             let mut rt = Fluidicl::new(
                 MachineConfig::paper_testbed(),
-                FluidiclConfig::default().with_location_tracking(tracking),
+                FluidiclConfig::default()
+                    .with_whole_buffer_transfers()
+                    .with_location_tracking(tracking),
                 scale_program(),
             );
             let n = 1 << 16;
@@ -756,6 +769,40 @@ mod tests {
         // Reading via the CPU copy must never be slower than an extra
         // device-to-host transfer.
         assert!(run(true) <= run(false));
+    }
+
+    #[test]
+    fn location_tracking_keeps_reads_off_the_link() {
+        let run = |tracking: bool| {
+            let mut rt = Fluidicl::new(
+                MachineConfig::paper_testbed(),
+                FluidiclConfig::default().with_location_tracking(tracking),
+                scale_program(),
+            );
+            let n = 1 << 16;
+            let a = rt.create_buffer(n);
+            let b = rt.create_buffer(n);
+            rt.write_buffer(a, &vec![1.0; n]).unwrap();
+            rt.enqueue_kernel(
+                "scale",
+                NdRange::d1(n, 64).unwrap(),
+                &[
+                    KernelArg::Buffer(a),
+                    KernelArg::Buffer(b),
+                    KernelArg::F32(2.0),
+                ],
+            )
+            .unwrap();
+            let before = rt.dh_free;
+            let v = rt.read_buffer(b).unwrap();
+            assert_eq!(v[0], 2.0);
+            rt.dh_free > before
+        };
+        // Under the dirty-range default, the tracked read serves the CPU
+        // copy without occupying the device-to-host link; the untracked
+        // read pays a (ranged) transfer.
+        assert!(!run(true), "tracked read must not touch the dh link");
+        assert!(run(false), "untracked read pays a dh transfer");
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum TraceKind {
     Enqueued {
         /// Total flattened work-groups of the launch.
         total_wgs: u64,
+        /// Configured pipeline depth: the bound on completed-but-unshipped
+        /// CPU subkernels. Depth 1 is the serial protocol; the linter reads
+        /// this to decide which send-ordering rules apply.
+        pipeline_depth: u32,
     },
     /// The GPU kernel was launched (after scratch setup).
     GpuLaunch,
@@ -88,6 +92,23 @@ pub enum TraceKind {
         /// `None` under the whole-buffer protocol.
         dirty_bytes: Option<u64>,
     },
+    /// Results of several back-to-back completed subkernels were enqueued
+    /// as **one** data payload + **one** status message (pipeline depth
+    /// ≥ 2): their dirty ranges are unioned and the status carries the
+    /// minimum boundary of the batch.
+    CoalescedSend {
+        /// Completion boundary the single status message will carry — the
+        /// lowest `from` of the batched subkernels.
+        boundary: u64,
+        /// Combined payload size in bytes.
+        bytes: u64,
+        /// Unioned dirty payload in bytes when dirty-range transfers are
+        /// on (`bytes` must equal this plus [`STATUS_MSG_BYTES`]); `None`
+        /// under the whole-buffer protocol.
+        dirty_bytes: Option<u64>,
+        /// How many completed subkernels the batch carries (≥ 2).
+        subkernels: u32,
+    },
     /// A status message reached the GPU: everything at or above `boundary`
     /// is now CPU-complete *and* resident on the GPU (paper §4.2).
     StatusArrived {
@@ -139,8 +160,20 @@ pub enum TraceKind {
 impl fmt::Display for TraceKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceKind::Enqueued { total_wgs } => {
-                write!(f, "[all] kernel enqueued ({total_wgs} work-groups)")
+            TraceKind::Enqueued {
+                total_wgs,
+                pipeline_depth,
+            } => {
+                // Depth 1 renders exactly the historical serial-protocol
+                // line so pre-pipeline traces stay byte-identical.
+                if *pipeline_depth <= 1 {
+                    write!(f, "[all] kernel enqueued ({total_wgs} work-groups)")
+                } else {
+                    write!(
+                        f,
+                        "[all] kernel enqueued ({total_wgs} work-groups, pipeline depth {pipeline_depth})"
+                    )
+                }
             }
             TraceKind::GpuLaunch => write!(f, "[gpu] kernel launched"),
             TraceKind::GpuWaveStart { from, to } => {
@@ -185,6 +218,21 @@ impl fmt::Display for TraceKind {
                 Some(d) => write!(
                     f,
                     "[hd ] data+status enqueued (boundary {boundary}, {bytes} B, dirty {d} B)"
+                ),
+            },
+            TraceKind::CoalescedSend {
+                boundary,
+                bytes,
+                dirty_bytes,
+                subkernels,
+            } => match dirty_bytes {
+                None => write!(
+                    f,
+                    "[hd ] coalesced data+status enqueued ({subkernels} subkernels, boundary {boundary}, {bytes} B)"
+                ),
+                Some(d) => write!(
+                    f,
+                    "[hd ] coalesced data+status enqueued ({subkernels} subkernels, boundary {boundary}, {bytes} B, dirty {d} B)"
                 ),
             },
             TraceKind::StatusArrived { boundary } => {
@@ -306,6 +354,8 @@ pub fn render_lanes(kernel: &str, events: &[TraceEvent], width: usize) -> String
             TraceKind::CpuSubkernelStart { .. } => cpu[b] = '[',
             TraceKind::CpuSubkernelDone { .. } => cpu[b] = ']',
             TraceKind::HdEnqueued { .. } => hd[b] = '>',
+            // A coalesced batch is still one send on the hd lane.
+            TraceKind::CoalescedSend { .. } => hd[b] = '>',
             TraceKind::StatusArrived { .. } => hd[b] = '*',
             TraceKind::KernelComplete { .. } => gpu[b] = '!',
             TraceKind::TransferFault { .. } => hd[b] = 'f',
@@ -347,7 +397,14 @@ mod tests {
     #[test]
     fn display_covers_every_variant() {
         let kinds = vec![
-            TraceKind::Enqueued { total_wgs: 120 },
+            TraceKind::Enqueued {
+                total_wgs: 120,
+                pipeline_depth: 1,
+            },
+            TraceKind::Enqueued {
+                total_wgs: 120,
+                pipeline_depth: 4,
+            },
             TraceKind::GpuLaunch,
             TraceKind::GpuWaveStart { from: 0, to: 84 },
             TraceKind::GpuWaveDone {
@@ -378,6 +435,18 @@ mod tests {
                 boundary: 200,
                 bytes: 4096 + STATUS_MSG_BYTES,
                 dirty_bytes: Some(4096),
+            },
+            TraceKind::CoalescedSend {
+                boundary: 150,
+                bytes: 8192,
+                dirty_bytes: None,
+                subkernels: 2,
+            },
+            TraceKind::CoalescedSend {
+                boundary: 150,
+                bytes: 8192 + STATUS_MSG_BYTES,
+                dirty_bytes: Some(8192),
+                subkernels: 3,
             },
             TraceKind::StatusArrived { boundary: 200 },
             TraceKind::KernelComplete {
@@ -425,6 +494,42 @@ mod tests {
             on.to_string(),
             "[hd ] data+status enqueued (boundary 3, 64 B, dirty 48 B)"
         );
+    }
+
+    #[test]
+    fn serial_enqueue_renders_the_historical_line() {
+        // Depth 1 must stay byte-identical to the pre-pipeline rendering;
+        // deeper pipelines announce themselves.
+        let serial = TraceKind::Enqueued {
+            total_wgs: 16,
+            pipeline_depth: 1,
+        };
+        assert_eq!(serial.to_string(), "[all] kernel enqueued (16 work-groups)");
+        let deep = TraceKind::Enqueued {
+            total_wgs: 16,
+            pipeline_depth: 2,
+        };
+        assert_eq!(
+            deep.to_string(),
+            "[all] kernel enqueued (16 work-groups, pipeline depth 2)"
+        );
+    }
+
+    #[test]
+    fn coalesced_send_renders_batch_size_and_boundary() {
+        let k = TraceKind::CoalescedSend {
+            boundary: 8,
+            bytes: 128 + STATUS_MSG_BYTES,
+            dirty_bytes: Some(128),
+            subkernels: 2,
+        };
+        assert_eq!(
+            k.to_string(),
+            "[hd ] coalesced data+status enqueued (2 subkernels, boundary 8, 144 B, dirty 128 B)"
+        );
+        let events = vec![ev(0, TraceKind::GpuLaunch), ev(100, k)];
+        let text = render_lanes("k", &events, 40);
+        assert!(text.contains('>'), "batch send marks the hd lane: {text}");
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn chunk_controller_stays_in_bounds() {
             let next = c.next_chunk(remaining);
             assert!(next >= 1);
             assert!(next <= remaining.max(1));
-            c.observe(wgs, SimDuration::from_nanos(ns));
+            c.observe(wgs, SimDuration::from_nanos(ns), SimDuration::ZERO);
         }
     }
 }
@@ -50,7 +50,7 @@ fn chunk_growth_is_monotone_then_flat() {
             .map(|_| (rng.range_u64(1, 200), rng.range_u64(1, 1_000_000)))
             .collect();
         for (i, (wgs, ns)) in observations.iter().enumerate() {
-            c.observe(*wgs, SimDuration::from_nanos(*ns));
+            c.observe(*wgs, SimDuration::from_nanos(*ns), SimDuration::ZERO);
             sizes.push(c.chunk());
             if !c.is_growing() && stopped_at.is_none() {
                 stopped_at = Some(i);

@@ -1,0 +1,126 @@
+//! In-order, single-occupancy resource timeline: the availability model
+//! behind the protocol's host-to-device link and the host staging-copy
+//! engine.
+//!
+//! A [`Channel`] is the smallest useful abstraction of an in-order queue on
+//! a virtual timeline: operations occupy it back-to-back, an operation
+//! submitted while the channel is busy starts when the previous one
+//! finishes, and nothing ever runs out of order. The co-execution engine
+//! uses one channel per physical resource it pipelines over, which is what
+//! lets compute overlap with in-flight transfers without the bookkeeping
+//! drifting from the timeline.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An in-order resource that serializes timed operations on the virtual
+/// timeline.
+///
+/// # Examples
+///
+/// ```
+/// use fluidicl_des::{Channel, SimDuration, SimTime};
+///
+/// let mut ch = Channel::new(SimTime::ZERO);
+/// let t0 = SimTime::from_nanos(100);
+/// // First op starts immediately.
+/// let done_a = ch.enqueue(t0, SimDuration::from_nanos(50));
+/// assert_eq!(done_a, SimTime::from_nanos(150));
+/// // Second op, submitted while the first is in flight, queues behind it.
+/// let done_b = ch.enqueue(t0, SimDuration::from_nanos(25));
+/// assert_eq!(done_b, SimTime::from_nanos(175));
+/// assert!(!ch.idle_at(SimTime::from_nanos(160)));
+/// assert!(ch.idle_at(SimTime::from_nanos(175)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Channel {
+    free: SimTime,
+}
+
+impl Channel {
+    /// A channel that is idle from `at` onward.
+    pub fn new(at: SimTime) -> Self {
+        Channel { free: at }
+    }
+
+    /// Submits an operation of length `duration` at time `now`; it starts
+    /// when the channel frees up (or immediately if idle) and the channel
+    /// stays occupied until the returned completion time.
+    pub fn enqueue(&mut self, now: SimTime, duration: SimDuration) -> SimTime {
+        let done = self.free.max(now) + duration;
+        self.free = done;
+        done
+    }
+
+    /// Whether the channel has no operation in flight at `now`.
+    pub fn idle_at(&self, now: SimTime) -> bool {
+        self.free <= now
+    }
+
+    /// Earliest time a newly submitted operation could start.
+    pub fn free_at(&self) -> SimTime {
+        self.free
+    }
+
+    /// Forces the channel free no earlier than `at` — used when an
+    /// abandoned operation is torn off the queue by recovery.
+    pub fn release_at(&mut self, at: SimTime) {
+        self.free = self.free.max(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn idle_channel_starts_ops_immediately() {
+        let mut ch = Channel::new(SimTime::ZERO);
+        assert_eq!(ch.enqueue(t(10), d(5)), t(15));
+        assert_eq!(ch.free_at(), t(15));
+    }
+
+    #[test]
+    fn busy_channel_serializes_back_to_back() {
+        let mut ch = Channel::new(SimTime::ZERO);
+        ch.enqueue(t(0), d(100));
+        // Submitted mid-flight: starts at 100, not at 40.
+        assert_eq!(ch.enqueue(t(40), d(10)), t(110));
+        // Submitted after the backlog drains: starts at `now`.
+        assert_eq!(ch.enqueue(t(500), d(10)), t(510));
+    }
+
+    #[test]
+    fn idle_at_tracks_occupancy() {
+        let mut ch = Channel::new(t(20));
+        assert!(!ch.idle_at(t(10)));
+        assert!(ch.idle_at(t(20)));
+        ch.enqueue(t(20), d(30));
+        assert!(!ch.idle_at(t(49)));
+        assert!(ch.idle_at(t(50)));
+    }
+
+    #[test]
+    fn release_never_moves_the_timeline_backwards() {
+        let mut ch = Channel::new(SimTime::ZERO);
+        ch.enqueue(t(0), d(100));
+        ch.release_at(t(40));
+        assert_eq!(ch.free_at(), t(100), "release cannot undo a booked op");
+        ch.release_at(t(130));
+        assert_eq!(ch.free_at(), t(130));
+    }
+
+    #[test]
+    fn zero_length_ops_do_not_occupy_the_channel() {
+        let mut ch = Channel::new(SimTime::ZERO);
+        assert_eq!(ch.enqueue(t(10), d(0)), t(10));
+        assert!(ch.idle_at(t(10)));
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`Simulation`] — a generic event queue with deterministic total
 //!   ordering `(timestamp, scheduling sequence)`, lazy cancellation, and a
 //!   caller-owned dispatch loop.
+//! * [`Channel`] — an in-order, single-occupancy resource timeline (a
+//!   transfer link, a staging-copy engine) that serializes timed operations.
 //! * [`DurationSeries`], [`Counter`], [`geomean`] — the statistics helpers
 //!   shared by the runtime's adaptive heuristics and the experiment harness.
 //!
@@ -40,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod channel;
 mod rng;
 mod sim;
 mod stats;
 mod time;
 
+pub use channel::Channel;
 pub use rng::SplitMix64;
 pub use sim::{EventToken, Simulation};
 pub use stats::{geomean, Counter, DurationSeries};

@@ -228,6 +228,39 @@ impl CommandQueue {
         Ok(self.push(d))
     }
 
+    /// Enqueues several host→device writes as **one** queue command — the
+    /// coalesced-send primitive behind the pipelined protocol's batched
+    /// result shipping. The payloads land atomically from the queue's point
+    /// of view: a waiter on the returned event observes either none or all
+    /// of them, and the queue charges a single in-order slot for the whole
+    /// batch instead of one per buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any buffer is unknown or any size differs; no payload is
+    /// written unless all of them validate.
+    pub fn enqueue_write_batch(&mut self, writes: &[(BufferId, &[f32])]) -> ClResult<Event> {
+        self.check_transfer("enqueue_write_batch")?;
+        // Validate the whole batch before writing anything, so a bad entry
+        // cannot leave the batch half-applied.
+        for (id, data) in writes {
+            let dst = self.memory.get(*id)?;
+            if dst.len() != data.len() {
+                return Err(ClError::SizeMismatch {
+                    expected: dst.len(),
+                    got: data.len(),
+                });
+            }
+        }
+        let mut bytes = 0u64;
+        for (id, data) in writes {
+            self.memory.write(*id, data)?;
+            bytes += data.len() as u64 * 4;
+        }
+        let d = self.transfer_in_time(bytes);
+        Ok(self.push(d))
+    }
+
     /// Enqueues a device→host read (`clEnqueueReadBuffer`), returning the
     /// data and its completion event.
     ///
@@ -397,6 +430,41 @@ mod tests {
         assert!(e2.complete_at() < e3.complete_at());
         assert_eq!(q.finish(), e3.complete_at());
         assert_eq!(q.command_count(), 5, "2 allocs + write + kernel + read");
+    }
+
+    #[test]
+    fn batched_writes_are_one_command_with_summed_payload_time() {
+        let machine = MachineConfig::paper_testbed();
+        let mut batched = CommandQueue::new(machine.clone(), DeviceKind::Gpu);
+        let a = batched.create_buffer(1024);
+        let b = batched.create_buffer(2048);
+        let before = (batched.tail(), batched.command_count());
+        let va = vec![1.0; 1024];
+        let vb = vec![2.0; 2048];
+        let e = batched.enqueue_write_batch(&[(a, &va), (b, &vb)]).unwrap();
+        assert_eq!(batched.command_count(), before.1 + 1, "one queue slot");
+        assert_eq!(batched.memory().get(a).unwrap(), &va[..]);
+        assert_eq!(batched.memory().get(b).unwrap(), &vb[..]);
+        // The batch occupies the link exactly as long as one transfer of
+        // the combined payload.
+        let expected = before.0 + machine.h2d.transfer_time((1024 + 2048) * 4);
+        assert_eq!(e.complete_at(), expected);
+    }
+
+    #[test]
+    fn a_bad_batch_entry_applies_nothing() {
+        let mut q = CommandQueue::new(MachineConfig::paper_testbed(), DeviceKind::Gpu);
+        let a = q.create_buffer(64);
+        let b = q.create_buffer(64);
+        q.enqueue_write(a, &vec![0.0; 64]).unwrap();
+        q.enqueue_write(b, &vec![0.0; 64]).unwrap();
+        let tail = q.tail();
+        let good = vec![5.0; 64];
+        let short = vec![5.0; 32];
+        let err = q.enqueue_write_batch(&[(a, &good), (b, &short)]);
+        assert!(matches!(err, Err(ClError::SizeMismatch { .. })));
+        assert_eq!(q.memory().get(a).unwrap(), &[0.0; 64][..], "atomic batch");
+        assert_eq!(q.tail(), tail, "a rejected batch charges no time");
     }
 
     #[test]

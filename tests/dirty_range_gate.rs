@@ -1,13 +1,15 @@
 //! The dirty-range transfer gate (`with_dirty_range_transfers`):
 //!
-//! * **off** (the default) the protocol is byte-for-byte the historical
-//!   whole-buffer one — traces carry no dirty annotations, every transfer
-//!   ships full output buffers, and rendered timelines use the exact
-//!   legacy line format;
-//! * **on**, functional results stay bit-identical to the reference and
-//!   to the gate-off run, every protocol lint (including the
+//! * **on** (the default since the pipelined-subkernel PR) every transfer
+//!   ships only the subkernel's written element ranges plus the status
+//!   message, traces carry dirty-byte annotations, functional results stay
+//!   bit-identical to the reference, every protocol lint (including the
 //!   transfer-bytes accounting rule) passes, and the modelled H2D traffic
-//!   never grows.
+//!   never grows relative to whole-buffer shipping;
+//! * **off** (`with_whole_buffer_transfers`, the compat flag) the protocol
+//!   is byte-for-byte the historical whole-buffer one — traces carry no
+//!   dirty annotations, every transfer ships full output buffers, and
+//!   rendered timelines use the exact legacy line format.
 
 use fluidicl::{
     lint_report, render_timeline, Fluidicl, FluidiclConfig, TraceKind, STATUS_MSG_BYTES,
@@ -27,7 +29,7 @@ fn test_size(name: &str) -> usize {
 
 const SEED: u64 = 0xF1D1C1;
 
-fn run(name: &str, dirty: bool) -> Fluidicl {
+fn run_with(name: &str, config: FluidiclConfig) -> Fluidicl {
     let b = all_benchmarks()
         .into_iter()
         .find(|b| b.name == name)
@@ -35,36 +37,83 @@ fn run(name: &str, dirty: bool) -> Fluidicl {
     let n = test_size(name);
     let mut rt = Fluidicl::new(
         MachineConfig::paper_testbed(),
-        FluidiclConfig::default()
-            .with_validate_protocol(true)
-            .with_dirty_range_transfers(dirty),
+        config.with_validate_protocol(true),
         (b.program)(n),
     );
     assert!(
         b.run_and_validate_sized(&mut rt, n, SEED).unwrap(),
-        "{name} diverged from reference (dirty={dirty})"
+        "{name} diverged from reference"
     );
     rt
 }
 
+fn run(name: &str, dirty: bool) -> Fluidicl {
+    let config = if dirty {
+        FluidiclConfig::default()
+    } else {
+        // The full legacy protocol: whole buffers, serial subkernels.
+        FluidiclConfig::default()
+            .with_whole_buffer_transfers()
+            .with_pipeline_depth(1)
+    };
+    run_with(name, config)
+}
+
 #[test]
-fn gate_off_traces_use_the_legacy_whole_buffer_format() {
+fn dirty_range_transfers_are_the_default() {
+    let config = FluidiclConfig::default();
+    assert!(
+        config.dirty_range_transfers,
+        "dirty-range transfers must be on by default"
+    );
+    assert!(
+        !config.with_whole_buffer_transfers().dirty_range_transfers,
+        "with_whole_buffer_transfers must restore the legacy protocol"
+    );
+    // The default protocol annotates every H2D data transfer.
+    let rt = run_with("ATAX", FluidiclConfig::default());
+    let mut saw_transfer = false;
+    for report in rt.reports() {
+        for ev in &report.trace {
+            match &ev.kind {
+                TraceKind::HdEnqueued { dirty_bytes, .. }
+                | TraceKind::CoalescedSend { dirty_bytes, .. } => {
+                    saw_transfer = true;
+                    assert!(
+                        dirty_bytes.is_some(),
+                        "default-config transfers carry dirty accounting"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(saw_transfer, "ATAX must ship CPU results");
+}
+
+#[test]
+fn whole_buffer_compat_traces_use_the_legacy_format() {
     for b in all_benchmarks() {
         let rt = run(b.name, false);
         for report in rt.reports() {
             for ev in &report.trace {
-                if let TraceKind::HdEnqueued { dirty_bytes, .. } = &ev.kind {
-                    assert_eq!(
+                match &ev.kind {
+                    TraceKind::HdEnqueued { dirty_bytes, .. } => assert_eq!(
                         *dirty_bytes, None,
-                        "{}: gate-off transfers carry no dirty accounting",
+                        "{}: compat transfers carry no dirty accounting",
                         b.name
-                    );
+                    ),
+                    TraceKind::CoalescedSend { .. } => panic!(
+                        "{}: the serial compat protocol never coalesces sends",
+                        b.name
+                    ),
+                    _ => {}
                 }
             }
             let rendered = render_timeline(&report.kernel, &report.trace);
             assert!(
                 !rendered.contains("dirty"),
-                "{}: gate-off timeline must render the legacy lines",
+                "{}: compat timeline must render the legacy lines",
                 b.name
             );
         }
@@ -72,7 +121,7 @@ fn gate_off_traces_use_the_legacy_whole_buffer_format() {
 }
 
 #[test]
-fn gate_on_matches_gate_off_bit_for_bit_and_lints_clean() {
+fn default_matches_compat_bit_for_bit_and_lints_clean() {
     for b in all_benchmarks() {
         let off = run(b.name, false);
         let on = run(b.name, true);
@@ -99,7 +148,7 @@ fn gate_on_matches_gate_off_bit_for_bit_and_lints_clean() {
                     bytes, dirty_bytes, ..
                 } = &ev.kind
                 {
-                    let d = dirty_bytes.expect("gate-on transfers are annotated");
+                    let d = dirty_bytes.expect("default transfers are annotated");
                     assert_eq!(
                         *bytes,
                         d + STATUS_MSG_BYTES,
@@ -113,23 +162,26 @@ fn gate_on_matches_gate_off_bit_for_bit_and_lints_clean() {
 }
 
 #[test]
-fn gate_off_runs_are_deterministic() {
-    // Two independent gate-off runs produce identical reports: same
-    // timings, byte counts and rendered traces. This pins the default
-    // protocol against accidental dependence on the new tracking state.
-    for name in ["ATAX", "SYRK", "2MM"] {
-        let a = run(name, false);
-        let b = run(name, false);
-        assert_eq!(a.reports().len(), b.reports().len());
-        for (ra, rb) in a.reports().iter().zip(b.reports()) {
-            assert_eq!(ra.duration, rb.duration, "{name}: duration differs");
-            assert_eq!(ra.hd_bytes, rb.hd_bytes, "{name}: hd bytes differ");
-            assert_eq!(ra.dh_bytes, rb.dh_bytes, "{name}: dh bytes differ");
-            assert_eq!(
-                render_timeline(&ra.kernel, &ra.trace),
-                render_timeline(&rb.kernel, &rb.trace),
-                "{name}: rendered traces differ"
-            );
+fn both_protocols_run_deterministically() {
+    // Two independent runs of either protocol produce identical reports:
+    // same timings, byte counts and rendered traces. This pins both the
+    // default and the compat configuration against accidental dependence
+    // on hidden state.
+    for dirty in [false, true] {
+        for name in ["ATAX", "SYRK", "2MM"] {
+            let a = run(name, dirty);
+            let b = run(name, dirty);
+            assert_eq!(a.reports().len(), b.reports().len());
+            for (ra, rb) in a.reports().iter().zip(b.reports()) {
+                assert_eq!(ra.duration, rb.duration, "{name}: duration differs");
+                assert_eq!(ra.hd_bytes, rb.hd_bytes, "{name}: hd bytes differ");
+                assert_eq!(ra.dh_bytes, rb.dh_bytes, "{name}: dh bytes differ");
+                assert_eq!(
+                    render_timeline(&ra.kernel, &ra.trace),
+                    render_timeline(&rb.kernel, &rb.trace),
+                    "{name}: rendered traces differ"
+                );
+            }
         }
     }
 }

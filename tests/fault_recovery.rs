@@ -272,3 +272,31 @@ fn exhausted_retries_surface_a_typed_timeout_and_pools_stay_balanced() {
     }
     panic!("no plan seed in 0..{SCAN} exhausted the zero-retry budget");
 }
+
+#[test]
+fn chunk_shrink_on_retry_keeps_more_cpu_work_mergeable() {
+    // The fault-aware shrink contract, end to end: under transient
+    // transfer faults, halving the CPU chunk on retry must never launch a
+    // *larger* subkernel after the fault than the no-shrink run would
+    // (that post-fault batch is exactly the work a watchdog abandonment
+    // strands un-merged), and must strictly shrink it somewhere in the
+    // sweep — finer batches keep more of the CPU's work acknowledged and
+    // mergeable on a flaky link.
+    let cells = fluidicl_check::run_shrink_comparison(2);
+    assert!(cells.iter().any(|c| c.fired), "no transient fault fired");
+    for c in &cells {
+        assert!(
+            !c.is_failure(),
+            "{} (plan_seed {}): shrink-on-retry launched a larger post-fault \
+             subkernel ({} wgs vs {} without)",
+            c.bench,
+            c.plan_seed,
+            c.at_risk_with_shrink,
+            c.at_risk_without_shrink
+        );
+    }
+    assert!(
+        cells.iter().any(|c| c.improved()),
+        "shrink-on-retry never reduced the post-fault at-risk window"
+    );
+}
