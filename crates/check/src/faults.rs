@@ -99,7 +99,8 @@ fn run_once(b: &BenchmarkSpec, kind: FaultKind, plan_seed: u64) -> (CellOutcome,
         .with_validate_protocol(true)
         .with_faults(Some(FaultPlan::new(kind, plan_seed)));
     let mut rt = Fluidicl::new(MachineConfig::paper_testbed(), config, (b.program)(n));
-    let outcome = match b.run_and_validate_sized(&mut rt, n, SWEEP_SEED) {
+    let defs = (b.program)(n);
+    let mut outcome = match b.run_and_validate_sized(&mut rt, n, SWEEP_SEED) {
         Ok(true) => CellOutcome::Recovered,
         Ok(false) => CellOutcome::Mismatch,
         Err(e @ (ClError::DeviceLost { .. } | ClError::Timeout { .. })) => {
@@ -107,6 +108,25 @@ fn run_once(b: &BenchmarkSpec, kind: FaultKind, plan_seed: u64) -> (CellOutcome,
         }
         Err(e) => CellOutcome::UnexpectedError(e.to_string()),
     };
+    // Happens-before check over the faulted traces: a fault edge must
+    // excuse exactly the transfer it damaged, nothing more, so even a
+    // recovered run with a racy merge fails the cell.
+    if outcome == CellOutcome::Recovered {
+        'reports: for report in rt.reports() {
+            let kdef = defs
+                .kernel(&report.kernel)
+                .expect("reported kernel is registered");
+            for d in crate::race_check_report(&kdef, report) {
+                if d.severity == fluidicl::LintSeverity::Error {
+                    outcome = CellOutcome::UnexpectedError(format!(
+                        "race in kernel `{}`: {d}",
+                        report.kernel
+                    ));
+                    break 'reports;
+                }
+            }
+        }
+    }
     (outcome, rt.fault_fired())
 }
 

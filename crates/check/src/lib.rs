@@ -34,6 +34,7 @@
 mod audit;
 pub mod disjoint;
 pub mod faults;
+pub mod race;
 pub mod sanitize;
 
 pub use audit::{AuditDriver, KernelFinding};
@@ -43,6 +44,7 @@ pub use faults::{
     FaultCell, ShrinkCell,
 };
 pub use fluidicl::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
+pub use race::{check_hb, race_check_report, HbEvent, HbOp, VClock, CONTRIB, OWNER};
 pub use sanitize::{sanitize_launch, SENTINEL_A, SENTINEL_B};
 
 /// Reduced Polybench problem sizes used by the sweep binary and the test

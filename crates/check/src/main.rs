@@ -27,17 +27,110 @@
 use std::collections::BTreeMap;
 
 use fluidicl::{lint_report, Fluidicl, FluidiclConfig, LintSeverity};
-use fluidicl_check::{AuditDriver, CellOutcome, DisjointDriver, SWEEP_SEED};
+use fluidicl_check::{race_check_report, AuditDriver, CellOutcome, DisjointDriver, SWEEP_SEED};
 use fluidicl_hetsim::{AbortMode, MachineConfig};
 use fluidicl_polybench::all_benchmarks;
 
+/// One machine-readable finding of the sweep, for `--report-json`.
+#[derive(Clone)]
+struct JsonFinding {
+    stage: &'static str,
+    machine: String,
+    config: String,
+    bench: String,
+    kernel: String,
+    rule: String,
+    severity: LintSeverity,
+    message: String,
+}
+
 /// Buffered result of one sweep unit: the lines it prints plus its error
-/// and warning counts.
+/// and warning counts and machine-readable findings.
 #[derive(Default)]
 struct UnitReport {
     lines: Vec<String>,
     problems: usize,
     warnings: usize,
+    findings: Vec<JsonFinding>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the sweep's findings plus per-kernel access summaries as one
+/// JSON artifact (the `--report-json` output CI uploads).
+fn render_report_json(findings: &[JsonFinding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let sev = match f.severity {
+            LintSeverity::Error => "error",
+            LintSeverity::Warning => "warning",
+        };
+        out.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"machine\": \"{}\", \"config\": \"{}\", \
+             \"bench\": \"{}\", \"kernel\": \"{}\", \"rule\": \"{}\", \
+             \"severity\": \"{sev}\", \"message\": \"{}\"}}{}\n",
+            json_escape(f.stage),
+            json_escape(&f.machine),
+            json_escape(&f.config),
+            json_escape(&f.bench),
+            json_escape(&f.kernel),
+            json_escape(&f.rule),
+            json_escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"kernel_summaries\": [\n");
+    let mut rows = Vec::new();
+    for b in all_benchmarks() {
+        let n = fluidicl_check::sweep_size(b.name);
+        let program = (b.program)(n);
+        let mut names: Vec<&str> = program.kernel_names().collect();
+        names.sort_unstable();
+        for name in names {
+            let k = program.kernel(name).expect("listed kernel exists");
+            let args = k
+                .args()
+                .iter()
+                .map(|a| {
+                    let access = a
+                        .access
+                        .as_ref()
+                        .map_or("null".to_string(), |p| format!("\"{}\"", p.label()));
+                    format!(
+                        "{{\"name\": \"{}\", \"role\": \"{:?}\", \"access\": {access}}}",
+                        json_escape(&a.name),
+                        a.role
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            rows.push(format!(
+                "    {{\"bench\": \"{}\", \"kernel\": \"{}\", \
+                 \"write_footprints\": {}, \"args\": [{args}]}}",
+                json_escape(b.name),
+                json_escape(name),
+                k.has_write_footprints()
+            ));
+        }
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 /// Resolves `rel` against the repository root (two levels above this
@@ -53,12 +146,19 @@ fn main() {
     let mut faults = false;
     let mut seeds = 4u64;
     let mut faults_out = repo_path("FAULTS_summary.json");
+    let mut report_json: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--emit-disjoint" => emit_disjoint = true,
             "--faults" => faults = true,
+            "--report-json" => {
+                report_json = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--report-json requires a path argument");
+                    std::process::exit(2);
+                }));
+            }
             "--seeds" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("--seeds requires a positive integer argument");
@@ -82,7 +182,7 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: fluidicl-check [--quick] [--emit-disjoint] [--jobs N] \
-                     [--faults [--seeds N] [--faults-out PATH]]"
+                     [--report-json PATH] [--faults [--seeds N] [--faults-out PATH]]"
                 );
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -97,6 +197,7 @@ fn main() {
 
     let mut problems = 0usize;
     let mut warnings = 0usize;
+    let mut findings: Vec<JsonFinding> = Vec::new();
 
     println!("== stage 1: access sanitizer over the Polybench suite ==");
     let stage1 = fluidicl_par::par_map(all_benchmarks(), |b| {
@@ -111,11 +212,31 @@ fn main() {
                     b.name
                 ));
                 r.problems += 1;
+                r.findings.push(JsonFinding {
+                    stage: "sanitizer",
+                    machine: String::new(),
+                    config: String::new(),
+                    bench: b.name.to_string(),
+                    kernel: String::new(),
+                    rule: "output-mismatch".to_string(),
+                    severity: LintSeverity::Error,
+                    message: "output mismatch vs reference".to_string(),
+                });
             }
             Err(e) => {
                 r.lines
                     .push(format!("  {:8} n={n}: driver error: {e}", b.name));
                 r.problems += 1;
+                r.findings.push(JsonFinding {
+                    stage: "sanitizer",
+                    machine: String::new(),
+                    config: String::new(),
+                    bench: b.name.to_string(),
+                    kernel: String::new(),
+                    rule: "driver-error".to_string(),
+                    severity: LintSeverity::Error,
+                    message: e.to_string(),
+                });
             }
         }
         let mut flagged = 0usize;
@@ -127,6 +248,16 @@ fn main() {
                     LintSeverity::Error => r.problems += 1,
                     LintSeverity::Warning => r.warnings += 1,
                 }
+                r.findings.push(JsonFinding {
+                    stage: "sanitizer",
+                    machine: String::new(),
+                    config: String::new(),
+                    bench: b.name.to_string(),
+                    kernel: finding.kernel.clone(),
+                    rule: d.rule.to_string(),
+                    severity: d.severity,
+                    message: d.message.clone(),
+                });
                 flagged += 1;
             }
         }
@@ -145,6 +276,7 @@ fn main() {
         }
         problems += r.problems;
         warnings += r.warnings;
+        findings.extend(r.findings);
     }
 
     if emit_disjoint {
@@ -178,6 +310,19 @@ fn main() {
                     ),
                     (true, false) => {
                         r.problems += 1;
+                        r.findings.push(JsonFinding {
+                            stage: "disjoint",
+                            machine: String::new(),
+                            config: String::new(),
+                            bench: b.name.to_string(),
+                            kernel: f.kernel.clone(),
+                            rule: "disjoint-false-declaration".to_string(),
+                            severity: LintSeverity::Error,
+                            message: f
+                                .detail
+                                .clone()
+                                .unwrap_or_else(|| "overlap found".to_string()),
+                        });
                         format!(
                             "FALSE `with_disjoint_writes` declaration: {}",
                             f.detail.as_deref().unwrap_or("overlap found")
@@ -206,6 +351,7 @@ fn main() {
             }
             problems += r.problems;
             warnings += r.warnings;
+            findings.extend(r.findings);
             verified += v;
             for (kernel, proven) in proofs {
                 proven_by_kernel
@@ -278,6 +424,10 @@ fn main() {
             let n = fluidicl_check::sweep_size(b.name);
             let config = config.clone().with_validate_protocol(true);
             let mut rt = Fluidicl::new(machine.clone(), config, (b.program)(n));
+            // Second program instance for kernel-def lookups: the runtime
+            // consumed the first, and the race detector needs the declared
+            // access patterns to lower each trace symbolically.
+            let defs = (b.program)(n);
             match b.run_and_validate_sized(&mut rt, n, SWEEP_SEED) {
                 Ok(true) => {}
                 Ok(false) => {
@@ -286,15 +436,43 @@ fn main() {
                         b.name
                     ));
                     r.problems += 1;
+                    r.findings.push(JsonFinding {
+                        stage: "protocol",
+                        machine: mname.to_string(),
+                        config: cname.to_string(),
+                        bench: b.name.to_string(),
+                        kernel: String::new(),
+                        rule: "output-mismatch".to_string(),
+                        severity: LintSeverity::Error,
+                        message: "output mismatch vs reference".to_string(),
+                    });
                 }
                 Err(e) => {
                     r.lines.push(format!("  {mname}/{cname} {:8}: {e}", b.name));
                     r.problems += 1;
+                    r.findings.push(JsonFinding {
+                        stage: "protocol",
+                        machine: mname.to_string(),
+                        config: cname.to_string(),
+                        bench: b.name.to_string(),
+                        kernel: String::new(),
+                        rule: "runtime-error".to_string(),
+                        severity: LintSeverity::Error,
+                        message: e.to_string(),
+                    });
                 }
             }
             for report in rt.reports() {
                 kernels += 1;
-                for d in lint_report(report) {
+                let kdef = defs
+                    .kernel(&report.kernel)
+                    .expect("reported kernel is registered");
+                let race = race_check_report(&kdef, report);
+                for (stage, d) in lint_report(report)
+                    .iter()
+                    .map(|d| ("protocol", d))
+                    .chain(race.iter().map(|d| ("race", d)))
+                {
                     r.lines.push(format!(
                         "  {mname}/{cname} {:8} kernel `{}`: {d}",
                         b.name, report.kernel
@@ -303,6 +481,16 @@ fn main() {
                         LintSeverity::Error => r.problems += 1,
                         LintSeverity::Warning => r.warnings += 1,
                     }
+                    r.findings.push(JsonFinding {
+                        stage,
+                        machine: mname.to_string(),
+                        config: cname.to_string(),
+                        bench: b.name.to_string(),
+                        kernel: report.kernel.clone(),
+                        rule: d.rule.to_string(),
+                        severity: d.severity,
+                        message: d.message.clone(),
+                    });
                     flagged += 1;
                 }
             }
@@ -320,6 +508,16 @@ fn main() {
         }
         problems += r.problems;
         warnings += r.warnings;
+        findings.extend(r.findings);
+    }
+
+    if let Some(path) = &report_json {
+        std::fs::write(path, render_report_json(&findings)).expect("write report JSON");
+        println!(
+            "  wrote {path} ({} finding(s), kernel summaries for {} benchmark(s))",
+            findings.len(),
+            all_benchmarks().len()
+        );
     }
 
     println!("== sweep done: {problems} error(s), {warnings} warning(s) ==");

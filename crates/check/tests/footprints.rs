@@ -1,0 +1,164 @@
+//! Footprint validation sweep: every Polybench kernel's declared
+//! [`AccessPattern`](fluidicl_vcl::AccessPattern)s against the
+//! sanitizer's shadow write-maps.
+//!
+//! For every launch of every benchmark (at the sweep sizes), the declared
+//! symbolic write footprint of each work-group range must **equal or
+//! conservatively contain** the elements the kernel body actually wrote
+//! ([`execute_groups_shadowed`] is the ground truth). A subset would let
+//! the race detector under-approximate what a subkernel shipped — the
+//! one direction that is unsound — so it fails the test; slack (declared
+//! but unwritten elements) is sound and reported per kernel.
+
+use fluidicl_check::{sweep_size, SWEEP_SEED};
+use fluidicl_des::SimDuration;
+use fluidicl_polybench::all_benchmarks;
+use fluidicl_vcl::exec::execute_all;
+use fluidicl_vcl::{
+    execute_groups_shadowed, BufferId, ClDriver, ClResult, DirtyRanges, KernelArg, Launch, Memory,
+    NdRange,
+};
+
+/// A [`ClDriver`] that, on every enqueue, checks the kernel's declared
+/// write footprints against shadow-executed ground truth — whole-launch
+/// and per-quarter work-group ranges (the race detector consumes
+/// arbitrary `[from, to)` slices, so the parametrization must hold below
+/// whole-launch granularity too).
+struct FootprintDriver {
+    program: fluidicl_vcl::Program,
+    mem: Memory,
+    next_id: u64,
+    violations: Vec<String>,
+    slack: Vec<String>,
+    checked_kernels: Vec<String>,
+}
+
+impl FootprintDriver {
+    fn new(program: fluidicl_vcl::Program) -> Self {
+        FootprintDriver {
+            program,
+            mem: Memory::new(),
+            next_id: 0,
+            violations: Vec::new(),
+            slack: Vec::new(),
+            checked_kernels: Vec::new(),
+        }
+    }
+
+    fn check_launch(&mut self, kernel: &str, launch: &Launch) -> ClResult<()> {
+        let total = launch.ndrange.num_groups();
+        let (_ins, outs, scalars) = launch.kernel.classify_args(&launch.args)?;
+        let out_lens: Vec<usize> = outs
+            .iter()
+            .map(|id| self.mem.get(*id).map(<[f32]>::len))
+            .collect::<ClResult<_>>()?;
+        assert!(
+            launch.kernel.has_write_footprints(),
+            "kernel `{kernel}` must declare an AccessPattern on every output argument"
+        );
+        // Whole launch plus four quarters: the race detector slices
+        // footprints at subkernel boundaries, not just 0..total.
+        let quarter = (total / 4).max(1);
+        let mut ranges = vec![(0, total)];
+        let mut lo = 0;
+        while lo < total {
+            let hi = (lo + quarter).min(total);
+            ranges.push((lo, hi));
+            lo = hi;
+        }
+        for (from, to) in ranges {
+            let declared = launch
+                .kernel
+                .write_footprints(&launch.ndrange, &scalars, &out_lens, from, to)
+                .expect("has_write_footprints checked above");
+            let mut m = self.mem.clone();
+            let rec = execute_groups_shadowed(launch, &mut m, from, to)?;
+            for (k, decl) in declared.iter().enumerate() {
+                let observed =
+                    DirtyRanges::from_ranges(rec.total_writes(k).keys().map(|&i| (i, i + 1)));
+                let inside = observed.intersect(decl);
+                if inside.element_count() != observed.element_count() {
+                    self.violations.push(format!(
+                        "kernel `{kernel}` out arg {k}, groups {from}..{to}: kernel wrote \
+                         {} element(s) outside its declared footprint",
+                        observed.element_count() - inside.element_count()
+                    ));
+                }
+                let slack = decl.element_count() - inside.element_count();
+                if slack > 0 && (from, to) == (0, total) {
+                    self.slack.push(format!(
+                        "kernel `{kernel}` out arg {k}: declared footprint exceeds observed \
+                         writes by {slack} element(s) (conservative, sound)"
+                    ));
+                }
+            }
+        }
+        self.checked_kernels.push(kernel.to_string());
+        Ok(())
+    }
+}
+
+impl ClDriver for FootprintDriver {
+    fn create_buffer(&mut self, len: usize) -> BufferId {
+        let id = BufferId(self.next_id);
+        self.next_id += 1;
+        self.mem.alloc(id, len);
+        id
+    }
+
+    fn write_buffer(&mut self, id: BufferId, data: &[f32]) -> ClResult<()> {
+        self.mem.write(id, data)
+    }
+
+    fn enqueue_kernel(
+        &mut self,
+        kernel: &str,
+        ndrange: NdRange,
+        args: &[KernelArg],
+    ) -> ClResult<()> {
+        let def = self.program.kernel(kernel)?;
+        let launch = Launch::new(def, ndrange, args.to_vec());
+        self.check_launch(kernel, &launch)?;
+        execute_all(&launch, &mut self.mem)
+    }
+
+    fn read_buffer(&mut self, id: BufferId) -> ClResult<Vec<f32>> {
+        self.mem.get(id).map(<[f32]>::to_vec)
+    }
+
+    fn elapsed(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn kernel_times(&self) -> Vec<(String, SimDuration)> {
+        Vec::new()
+    }
+}
+
+#[test]
+fn declared_footprints_contain_shadow_write_maps() {
+    let mut kernels_checked = 0usize;
+    for b in all_benchmarks() {
+        let n = sweep_size(b.name);
+        let mut driver = FootprintDriver::new((b.program)(n));
+        let ok = b
+            .run_and_validate_sized(&mut driver, n, SWEEP_SEED)
+            .expect("benchmark runs");
+        assert!(ok, "{}: output mismatch", b.name);
+        assert!(
+            driver.violations.is_empty(),
+            "{}: declared footprints under-approximate real writes:\n{}",
+            b.name,
+            driver.violations.join("\n")
+        );
+        for line in &driver.slack {
+            println!("{}: {line}", b.name);
+        }
+        kernels_checked += driver.checked_kernels.len();
+    }
+    // 15 registered kernels across the suite, all launched at least once.
+    assert!(
+        kernels_checked >= 15,
+        "expected every kernel checked, saw {kernels_checked} launches"
+    );
+}

@@ -1,0 +1,220 @@
+//! Property tests for the vector-clock happens-before core.
+//!
+//! Randomized over [`fluidicl_des::SplitMix64`] (seeded, so failures
+//! reproduce): the clock ordering must be a strict partial order, the
+//! join must be a commutative/associative/idempotent least upper bound,
+//! and — the fundamental theorem of vector clocks — the clock order of a
+//! simulated execution must coincide exactly with reachability through
+//! program order and message edges.
+
+use fluidicl_check::{check_hb, HbEvent, HbOp, VClock};
+use fluidicl_des::SplitMix64;
+use fluidicl_vcl::DirtyRanges;
+
+/// Draws a random clock over `endpoints` components with small entries
+/// (small values make coincidences — equal components, dominated clocks —
+/// common enough to exercise every branch of `leq`).
+fn random_clock(rng: &mut SplitMix64, endpoints: usize) -> VClock {
+    let mut c = VClock::new(endpoints);
+    for ep in 0..endpoints {
+        for _ in 0..(rng.next_u64() % 4) {
+            c.tick(ep);
+        }
+    }
+    c
+}
+
+#[test]
+fn happens_before_is_a_strict_partial_order() {
+    let mut rng = SplitMix64::new(0xC10C);
+    for _ in 0..500 {
+        let n = 1 + (rng.next_u64() % 4) as usize;
+        let a = random_clock(&mut rng, n);
+        let b = random_clock(&mut rng, n);
+        let c = random_clock(&mut rng, n);
+        // Irreflexive.
+        assert!(!a.lt(&a), "lt must be irreflexive: {a:?}");
+        // Antisymmetric (vacuously, via irreflexivity of the strict order).
+        assert!(!(a.lt(&b) && b.lt(&a)), "lt must be antisymmetric");
+        // Transitive.
+        if a.lt(&b) && b.lt(&c) {
+            assert!(a.lt(&c), "lt must be transitive: {a:?} {b:?} {c:?}");
+        }
+        // Trichotomy-with-concurrency: exactly one of =, <, >, ∥ holds.
+        let cases = [a == b, a.lt(&b), b.lt(&a), a.concurrent(&b)];
+        assert_eq!(
+            cases.iter().filter(|x| **x).count(),
+            1,
+            "exactly one ordering relation must hold: {a:?} {b:?}"
+        );
+    }
+}
+
+#[test]
+fn join_is_commutative_associative_idempotent() {
+    let mut rng = SplitMix64::new(0x10_1A);
+    for _ in 0..500 {
+        let n = 1 + (rng.next_u64() % 4) as usize;
+        let a = random_clock(&mut rng, n);
+        let b = random_clock(&mut rng, n);
+        let c = random_clock(&mut rng, n);
+        assert_eq!(a.join(&b), b.join(&a), "join must be commutative");
+        assert_eq!(
+            a.join(&b).join(&c),
+            a.join(&b.join(&c)),
+            "join must be associative"
+        );
+        assert_eq!(a.join(&a), a, "join must be idempotent");
+        // Least upper bound: above both operands, below any common upper
+        // bound.
+        let j = a.join(&b);
+        assert!(a.leq(&j) && b.leq(&j), "join must be an upper bound");
+        let ub = a.join(&b).join(&c);
+        assert!(j.leq(&ub), "join must be the LEAST upper bound");
+    }
+}
+
+/// One event of a simulated execution: its endpoint and its clock, plus
+/// the indices of its direct predecessors (program order + message edge).
+struct SimEvent {
+    clock: VClock,
+    preds: Vec<usize>,
+}
+
+/// Simulates a random execution over `endpoints`: each step is either a
+/// local step, a send, or a receive of a random in-flight message.
+/// Returns the event list with clocks and the true predecessor edges.
+fn simulate(rng: &mut SplitMix64, endpoints: usize, steps: usize) -> Vec<SimEvent> {
+    let mut clocks: Vec<VClock> = (0..endpoints).map(|_| VClock::new(endpoints)).collect();
+    let mut last_event: Vec<Option<usize>> = vec![None; endpoints];
+    // In-flight messages: (sender event index, sender clock at send).
+    let mut in_flight: Vec<(usize, VClock)> = Vec::new();
+    let mut events = Vec::new();
+    for _ in 0..steps {
+        let ep = (rng.next_u64() % endpoints as u64) as usize;
+        let idx = events.len();
+        let mut preds = Vec::new();
+        if let Some(p) = last_event[ep] {
+            preds.push(p);
+        }
+        clocks[ep].tick(ep);
+        match rng.next_u64() % 3 {
+            // Send: publish this event's clock as a message.
+            1 => in_flight.push((idx, clocks[ep].clone())),
+            // Receive: join a random in-flight message (message edge).
+            2 if !in_flight.is_empty() => {
+                let pick = (rng.next_u64() % in_flight.len() as u64) as usize;
+                let (sender_idx, sender_clock) = in_flight.swap_remove(pick);
+                clocks[ep] = clocks[ep].join(&sender_clock);
+                preds.push(sender_idx);
+            }
+            // Local step.
+            _ => {}
+        }
+        events.push(SimEvent {
+            clock: clocks[ep].clone(),
+            preds,
+        });
+        last_event[ep] = Some(idx);
+    }
+    events
+}
+
+#[test]
+fn clock_order_equals_reachability_through_program_order_and_messages() {
+    let mut rng = SplitMix64::new(0xF00D);
+    for round in 0..50 {
+        let endpoints = 2 + (rng.next_u64() % 3) as usize;
+        let events = simulate(&mut rng, endpoints, 40);
+        let n = events.len();
+        // Transitive closure over the true edges (events are in causal
+        // order, so one forward pass per target suffices).
+        let mut reach = vec![vec![false; n]; n];
+        for (j, ev) in events.iter().enumerate() {
+            for &p in &ev.preds {
+                reach[p][j] = true;
+                let through_p: Vec<usize> = (0..n).filter(|&i| reach[i][p]).collect();
+                for i in through_p {
+                    reach[i][j] = true;
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                // The fundamental theorem: clock(i) < clock(j) iff event i
+                // reaches event j through program order and message edges.
+                assert_eq!(
+                    events[i].clock.lt(&events[j].clock),
+                    reach[i][j],
+                    "round {round}: event {i} {:?} vs event {j} {:?}",
+                    events[i].clock,
+                    events[j].clock
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_accepts_randomized_clean_pipelines() {
+    // Random clean runs: a contributor writes+sends K disjoint chunks in
+    // order, the owner acks each, then merges and reads. The engine must
+    // never flag a well-formed pipeline, whatever the chunk layout.
+    let mut rng = SplitMix64::new(0xCAFE);
+    for _ in 0..100 {
+        let chunks = 1 + (rng.next_u64() % 5) as usize;
+        let chunk = 1 + (rng.next_u64() % 7) as usize;
+        let total = chunks * chunk;
+        let mut events = vec![HbEvent::new(
+            0,
+            "local",
+            HbOp::Write {
+                ranges: vec![DirtyRanges::empty()],
+            },
+        )];
+        for k in 0..chunks {
+            let lo = k * chunk;
+            let hi = lo + chunk;
+            let ranges = vec![DirtyRanges::from_ranges([(lo, hi)])];
+            events.push(HbEvent::new(
+                1,
+                format!("w{k}"),
+                HbOp::Write {
+                    ranges: ranges.clone(),
+                },
+            ));
+            events.push(HbEvent::new(
+                1,
+                format!("s{k}"),
+                HbOp::Send {
+                    msg: k as u64,
+                    ranges,
+                },
+            ));
+            events.push(HbEvent::new(
+                0,
+                format!("a{k}"),
+                HbOp::Recv { msg: k as u64 },
+            ));
+        }
+        events.push(HbEvent::new(
+            0,
+            "merge",
+            HbOp::Merge {
+                ranges: vec![DirtyRanges::from_ranges([(0, total)])],
+            },
+        ));
+        events.push(HbEvent::new(
+            0,
+            "read",
+            HbOp::Read {
+                ranges: vec![DirtyRanges::from_ranges([(0, total)])],
+            },
+        ));
+        let diags = check_hb(2, 1, &events);
+        assert!(diags.is_empty(), "clean pipeline flagged: {diags:?}");
+    }
+}

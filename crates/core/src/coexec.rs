@@ -41,7 +41,7 @@ use fluidicl_vcl::{
 use crate::buffers::SnapshotPool;
 use crate::chunk::ChunkController;
 use crate::config::FluidiclConfig;
-use crate::stats::{Finisher, KernelReport};
+use crate::stats::{Finisher, KernelReport, LaunchMeta};
 use crate::trace::{TraceEvent, TraceKind, STATUS_MSG_BYTES};
 
 /// Inputs to one co-executed kernel launch, carrying the global timeline
@@ -207,6 +207,9 @@ pub(crate) struct Coexec<'a> {
     items: u64,
     out_bytes: u64,
     out_ids: Vec<BufferId>,
+    /// Element length of each output buffer, captured at construction so the
+    /// report's [`LaunchMeta`] survives a later GPU loss.
+    out_lens: Vec<usize>,
     orig_snapshots: Vec<(BufferId, Vec<f32>)>,
     // Dirty-range transfer modelling (config.dirty_range_transfers).
     /// Whether subkernels ship only their dirty ranges (paper §4.2's data
@@ -297,6 +300,7 @@ impl<'a> Coexec<'a> {
             out_bytes += data.len() as u64 * 4;
             orig_snapshots.push((*id, data));
         }
+        let out_lens: Vec<usize> = orig_snapshots.iter().map(|(_, d)| d.len()).collect();
         let min_chunk = u64::from(input.machine.cpu.threads());
         let chunk = ChunkController::new(
             total,
@@ -321,6 +325,7 @@ impl<'a> Coexec<'a> {
             items,
             out_bytes,
             out_ids,
+            out_lens,
             orig_snapshots,
             dirty_enabled,
             cum_dirty,
@@ -1372,6 +1377,11 @@ impl<'a> Coexec<'a> {
             finished_by,
             duration: complete_at.saturating_since(self.input.enqueue_at),
             trace: self.trace,
+            launch_meta: Some(LaunchMeta {
+                ndrange: self.input.launch.ndrange,
+                scalars: self.input.launch.plan()?.scalars.clone(),
+                out_lens: self.out_lens,
+            }),
         };
         Ok(CoexecOutcome {
             complete_at,
@@ -1426,6 +1436,11 @@ impl<'a> Coexec<'a> {
             finished_by: Finisher::Cpu,
             duration: complete_at.saturating_since(self.input.enqueue_at),
             trace: self.trace,
+            launch_meta: Some(LaunchMeta {
+                ndrange: self.input.launch.ndrange,
+                scalars: self.input.launch.plan()?.scalars.clone(),
+                out_lens: self.out_lens,
+            }),
         };
         Ok(CoexecOutcome {
             complete_at,

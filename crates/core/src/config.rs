@@ -1,9 +1,54 @@
 //! Runtime configuration: chunk-sizing parameters and optimization toggles.
 
+use std::fmt;
+use std::sync::Arc;
+
 use fluidicl_hetsim::AbortMode;
 use fluidicl_vcl::FaultPlan;
 
+use crate::lint::LintDiagnostic;
 use crate::recover::RecoveryPolicy;
+use crate::stats::KernelReport;
+
+/// A runtime debug hook invoked with every completed kernel report (after
+/// the built-in protocol lint when `validate_protocol` is on). Any
+/// error-severity finding the hook returns fails the enqueue with
+/// [`ClError::ProtocolViolation`](fluidicl_vcl::ClError::ProtocolViolation),
+/// exactly like a lint error. External checkers — e.g. the happens-before
+/// race detector in `fluidicl-check` — install themselves here to validate
+/// traces *inside* the runtime during debugging runs, without the core
+/// crate depending on them.
+#[derive(Clone)]
+pub struct ReportHook(Arc<ReportCheckFn>);
+
+/// Checker closure type wrapped by [`ReportHook`].
+type ReportCheckFn = dyn Fn(&KernelReport) -> Vec<LintDiagnostic> + Send + Sync;
+
+impl ReportHook {
+    /// Wraps a checker closure as a hook.
+    pub fn new(f: impl Fn(&KernelReport) -> Vec<LintDiagnostic> + Send + Sync + 'static) -> Self {
+        ReportHook(Arc::new(f))
+    }
+
+    /// Runs the hook on one report.
+    pub fn run(&self, report: &KernelReport) -> Vec<LintDiagnostic> {
+        (self.0)(report)
+    }
+}
+
+impl fmt::Debug for ReportHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ReportHook(..)")
+    }
+}
+
+impl PartialEq for ReportHook {
+    fn eq(&self, other: &Self) -> bool {
+        // Closures have no structural equality; two configs compare equal
+        // only when they share the same hook instance.
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
 
 /// Configuration of the FluidiCL runtime.
 ///
@@ -78,6 +123,10 @@ pub struct FluidiclConfig {
     pub faults: Option<FaultPlan>,
     /// Watchdog/retry tuning used when `faults` is set.
     pub recovery: RecoveryPolicy,
+    /// Optional debug hook run on every completed kernel report; its
+    /// error-severity findings abort the enqueue like lint errors. `None`
+    /// (the default) costs nothing.
+    pub report_hook: Option<ReportHook>,
 }
 
 impl Default for FluidiclConfig {
@@ -97,6 +146,7 @@ impl Default for FluidiclConfig {
             intra_launch_jobs: 1,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            report_hook: None,
         }
     }
 }
@@ -211,6 +261,15 @@ impl FluidiclConfig {
         self.recovery = policy;
         self
     }
+
+    /// Returns a copy with a report debug hook installed (or removed with
+    /// `None`). The hook runs on every completed kernel report and its
+    /// error-severity findings fail the enqueue.
+    #[must_use]
+    pub fn with_report_hook(mut self, hook: Option<ReportHook>) -> Self {
+        self.report_hook = hook;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +295,24 @@ mod tests {
         assert_eq!(cfg.intra_launch_jobs, 1, "parallel execution is opt-in");
         assert_eq!(cfg.faults, None, "fault injection is opt-in");
         assert_eq!(cfg.recovery, RecoveryPolicy::default());
+        assert!(cfg.report_hook.is_none(), "debug hook is opt-in");
+    }
+
+    #[test]
+    fn report_hook_compares_by_identity_and_runs() {
+        let hook = ReportHook::new(|r| {
+            vec![LintDiagnostic::warning(
+                "test-rule",
+                format!("kernel {}", r.kernel),
+            )]
+        });
+        let a = FluidiclConfig::default().with_report_hook(Some(hook.clone()));
+        let b = FluidiclConfig::default().with_report_hook(Some(hook.clone()));
+        assert_eq!(a, b, "same hook instance compares equal");
+        let c = FluidiclConfig::default().with_report_hook(Some(ReportHook::new(|_| Vec::new())));
+        assert_ne!(a, c, "distinct hook instances differ");
+        assert_eq!(a.with_report_hook(None), FluidiclConfig::default());
+        assert!(format!("{hook:?}").contains("ReportHook"));
     }
 
     #[test]

@@ -43,9 +43,9 @@ mod trace;
 
 pub use buffers::{BufferState, BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
 pub use chunk::ChunkController;
-pub use config::FluidiclConfig;
+pub use config::{FluidiclConfig, ReportHook};
 pub use lint::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use recover::RecoveryPolicy;
 pub use runtime::{parse_disjoint_manifest, Fluidicl};
-pub use stats::{Finisher, KernelReport, RuntimeSummary};
+pub use stats::{Finisher, KernelReport, LaunchMeta, RuntimeSummary};
 pub use trace::{render_lanes, render_timeline, TraceEvent, TraceKind, STATUS_MSG_BYTES};

@@ -18,7 +18,7 @@ use fluidicl_vcl::{
 use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
 use crate::coexec::{Coexec, CoexecInput};
 use crate::config::FluidiclConfig;
-use crate::stats::{Finisher, KernelReport, RuntimeSummary};
+use crate::stats::{Finisher, KernelReport, LaunchMeta, RuntimeSummary};
 use crate::trace::{TraceEvent, TraceKind};
 
 /// The FluidiCL runtime over a simulated CPU+GPU machine.
@@ -342,9 +342,29 @@ impl Fluidicl {
             finished_by: finisher,
             duration: complete_at.saturating_since(self.host_clock),
             trace,
+            launch_meta: Some(LaunchMeta {
+                ndrange: launch.ndrange,
+                scalars: launch.plan()?.scalars.clone(),
+                out_lens: out_ids
+                    .iter()
+                    .map(|id| self.buffers.state(*id).len)
+                    .collect(),
+            }),
         };
         if self.config.validate_protocol {
             let diags = crate::lint::lint_report(&report);
+            if let Some(first) = diags
+                .iter()
+                .find(|d| d.severity == crate::lint::LintSeverity::Error)
+            {
+                return Err(ClError::ProtocolViolation {
+                    kernel: kernel.to_string(),
+                    detail: format!("{first} ({} finding(s) total)", diags.len()),
+                });
+            }
+        }
+        if let Some(hook) = &self.config.report_hook {
+            let diags = hook.run(&report);
             if let Some(first) = diags
                 .iter()
                 .find(|d| d.severity == crate::lint::LintSeverity::Error)
@@ -516,6 +536,19 @@ impl ClDriver for Fluidicl {
         };
         if self.config.validate_protocol {
             let diags = crate::lint::lint_report(&outcome.report);
+            if let Some(first) = diags
+                .iter()
+                .find(|d| d.severity == crate::lint::LintSeverity::Error)
+            {
+                self.release_scratch(&out_ids);
+                return Err(ClError::ProtocolViolation {
+                    kernel: kernel.to_string(),
+                    detail: format!("{first} ({} finding(s) total)", diags.len()),
+                });
+            }
+        }
+        if let Some(hook) = &self.config.report_hook {
+            let diags = hook.run(&outcome.report);
             if let Some(first) = diags
                 .iter()
                 .find(|d| d.severity == crate::lint::LintSeverity::Error)

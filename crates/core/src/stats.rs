@@ -1,8 +1,25 @@
 //! Per-kernel execution reports and runtime-level statistics.
 
 use fluidicl_des::{SimDuration, SimTime};
+use fluidicl_vcl::{NdRange, Scalars};
 
 use crate::trace::TraceEvent;
+
+/// Static launch metadata recorded alongside a [`KernelReport`]: the
+/// geometry, scalar arguments and output-buffer lengths a trace checker
+/// needs to turn work-group ranges into element footprints (via
+/// [`KernelDef::write_footprints`](fluidicl_vcl::KernelDef::write_footprints))
+/// without access to the original [`Launch`](fluidicl_vcl::Launch).
+#[derive(Clone, Debug)]
+pub struct LaunchMeta {
+    /// Index space of the launch.
+    pub ndrange: NdRange,
+    /// Scalar arguments of the launch.
+    pub scalars: Scalars,
+    /// Length of each output buffer, in signature order among `Out`/`InOut`
+    /// arguments.
+    pub out_lens: Vec<usize>,
+}
 
 /// Which side established the final data of a kernel (paper §4.2: the
 /// faster device always does more work; either can finish the NDRange).
@@ -52,6 +69,9 @@ pub struct KernelReport {
     pub duration: SimDuration,
     /// Chronological protocol trace (see [`crate::render_timeline`]).
     pub trace: Vec<TraceEvent>,
+    /// Launch geometry and arguments for footprint-based trace checkers;
+    /// `None` only for hand-constructed reports.
+    pub launch_meta: Option<LaunchMeta>,
 }
 
 impl KernelReport {
@@ -140,6 +160,7 @@ mod tests {
             finished_by: Finisher::Gpu,
             duration: SimDuration::from_nanos(100),
             trace: Vec::new(),
+            launch_meta: None,
         }
     }
 

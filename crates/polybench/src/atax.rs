@@ -5,7 +5,9 @@
 //! percent, losing only the one-time scratch-buffer creation cost (§9.1).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
+use fluidicl_vcl::{
+    AccessPattern, ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
+};
 
 use crate::data::{gen_matrix, gen_vector};
 
@@ -47,9 +49,12 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "atax_k1",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("x", ArgRole::In),
-                ArgSpec::new("tmp", ArgRole::Out),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::Row {
+                    dim: 0,
+                    width_scalar: 0,
+                }),
+                ArgSpec::new("x", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("tmp", ArgRole::Out).with_access(AccessPattern::Element),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_k1(n),
@@ -71,9 +76,12 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "atax_k2",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("tmp", ArgRole::In),
-                ArgSpec::new("y", ArgRole::Out),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::Col {
+                    dim: 0,
+                    width_scalar: 0,
+                }),
+                ArgSpec::new("tmp", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("y", ArgRole::Out).with_access(AccessPattern::Element),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_k2(n),

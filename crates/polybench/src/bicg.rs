@@ -7,7 +7,9 @@
 //! scattered access) favours the CPU.
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
+use fluidicl_vcl::{
+    AccessPattern, ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
+};
 
 use crate::data::{gen_matrix, gen_vector};
 
@@ -48,9 +50,12 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "bicg_q",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("p", ArgRole::In),
-                ArgSpec::new("q", ArgRole::Out),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::Row {
+                    dim: 0,
+                    width_scalar: 0,
+                }),
+                ArgSpec::new("p", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("q", ArgRole::Out).with_access(AccessPattern::Element),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_q(n),
@@ -72,9 +77,12 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "bicg_s",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("r", ArgRole::In),
-                ArgSpec::new("s", ArgRole::Out),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::Col {
+                    dim: 0,
+                    width_scalar: 0,
+                }),
+                ArgSpec::new("r", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("s", ArgRole::Out).with_access(AccessPattern::Element),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_s(n),

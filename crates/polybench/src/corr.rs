@@ -9,7 +9,8 @@
 
 use fluidicl_hetsim::KernelProfile;
 use fluidicl_vcl::{
-    ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program, Scalars, WorkItem,
+    AccessPattern, ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
+    Scalars, WorkItem,
 };
 
 use crate::data::gen_positive;
@@ -117,8 +118,11 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "corr_mean",
             vec![
-                ArgSpec::new("data", ArgRole::In),
-                ArgSpec::new("mean", ArgRole::Out),
+                ArgSpec::new("data", ArgRole::In).with_access(AccessPattern::Col {
+                    dim: 0,
+                    width_scalar: 0,
+                }),
+                ArgSpec::new("mean", ArgRole::Out).with_access(AccessPattern::Element),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_mean(n),
@@ -139,9 +143,12 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "corr_std",
             vec![
-                ArgSpec::new("data", ArgRole::In),
-                ArgSpec::new("mean", ArgRole::In),
-                ArgSpec::new("std", ArgRole::Out),
+                ArgSpec::new("data", ArgRole::In).with_access(AccessPattern::Col {
+                    dim: 0,
+                    width_scalar: 0,
+                }),
+                ArgSpec::new("mean", ArgRole::In).with_access(AccessPattern::Element),
+                ArgSpec::new("std", ArgRole::Out).with_access(AccessPattern::Element),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_std(n),
@@ -165,9 +172,9 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "corr_center",
             vec![
-                ArgSpec::new("mean", ArgRole::In),
-                ArgSpec::new("std", ArgRole::In),
-                ArgSpec::new("data", ArgRole::InOut),
+                ArgSpec::new("mean", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("std", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("data", ArgRole::InOut).with_access(AccessPattern::Element),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_center(n),
@@ -187,8 +194,21 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "corr_corr",
             vec![
-                ArgSpec::new("data", ArgRole::In),
-                ArgSpec::new("symmat", ArgRole::Out),
+                ArgSpec::new("data", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                // Item j1 owns the tail of row j1 (the diagonal onward) plus
+                // the mirrored cells symmat[j2][j1] below it — exactly what
+                // `corr_body` writes.
+                ArgSpec::new("symmat", ArgRole::Out).with_access(AccessPattern::custom(
+                    |item, scalars, _len| {
+                        let n = scalars.usize(0);
+                        let j1 = item.global[0];
+                        let mut ranges = vec![(j1 * n + j1, j1 * n + n)];
+                        for j2 in (j1 + 1)..n {
+                            ranges.push((j2 * n + j1, j2 * n + j1 + 1));
+                        }
+                        ranges
+                    },
+                )),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_corr_base(n),

@@ -6,7 +6,9 @@
 //! as the working set outgrows the GPU's cache (same mechanism as SYRK).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
+use fluidicl_vcl::{
+    AccessPattern, ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
+};
 
 use crate::data::gen_matrix;
 
@@ -40,9 +42,15 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "gemm",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("b", ArgRole::In),
-                ArgSpec::new("c", ArgRole::InOut),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::Row {
+                    dim: 1,
+                    width_scalar: 2,
+                }),
+                ArgSpec::new("b", ArgRole::In).with_access(AccessPattern::Col {
+                    dim: 0,
+                    width_scalar: 2,
+                }),
+                ArgSpec::new("c", ArgRole::InOut).with_access(AccessPattern::Element),
                 ArgSpec::new("alpha", ArgRole::Scalar),
                 ArgSpec::new("beta", ArgRole::Scalar),
                 ArgSpec::new("n", ArgRole::Scalar),

@@ -6,7 +6,9 @@
 //! also where large initial chunk sizes pay off (Figure 17's outlier).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
+use fluidicl_vcl::{
+    AccessPattern, ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
+};
 
 use crate::data::{gen_matrix, gen_vector};
 
@@ -37,10 +39,16 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "gesummv",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("b", ArgRole::In),
-                ArgSpec::new("x", ArgRole::In),
-                ArgSpec::new("y", ArgRole::Out),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::Row {
+                    dim: 0,
+                    width_scalar: 2,
+                }),
+                ArgSpec::new("b", ArgRole::In).with_access(AccessPattern::Row {
+                    dim: 0,
+                    width_scalar: 2,
+                }),
+                ArgSpec::new("x", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("y", ArgRole::Out).with_access(AccessPattern::Element),
                 ArgSpec::new("alpha", ArgRole::Scalar),
                 ArgSpec::new("beta", ArgRole::Scalar),
                 ArgSpec::new("n", ArgRole::Scalar),

@@ -7,7 +7,9 @@
 //! while the GPU proceeds immediately from its merged copy.
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
+use fluidicl_vcl::{
+    AccessPattern, ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
+};
 
 use crate::data::gen_matrix;
 
@@ -37,9 +39,15 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "mm2_tmp",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("b", ArgRole::In),
-                ArgSpec::new("tmp", ArgRole::Out),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::Row {
+                    dim: 1,
+                    width_scalar: 1,
+                }),
+                ArgSpec::new("b", ArgRole::In).with_access(AccessPattern::Col {
+                    dim: 0,
+                    width_scalar: 1,
+                }),
+                ArgSpec::new("tmp", ArgRole::Out).with_access(AccessPattern::Element),
                 ArgSpec::new("alpha", ArgRole::Scalar),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
@@ -64,9 +72,15 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "mm2_d",
             vec![
-                ArgSpec::new("tmp", ArgRole::In),
-                ArgSpec::new("c", ArgRole::In),
-                ArgSpec::new("d", ArgRole::InOut),
+                ArgSpec::new("tmp", ArgRole::In).with_access(AccessPattern::Row {
+                    dim: 1,
+                    width_scalar: 1,
+                }),
+                ArgSpec::new("c", ArgRole::In).with_access(AccessPattern::Col {
+                    dim: 0,
+                    width_scalar: 1,
+                }),
+                ArgSpec::new("d", ArgRole::InOut).with_access(AccessPattern::Element),
                 ArgSpec::new("beta", ArgRole::Scalar),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],

@@ -7,7 +7,9 @@
 //! `InOut` vectors (the diff-merge must preserve unmodified elements).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
+use fluidicl_vcl::{
+    AccessPattern, ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
+};
 
 use crate::data::{gen_matrix, gen_vector};
 
@@ -46,9 +48,12 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "mvt_x1",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("y1", ArgRole::In),
-                ArgSpec::new("x1", ArgRole::InOut),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::Row {
+                    dim: 0,
+                    width_scalar: 0,
+                }),
+                ArgSpec::new("y1", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("x1", ArgRole::InOut).with_access(AccessPattern::Element),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_x1(n),
@@ -70,9 +75,12 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "mvt_x2",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("y2", ArgRole::In),
-                ArgSpec::new("x2", ArgRole::InOut),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::Col {
+                    dim: 0,
+                    width_scalar: 0,
+                }),
+                ArgSpec::new("y2", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("x2", ArgRole::InOut).with_access(AccessPattern::Element),
                 ArgSpec::new("n", ArgRole::Scalar),
             ],
             profile_x2(n),

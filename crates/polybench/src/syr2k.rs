@@ -6,7 +6,9 @@
 //! margin of the suite (≈1.4×) and SOCL-dmda by >2.4× (§9.1, §9.4).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
+use fluidicl_vcl::{
+    AccessPattern, ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
+};
 
 use crate::data::gen_matrix;
 
@@ -42,9 +44,9 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "syr2k",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("b", ArgRole::In),
-                ArgSpec::new("c", ArgRole::InOut),
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("b", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("c", ArgRole::InOut).with_access(AccessPattern::Element),
                 ArgSpec::new("alpha", ArgRole::Scalar),
                 ArgSpec::new("beta", ArgRole::Scalar),
                 ArgSpec::new("n", ArgRole::Scalar),

@@ -9,7 +9,9 @@
 //! (§9.1–§9.2).
 
 use fluidicl_hetsim::KernelProfile;
-use fluidicl_vcl::{ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program};
+use fluidicl_vcl::{
+    AccessPattern, ArgRole, ArgSpec, ClDriver, ClResult, KernelArg, KernelDef, NdRange, Program,
+};
 
 use crate::data::gen_matrix;
 
@@ -50,8 +52,10 @@ pub fn program(n: usize) -> Program {
         KernelDef::new(
             "syrk",
             vec![
-                ArgSpec::new("a", ArgRole::In),
-                ArgSpec::new("c", ArgRole::InOut),
+                // Each item reads rows i and j of `a`; across a wave that
+                // gathers from arbitrary rows, so declare the whole buffer.
+                ArgSpec::new("a", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("c", ArgRole::InOut).with_access(AccessPattern::Element),
                 ArgSpec::new("alpha", ArgRole::Scalar),
                 ArgSpec::new("beta", ArgRole::Scalar),
                 ArgSpec::new("n", ArgRole::Scalar),

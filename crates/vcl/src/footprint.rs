@@ -1,0 +1,425 @@
+//! Static access-footprint analysis.
+//!
+//! FluidiCL's correctness tooling needs to know *which elements* a
+//! work-group range reads and writes without replaying the kernel body —
+//! the race detector in `fluidicl-check` consults footprints for every
+//! wave, subkernel and merge of a trace, and the kernel-graph scheduler
+//! on the roadmap will consume them as buffer read/write-set DAG edges.
+//! An [`AccessPattern`] declared on an [`ArgSpec`](crate::ArgSpec) maps a
+//! work-item's coordinates to the element ranges it touches; the
+//! footprint of a flattened work-group range is the union of its items'
+//! ranges, computed purely from the launch geometry (the kernel body
+//! never runs). The sanitizer's shadow write-maps
+//! ([`execute_groups_shadowed`](crate::execute_groups_shadowed)) are the
+//! ground truth these declarations are validated against: a declared
+//! footprint must equal — or conservatively contain — the observed one.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::dirty::DirtyRanges;
+use crate::kernel::{ArgRole, KernelDef, Scalars};
+use crate::ndrange::{for_each_item_in_group, NdRange, WorkItem};
+
+/// Per-item range function of a [`AccessPattern::Custom`] declaration:
+/// given one work-item, the launch scalars and the buffer length, the
+/// half-open element ranges the item touches.
+pub type RangeFn = dyn Fn(&WorkItem, &Scalars, usize) -> Vec<(usize, usize)> + Send + Sync;
+
+/// Declared element-access shape of one buffer argument, per work-item.
+///
+/// Patterns describe *writes* for `Out` arguments, *reads* for `In`
+/// arguments and both for `InOut` (each item reads and writes the same
+/// elements). Declarations may be conservative: a superset of the real
+/// footprint is sound (it only widens what the race detector considers
+/// touched), a subset is a bug the footprint validation sweep catches.
+#[derive(Clone)]
+pub enum AccessPattern {
+    /// One element at the work-item's flattened global id
+    /// ([`WorkItem::global_linear`]).
+    Element,
+    /// Row `global[dim]` of a row-major matrix whose row width is scalar
+    /// argument `width_scalar`: elements `[g*w, (g+1)*w)`.
+    Row {
+        /// Global-id dimension selecting the row.
+        dim: usize,
+        /// Scalar-argument index holding the row width.
+        width_scalar: usize,
+    },
+    /// Column `global[dim]` of a row-major matrix whose row width is
+    /// scalar argument `width_scalar`: elements `g + k*w` for every row
+    /// `k` of the buffer.
+    Col {
+        /// Global-id dimension selecting the column.
+        dim: usize,
+        /// Scalar-argument index holding the row width.
+        width_scalar: usize,
+    },
+    /// Every element of the buffer (the conservative catch-all for
+    /// gather-style reads).
+    WholeBuffer,
+    /// Arbitrary per-item ranges for shapes the fixed vocabulary cannot
+    /// express (e.g. CORR's triangular row+column write).
+    Custom(Arc<RangeFn>),
+}
+
+impl AccessPattern {
+    /// Builds a [`AccessPattern::Custom`] from a per-item range closure.
+    pub fn custom(
+        f: impl Fn(&WorkItem, &Scalars, usize) -> Vec<(usize, usize)> + Send + Sync + 'static,
+    ) -> Self {
+        AccessPattern::Custom(Arc::new(f))
+    }
+
+    /// Short stable label for machine-readable kernel summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessPattern::Element => "element",
+            AccessPattern::Row { .. } => "row",
+            AccessPattern::Col { .. } => "col",
+            AccessPattern::WholeBuffer => "whole-buffer",
+            AccessPattern::Custom(_) => "custom",
+        }
+    }
+
+    /// The element footprint of flattened work-groups `[from, to)` of a
+    /// launch with geometry `nd` and scalar arguments `scalars`, for a
+    /// buffer of `buf_len` elements. Ranges are clipped to the buffer.
+    ///
+    /// The computation is symbolic in the sense that the kernel body is
+    /// never executed: only the launch geometry is walked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `[from, to)` exceeds the group count, or if a
+    /// `Row`/`Col` pattern names a scalar index that is absent or not a
+    /// `usize` (the same contract as the kernel body reading it).
+    pub fn footprint(
+        &self,
+        nd: &NdRange,
+        scalars: &Scalars,
+        buf_len: usize,
+        from: u64,
+        to: u64,
+    ) -> DirtyRanges {
+        if from >= to || buf_len == 0 {
+            return DirtyRanges::empty();
+        }
+        if let AccessPattern::WholeBuffer = self {
+            return DirtyRanges::full(buf_len);
+        }
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut push = |s: usize, e: usize| {
+            let e = e.min(buf_len);
+            if s < e {
+                ranges.push((s, e));
+            }
+        };
+        for flat in from..to {
+            let group = nd.unflatten_group(flat);
+            for_each_item_in_group(nd, group, |item| match self {
+                AccessPattern::Element => {
+                    let i = item.global_linear();
+                    push(i, i + 1);
+                }
+                AccessPattern::Row { dim, width_scalar } => {
+                    let w = scalars.usize(*width_scalar);
+                    let r = item.global[*dim];
+                    push(r * w, (r + 1) * w);
+                }
+                AccessPattern::Col { dim, width_scalar } => {
+                    let w = scalars.usize(*width_scalar);
+                    let c = item.global[*dim];
+                    if w > 0 {
+                        for k in 0..buf_len.div_ceil(w) {
+                            push(c + k * w, c + k * w + 1);
+                        }
+                    }
+                }
+                AccessPattern::Custom(f) => {
+                    for (s, e) in f(item, scalars, buf_len) {
+                        push(s, e);
+                    }
+                }
+                AccessPattern::WholeBuffer => unreachable!("handled above"),
+            });
+        }
+        DirtyRanges::from_ranges(ranges)
+    }
+}
+
+impl fmt::Debug for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPattern::Element => write!(f, "Element"),
+            AccessPattern::Row { dim, width_scalar } => f
+                .debug_struct("Row")
+                .field("dim", dim)
+                .field("width_scalar", width_scalar)
+                .finish(),
+            AccessPattern::Col { dim, width_scalar } => f
+                .debug_struct("Col")
+                .field("dim", dim)
+                .field("width_scalar", width_scalar)
+                .finish(),
+            AccessPattern::WholeBuffer => write!(f, "WholeBuffer"),
+            AccessPattern::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl PartialEq for AccessPattern {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AccessPattern::Element, AccessPattern::Element)
+            | (AccessPattern::WholeBuffer, AccessPattern::WholeBuffer) => true,
+            (
+                AccessPattern::Row {
+                    dim: a,
+                    width_scalar: b,
+                },
+                AccessPattern::Row {
+                    dim: c,
+                    width_scalar: d,
+                },
+            )
+            | (
+                AccessPattern::Col {
+                    dim: a,
+                    width_scalar: b,
+                },
+                AccessPattern::Col {
+                    dim: c,
+                    width_scalar: d,
+                },
+            ) => a == c && b == d,
+            // Closures have no structural equality; pointer identity is the
+            // honest approximation (reflexive, symmetric, transitive).
+            (AccessPattern::Custom(a), AccessPattern::Custom(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for AccessPattern {}
+
+impl KernelDef {
+    /// Whether every output (`Out`/`InOut`) argument declares an
+    /// [`AccessPattern`] — the precondition for symbolic write footprints.
+    pub fn has_write_footprints(&self) -> bool {
+        self.args()
+            .iter()
+            .filter(|a| a.role.is_output())
+            .all(|a| a.access.is_some())
+    }
+
+    /// Symbolic *write* footprints of flattened work-groups `[from, to)`:
+    /// one [`DirtyRanges`] per output argument, in signature order among
+    /// `Out`/`InOut` arguments, against buffer lengths `out_lens`.
+    ///
+    /// Returns `None` if any output argument lacks a declaration.
+    pub fn write_footprints(
+        &self,
+        nd: &NdRange,
+        scalars: &Scalars,
+        out_lens: &[usize],
+        from: u64,
+        to: u64,
+    ) -> Option<Vec<DirtyRanges>> {
+        let outs: Vec<&crate::kernel::ArgSpec> =
+            self.args().iter().filter(|a| a.role.is_output()).collect();
+        debug_assert_eq!(outs.len(), out_lens.len(), "one length per output arg");
+        outs.iter()
+            .zip(out_lens)
+            .map(|(a, &len)| {
+                a.access
+                    .as_ref()
+                    .map(|p| p.footprint(nd, scalars, len, from, to))
+            })
+            .collect()
+    }
+
+    /// Symbolic *read* footprints of flattened work-groups `[from, to)`:
+    /// one [`DirtyRanges`] per `In` argument, in signature order, against
+    /// buffer lengths `in_lens`. `InOut` reads are covered by
+    /// [`KernelDef::write_footprints`] (each item reads what it writes).
+    ///
+    /// Returns `None` if any `In` argument lacks a declaration.
+    pub fn read_footprints(
+        &self,
+        nd: &NdRange,
+        scalars: &Scalars,
+        in_lens: &[usize],
+        from: u64,
+        to: u64,
+    ) -> Option<Vec<DirtyRanges>> {
+        let ins: Vec<&crate::kernel::ArgSpec> = self
+            .args()
+            .iter()
+            .filter(|a| a.role == ArgRole::In)
+            .collect();
+        debug_assert_eq!(ins.len(), in_lens.len(), "one length per input arg");
+        ins.iter()
+            .zip(in_lens)
+            .map(|(a, &len)| {
+                a.access
+                    .as_ref()
+                    .map(|p| p.footprint(nd, scalars, len, from, to))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ArgSpec, KernelArg, KernelDef};
+    use fluidicl_hetsim::KernelProfile;
+
+    fn scalars_n(n: usize) -> Scalars {
+        Scalars::from_args(
+            "test",
+            &[KernelArg::Usize(n)],
+            &[ArgSpec::new("n", ArgRole::Scalar)],
+        )
+    }
+
+    #[test]
+    fn element_footprint_is_the_item_range() {
+        let nd = NdRange::d1(16, 4).unwrap();
+        let fp = AccessPattern::Element.footprint(&nd, &Scalars::default(), 16, 1, 3);
+        assert_eq!(fp.as_slice(), &[(4, 12)]);
+        assert!(AccessPattern::Element
+            .footprint(&nd, &Scalars::default(), 16, 2, 2)
+            .is_empty());
+    }
+
+    #[test]
+    fn element_footprint_2d_follows_global_linear() {
+        // 4x4 items in 2x2 groups: group 1 covers globals (2..4, 0..2),
+        // i.e. linear elements {2, 3, 6, 7}.
+        let nd = NdRange::d2(4, 4, 2, 2).unwrap();
+        let fp = AccessPattern::Element.footprint(&nd, &Scalars::default(), 16, 1, 2);
+        assert_eq!(fp.as_slice(), &[(2, 4), (6, 8)]);
+    }
+
+    #[test]
+    fn row_and_col_footprints() {
+        let nd = NdRange::d1(8, 2).unwrap();
+        let s = scalars_n(8);
+        let row = AccessPattern::Row {
+            dim: 0,
+            width_scalar: 0,
+        };
+        // Groups [1, 2): items 2..4 -> rows 2..4 -> elements 16..32.
+        assert_eq!(row.footprint(&nd, &s, 64, 1, 2).as_slice(), &[(16, 32)]);
+        let col = AccessPattern::Col {
+            dim: 0,
+            width_scalar: 0,
+        };
+        // Columns 2 and 3 of an 8x8 matrix: {2,3} + 8k.
+        let fp = col.footprint(&nd, &s, 64, 1, 2);
+        assert_eq!(fp.element_count(), 16);
+        assert!(fp.contains(2) && fp.contains(3) && fp.contains(10));
+        assert!(!fp.contains(4));
+    }
+
+    #[test]
+    fn whole_buffer_and_clipping() {
+        let nd = NdRange::d1(8, 2).unwrap();
+        let s = scalars_n(8);
+        let fp = AccessPattern::WholeBuffer.footprint(&nd, &s, 10, 0, 1);
+        assert!(fp.is_full(10));
+        // A row pattern over a short buffer clips to the buffer.
+        let row = AccessPattern::Row {
+            dim: 0,
+            width_scalar: 0,
+        };
+        assert_eq!(row.footprint(&nd, &s, 20, 1, 2).as_slice(), &[(16, 20)]);
+        assert!(row.footprint(&nd, &s, 0, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn custom_footprint_runs_the_range_fn() {
+        let nd = NdRange::d1(4, 2).unwrap();
+        let p = AccessPattern::custom(|item, _, len| {
+            let i = item.global[0];
+            vec![(i, i + 1), (len - 1 - i, len - i)]
+        });
+        let fp = p.footprint(&nd, &Scalars::default(), 10, 0, 1);
+        assert_eq!(fp.as_slice(), &[(0, 2), (8, 10)]);
+    }
+
+    #[test]
+    fn pattern_equality_and_labels() {
+        assert_eq!(AccessPattern::Element, AccessPattern::Element);
+        assert_ne!(AccessPattern::Element, AccessPattern::WholeBuffer);
+        assert_eq!(
+            AccessPattern::Row {
+                dim: 0,
+                width_scalar: 1
+            },
+            AccessPattern::Row {
+                dim: 0,
+                width_scalar: 1
+            }
+        );
+        assert_ne!(
+            AccessPattern::Row {
+                dim: 0,
+                width_scalar: 1
+            },
+            AccessPattern::Col {
+                dim: 0,
+                width_scalar: 1
+            }
+        );
+        let c = AccessPattern::custom(|_, _, _| vec![]);
+        assert_eq!(c, c.clone(), "custom compares by pointer identity");
+        assert_ne!(c, AccessPattern::custom(|_, _, _| vec![]));
+        assert_eq!(c.label(), "custom");
+        assert_eq!(AccessPattern::WholeBuffer.label(), "whole-buffer");
+    }
+
+    #[test]
+    fn kernel_footprints_by_signature_order() {
+        let k = KernelDef::new(
+            "k",
+            vec![
+                ArgSpec::new("src", ArgRole::In).with_access(AccessPattern::WholeBuffer),
+                ArgSpec::new("dst", ArgRole::Out).with_access(AccessPattern::Element),
+                ArgSpec::new("n", ArgRole::Scalar),
+            ],
+            KernelProfile::new("k"),
+            |_, _, _, _| {},
+        );
+        assert!(k.has_write_footprints());
+        let nd = NdRange::d1(8, 2).unwrap();
+        let s = scalars_n(8);
+        let w = k.write_footprints(&nd, &s, &[8], 0, 2).unwrap();
+        assert_eq!(w[0].as_slice(), &[(0, 4)]);
+        let r = k.read_footprints(&nd, &s, &[8], 0, 4).unwrap();
+        assert!(r[0].is_full(8));
+    }
+
+    #[test]
+    fn missing_declaration_yields_none() {
+        let k = KernelDef::new(
+            "k",
+            vec![
+                ArgSpec::new("src", ArgRole::In),
+                ArgSpec::new("dst", ArgRole::Out),
+            ],
+            KernelProfile::new("k"),
+            |_, _, _, _| {},
+        );
+        assert!(!k.has_write_footprints());
+        let nd = NdRange::d1(8, 2).unwrap();
+        assert!(k
+            .write_footprints(&nd, &Scalars::default(), &[8], 0, 2)
+            .is_none());
+        assert!(k
+            .read_footprints(&nd, &Scalars::default(), &[8], 0, 2)
+            .is_none());
+    }
+}

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use fluidicl_hetsim::KernelProfile;
 
+use crate::footprint::AccessPattern;
 use crate::{BufferId, ClError, ClResult, WorkItem};
 
 /// Role of one kernel argument.
@@ -48,15 +49,29 @@ pub struct ArgSpec {
     pub name: String,
     /// Argument role.
     pub role: ArgRole,
+    /// Declared per-item element-access shape (reads for `In`, writes for
+    /// `Out`, both for `InOut`); `None` means no static footprint is
+    /// available for this argument.
+    pub access: Option<AccessPattern>,
 }
 
 impl ArgSpec {
-    /// Creates a signature entry.
+    /// Creates a signature entry with no access declaration.
     pub fn new(name: impl Into<String>, role: ArgRole) -> Self {
         ArgSpec {
             name: name.into(),
             role,
+            access: None,
         }
+    }
+
+    /// Declares the per-item [`AccessPattern`] of this argument, enabling
+    /// symbolic footprints ([`KernelDef::write_footprints`]) for launches
+    /// of the kernel.
+    #[must_use]
+    pub fn with_access(mut self, pattern: AccessPattern) -> Self {
+        self.access = Some(pattern);
+        self
     }
 }
 
@@ -77,28 +92,61 @@ pub enum KernelArg {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Scalars {
     values: Vec<KernelArg>,
+    /// Kernel name and declared scalar-argument names, carried so a
+    /// mistyped or missing scalar access panics with a message that points
+    /// at the offending kernel rather than a bare index.
+    kernel: String,
+    names: Vec<String>,
 }
 
 impl Scalars {
-    pub(crate) fn from_args(args: &[KernelArg], spec: &[ArgSpec]) -> Self {
-        let values = spec
-            .iter()
-            .zip(args)
-            .filter(|(s, _)| s.role == ArgRole::Scalar)
-            .map(|(_, a)| *a)
-            .collect();
-        Scalars { values }
+    pub(crate) fn from_args(kernel: &str, args: &[KernelArg], spec: &[ArgSpec]) -> Self {
+        let mut values = Vec::new();
+        let mut names = Vec::new();
+        for (s, a) in spec.iter().zip(args) {
+            if s.role == ArgRole::Scalar {
+                values.push(*a);
+                names.push(s.name.clone());
+            }
+        }
+        Scalars {
+            values,
+            kernel: kernel.to_string(),
+            names,
+        }
+    }
+
+    /// The `idx`-th scalar and its declared name.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the kernel and argument context if `idx` is out of
+    /// range.
+    fn get(&self, idx: usize, want: &str) -> (KernelArg, &str) {
+        match self.values.get(idx) {
+            Some(v) => (*v, self.names.get(idx).map_or("?", String::as_str)),
+            None => panic!(
+                "kernel `{}`: scalar index {idx} out of range ({} scalar arg(s) declared), \
+                 wanted {want}",
+                self.kernel,
+                self.values.len()
+            ),
+        }
     }
 
     /// The `idx`-th scalar argument as `i32`.
     ///
     /// # Panics
     ///
-    /// Panics if the argument is absent or not an `I32`.
+    /// Panics — naming the kernel and the declared argument — if the
+    /// argument is absent or not an `I32`.
     pub fn i32(&self, idx: usize) -> i32 {
-        match self.values[idx] {
-            KernelArg::I32(v) => v,
-            other => panic!("scalar {idx} is {other:?}, not i32"),
+        match self.get(idx, "i32") {
+            (KernelArg::I32(v), _) => v,
+            (other, name) => panic!(
+                "kernel `{}`: scalar arg `{name}` (index {idx}) is {other:?}, not i32",
+                self.kernel
+            ),
         }
     }
 
@@ -106,11 +154,15 @@ impl Scalars {
     ///
     /// # Panics
     ///
-    /// Panics if the argument is absent or not an `F32`.
+    /// Panics — naming the kernel and the declared argument — if the
+    /// argument is absent or not an `F32`.
     pub fn f32(&self, idx: usize) -> f32 {
-        match self.values[idx] {
-            KernelArg::F32(v) => v,
-            other => panic!("scalar {idx} is {other:?}, not f32"),
+        match self.get(idx, "f32") {
+            (KernelArg::F32(v), _) => v,
+            (other, name) => panic!(
+                "kernel `{}`: scalar arg `{name}` (index {idx}) is {other:?}, not f32",
+                self.kernel
+            ),
         }
     }
 
@@ -118,11 +170,15 @@ impl Scalars {
     ///
     /// # Panics
     ///
-    /// Panics if the argument is absent or not a `Usize`.
+    /// Panics — naming the kernel and the declared argument — if the
+    /// argument is absent or not a `Usize`.
     pub fn usize(&self, idx: usize) -> usize {
-        match self.values[idx] {
-            KernelArg::Usize(v) => v,
-            other => panic!("scalar {idx} is {other:?}, not usize"),
+        match self.get(idx, "usize") {
+            (KernelArg::Usize(v), _) => v,
+            (other, name) => panic!(
+                "kernel `{}`: scalar arg `{name}` (index {idx}) is {other:?}, not usize",
+                self.kernel
+            ),
         }
     }
 
@@ -397,7 +453,7 @@ impl KernelDef {
                 return Err(ClError::AliasedBuffer(out.0));
             }
         }
-        Ok((ins, outs, Scalars::from_args(args, &self.args)))
+        Ok((ins, outs, Scalars::from_args(&self.name, args, &self.args)))
     }
 }
 
@@ -599,9 +655,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not f32")]
-    fn scalar_type_mismatch_panics() {
-        let s = Scalars::from_args(&[KernelArg::I32(1)], &[ArgSpec::new("x", ArgRole::Scalar)]);
+    #[should_panic(expected = "kernel `copy`: scalar arg `x` (index 0) is I32(1), not f32")]
+    fn scalar_type_mismatch_panics_with_kernel_and_arg_name() {
+        let s = Scalars::from_args(
+            "copy",
+            &[KernelArg::I32(1)],
+            &[ArgSpec::new("x", ArgRole::Scalar)],
+        );
         let _ = s.f32(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel `copy`: scalar index 1 out of range (1 scalar arg(s)")]
+    fn scalar_index_out_of_range_panics_with_kernel_name() {
+        let s = Scalars::from_args(
+            "copy",
+            &[KernelArg::Usize(4)],
+            &[ArgSpec::new("n", ArgRole::Scalar)],
+        );
+        let _ = s.usize(1);
     }
 }

@@ -33,6 +33,7 @@ mod driver;
 mod error;
 pub mod exec;
 pub mod fault;
+pub mod footprint;
 mod kernel;
 mod memory;
 mod ndrange;
@@ -45,6 +46,7 @@ pub use driver::{ClDriver, DeviceKind};
 pub use error::{ClError, ClResult};
 pub use exec::{execute_groups_injected, execute_groups_par, Launch, LaunchPlan};
 pub use fault::{payload_checksum, FaultInjector, FaultKind, FaultPlan, TransferFate};
+pub use footprint::{AccessPattern, RangeFn};
 pub use kernel::{
     ArgRole, ArgSpec, Inputs, KernelArg, KernelBody, KernelDef, KernelVersion, Outputs, Program,
     Scalars,
