@@ -35,12 +35,13 @@ use std::time::Instant;
 
 use fluidicl::{Fluidicl, FluidiclConfig, SnapshotPool};
 use fluidicl_bench::experiments::{experiments, find, Experiment};
+use fluidicl_des::SplitMix64;
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_polybench::data::gen_matrix;
 use fluidicl_polybench::syrk;
 use fluidicl_vcl::{
-    diff_merge, diff_merge_ranged, execute_groups_par, BufferId, DirtyRanges, KernelArg, Launch,
-    Memory, NdRange,
+    diff_merge, diff_merge_ranged, diff_merge_tracked, execute_groups_par, set_simd_enabled,
+    simd_active, BufferId, DirtyRanges, DirtyTracker, KernelArg, Launch, Memory, NdRange,
 };
 
 /// Experiment ids of the `--quick` sweep (mirrors `repro --quick`).
@@ -122,11 +123,13 @@ fn main() {
     let mut sections = Vec::new();
     sections.push(time_sweep(quick));
     sections.extend(micro_hotspots(jobs));
+    let (paged_sections, simd) = paged_merge_sections(quick);
+    sections.extend(paged_sections);
     let (gate_sections, gate_factor) = dirty_gate_sections();
     sections.extend(gate_sections);
     sections.extend(pipeline_sections());
 
-    let json = render_json(&sections, quick, jobs);
+    let json = render_json(&sections, quick, jobs, &simd);
     std::fs::write(&out, &json).expect("write BENCH_repro.json");
     eprintln!("wrote {out}");
     for s in &sections {
@@ -140,6 +143,12 @@ fn main() {
     }
     eprintln!(
         "  dirty-range gate overhead: {gate_factor:.2}x ungated (bound {DIRTY_GATE_FACTOR}x)"
+    );
+    eprintln!(
+        "  simd: compiled={} active={} speedup {:.2}x over portable (10M page-path merge)",
+        simd.compiled,
+        simd.active,
+        simd.speedup()
     );
     if gate_factor > DIRTY_GATE_FACTOR {
         eprintln!(
@@ -366,6 +375,125 @@ fn micro_hotspots(jobs: usize) -> Vec<Section> {
     ]
 }
 
+/// SIMD-on vs SIMD-off medians of the 10M page-path merge, measured in
+/// one process via the runtime toggle. Without the `simd` feature both
+/// runs take the portable path and the speedup reports 1.00x.
+struct SimdStats {
+    compiled: bool,
+    active: bool,
+    on_median_ns: u128,
+    off_median_ns: u128,
+}
+
+impl SimdStats {
+    fn speedup(&self) -> f64 {
+        self.off_median_ns as f64 / self.on_median_ns.max(1) as f64
+    }
+}
+
+/// A pristine buffer and a copy with scattered single-element writes at
+/// ~1/16 density — the huge-buffer regime the paged tracker exists for:
+/// writes land everywhere, so exact range capture fragments into millions
+/// of unit ranges while the page map stays O(pages).
+fn scatter_case(len: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = SplitMix64::new(seed);
+    let original: Vec<f32> = (0..len).map(|i| (i % 1024) as f32).collect();
+    let mut cpu = original.clone();
+    for _ in 0..len / 16 {
+        let at = rng.range_usize(0, len);
+        cpu[at] += 1.5;
+    }
+    (original, cpu)
+}
+
+/// Times the paged dirty pipeline on huge buffers: page-map capture plus
+/// tracked merge at 10M (quick and full) and 100M elements (full only,
+/// against the pre-PR exact-range pipeline on the same data), and the
+/// O(1) page-marking path under 1M scattered marks.
+fn paged_merge_sections(quick: bool) -> (Vec<Section>, SimdStats) {
+    let iters = 10;
+    // 10M elements: capture + merge through the paged path; also the
+    // SIMD-on/SIMD-off comparison workload.
+    let (orig10, cpu10) = scatter_case(10_000_000, 0xF1D1_0001);
+    let mut dst = orig10.clone();
+    let run10 = |dst: &mut Vec<f32>| {
+        dst.copy_from_slice(&orig10);
+        let started = Instant::now();
+        let t = DirtyTracker::from_diff(&cpu10, &orig10);
+        diff_merge_tracked(dst, &cpu10, &orig10, &t).expect("tracked merge");
+        let ns = started.elapsed().as_nanos();
+        assert!(t.is_paged() && !t.is_empty());
+        ns
+    };
+    set_simd_enabled(true);
+    let on = collect(iters, || run10(&mut dst));
+    set_simd_enabled(false);
+    let off = collect(iters, || run10(&mut dst));
+    set_simd_enabled(true);
+    let merge10 = stats("diff_merge_10m", iters, on.clone());
+    let simd = SimdStats {
+        compiled: cfg!(feature = "simd"),
+        active: simd_active(),
+        on_median_ns: stats("simd_on", iters, on).median_ns,
+        off_median_ns: stats("simd_off", iters, off).median_ns,
+    };
+    drop(dst);
+    drop(cpu10);
+    drop(orig10);
+
+    // 1M scattered marks into a 100M-element paged tracker: the O(1)
+    // capture-side cost the page map buys (compare `dirty_coalesce`,
+    // which builds exact ranges from 65536 indices).
+    let mut rng = SplitMix64::new(0xF1D1_0002);
+    const MARK_LEN: usize = 100_000_000;
+    let marks: Vec<usize> = (0..1_000_000)
+        .map(|_| rng.range_usize(0, MARK_LEN))
+        .collect();
+    let mark = collect(iters, || {
+        let started = Instant::now();
+        let mut t = DirtyTracker::new(MARK_LEN);
+        for &i in &marks {
+            t.mark_range(i, i + 1);
+        }
+        let ns = started.elapsed().as_nanos();
+        assert!(t.is_paged() && !t.is_empty());
+        ns
+    });
+    let mut sections = vec![merge10, stats("page_mark_scatter", iters, mark)];
+
+    // 100M elements, full mode only: the paged pipeline vs the pre-PR
+    // exact-range pipeline (DirtyRanges::from_diff + diff_merge_ranged)
+    // on identical data — the EXPERIMENTS.md page-path/range-path table.
+    if !quick {
+        let len = 100_000_000;
+        let (orig, cpu) = scatter_case(len, 0xF1D1_0003);
+        let mut dst = orig.clone();
+        let paged_iters = 5;
+        let paged = collect(paged_iters, || {
+            dst.copy_from_slice(&orig);
+            let started = Instant::now();
+            let t = DirtyTracker::from_diff(&cpu, &orig);
+            diff_merge_tracked(&mut dst, &cpu, &orig, &t).expect("tracked merge");
+            let ns = started.elapsed().as_nanos();
+            assert!(t.is_paged());
+            ns
+        });
+        sections.push(stats("diff_merge_100m_scattered", paged_iters, paged));
+        let range_iters = 3;
+        let ranged = collect(range_iters, || {
+            dst.copy_from_slice(&orig);
+            let started = Instant::now();
+            let r = DirtyRanges::from_diff(&cpu, &orig);
+            diff_merge_ranged(&mut dst, &cpu, &orig, &r).expect("ranged merge");
+            let ns = started.elapsed().as_nanos();
+            assert!(!r.is_empty());
+            ns
+        });
+        sections.push(stats("diff_merge_100m_rangepath", range_iters, ranged));
+    }
+    (sections, simd)
+}
+
 fn collect(iters: usize, mut f: impl FnMut() -> u128) -> Vec<u128> {
     let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
@@ -399,13 +527,24 @@ fn git_rev() -> String {
 
 /// Hand-written JSON: one section object per line, so the file diffs
 /// cleanly and the `--check` parser can stay a line scanner.
-fn render_json(sections: &[Section], quick: bool, jobs: usize) -> String {
+fn render_json(sections: &[Section], quick: bool, jobs: usize, simd: &SimdStats) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"runner\": \"{}\",\n", runner_key()));
+    s.push_str(&format!("  \"simd_compiled\": {},\n", simd.compiled));
+    s.push_str(&format!("  \"simd_active\": {},\n", simd.active));
+    s.push_str(&format!(
+        "  \"simd_on_median_ns\": {},\n",
+        simd.on_median_ns
+    ));
+    s.push_str(&format!(
+        "  \"simd_off_median_ns\": {},\n",
+        simd.off_median_ns
+    ));
+    s.push_str(&format!("  \"simd_speedup\": {:.3},\n", simd.speedup()));
     s.push_str("  \"sections\": [\n");
     for (i, sec) in sections.iter().enumerate() {
         let comma = if i + 1 < sections.len() { "," } else { "" };

@@ -176,32 +176,6 @@ impl HbEvent {
     }
 }
 
-/// `a \ b`: the elements of `a` not in `b`.
-fn subtract(a: &DirtyRanges, b: &DirtyRanges) -> DirtyRanges {
-    let mut out = Vec::new();
-    for &(mut s, e) in a.as_slice() {
-        for &(bs, be) in b.as_slice() {
-            if be <= s {
-                continue;
-            }
-            if bs >= e {
-                break;
-            }
-            if bs > s {
-                out.push((s, bs));
-            }
-            s = s.max(be);
-            if s >= e {
-                break;
-            }
-        }
-        if s < e {
-            out.push((s, e));
-        }
-    }
-    DirtyRanges::from_ranges(out)
-}
-
 fn fmt_ranges(r: &DirtyRanges) -> String {
     let parts: Vec<String> = r
         .as_slice()
@@ -395,7 +369,7 @@ pub fn check_hb(endpoints: usize, buffers: usize, events: &[HbEvent]) -> Vec<Lin
                     for (_, c) in &contribs {
                         covered = covered.union(&c[b]);
                     }
-                    let uncovered = subtract(&ranges[b], &covered);
+                    let uncovered = ranges[b].subtract(&covered);
                     if uncovered.is_empty() {
                         continue;
                     }
@@ -416,7 +390,7 @@ pub fn check_hb(endpoints: usize, buffers: usize, events: &[HbEvent]) -> Vec<Lin
                             ),
                         ));
                     }
-                    let stale = subtract(&uncovered, &pending);
+                    let stale = uncovered.subtract(&pending);
                     if !stale.is_empty() {
                         out.push(LintDiagnostic::error(
                             "race-stale-read",
@@ -435,7 +409,7 @@ pub fn check_hb(endpoints: usize, buffers: usize, events: &[HbEvent]) -> Vec<Lin
             HbOp::Read { ranges } => {
                 for (b, r) in ranges.iter().enumerate() {
                     let valid = local[ep][b].union(&merged[ep][b]);
-                    let stale = subtract(r, &valid);
+                    let stale = r.subtract(&valid);
                     if !stale.is_empty() {
                         out.push(LintDiagnostic::error(
                             "race-stale-read",
@@ -683,9 +657,9 @@ mod tests {
     fn subtract_splits_and_clips() {
         let a = DirtyRanges::from_ranges([(0, 10), (20, 30)]);
         let b = DirtyRanges::from_ranges([(3, 5), (8, 22), (28, 40)]);
-        assert_eq!(subtract(&a, &b).as_slice(), &[(0, 3), (5, 8), (22, 28)]);
-        assert!(subtract(&a, &a).is_empty());
-        assert_eq!(subtract(&a, &DirtyRanges::empty()), a);
+        assert_eq!(a.subtract(&b).as_slice(), &[(0, 3), (5, 8), (22, 28)]);
+        assert!(a.subtract(&a).is_empty());
+        assert_eq!(a.subtract(&DirtyRanges::empty()), a);
     }
 
     #[test]

@@ -34,7 +34,7 @@ use fluidicl_des::{Channel, SimDuration, SimTime, Simulation};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_vcl::exec::{execute_groups_par, Launch};
 use fluidicl_vcl::{
-    diff_merge_ranged, payload_checksum, BufferId, ClError, ClResult, DeviceKind, DirtyRanges,
+    diff_merge_tracked, payload_checksum, BufferId, ClError, ClResult, DeviceKind, DirtyTracker,
     FaultInjector, Memory, TransferFate,
 };
 
@@ -215,9 +215,10 @@ pub(crate) struct Coexec<'a> {
     /// Whether subkernels ship only their dirty ranges (paper §4.2's data
     /// message shrunk to what was actually written).
     dirty_enabled: bool,
-    /// Cumulative dirty ranges of the CPU copy vs the original snapshot,
-    /// one entry per `orig_snapshots` slot; what the ranged merge walks.
-    cum_dirty: Vec<DirtyRanges>,
+    /// Cumulative dirty tracker of the CPU copy vs the original snapshot,
+    /// one entry per `orig_snapshots` slot; what the tracked merge walks.
+    /// Exact ranges on small buffers, a page map on huge ones.
+    cum_dirty: Vec<DirtyTracker>,
     /// Total dirty payload bytes actually shipped through the hd queue —
     /// what the merge kernel is charged for.
     shipped_dirty_bytes: u64,
@@ -318,7 +319,10 @@ impl<'a> Coexec<'a> {
         let (hd_free, dh_free) = (input.hd_free, input.dh_free);
         let cpu_launch = input.launch.clone();
         let dirty_enabled = input.config.dirty_range_transfers;
-        let cum_dirty = vec![DirtyRanges::empty(); orig_snapshots.len()];
+        let cum_dirty = orig_snapshots
+            .iter()
+            .map(|(_, orig)| DirtyTracker::new(orig.len()))
+            .collect();
         Ok(Coexec {
             cpu_launch,
             total,
@@ -672,12 +676,13 @@ impl<'a> Coexec<'a> {
                     ),
                 });
             }
-            // With dirty tracking the merge walks only the ranges the CPU
-            // actually changed; `cum_dirty` is by construction exactly the
-            // set of elements where `cpu` differs from `orig`, so this is
-            // functionally identical to the full-buffer merge.
+            // With dirty tracking the merge walks only what the CPU
+            // actually changed; `cum_dirty` covers every element where
+            // `cpu` differs from `orig` (exactly, or rounded to pages on
+            // huge buffers — the extra elements are bitwise clean), so
+            // this is functionally identical to the full-buffer merge.
             if self.dirty_enabled {
-                diff_merge_ranged(dst, cpu, orig, &self.cum_dirty[j])?;
+                diff_merge_tracked(dst, cpu, orig, &self.cum_dirty[j])?;
             } else {
                 fluidicl_vcl::diff_merge(dst, cpu, orig);
             }
@@ -826,7 +831,7 @@ impl<'a> Coexec<'a> {
         let mut dirty_delta = 0u64;
         if self.dirty_enabled {
             for (j, (id, orig)) in self.orig_snapshots.iter().enumerate() {
-                let cur = DirtyRanges::from_diff(self.input.cpu_mem.get(*id)?, orig);
+                let cur = DirtyTracker::from_diff(self.input.cpu_mem.get(*id)?, orig);
                 let prev = self.cum_dirty[j].element_count();
                 dirty_delta += 4 * cur.element_count().saturating_sub(prev) as u64;
                 self.cum_dirty[j] = cur;
@@ -1287,12 +1292,12 @@ impl<'a> Coexec<'a> {
         // CPU copy — i.e. everything the GPU computed that the host does
         // not already hold. The D2H return and the functional mirror only
         // need these ranges. Empty when the CPU finished the whole range.
-        let stales: Vec<DirtyRanges> = if self.dirty_enabled {
+        let stales: Vec<DirtyTracker> = if self.dirty_enabled {
             let gpu_mem: &Memory = self.input.gpu_mem;
             let cpu_mem: &Memory = self.input.cpu_mem;
             self.out_ids
                 .iter()
-                .map(|id| Ok(DirtyRanges::from_diff(gpu_mem.get(*id)?, cpu_mem.get(*id)?)))
+                .map(|id| DirtyTracker::try_from_diff(gpu_mem.get(*id)?, cpu_mem.get(*id)?))
                 .collect::<ClResult<_>>()?
         } else {
             Vec::new()
@@ -1322,7 +1327,8 @@ impl<'a> Coexec<'a> {
         let orig_copy_bytes = if self.dirty_enabled {
             let mut bytes = 0u64;
             for (id, orig) in &self.orig_snapshots {
-                bytes += DirtyRanges::from_diff(self.input.gpu_mem.get(*id)?, orig).byte_count();
+                bytes +=
+                    DirtyTracker::try_from_diff(self.input.gpu_mem.get(*id)?, orig)?.byte_count();
             }
             bytes
         } else {
@@ -1341,7 +1347,7 @@ impl<'a> Coexec<'a> {
             let cpu_mem: &mut Memory = self.input.cpu_mem;
             for (i, id) in self.out_ids.iter().enumerate() {
                 if self.dirty_enabled {
-                    stales[i].copy_ranges(gpu_mem.get(*id)?, cpu_mem.get_mut(*id)?);
+                    stales[i].copy_ranges(gpu_mem.get(*id)?, cpu_mem.get_mut(*id)?)?;
                 } else {
                     cpu_mem.write(*id, gpu_mem.get(*id)?)?;
                 }

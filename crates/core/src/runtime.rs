@@ -11,7 +11,7 @@ use fluidicl_des::{SimDuration, SimTime};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_vcl::exec::Launch;
 use fluidicl_vcl::{
-    execute_groups_injected, BufferId, ClDriver, ClError, ClResult, DeviceKind, DirtyRanges,
+    execute_groups_injected, BufferId, ClDriver, ClError, ClResult, DeviceKind, DirtyTracker,
     FaultInjector, KernelArg, Memory, NdRange, Program,
 };
 
@@ -578,11 +578,12 @@ impl ClDriver for Fluidicl {
                     // The epilogue just refreshed the snapshot and the
                     // return path (D2H thread or CPU finish, §4.4) brought
                     // the host copy current, so both dirty sets collapse to
-                    // empty.
+                    // empty (tracker representation chosen by buffer size).
+                    let len = self.buffers.state(*id).len;
                     self.buffers.record_kernel_dirty(
                         *id,
-                        DirtyRanges::empty(),
-                        DirtyRanges::empty(),
+                        DirtyTracker::new(len),
+                        DirtyTracker::new(len),
                     );
                 }
             }

@@ -1,0 +1,297 @@
+//! SIMD kernels for the diff-merge hot path.
+//!
+//! The diff-merge and dirty-capture scans compare buffers as `u32` bit
+//! blocks. The portable kernels here process eight lanes per step (the
+//! shape the compiler autovectorizes well everywhere); with the `simd`
+//! cargo feature the same operations run through explicit AVX2
+//! intrinsics at sixteen `u32` lanes per step, selected at runtime via
+//! CPUID so a `simd` build still runs (on the portable path) on machines
+//! without AVX2. Both paths are bit-identical by construction: the AVX2
+//! merge is a pure bitwise blend (`cpu != original ? cpu : dst`), never
+//! an arithmetic operation, so `NaN` payloads and signed zeros survive
+//! exactly as in the portable loop.
+
+/// Whether the explicit AVX2 kernels are compiled in *and* usable on this
+/// machine (CPUID detected, not force-disabled). Always `false` without
+/// the `simd` feature.
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        avx2::active()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Force-disables (or re-enables) the AVX2 kernels at runtime — the
+/// bench/test hook behind the SIMD-on vs SIMD-off comparisons. A no-op
+/// without the `simd` feature; never *enables* SIMD on a machine whose
+/// CPUID does not report AVX2.
+pub fn set_simd_enabled(on: bool) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    avx2::set_enabled(on);
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = on;
+}
+
+/// Blockwise merge over one span: `dst[i] = cpu[i]` wherever `cpu[i]`
+/// differs bitwise from `original[i]`. Callers guarantee equal lengths.
+pub(crate) fn merge_span(dst: &mut [f32], cpu: &[f32], original: &[f32]) {
+    debug_assert!(dst.len() == cpu.len() && cpu.len() == original.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2::active() {
+        avx2::merge_span(dst, cpu, original);
+        return;
+    }
+    merge_span_portable(dst, cpu, original);
+}
+
+/// Whether any element of `a` differs bitwise from `b`, returning at the
+/// first differing block — the clean-page check of the paged capture
+/// path. Callers guarantee equal lengths.
+pub(crate) fn span_differs(a: &[f32], b: &[f32]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2::active() {
+        return avx2::span_differs(a, b);
+    }
+    span_differs_portable(a, b)
+}
+
+/// Portable merge: eight `f32`s at a time as `u32` bit blocks (OR-reduced
+/// XOR), descending to per-element copies only inside blocks that
+/// actually differ, with a scalar tail.
+pub(crate) fn merge_span_portable(dst: &mut [f32], cpu: &[f32], original: &[f32]) {
+    let mut d = dst.chunks_exact_mut(8);
+    let mut c = cpu.chunks_exact(8);
+    let mut o = original.chunks_exact(8);
+    for ((db, cb), ob) in (&mut d).zip(&mut c).zip(&mut o) {
+        let mut diff = 0u32;
+        for (cv, ov) in cb.iter().zip(ob) {
+            diff |= cv.to_bits() ^ ov.to_bits();
+        }
+        if diff != 0 {
+            for ((dv, cv), ov) in db.iter_mut().zip(cb).zip(ob) {
+                if cv.to_bits() != ov.to_bits() {
+                    *dv = *cv;
+                }
+            }
+        }
+    }
+    for ((dv, cv), ov) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(c.remainder())
+        .zip(o.remainder())
+    {
+        if cv.to_bits() != ov.to_bits() {
+            *dv = *cv;
+        }
+    }
+}
+
+/// Portable compare with per-block early exit.
+pub(crate) fn span_differs_portable(a: &[f32], b: &[f32]) -> bool {
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (ab, bb) in (&mut ac).zip(&mut bc) {
+        let mut diff = 0u32;
+        for (x, y) in ab.iter().zip(bb) {
+            diff |= x.to_bits() ^ y.to_bits();
+        }
+        if diff != 0 {
+            return true;
+        }
+    }
+    ac.remainder()
+        .iter()
+        .zip(bc.remainder())
+        .any(|(x, y)| x.to_bits() != y.to_bits())
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    //! Explicit AVX2 kernels: sixteen `u32` lanes (two 256-bit registers)
+    //! per step. The only `unsafe` in the crate lives here, bounded by
+    //! the runtime CPUID check in [`active`].
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::{
+        __m256i, _mm256_blendv_ps, _mm256_castps_si256, _mm256_castsi256_ps, _mm256_cmpeq_epi32,
+        _mm256_loadu_si256, _mm256_or_si256, _mm256_storeu_si256, _mm256_testz_si256,
+        _mm256_xor_si256,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    /// Bench/test override: when `true`, [`active`] reports `false` even
+    /// on AVX2 hardware, forcing the portable path.
+    static FORCE_OFF: AtomicBool = AtomicBool::new(false);
+
+    fn detected() -> bool {
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+
+    pub(super) fn active() -> bool {
+        detected() && !FORCE_OFF.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn set_enabled(on: bool) {
+        FORCE_OFF.store(!on, Ordering::Relaxed);
+    }
+
+    pub(super) fn merge_span(dst: &mut [f32], cpu: &[f32], original: &[f32]) {
+        // SAFETY: `active()` gated this call on a runtime AVX2 CPUID check.
+        unsafe { merge_span_avx2(dst, cpu, original) }
+    }
+
+    pub(super) fn span_differs(a: &[f32], b: &[f32]) -> bool {
+        // SAFETY: `active()` gated this call on a runtime AVX2 CPUID check.
+        unsafe { span_differs_avx2(a, b) }
+    }
+
+    /// Widened merge: per 16-lane step, one OR-reduced XOR decides whether
+    /// the step touches `dst` at all; a differing step blends bitwise
+    /// (`cpu != original ? cpu : dst`) — no arithmetic, so the result is
+    /// bit-identical to the portable loop.
+    #[target_feature(enable = "avx2")]
+    unsafe fn merge_span_avx2(dst: &mut [f32], cpu: &[f32], original: &[f32]) {
+        let n = dst.len();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            // SAFETY: `i + 16 <= n` bounds all unaligned 8-lane loads, and
+            // the caller guarantees the three slices share the length.
+            unsafe {
+                let c0 = _mm256_loadu_si256(cpu.as_ptr().add(i).cast::<__m256i>());
+                let o0 = _mm256_loadu_si256(original.as_ptr().add(i).cast::<__m256i>());
+                let c1 = _mm256_loadu_si256(cpu.as_ptr().add(i + 8).cast::<__m256i>());
+                let o1 = _mm256_loadu_si256(original.as_ptr().add(i + 8).cast::<__m256i>());
+                let x = _mm256_or_si256(_mm256_xor_si256(c0, o0), _mm256_xor_si256(c1, o1));
+                if _mm256_testz_si256(x, x) == 0 {
+                    let d0 = _mm256_loadu_si256(dst.as_ptr().add(i).cast::<__m256i>());
+                    let d1 = _mm256_loadu_si256(dst.as_ptr().add(i + 8).cast::<__m256i>());
+                    // cmpeq yields all-ones lanes where cpu == original;
+                    // blendv picks `dst` there and `cpu` elsewhere.
+                    let e0 = _mm256_castsi256_ps(_mm256_cmpeq_epi32(c0, o0));
+                    let e1 = _mm256_castsi256_ps(_mm256_cmpeq_epi32(c1, o1));
+                    let m0 = _mm256_blendv_ps(_mm256_castsi256_ps(c0), _mm256_castsi256_ps(d0), e0);
+                    let m1 = _mm256_blendv_ps(_mm256_castsi256_ps(c1), _mm256_castsi256_ps(d1), e1);
+                    _mm256_storeu_si256(
+                        dst.as_mut_ptr().add(i).cast::<__m256i>(),
+                        _mm256_castps_si256(m0),
+                    );
+                    _mm256_storeu_si256(
+                        dst.as_mut_ptr().add(i + 8).cast::<__m256i>(),
+                        _mm256_castps_si256(m1),
+                    );
+                }
+            }
+            i += 16;
+        }
+        super::merge_span_portable(&mut dst[i..], &cpu[i..], &original[i..]);
+    }
+
+    /// Widened compare with per-16-lane early exit.
+    #[target_feature(enable = "avx2")]
+    unsafe fn span_differs_avx2(a: &[f32], b: &[f32]) -> bool {
+        let n = a.len();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            // SAFETY: `i + 16 <= n` bounds the unaligned loads; the caller
+            // guarantees equal slice lengths.
+            unsafe {
+                let a0 = _mm256_loadu_si256(a.as_ptr().add(i).cast::<__m256i>());
+                let b0 = _mm256_loadu_si256(b.as_ptr().add(i).cast::<__m256i>());
+                let a1 = _mm256_loadu_si256(a.as_ptr().add(i + 8).cast::<__m256i>());
+                let b1 = _mm256_loadu_si256(b.as_ptr().add(i + 8).cast::<__m256i>());
+                let x = _mm256_or_si256(_mm256_xor_si256(a0, b0), _mm256_xor_si256(a1, b1));
+                if _mm256_testz_si256(x, x) == 0 {
+                    return true;
+                }
+            }
+            i += 16;
+        }
+        super::span_differs_portable(&a[i..], &b[i..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the tests that flip the global SIMD toggle.
+    #[cfg(feature = "simd")]
+    static TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn portable_compare_and_merge_agree() {
+        let len = 67; // blocks plus a scalar tail
+        let original: Vec<f32> = (0..len).map(|i| i as f32).collect();
+        let mut cpu = original.clone();
+        cpu[0] = f32::NAN;
+        cpu[33] = -0.0;
+        cpu[66] = 9.5;
+        assert!(span_differs_portable(&cpu, &original));
+        assert!(!span_differs_portable(&original, &original));
+        let mut dst = vec![7.0f32; len];
+        merge_span_portable(&mut dst, &cpu, &original);
+        assert!(dst[0].is_nan());
+        assert_eq!(dst[33].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(dst[66], 9.5);
+        assert_eq!(dst[1], 7.0, "clean elements keep the dst value");
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_toggle_is_observable() {
+        let _guard = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // On AVX2 hardware the toggle flips dispatch; elsewhere both
+        // states report inactive. Either way the API holds its contract:
+        // set_simd_enabled(false) always forces the portable path.
+        set_simd_enabled(false);
+        assert!(!simd_active());
+        set_simd_enabled(true);
+        let _ = simd_active(); // true iff the CPU has AVX2
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_and_portable_merges_are_bit_identical() {
+        let _guard = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_simd_enabled(true);
+        if !simd_active() {
+            return; // no AVX2 on this machine: nothing to compare
+        }
+        let len = 4096 + 13;
+        let mut rng = 0x5EEDu64;
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            f32::from_bits((rng >> 32) as u32)
+        };
+        let original: Vec<f32> = (0..len).map(|_| next()).collect();
+        let mut cpu = original.clone();
+        for i in (0..len).step_by(7) {
+            cpu[i] = next(); // arbitrary bit patterns incl. NaNs/infinities
+        }
+        let dst0: Vec<f32> = (0..len).map(|_| next()).collect();
+
+        let mut simd_dst = dst0.clone();
+        merge_span(&mut simd_dst, &cpu, &original);
+        assert!(span_differs(&cpu, &original));
+
+        set_simd_enabled(false);
+        let mut portable_dst = dst0.clone();
+        merge_span(&mut portable_dst, &cpu, &original);
+        assert!(span_differs(&cpu, &original));
+        set_simd_enabled(true);
+
+        let a: Vec<u32> = simd_dst.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = portable_dst.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "AVX2 and portable merges must agree bit-for-bit");
+    }
+}

@@ -1,0 +1,177 @@
+//! Randomized property tests of the paged dirty tracker: under seeded
+//! random write patterns (arbitrary bit patterns, including NaN payloads
+//! and signed zeros) the page map must never miss a write the exact
+//! ranges see, and every merge path — full, exact-ranged, page-walked,
+//! tracker-dispatched — must produce bit-identical results. Cases come
+//! from the in-tree deterministic generator so failures replay
+//! bit-for-bit.
+
+use std::time::Instant;
+
+use fluidicl_des::SplitMix64;
+use fluidicl_vcl::{
+    diff_merge, diff_merge_paged, diff_merge_ranged, diff_merge_tracked, DirtyRanges, DirtyTracker,
+    PageMap, PAGE_ELEMS,
+};
+
+const CASES: u64 = 64;
+
+/// Arbitrary `f32` bit patterns: NaNs with random payloads, infinities,
+/// denormals and signed zeros all occur.
+fn arb_bits(rng: &mut SplitMix64) -> f32 {
+    f32::from_bits((rng.next_u64() >> 32) as u32)
+}
+
+/// A buffer and a randomly written copy of it, sized to span several
+/// pages (with a partial final page most of the time).
+fn arb_write_case(rng: &mut SplitMix64) -> (Vec<f32>, Vec<f32>) {
+    let len = rng.range_usize(1, 4 * PAGE_ELEMS + 37);
+    let original: Vec<f32> = (0..len).map(|_| arb_bits(rng)).collect();
+    let mut written = original.clone();
+    // A mix of scattered single writes and short runs.
+    let writes = rng.range_usize(0, 65);
+    for _ in 0..writes {
+        let at = rng.range_usize(0, len);
+        let run = rng.range_usize(1, 9).min(len - at);
+        for v in &mut written[at..at + run] {
+            *v = arb_bits(rng);
+        }
+    }
+    (original, written)
+}
+
+/// The page map is a superset of the exact write set: it covers every
+/// written element, and its synthesized ranges contain the exact ranges.
+#[test]
+fn page_map_never_misses_a_write() {
+    let mut rng = SplitMix64::new(0xD1E7_0001);
+    for case in 0..CASES {
+        let (original, written) = arb_write_case(&mut rng);
+        let exact = DirtyRanges::from_diff(&written, &original);
+        let pm = PageMap::from_diff(&written, &original);
+        assert!(
+            pm.covers(&exact),
+            "case {case}: page map missed a write; exact {:?}",
+            exact.as_slice()
+        );
+        let synth = pm.synthesize();
+        assert_eq!(
+            synth.union(&exact),
+            synth,
+            "case {case}: synthesized ranges must contain the exact ranges"
+        );
+        assert_eq!(
+            synth.intersect(&exact),
+            exact,
+            "case {case}: intersection with the superset is the exact set"
+        );
+        // Byte accounting is an over-approximation, never an undercount.
+        assert!(pm.byte_count() >= exact.byte_count());
+        // The tracker's capture agrees with whichever representation it
+        // picked (these lens stay exact — PAGED_MIN_LEN is far larger).
+        let t = DirtyTracker::from_diff(&written, &original);
+        assert_eq!(t.synthesize(), exact, "case {case}");
+    }
+}
+
+/// Every merge path produces bit-identical output: full diff-merge,
+/// exact-ranged, page-walked and tracker-dispatched.
+#[test]
+fn all_merge_paths_agree_bit_exactly() {
+    let mut rng = SplitMix64::new(0xD1E7_0002);
+    for case in 0..CASES {
+        let (original, cpu) = arb_write_case(&mut rng);
+        let len = original.len();
+        let dst0: Vec<f32> = (0..len).map(|_| arb_bits(&mut rng)).collect();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+
+        let mut full = dst0.clone();
+        diff_merge(&mut full, &cpu, &original);
+        let expect = bits(&full);
+
+        let exact = DirtyRanges::from_diff(&cpu, &original);
+        let mut ranged = dst0.clone();
+        diff_merge_ranged(&mut ranged, &cpu, &original, &exact).unwrap();
+        assert_eq!(bits(&ranged), expect, "case {case}: ranged path diverged");
+
+        let pm = PageMap::from_diff(&cpu, &original);
+        let mut paged = dst0.clone();
+        diff_merge_paged(&mut paged, &cpu, &original, &pm).unwrap();
+        assert_eq!(bits(&paged), expect, "case {case}: paged path diverged");
+
+        let t = DirtyTracker::from_diff(&cpu, &original);
+        let mut tracked = dst0.clone();
+        diff_merge_tracked(&mut tracked, &cpu, &original, &t).unwrap();
+        assert_eq!(bits(&tracked), expect, "case {case}: tracked path diverged");
+    }
+}
+
+/// Marking through a paged tracker covers exactly what ranged marking
+/// covers, page-rounded: a `mark_range` stream replayed into both
+/// representations yields a paged superset of the exact set.
+#[test]
+fn tracker_marking_is_a_page_rounded_superset() {
+    let mut rng = SplitMix64::new(0xD1E7_0003);
+    for case in 0..CASES {
+        let len = rng.range_usize(1, 6 * PAGE_ELEMS);
+        let mut exact = DirtyRanges::empty();
+        let mut pm = PageMap::new(len);
+        for _ in 0..rng.range_usize(0, 50) {
+            let s = rng.range_usize(0, len);
+            let e = (s + rng.range_usize(1, 2 * PAGE_ELEMS)).min(len);
+            exact.insert(s, e);
+            pm.mark_range(s, e);
+        }
+        assert!(pm.covers(&exact), "case {case}");
+        assert_eq!(pm.synthesize().intersect(&exact), exact, "case {case}");
+    }
+}
+
+/// Bulk construction from 1M scattered indices stays linearithmic: the
+/// sort-then-coalesce path finishes in interactive time where repeated
+/// range-list splicing would degrade quadratically (minutes). The bound
+/// is deliberately generous — it pins the complexity class, not the
+/// constant factor.
+#[test]
+fn from_indices_handles_1m_scattered_indices() {
+    let mut rng = SplitMix64::new(0xD1E7_0004);
+    const N: usize = 1_000_000;
+    const SPACE: usize = 16 * 1024 * 1024;
+    let indices: Vec<usize> = (0..N).map(|_| rng.range_usize(0, SPACE)).collect();
+    let start = Instant::now();
+    let ranges = DirtyRanges::from_indices(indices.iter().copied());
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "1M scattered indices took {elapsed:?}; the bulk path must be sort-then-coalesce"
+    );
+    // Cross-check against an independent dedup count.
+    let mut sorted = indices;
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(ranges.element_count(), sorted.len());
+    assert!(ranges.contains(sorted[0]));
+    assert!(ranges.contains(*sorted.last().unwrap()));
+}
+
+/// The splice-based `insert` agrees with bulk construction under random
+/// interleavings of overlapping, adjacent and disjoint ranges.
+#[test]
+fn insert_agrees_with_bulk_construction() {
+    let mut rng = SplitMix64::new(0xD1E7_0005);
+    for case in 0..CASES {
+        let mut incremental = DirtyRanges::empty();
+        let mut all: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..rng.range_usize(0, 60) {
+            let s = rng.range_usize(0, 10_000);
+            let e = s + rng.range_usize(1, 300);
+            incremental.insert(s, e);
+            all.push((s, e));
+        }
+        assert_eq!(
+            incremental,
+            DirtyRanges::from_ranges(all.iter().copied()),
+            "case {case}"
+        );
+    }
+}
