@@ -128,6 +128,7 @@ fn main() {
     let (gate_sections, gate_factor) = dirty_gate_sections();
     sections.extend(gate_sections);
     sections.extend(pipeline_sections());
+    sections.extend(ndev_sections());
 
     let json = render_json(&sections, quick, jobs, &simd);
     std::fs::write(&out, &json).expect("write BENCH_repro.json");
@@ -230,6 +231,35 @@ fn pipeline_sections() -> Vec<Section> {
             )
         })
         .collect()
+}
+
+/// Times a full SYRK co-execution on the two-device paper testbed and the
+/// three-device machine: the harness cost of the shared-frontier protocol
+/// with a peer-GPU endpoint (second endpoint loop, per-device staging
+/// channels, coverage bookkeeping and the merge fold) relative to the
+/// watermark-pair baseline.
+fn ndev_sections() -> Vec<Section> {
+    let b = fluidicl_polybench::find("SYRK").expect("SYRK registered");
+    let n = 128;
+    let run_once = |machine: &MachineConfig| {
+        let mut rt = Fluidicl::new(machine.clone(), FluidiclConfig::default(), (b.program)(n));
+        let started = Instant::now();
+        let ok = b
+            .run_and_validate_sized(&mut rt, n, 0xF1D1C1)
+            .expect("SYRK co-execution");
+        let ns = started.elapsed().as_nanos();
+        assert!(ok, "SYRK diverged from reference");
+        ns
+    };
+    let iters = 7;
+    let two = MachineConfig::paper_testbed();
+    let three = MachineConfig::paper_testbed_3dev();
+    let ndev2 = collect(iters, || run_once(&two));
+    let ndev3 = collect(iters, || run_once(&three));
+    vec![
+        stats("coexec_ndev_2", iters, ndev2),
+        stats("coexec_ndev_3", iters, ndev3),
+    ]
 }
 
 /// Resolves `rel` against the repository root (two levels above this

@@ -14,6 +14,7 @@ mod fig17;
 mod fig18;
 mod fig2;
 mod fig3;
+mod ndev;
 mod overall;
 mod portability;
 mod table1;
@@ -143,6 +144,11 @@ pub fn experiments() -> Vec<Experiment> {
             title: "Extension: workloads beyond the paper's suite (MVT, GEMM, 2MM)",
             run: extended::run,
         },
+        Experiment {
+            id: "ndev",
+            title: "Extension: N-device scaling with a mid-range peer GPU",
+            run: ndev::run,
+        },
     ]
 }
 
@@ -158,11 +164,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = experiments();
-        assert_eq!(all.len(), 14);
+        assert_eq!(all.len(), 15);
         let mut ids: Vec<_> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 14, "experiment ids must be unique");
+        assert_eq!(ids.len(), 15, "experiment ids must be unique");
     }
 
     #[test]

@@ -94,11 +94,20 @@ fn plan_seed(bench_idx: u64, kind_idx: u64, seed: u64) -> u64 {
 }
 
 fn run_once(b: &BenchmarkSpec, kind: FaultKind, plan_seed: u64) -> (CellOutcome, bool) {
+    run_once_on(&MachineConfig::paper_testbed(), b, kind, plan_seed)
+}
+
+fn run_once_on(
+    machine: &MachineConfig,
+    b: &BenchmarkSpec,
+    kind: FaultKind,
+    plan_seed: u64,
+) -> (CellOutcome, bool) {
     let n = sweep_size(b.name);
     let config = FluidiclConfig::default()
         .with_validate_protocol(true)
         .with_faults(Some(FaultPlan::new(kind, plan_seed)));
-    let mut rt = Fluidicl::new(MachineConfig::paper_testbed(), config, (b.program)(n));
+    let mut rt = Fluidicl::new(machine.clone(), config, (b.program)(n));
     let defs = (b.program)(n);
     let mut outcome = match b.run_and_validate_sized(&mut rt, n, SWEEP_SEED) {
         Ok(true) => CellOutcome::Recovered,
@@ -158,6 +167,74 @@ pub fn run_fault_sweep(seeds: u64) -> Vec<FaultCell> {
         }
     }
     fluidicl_par::par_map(units, |(b, kind, s, ps)| run_fault_cell(&b, kind, s, ps))
+}
+
+/// One cell of the N=3 non-owner-loss sweep: a three-device machine
+/// (CPU + owner GPU + peer GPU) loses a non-owner endpoint mid-kernel.
+///
+/// The injector's subkernel-kill trigger counts launches across *all*
+/// non-owner endpoints, so across seeds the victim alternates between the
+/// CPU and the peer GPU. The contract is stricter than the two-device
+/// sweep's: the owner survives a non-owner loss by construction, so the
+/// survivors must always finish with output bit-identical to the sequential
+/// reference (and therefore to a fault-free run) — a typed error is a
+/// failure here, not an accepted outcome. Recovered traces are additionally
+/// happens-before checked, and every cell runs twice for determinism.
+#[derive(Clone, Debug)]
+pub struct NdevLossCell {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Sweep seed index (0..seeds).
+    pub seed: u64,
+    /// Derived fault-plan seed the cell ran with.
+    pub plan_seed: u64,
+    /// Outcome of the first execution.
+    pub outcome: CellOutcome,
+    /// Whether the planned loss actually triggered.
+    pub fired: bool,
+    /// Whether the second execution reproduced the first bit-for-bit.
+    pub deterministic: bool,
+}
+
+impl NdevLossCell {
+    /// Whether this cell fails the sweep (anything but a deterministic,
+    /// bit-identical recovery).
+    pub fn is_failure(&self) -> bool {
+        self.outcome != CellOutcome::Recovered || !self.deterministic
+    }
+}
+
+/// Runs the N=3 non-owner-loss sweep: every benchmark × `seeds` seed
+/// indices on [`MachineConfig::paper_testbed_3dev`] under a
+/// [`FaultKind::CpuLost`] plan (the subkernel-kill fault, which on a
+/// three-device machine strikes whichever non-owner launch hits the
+/// trigger).
+pub fn run_ndev_loss_sweep(seeds: u64) -> Vec<NdevLossCell> {
+    let kind_idx = FaultKind::all()
+        .iter()
+        .position(|k| *k == FaultKind::CpuLost)
+        .expect("subkernel-kill kind") as u64;
+    let mut units = Vec::new();
+    for (bi, b) in all_benchmarks().into_iter().enumerate() {
+        for s in 0..seeds {
+            // Offset the kind coordinate so these cells draw plan seeds
+            // disjoint from the two-device sweep's.
+            units.push((b, s, plan_seed(bi as u64, 100 + kind_idx, s)));
+        }
+    }
+    fluidicl_par::par_map(units, |(b, s, ps)| {
+        let machine = MachineConfig::paper_testbed_3dev();
+        let (outcome, fired) = run_once_on(&machine, &b, FaultKind::CpuLost, ps);
+        let (again, fired_again) = run_once_on(&machine, &b, FaultKind::CpuLost, ps);
+        NdevLossCell {
+            bench: b.name,
+            seed: s,
+            plan_seed: ps,
+            deterministic: outcome == again && fired == fired_again,
+            outcome,
+            fired,
+        }
+    })
 }
 
 /// One row of the fault-aware chunk-shrink comparison: the same benchmark
@@ -282,7 +359,12 @@ fn esc(s: &str) -> String {
 /// Renders the sweep as hand-written JSON, one cell per line (the same
 /// diff-friendly style as `BENCH_repro.json`): the CI artifact uploaded
 /// next to the perf numbers.
-pub fn render_faults_json(cells: &[FaultCell], shrink: &[ShrinkCell], seeds: u64) -> String {
+pub fn render_faults_json(
+    cells: &[FaultCell],
+    ndev: &[NdevLossCell],
+    shrink: &[ShrinkCell],
+    seeds: u64,
+) -> String {
     let recovered = cells
         .iter()
         .filter(|c| c.outcome == CellOutcome::Recovered)
@@ -315,6 +397,28 @@ pub fn render_faults_json(cells: &[FaultCell], shrink: &[ShrinkCell], seeds: u64
              \"outcome\": \"{}\", \"fired\": {}, \"deterministic\": {}{detail}}}{comma}\n",
             c.bench,
             c.kind.name(),
+            c.seed,
+            c.plan_seed,
+            c.outcome.label(),
+            c.fired,
+            c.deterministic
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ndev_loss\": [\n");
+    for (i, c) in ndev.iter().enumerate() {
+        let comma = if i + 1 < ndev.len() { "," } else { "" };
+        let detail = match &c.outcome {
+            CellOutcome::TypedError(d) | CellOutcome::UnexpectedError(d) => {
+                format!(", \"detail\": \"{}\"", esc(d))
+            }
+            _ => String::new(),
+        };
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"machine\": \"paper-testbed-3dev\", \"seed\": {}, \
+             \"plan_seed\": {}, \"outcome\": \"{}\", \"fired\": {}, \
+             \"deterministic\": {}{detail}}}{comma}\n",
+            c.bench,
             c.seed,
             c.plan_seed,
             c.outcome.label(),

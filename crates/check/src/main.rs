@@ -379,6 +379,9 @@ fn main() {
     if !quick {
         machines.push(("weak-gpu-laptop", MachineConfig::weak_gpu_laptop()));
         machines.push(("big-gpu-node", MachineConfig::big_gpu_node()));
+        // Three-device machine: exercises the shared-frontier protocol and
+        // the N-endpoint lint/race vocabulary on every config cell.
+        machines.push(("paper-testbed-3dev", MachineConfig::paper_testbed_3dev()));
     }
     let configs = [
         ("default", FluidiclConfig::default()),
@@ -571,6 +574,37 @@ fn run_faults_mode(seeds: u64, out: &str) {
          fired, {failures} failure(s)",
         cells.len()
     );
+    // Three-device non-owner loss: on paper-testbed-3dev the subkernel-kill
+    // fault strikes the CPU or the peer GPU; the survivors must always
+    // finish bit-identically (typed errors are failures here — the owner
+    // survives by construction), with race-clean recovered traces.
+    let ndev = fluidicl_check::run_ndev_loss_sweep(seeds);
+    let mut ndev_failures = 0usize;
+    for c in &ndev {
+        if c.is_failure() {
+            ndev_failures += 1;
+            let what = if c.deterministic {
+                c.outcome.label()
+            } else {
+                "NON-DETERMINISTIC"
+            };
+            let detail = match &c.outcome {
+                CellOutcome::TypedError(d) | CellOutcome::UnexpectedError(d) => d.as_str(),
+                _ => "",
+            };
+            println!(
+                "  {:8} 3dev non-owner-loss seed {}: {what} {detail}",
+                c.bench, c.seed
+            );
+        }
+    }
+    let ndev_fired = ndev.iter().filter(|c| c.fired).count();
+    println!(
+        "  3dev non-owner loss: {} cell(s), {ndev_fired} loss(es) fired, \
+         {ndev_failures} failure(s)",
+        ndev.len()
+    );
+    failures += ndev_failures;
     // Fault-aware chunk shrink: under transient transfer faults, halving
     // the chunk on retry must never launch a *larger* post-fault subkernel
     // (the work a watchdog abandonment would strand un-merged), and must
@@ -598,7 +632,7 @@ fn run_faults_mode(seeds: u64, out: &str) {
         shrink.len()
     );
     failures += shrink_regressions;
-    let json = fluidicl_check::render_faults_json(&cells, &shrink, seeds);
+    let json = fluidicl_check::render_faults_json(&cells, &ndev, &shrink, seeds);
     std::fs::write(out, &json).expect("write FAULTS_summary.json");
     println!("  wrote {out}");
     if failures > 0 {

@@ -32,7 +32,7 @@
 //! writes are the base the merge overlays, and only contributions shipped
 //! by *other* endpoints must be disjoint and ordered.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use fluidicl::{Finisher, KernelReport, LaunchMeta, LintDiagnostic, TraceKind};
 use fluidicl_vcl::{DeviceKind, DirtyRanges, KernelDef};
@@ -453,7 +453,32 @@ pub fn race_check_report(kernel: &KernelDef, report: &KernelReport) -> Vec<LintD
         )];
     }
     let events = lower_trace(kernel, meta, report);
-    check_hb(2, meta.out_lens.len(), &events)
+    // Legacy two-device traces use endpoints {OWNER, CONTRIB}; an N-device
+    // trace adds one engine endpoint per peer GPU (ep `dev` lowers to
+    // engine endpoint `dev + 1`, so ep0 — the CPU — stays CONTRIB).
+    let endpoints = 2 + report
+        .trace
+        .iter()
+        .filter_map(|e| ep_dev(&e.kind))
+        .max()
+        .map_or(0, |d| d as usize);
+    check_hb(endpoints, meta.out_lens.len(), &events)
+}
+
+/// The endpoint index of a multi-device trace event, `None` for the legacy
+/// two-device vocabulary. Any `Some` in a trace marks it as multi-device.
+fn ep_dev(kind: &TraceKind) -> Option<u32> {
+    match *kind {
+        TraceKind::EpSubkernelStart { dev, .. }
+        | TraceKind::EpSubkernelDone { dev, .. }
+        | TraceKind::EpSend { dev, .. }
+        | TraceKind::EpStatus { dev, .. }
+        | TraceKind::EpTransferFault { dev, .. }
+        | TraceKind::EpTransferRejected { dev, .. }
+        | TraceKind::EpTransferTimeout { dev, .. }
+        | TraceKind::NonOwnerLost { dev } => Some(dev),
+        _ => None,
+    }
 }
 
 fn endpoint_of_device(d: DeviceKind) -> usize {
@@ -497,14 +522,27 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
     // `Option` slots so a voided (faulted) send can be removed after the
     // fact: a transfer that never delivered carries no edge.
     let mut events: Vec<Option<HbEvent>> = Vec::new();
-    // Completed-but-unshipped CPU subkernels, oldest first.
-    let mut completed: VecDeque<(u64, u64)> = VecDeque::new();
-    // In-flight sends of the in-order hd queue: (event slot, boundary,
-    // message id). The k-th status acknowledges the k-th un-voided send.
-    let mut fifo: VecDeque<(usize, u64, u64)> = VecDeque::new();
-    // Shipped footprints by boundary, so a faulted transfer's re-send
-    // (same batch, new attempt) reuses the recorded ranges.
-    let mut sent_ranges: HashMap<u64, Vec<DirtyRanges>> = HashMap::new();
+    // Completed-but-unshipped subkernels per non-owner endpoint, oldest
+    // first (legacy CPU events use endpoint 0).
+    let mut completed: HashMap<u32, VecDeque<(u64, u64)>> = HashMap::new();
+    // In-flight sends of each endpoint's in-order upstream queue: (event
+    // slot, boundary, message id, shipped footprints). The k-th status from
+    // an endpoint acknowledges its k-th un-voided send.
+    #[allow(clippy::type_complexity)]
+    let mut fifo: HashMap<u32, VecDeque<(usize, u64, u64, Vec<DirtyRanges>)>> = HashMap::new();
+    // Shipped footprints by (endpoint, boundary), so a faulted transfer's
+    // re-send (same batch, new attempt) reuses the recorded ranges.
+    let mut sent_ranges: HashMap<(u32, u64), Vec<DirtyRanges>> = HashMap::new();
+    // Union of footprints whose status arrived at the owner — what a
+    // multi-device merge covers (claim islands below the watermark merge
+    // too, unlike the legacy suffix-only merge).
+    let mut delivered: Vec<DirtyRanges> = vec![DirtyRanges::empty(); meta.out_lens.len()];
+    // Cumulative writes per peer-GPU endpoint plus the set of lost
+    // endpoints, for the host-side memory fold after an owner-GPU loss
+    // (BTreeMap so the synthesized fold messages are deterministic).
+    let mut peer_written: BTreeMap<u32, Vec<DirtyRanges>> = BTreeMap::new();
+    let mut lost_devs: Vec<u32> = Vec::new();
+    let multi = report.trace.iter().any(|e| ep_dev(&e.kind).is_some());
     let mut next_msg = 0u64;
 
     for ev in &report.trace {
@@ -528,13 +566,14 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
                         ranges: fp(*from, *to),
                     },
                 )));
-                completed.push_back((*from, *to));
+                completed.entry(0).or_default().push_back((*from, *to));
             }
             TraceKind::HdEnqueued { boundary, .. } => {
-                let ranges = if let Some(pos) = completed.iter().position(|(f, _)| f == boundary) {
-                    let (f, t) = completed.remove(pos).expect("position exists");
+                let q = completed.entry(0).or_default();
+                let ranges = if let Some(pos) = q.iter().position(|(f, _)| f == boundary) {
+                    let (f, t) = q.remove(pos).expect("position exists");
                     fp(f, t)
-                } else if let Some(r) = sent_ranges.get(boundary) {
+                } else if let Some(r) = sent_ranges.get(&(0, *boundary)) {
                     // Re-send of a faulted batch: same data, new attempt.
                     r.clone()
                 } else {
@@ -542,17 +581,19 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
                     // nothing so coverage checks surface the damage.
                     vec![DirtyRanges::empty(); meta.out_lens.len()]
                 };
-                sent_ranges.insert(*boundary, ranges.clone());
+                sent_ranges.insert((0, *boundary), ranges.clone());
                 let slot = events.len();
                 events.push(Some(HbEvent::new(
                     CONTRIB,
                     format!("send boundary {boundary}"),
                     HbOp::Send {
                         msg: next_msg,
-                        ranges,
+                        ranges: ranges.clone(),
                     },
                 )));
-                fifo.push_back((slot, *boundary, next_msg));
+                fifo.entry(0)
+                    .or_default()
+                    .push_back((slot, *boundary, next_msg, ranges));
                 next_msg += 1;
             }
             TraceKind::CoalescedSend {
@@ -560,33 +601,31 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
                 subkernels,
                 ..
             } => {
+                let q = completed.entry(0).or_default();
                 let mut ranges = vec![DirtyRanges::empty(); meta.out_lens.len()];
-                if completed.len() >= *subkernels as usize
-                    && completed
-                        .iter()
-                        .take(*subkernels as usize)
-                        .map(|(f, _)| *f)
-                        .min()
-                        == Some(*boundary)
+                if q.len() >= *subkernels as usize
+                    && q.iter().take(*subkernels as usize).map(|(f, _)| *f).min() == Some(*boundary)
                 {
                     for _ in 0..*subkernels {
-                        let (f, t) = completed.pop_front().expect("length checked");
+                        let (f, t) = q.pop_front().expect("length checked");
                         ranges = union_fp(ranges, &fp(f, t));
                     }
-                } else if let Some(r) = sent_ranges.get(boundary) {
+                } else if let Some(r) = sent_ranges.get(&(0, *boundary)) {
                     ranges = r.clone();
                 }
-                sent_ranges.insert(*boundary, ranges.clone());
+                sent_ranges.insert((0, *boundary), ranges.clone());
                 let slot = events.len();
                 events.push(Some(HbEvent::new(
                     CONTRIB,
                     format!("coalesced send boundary {boundary}"),
                     HbOp::Send {
                         msg: next_msg,
-                        ranges,
+                        ranges: ranges.clone(),
                     },
                 )));
-                fifo.push_back((slot, *boundary, next_msg));
+                fifo.entry(0)
+                    .or_default()
+                    .push_back((slot, *boundary, next_msg, ranges));
                 next_msg += 1;
             }
             TraceKind::TransferFault { boundary, .. }
@@ -595,8 +634,9 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
                 // The damaged transfer never delivered: void its send so it
                 // carries no edge (and no longer occupies the ack queue).
                 // Faults excuse exactly their own damage — nothing else.
-                if let Some(pos) = fifo.iter().position(|(_, b, _)| b == boundary) {
-                    let (slot, _, _) = fifo.remove(pos).expect("position exists");
+                let q = fifo.entry(0).or_default();
+                if let Some(pos) = q.iter().position(|(_, b, _, _)| b == boundary) {
+                    let (slot, ..) = q.remove(pos).expect("position exists");
                     events[slot] = None;
                 }
             }
@@ -604,21 +644,113 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
                 // In-order queue: the status acknowledges the oldest
                 // un-acked send, whatever boundary it claims (a forged
                 // boundary shows up as a stale or premature merge).
-                let msg = fifo.pop_front().map(|(_, _, m)| m).unwrap_or_else(|| {
-                    let m = next_msg;
-                    next_msg += 1;
-                    m
-                });
+                let msg = fifo
+                    .entry(0)
+                    .or_default()
+                    .pop_front()
+                    .map(|(_, _, m, _)| m)
+                    .unwrap_or_else(|| {
+                        let m = next_msg;
+                        next_msg += 1;
+                        m
+                    });
                 events.push(Some(HbEvent::new(OWNER, "status ack", HbOp::Recv { msg })));
             }
-            TraceKind::MergeDone => {
+            TraceKind::EpSubkernelDone { dev, from, to } => {
+                let ranges = fp(*from, *to);
+                if *dev > 0 {
+                    let w = peer_written
+                        .entry(*dev)
+                        .or_insert_with(|| vec![DirtyRanges::empty(); meta.out_lens.len()]);
+                    *w = union_fp(w.clone(), &ranges);
+                }
                 events.push(Some(HbEvent::new(
-                    OWNER,
-                    format!("diff-merge {final_wm}..{total}"),
-                    HbOp::Merge {
-                        ranges: fp(final_wm, total),
+                    *dev as usize + 1,
+                    format!("ep{dev} subkernel {from}..{to}"),
+                    HbOp::Write { ranges },
+                )));
+                completed.entry(*dev).or_default().push_back((*from, *to));
+            }
+            TraceKind::EpSend {
+                dev,
+                boundary,
+                subkernels,
+                ..
+            } => {
+                // One endpoint's plain and coalesced sends share a shape:
+                // the batch is that endpoint's oldest `subkernels` completed
+                // ranges, whose minimum `from` must be the boundary.
+                let q = completed.entry(*dev).or_default();
+                let mut ranges = vec![DirtyRanges::empty(); meta.out_lens.len()];
+                if q.len() >= *subkernels as usize
+                    && q.iter().take(*subkernels as usize).map(|(f, _)| *f).min() == Some(*boundary)
+                {
+                    for _ in 0..*subkernels {
+                        let (f, t) = q.pop_front().expect("length checked");
+                        ranges = union_fp(ranges, &fp(f, t));
+                    }
+                } else if let Some(r) = sent_ranges.get(&(*dev, *boundary)) {
+                    ranges = r.clone();
+                }
+                sent_ranges.insert((*dev, *boundary), ranges.clone());
+                let slot = events.len();
+                events.push(Some(HbEvent::new(
+                    *dev as usize + 1,
+                    format!("ep{dev} send boundary {boundary}"),
+                    HbOp::Send {
+                        msg: next_msg,
+                        ranges: ranges.clone(),
                     },
                 )));
+                fifo.entry(*dev)
+                    .or_default()
+                    .push_back((slot, *boundary, next_msg, ranges));
+                next_msg += 1;
+            }
+            TraceKind::EpTransferFault { dev, boundary, .. }
+            | TraceKind::EpTransferRejected { dev, boundary }
+            | TraceKind::EpTransferTimeout { dev, boundary } => {
+                // Per-endpoint queues: a fault voids a send on exactly the
+                // endpoint it damaged.
+                let q = fifo.entry(*dev).or_default();
+                if let Some(pos) = q.iter().position(|(_, b, _, _)| b == boundary) {
+                    let (slot, ..) = q.remove(pos).expect("position exists");
+                    events[slot] = None;
+                }
+            }
+            TraceKind::EpStatus { dev, .. } => {
+                let (msg, ranges) = match fifo.entry(*dev).or_default().pop_front() {
+                    Some((_, _, m, r)) => (m, r),
+                    None => {
+                        let m = next_msg;
+                        next_msg += 1;
+                        (m, vec![DirtyRanges::empty(); meta.out_lens.len()])
+                    }
+                };
+                delivered = union_fp(delivered, &ranges);
+                events.push(Some(HbEvent::new(
+                    OWNER,
+                    format!("ep{dev} status ack"),
+                    HbOp::Recv { msg },
+                )));
+            }
+            TraceKind::NonOwnerLost { dev } => lost_devs.push(*dev),
+            TraceKind::MergeDone => {
+                // Legacy merge covers the contiguous suffix above the final
+                // watermark; a multi-device merge covers exactly what
+                // arrived — islands from a fast peer merge too.
+                let (label, ranges) = if multi {
+                    (
+                        "diff-merge of arrived claims".to_string(),
+                        delivered.clone(),
+                    )
+                } else {
+                    (
+                        format!("diff-merge {final_wm}..{total}"),
+                        fp(final_wm, total),
+                    )
+                };
+                events.push(Some(HbEvent::new(OWNER, label, HbOp::Merge { ranges })));
             }
             TraceKind::DegradedRun { device, from, to } => {
                 events.push(Some(HbEvent::new(
@@ -630,6 +762,40 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
                 )));
             }
             TraceKind::KernelComplete { finisher } => {
+                if multi && *finisher == Finisher::Cpu {
+                    // Owner-GPU loss: the host folds each surviving peer's
+                    // memory into its own copy before the final read. Model
+                    // the fold as one join message per peer carrying its
+                    // cumulative writes, merged at the host endpoint.
+                    let mut folded = vec![DirtyRanges::empty(); meta.out_lens.len()];
+                    for (dev, ranges) in &peer_written {
+                        if lost_devs.contains(dev) {
+                            continue;
+                        }
+                        events.push(Some(HbEvent::new(
+                            *dev as usize + 1,
+                            format!("ep{dev} memory fold"),
+                            HbOp::Send {
+                                msg: next_msg,
+                                ranges: ranges.clone(),
+                            },
+                        )));
+                        events.push(Some(HbEvent::new(
+                            CONTRIB,
+                            format!("ep{dev} fold join"),
+                            HbOp::Recv { msg: next_msg },
+                        )));
+                        folded = union_fp(folded, ranges);
+                        next_msg += 1;
+                    }
+                    if folded.iter().any(|r| !r.is_empty()) {
+                        events.push(Some(HbEvent::new(
+                            CONTRIB,
+                            "host fold of peer results".to_string(),
+                            HbOp::Merge { ranges: folded },
+                        )));
+                    }
+                }
                 events.push(Some(HbEvent::new(
                     endpoint_of_finisher(*finisher),
                     format!("final read 0..{total}"),

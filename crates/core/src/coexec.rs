@@ -1,37 +1,45 @@
-//! The co-execution engine: one kernel, two devices, one virtual timeline.
+//! The co-execution engine: one kernel, N devices, one virtual timeline.
 //!
-//! This module is the paper's Section 4 and 5 made executable. For a single
-//! kernel launch it simulates — and functionally performs — the FluidiCL
+//! This module is the paper's Section 4 and 5 made executable, generalized
+//! from the paper's two-device race to N devices. For a single kernel
+//! launch it simulates — and functionally performs — the FluidiCL
 //! protocol:
 //!
-//! * the **GPU** executes flattened work-groups from 0 upward in waves,
-//!   checking an arrived-status watermark and aborting work already covered
-//!   by the CPU (Figures 6 and 8);
-//! * the **CPU** executes *subkernels* from the top flattened IDs downward
-//!   (Figure 7), each followed by an intermediate host copy, an in-order
-//!   data + status transfer to the GPU, and an adaptive chunk-size update
+//! * the **owner GPU** executes flattened work-groups from 0 upward in
+//!   waves, checking an arrived-status watermark and aborting work already
+//!   covered by the non-owners (Figures 6 and 8);
+//! * every **non-owner endpoint** (the CPU, plus any peer GPUs) claims
+//!   contiguous work-group ranges off the top of a shared [`Frontier`] —
+//!   with one endpoint this is exactly the paper's top-down *subkernel*
+//!   descent (Figure 7) — each claim followed by an intermediate staging
+//!   copy, an in-order data + status transfer to the owner over the
+//!   endpoint's own link, and an adaptive per-endpoint chunk-size update
 //!   (§5.1);
-//! * a work-group only counts as CPU-complete once its *data has arrived at
-//!   the GPU* — the in-order queue makes transfer overhead part of the
-//!   work-distribution decision (§4.2);
-//! * when the GPU reaches the watermark it exits, a **diff-merge** kernel
-//!   folds the CPU results into the GPU buffer (§4.3), and a device-to-host
-//!   thread returns the final data (§4.4, §5.6);
-//! * if the CPU finishes the whole NDRange first, its copy is authoritative
-//!   and no device-to-host transfer is needed (§4.2, §6.2);
-//! * with a pipeline depth ≥ 2 the CPU starts subkernel *k+1* while
-//!   subkernel *k*'s data + status is still being staged and shipped (the
-//!   completed-but-unshipped window is bounded by the depth), and copies
-//!   that complete while the hd link is busy are coalesced into one
+//! * a work-group only counts as complete once its *data has arrived at
+//!   the owner* — arrivals accumulate in a [`Coverage`] set whose
+//!   contiguous top suffix is the watermark (with one endpoint, the
+//!   paper's boundary watermark of §4.2);
+//! * when the owner reaches the watermark it exits and a **diff-merge**
+//!   folds each endpoint's results into the owner's buffers as a merge
+//!   tree (§4.3) — one endpoint makes that the paper's single merge;
+//! * if the non-owners compute the whole NDRange first (two-device mode),
+//!   the CPU copy is authoritative and no device-to-host transfer is
+//!   needed (§4.2, §6.2);
+//! * with a pipeline depth ≥ 2 an endpoint starts subkernel *k+1* while
+//!   subkernel *k*'s data + status is still being staged and shipped, and
+//!   copies that complete while its link is busy are coalesced into one
 //!   data payload + one status message; depth 1 reproduces the serial
-//!   protocol byte-for-byte.
+//!   protocol byte-for-byte;
+//! * recovery is per-endpoint: a lost endpoint's claimed-but-unshipped
+//!   ranges return to the frontier for the survivors, and a dead link
+//!   stops only its own endpoint.
 //!
 //! Work-groups are *really executed* against device memory at the moments
 //! the protocol decides, so a scheduling bug produces wrong numbers, not
 //! just wrong timings.
 
-use fluidicl_des::{Channel, SimDuration, SimTime, Simulation};
-use fluidicl_hetsim::MachineConfig;
+use fluidicl_des::{ChannelBank, SimDuration, SimTime, Simulation};
+use fluidicl_hetsim::{MachineConfig, PeerGpu};
 use fluidicl_vcl::exec::{execute_groups_par, Launch};
 use fluidicl_vcl::{
     diff_merge_tracked, payload_checksum, BufferId, ClError, ClResult, DeviceKind, DirtyTracker,
@@ -41,8 +49,19 @@ use fluidicl_vcl::{
 use crate::buffers::SnapshotPool;
 use crate::chunk::ChunkController;
 use crate::config::FluidiclConfig;
+use crate::endpoint::{CpuEndpoint, NonOwnerEndpoint, PeerGpuEndpoint};
+use crate::frontier::{Coverage, Frontier};
 use crate::stats::{Finisher, KernelReport, LaunchMeta};
 use crate::trace::{TraceEvent, TraceKind, STATUS_MSG_BYTES};
+
+/// One active peer-GPU slot: the machine-config peer plus the stable
+/// endpoint index it traces under (indices survive earlier peers dying in
+/// previous kernels, so a trace's `ep2` always means the same card).
+#[derive(Clone, Debug)]
+pub(crate) struct PeerSlot {
+    pub dev: u32,
+    pub peer: PeerGpu,
+}
 
 /// Inputs to one co-executed kernel launch, carrying the global timeline
 /// state the runtime threads across kernels.
@@ -68,6 +87,9 @@ pub(crate) struct CoexecInput<'a> {
     pub gpu_mem: &'a mut Memory,
     /// Reusable allocations for the per-kernel original snapshots.
     pub snapshots: &'a mut SnapshotPool,
+    /// Peer GPUs participating as additional non-owner endpoints. Empty on
+    /// the paper's two-device protocol.
+    pub peers: Vec<PeerSlot>,
     /// Fault oracle shared across the runtime's kernels. `None` disables
     /// injection *and* every watchdog, keeping the event timeline
     /// byte-identical to the fault-free engine.
@@ -92,8 +114,11 @@ pub(crate) struct CoexecOutcome {
     /// Per-kernel statistics.
     pub report: KernelReport,
     /// Device declared permanently lost during this kernel (the run still
-    /// completed on the survivor).
+    /// completed on the survivors).
     pub lost_device: Option<DeviceKind>,
+    /// Peer endpoints (by stable dev index) declared lost during this
+    /// kernel; the runtime excludes them from later launches.
+    pub lost_peers: Vec<u32>,
 }
 
 #[derive(Debug)]
@@ -106,16 +131,21 @@ enum Ev {
         gen: u32,
     },
     GpuMergeDone,
-    CpuBegin,
-    CpuSubkernelDone {
+    /// A non-owner endpoint's scheduler thread begins (index into `eps`).
+    EpBegin {
+        dev: u32,
+    },
+    SubkernelDone {
         idx: u32,
     },
-    CpuCopyDone {
+    CopyDone {
         idx: u32,
     },
-    /// Flush the pending coalesced batch once the hd link frees up
+    /// Flush an endpoint's pending coalesced batch once its link frees up
     /// (pipeline depth ≥ 2 only; depth 1 ships each subkernel directly).
-    HdFlush,
+    HdFlush {
+        dev: u32,
+    },
     StatusArrived {
         seq: u32,
     },
@@ -125,11 +155,11 @@ enum Ev {
     WaveWatchdog {
         gen: u32,
     },
-    /// Deadline check on a launched CPU subkernel.
+    /// Deadline check on a launched endpoint subkernel.
     SubkernelWatchdog {
         idx: u32,
     },
-    /// Deadline check on an enqueued hd transfer.
+    /// Deadline check on an enqueued transfer.
     TransferWatchdog {
         seq: u32,
     },
@@ -161,6 +191,8 @@ struct Wave {
 }
 
 struct Subkernel {
+    /// Endpoint that claimed and executes this range.
+    dev: u32,
     from: u64,
     to: u64,
     version: usize,
@@ -171,16 +203,20 @@ struct Subkernel {
     dirty_bytes: u64,
     /// Whether the subkernel reported completion (watchdogs check this).
     done: bool,
+    /// Whether this is an online-profiling trial (CPU endpoint only).
+    trial: bool,
     /// Transfer stall exposed before this subkernel launched (the wait
     /// between the previous subkernel finishing and this one starting) —
     /// fed to the chunk controller separately from compute time.
     exposed: SimDuration,
 }
 
-/// One hd-queue send (data + status) and its recovery bookkeeping. A send
+/// One in-order send (data + status) and its recovery bookkeeping. A send
 /// carries one subkernel's results in the serial protocol, or a coalesced
 /// batch of back-to-back completed subkernels under pipelined execution.
 struct SendOp {
+    /// Endpoint whose link carries this send.
+    dev: u32,
     /// Subkernels whose results this send carries, in completion order.
     subs: Vec<u32>,
     /// Completion boundary the status message carries: the lowest `from`
@@ -196,12 +232,72 @@ struct SendOp {
     resolved: bool,
 }
 
+/// Per-endpoint protocol state: the paper's CPU-side loop, one instance
+/// per non-owner device.
+struct EpState {
+    /// Stable endpoint index (0 = CPU, 1.. = peer GPUs).
+    dev: u32,
+    /// Cost model for this endpoint's claim/compute/ship loop.
+    model: Box<dyn NonOwnerEndpoint>,
+    /// This endpoint's adaptive chunk controller (§5.1).
+    chunk: ChunkController,
+    /// Clone of the launch used for this endpoint's subkernels: its
+    /// `version` field is rewritten per subkernel instead of cloning the
+    /// whole launch (the cached argument plan is shared through an `Arc`).
+    launch: Launch,
+    /// The endpoint's address space. `None` for the CPU endpoint, which
+    /// computes directly in the runtime's CPU memory; peers get a fresh
+    /// memory seeded from the (coherent) CPU copy at kernel start.
+    mem: Option<Memory>,
+    /// Cumulative dirty tracker of this endpoint's copy vs the original
+    /// snapshot, one entry per `orig_snapshots` slot; what the merge tree
+    /// walks for this endpoint.
+    cum_dirty: Vec<DirtyTracker>,
+    /// A subkernel is currently computing on this endpoint.
+    busy: bool,
+    /// Completed subkernels whose staging copy has not finished yet.
+    unshipped: u32,
+    /// When the endpoint last went idle; the gap until the next launch is
+    /// the *exposed* transfer stall reported to the chunk controller.
+    free_at: Option<SimTime>,
+    /// This endpoint's upstream link availability. The CPU endpoint's
+    /// clock is the machine's hd queue (threaded across kernels by the
+    /// runtime); peer clocks are kernel-local.
+    hd_free: SimTime,
+    /// Copies that completed while the link was busy, waiting to be
+    /// coalesced into one data+status batch at the next link-free instant.
+    pending_batch: Vec<u32>,
+    /// The endpoint missed a subkernel deadline and is permanently gone.
+    lost: bool,
+    /// A send stalled: this endpoint's in-order queue is blocked until the
+    /// send's watchdog gives up on it.
+    link_wedged: bool,
+    /// The link was abandoned after a stalled send timed out; no further
+    /// sends are attempted and this endpoint stops taking work.
+    link_dead: bool,
+    /// Rejected/failed sends awaiting a successful re-delivery. While a
+    /// hole is open, later statuses from this endpoint are buffered
+    /// instead of applied — coverage must only ever hold in-order-accepted
+    /// data per link (paper §4.2's in-order queue argument, kept sound
+    /// under reordering by recovery).
+    holes: u32,
+    /// Send sequence numbers received while a hole was open, applied once
+    /// the re-delivery closes it.
+    buffered_statuses: Vec<u32>,
+    /// Work-groups this endpoint actually executed.
+    wgs_executed: u64,
+}
+
 pub(crate) struct Coexec<'a> {
     input: CoexecInput<'a>,
-    /// Clone of the launch used for CPU subkernels: its `version` field is
-    /// rewritten per subkernel instead of cloning the whole launch (the
-    /// cached argument plan is shared with the original through an `Arc`).
-    cpu_launch: Launch,
+    /// Non-owner endpoints: `eps[0]` is always the CPU, the rest peers.
+    eps: Vec<EpState>,
+    /// More than one non-owner: dev-tagged trace vocabulary and the
+    /// merge-everything completion rule. With a single endpoint the engine
+    /// degenerates to the paper's two-device protocol, byte-for-byte.
+    multi: bool,
+    /// One staging-copy engine per endpoint, each one copy at a time.
+    staging: ChannelBank,
     // Geometry.
     total: u64,
     items: u64,
@@ -210,54 +306,46 @@ pub(crate) struct Coexec<'a> {
     /// Element length of each output buffer, captured at construction so the
     /// report's [`LaunchMeta`] survives a later GPU loss.
     out_lens: Vec<usize>,
+    /// Total bytes of every launch buffer — what a peer's begin broadcast
+    /// ships.
+    launch_bytes: u64,
     orig_snapshots: Vec<(BufferId, Vec<f32>)>,
     // Dirty-range transfer modelling (config.dirty_range_transfers).
     /// Whether subkernels ship only their dirty ranges (paper §4.2's data
     /// message shrunk to what was actually written).
     dirty_enabled: bool,
-    /// Cumulative dirty tracker of the CPU copy vs the original snapshot,
-    /// one entry per `orig_snapshots` slot; what the tracked merge walks.
-    /// Exact ranges on small buffers, a page map on huge ones.
-    cum_dirty: Vec<DirtyTracker>,
-    /// Total dirty payload bytes actually shipped through the hd queue —
-    /// what the merge kernel is charged for.
+    /// Total dirty payload bytes actually shipped to the owner — what the
+    /// merge kernel is charged for.
     shipped_dirty_bytes: u64,
-    // GPU state.
+    // GPU (owner) state.
     gpu_next: u64,
+    /// Start of the contiguous covered suffix — the owner's wave limit.
     watermark: u64,
+    /// Merged set of ranges whose results have arrived at the owner.
+    coverage: Coverage,
     wave: Option<Wave>,
     wave_gen: u32,
     gpu_exited_at: Option<SimTime>,
     merge_done_at: Option<SimTime>,
     gpu_wgs_executed: u64,
-    // CPU state.
-    cpu_top: u64,
-    chunk: ChunkController,
+    // Shared non-owner state.
+    /// Unclaimed work-group IDs; endpoints claim contiguous ranges off it.
+    frontier: Frontier,
     subkernels: Vec<Subkernel>,
+    /// When the non-owners finished computing the entire NDRange (frontier
+    /// empty and every endpoint idle) — the paper's CPU-finished instant.
     cpu_finished_at: Option<SimTime>,
-    cpu_wgs_executed: u64,
+    /// CPU-endpoint subkernels launched so far (profiling-trial counter).
+    ep0_subkernels: usize,
     // Pipelined execution (config.pipeline_depth).
-    /// Bound on completed-but-unshipped subkernels; 1 is the serial
-    /// protocol (compute waits for the previous staging copy).
+    /// Bound on completed-but-unshipped subkernels per endpoint; 1 is the
+    /// serial protocol (compute waits for the previous staging copy).
     depth: u32,
-    /// A subkernel is currently computing (the CPU core is busy).
-    cpu_busy: bool,
-    /// Completed subkernels whose staging copy has not finished yet.
-    unshipped: u32,
-    /// When the CPU last went idle; the gap until the next launch is the
-    /// *exposed* transfer stall reported to the chunk controller.
-    cpu_free_at: Option<SimTime>,
-    /// The host staging-copy engine: one copy at a time, in order.
-    copy_chan: Channel,
-    /// Copies that completed while the hd link was busy, waiting to be
-    /// coalesced into one data+status batch at the next link-free instant.
-    pending_batch: Vec<u32>,
-    // Online profiling (paper §6.6).
+    // Online profiling (paper §6.6) — CPU endpoint only.
     trial_versions: usize,
     trial_results: Vec<(usize, SimDuration)>,
     selected_version: usize,
     // Channels.
-    hd_free: SimTime,
     dh_free: SimTime,
     hd_bytes: u64,
     dh_bytes: u64,
@@ -265,27 +353,10 @@ pub(crate) struct Coexec<'a> {
     trace: Vec<TraceEvent>,
     // Fault-recovery state. All of it stays at its initial value when no
     // injector is attached, and none of it affects the fault-free timeline.
-    /// Every hd send attempted this kernel, in enqueue order.
+    /// Every send attempted this kernel, in enqueue order.
     sends: Vec<SendOp>,
     /// The GPU missed a wave deadline and is considered permanently gone.
     gpu_lost: bool,
-    /// The CPU missed a subkernel deadline and is considered permanently
-    /// gone.
-    cpu_lost: bool,
-    /// An hd send stalled: the in-order queue is blocked until its watchdog
-    /// gives up on it.
-    link_wedged: bool,
-    /// The hd link was abandoned after a stalled send timed out; no further
-    /// sends are attempted and the CPU scheduler stops taking work.
-    link_dead: bool,
-    /// Rejected/failed sends awaiting a successful re-delivery. While a
-    /// hole is open, later statuses are buffered instead of applied — the
-    /// watermark must only ever cover in-order-accepted data (paper §4.2's
-    /// in-order queue argument, kept sound under reordering by recovery).
-    holes: u32,
-    /// Status boundaries received while a hole was open, applied once the
-    /// re-delivery closes it.
-    buffered_statuses: Vec<u64>,
 }
 
 impl<'a> Coexec<'a> {
@@ -316,46 +387,114 @@ impl<'a> Coexec<'a> {
         } else {
             0
         };
-        let (hd_free, dh_free) = (input.hd_free, input.dh_free);
-        let cpu_launch = input.launch.clone();
         let dirty_enabled = input.config.dirty_range_transfers;
-        let cum_dirty = orig_snapshots
-            .iter()
-            .map(|(_, orig)| DirtyTracker::new(orig.len()))
-            .collect();
+        let fresh_trackers = |snaps: &[(BufferId, Vec<f32>)]| -> Vec<DirtyTracker> {
+            snaps
+                .iter()
+                .map(|(_, orig)| DirtyTracker::new(orig.len()))
+                .collect()
+        };
+        // Every buffer the launch touches, deduplicated: what a peer needs
+        // resident before its first claim, and what its begin broadcast is
+        // charged for.
+        let plan = input.launch.plan()?;
+        let mut all_ids: Vec<BufferId> = plan.ins.iter().chain(plan.outs.iter()).copied().collect();
+        all_ids.sort_unstable_by_key(|id| id.0);
+        all_ids.dedup();
+        let mut launch_bytes = 0u64;
+        for id in &all_ids {
+            launch_bytes += input.cpu_mem.bytes_of(*id)?;
+        }
+        let mut eps = Vec::with_capacity(1 + input.peers.len());
+        eps.push(EpState {
+            dev: 0,
+            model: Box::new(CpuEndpoint::new(input.machine)),
+            chunk,
+            launch: input.launch.clone(),
+            mem: None,
+            cum_dirty: fresh_trackers(&orig_snapshots),
+            busy: false,
+            unshipped: 0,
+            free_at: None,
+            hd_free: input.hd_free,
+            pending_batch: Vec::new(),
+            lost: false,
+            link_wedged: false,
+            link_dead: false,
+            holes: 0,
+            buffered_statuses: Vec::new(),
+            wgs_executed: 0,
+        });
+        for slot in &input.peers {
+            // The peer's address space, seeded from the coherent CPU copy:
+            // only what this launch touches is broadcast and resident.
+            let mut mem = Memory::new();
+            for id in &all_ids {
+                mem.install(*id, input.cpu_mem.get(*id)?.to_vec());
+            }
+            let model = PeerGpuEndpoint::new(&slot.peer);
+            let peer_chunk = ChunkController::new(
+                total,
+                input.config.initial_chunk_pct,
+                input.config.step_pct,
+                model.min_chunk(),
+                input.config.chunk_growth_tolerance,
+            );
+            eps.push(EpState {
+                dev: slot.dev,
+                model: Box::new(model),
+                chunk: peer_chunk,
+                launch: input.launch.clone(),
+                mem: Some(mem),
+                cum_dirty: fresh_trackers(&orig_snapshots),
+                busy: false,
+                unshipped: 0,
+                free_at: None,
+                // Peer link clocks are kernel-local (the link belongs to
+                // this kernel's shipping alone); the CPU's hd clock above
+                // is the one the runtime threads across kernels.
+                hd_free: SimTime::ZERO,
+                pending_batch: Vec::new(),
+                lost: false,
+                link_wedged: false,
+                link_dead: false,
+                holes: 0,
+                buffered_statuses: Vec::new(),
+                wgs_executed: 0,
+            });
+        }
+        let multi = eps.len() > 1;
+        let staging = ChannelBank::new(eps.len(), SimTime::ZERO);
+        let dh_free = input.dh_free;
         Ok(Coexec {
-            cpu_launch,
+            eps,
+            multi,
+            staging,
             total,
             items,
             out_bytes,
             out_ids,
             out_lens,
+            launch_bytes,
             orig_snapshots,
             dirty_enabled,
-            cum_dirty,
             shipped_dirty_bytes: 0,
             gpu_next: 0,
             watermark: total,
+            coverage: Coverage::new(total),
             wave: None,
             wave_gen: 0,
             gpu_exited_at: None,
             merge_done_at: None,
             gpu_wgs_executed: 0,
-            cpu_top: total,
-            chunk,
+            frontier: Frontier::new(total),
             subkernels: Vec::new(),
             cpu_finished_at: None,
-            cpu_wgs_executed: 0,
+            ep0_subkernels: 0,
             depth: input.config.pipeline_depth.max(1),
-            cpu_busy: false,
-            unshipped: 0,
-            cpu_free_at: None,
-            copy_chan: Channel::new(SimTime::ZERO),
-            pending_batch: Vec::new(),
             trial_versions,
             trial_results: Vec::new(),
             selected_version: 0,
-            hd_free,
             dh_free,
             hd_bytes: 0,
             dh_bytes: 0,
@@ -363,11 +502,6 @@ impl<'a> Coexec<'a> {
             trace: Vec::new(),
             sends: Vec::new(),
             gpu_lost: false,
-            cpu_lost: false,
-            link_wedged: false,
-            link_dead: false,
-            holes: 0,
-            buffered_statuses: Vec::new(),
             input,
         })
     }
@@ -390,7 +524,7 @@ impl<'a> Coexec<'a> {
             .is_some_and(FaultInjector::kill_gpu_wave)
     }
 
-    fn kill_cpu_subkernel(&mut self) -> bool {
+    fn kill_subkernel(&mut self) -> bool {
         self.input
             .injector
             .as_deref_mut()
@@ -422,8 +556,15 @@ impl<'a> Coexec<'a> {
             + self.input.scratch_setup
             + self.input.machine.gpu.launch_overhead();
         sim.schedule_at(gpu_begin, Ev::GpuBegin);
-        // CPU: the scheduler thread begins once its input data is current.
-        sim.schedule_at(self.input.cpu_start.max(start), Ev::CpuBegin);
+        // Non-owners: each scheduler thread begins once its data is ready —
+        // the CPU as soon as the host copy is current, peers after their
+        // launch-buffer broadcast and launch overhead.
+        let ep_start = self.input.cpu_start.max(start);
+        sim.schedule_at(ep_start, Ev::EpBegin { dev: 0 });
+        for e in 1..self.eps.len() {
+            let delay = self.eps[e].model.begin_delay(self.launch_bytes);
+            sim.schedule_at(ep_start + delay, Ev::EpBegin { dev: e as u32 });
+        }
 
         let mut exec_err: Option<fluidicl_vcl::ClError> = None;
         while let Some((t, ev)) = sim.pop() {
@@ -458,13 +599,13 @@ impl<'a> Coexec<'a> {
             Ev::GpuWaveDone { gen } => self.on_wave_done(sim, t, gen)?,
             Ev::GpuWaveAbort { gen } => self.on_wave_abort(sim, t, gen)?,
             Ev::GpuMergeDone => self.on_merge_done(t),
-            Ev::CpuBegin => self.maybe_launch_subkernel(sim, t),
-            Ev::CpuSubkernelDone { idx } => self.on_subkernel_done(sim, t, idx)?,
-            Ev::CpuCopyDone { idx } => self.on_copy_done(sim, t, idx),
-            Ev::HdFlush => self.on_hd_flush(sim, t),
+            Ev::EpBegin { dev } => self.maybe_launch_subkernel(sim, t, dev as usize),
+            Ev::SubkernelDone { idx } => self.on_subkernel_done(sim, t, idx)?,
+            Ev::CopyDone { idx } => self.on_copy_done(sim, t, idx),
+            Ev::HdFlush { dev } => self.on_hd_flush(sim, t, dev as usize),
             Ev::StatusArrived { seq } => self.on_status_arrived(sim, t, seq)?,
             Ev::WaveWatchdog { gen } => self.on_wave_watchdog(sim, t, gen)?,
-            Ev::SubkernelWatchdog { idx } => self.on_subkernel_watchdog(t, idx)?,
+            Ev::SubkernelWatchdog { idx } => self.on_subkernel_watchdog(sim, t, idx)?,
             Ev::TransferWatchdog { seq } => self.on_transfer_watchdog(t, seq),
             Ev::TransferNack { seq } => self.on_transfer_nack(sim, t, seq)?,
             Ev::TransferRetry { seq, attempt } => {
@@ -483,8 +624,9 @@ impl<'a> Coexec<'a> {
     // ---- GPU side -------------------------------------------------------
 
     fn gpu_profile(&self) -> &fluidicl_hetsim::KernelProfile {
-        // The GPU always runs the default kernel version; alternates are
-        // CPU-oriented (paper §6.6 profiles CPU kernels).
+        // The owner GPU (and any peer GPU) always runs the default kernel
+        // version; alternates are CPU-oriented (paper §6.6 profiles CPU
+        // kernels).
         &self.input.launch.kernel.default_version().profile
     }
 
@@ -540,8 +682,9 @@ impl<'a> Coexec<'a> {
             return Ok(());
         }
         // The wave is still open past its deadline: the GPU is gone. The
-        // CPU scheduler keeps descending (its gpu-exit guard never fires,
-        // since a dead GPU never exits) and the run completes on the CPU.
+        // non-owner schedulers keep claiming (their gpu-exit guard never
+        // fires, since a dead GPU never exits) and the run completes on
+        // the survivors.
         if let Some(token) = wave.token {
             sim.cancel(token);
         }
@@ -552,7 +695,7 @@ impl<'a> Coexec<'a> {
                 device: DeviceKind::Gpu,
             },
         );
-        if self.cpu_lost {
+        if self.eps.iter().all(|e| e.lost) {
             return Err(ClError::DeviceLost {
                 device: DeviceKind::Gpu,
                 detail: "GPU wave missed its watchdog deadline after the CPU was already lost"
@@ -570,9 +713,10 @@ impl<'a> Coexec<'a> {
             self.wave = Some(wave);
             return Ok(());
         }
-        // Work-groups covered by CPU results that arrived *mid-wave* abort
-        // at an in-loop check and never write; the rest complete. Without
-        // in-loop checks everything that started runs to completion.
+        // Work-groups covered by non-owner results that arrived *mid-wave*
+        // abort at an in-loop check and never write; the rest complete.
+        // Without in-loop checks everything that started runs to
+        // completion.
         let exec_end = if self.input.config.abort_mode.allows_early_abort() {
             wave.end.min(self.watermark.max(wave.start))
         } else {
@@ -608,8 +752,9 @@ impl<'a> Coexec<'a> {
             self.wave = Some(wave);
             return Ok(());
         }
-        // The whole wave was covered by the CPU: nothing is written, the
-        // GPU kernel proceeds to its exit check with `gpu_next` unchanged.
+        // The whole wave was covered by the non-owners: nothing is written,
+        // the GPU kernel proceeds to its exit check with `gpu_next`
+        // unchanged.
         debug_assert!(self.watermark <= wave.start);
         self.record(
             t,
@@ -625,9 +770,9 @@ impl<'a> Coexec<'a> {
         self.gpu_exited_at = Some(t);
         self.record(t, TraceKind::GpuExit);
         if self.watermark < self.total {
-            // CPU data arrived: run the diff-merge kernel (paper §4.3).
-            // Under dirty-range transfers the merge only walks the bytes
-            // that were actually shipped, not whole output buffers.
+            // Non-owner data arrived: run the diff-merge kernel (paper
+            // §4.3). Under dirty-range transfers the merge only walks the
+            // bytes that were actually shipped, not whole output buffers.
             let merge_bytes = if self.dirty_enabled {
                 self.shipped_dirty_bytes
             } else {
@@ -650,123 +795,157 @@ impl<'a> Coexec<'a> {
         }
     }
 
-    /// Folds CPU-computed data into the GPU buffers exactly as the merge
-    /// kernel of paper Figure 9 does: element-wise, wherever the CPU copy
-    /// differs from the pristine original.
+    /// Folds every endpoint's computed data into the GPU buffers exactly as
+    /// the merge kernel of paper Figure 9 does — element-wise, wherever an
+    /// endpoint's copy differs from the pristine original. With several
+    /// endpoints this is the merge tree: a sequential fold, CPU first, then
+    /// each peer; claimed ranges are disjoint, so the fold order never
+    /// changes the result.
     fn merge_results(&mut self) -> ClResult<()> {
-        // The CPU and GPU address spaces are separate fields, so the CPU
-        // copy is borrowed in place — no temporary clone per buffer.
-        let cpu_mem: &Memory = self.input.cpu_mem;
-        let gpu_mem: &mut Memory = self.input.gpu_mem;
-        for (j, (id, orig)) in self.orig_snapshots.iter().enumerate() {
-            let cpu = cpu_mem.get(*id)?;
-            let dst = gpu_mem.get_mut(*id)?;
-            if dst.len() != cpu.len() || cpu.len() != orig.len() {
-                // A mis-sized buffer mid-simulation is a protocol breach,
-                // not a programming error in the merge itself: surface it
-                // through the runtime's error path instead of panicking.
-                return Err(ClError::ProtocolViolation {
-                    kernel: self.input.launch.kernel.name().to_string(),
-                    detail: format!(
-                        "diff-merge size mismatch on buffer {}: gpu {} vs cpu {} vs original {} elements",
-                        id.0,
-                        dst.len(),
-                        cpu.len(),
-                        orig.len()
-                    ),
-                });
-            }
-            // With dirty tracking the merge walks only what the CPU
-            // actually changed; `cum_dirty` covers every element where
-            // `cpu` differs from `orig` (exactly, or rounded to pages on
-            // huge buffers — the extra elements are bitwise clean), so
-            // this is functionally identical to the full-buffer merge.
-            if self.dirty_enabled {
-                diff_merge_tracked(dst, cpu, orig, &self.cum_dirty[j])?;
-            } else {
-                fluidicl_vcl::diff_merge(dst, cpu, orig);
+        for e in 0..self.eps.len() {
+            // The endpoint's address space and the GPU's are separate
+            // fields, so the source copy is borrowed in place — no
+            // temporary clone per buffer.
+            let ep = &self.eps[e];
+            let src_mem: &Memory = match ep.mem.as_ref() {
+                Some(m) => m,
+                None => self.input.cpu_mem,
+            };
+            let gpu_mem: &mut Memory = self.input.gpu_mem;
+            for (j, (id, orig)) in self.orig_snapshots.iter().enumerate() {
+                let src = src_mem.get(*id)?;
+                let dst = gpu_mem.get_mut(*id)?;
+                if dst.len() != src.len() || src.len() != orig.len() {
+                    // A mis-sized buffer mid-simulation is a protocol breach,
+                    // not a programming error in the merge itself: surface it
+                    // through the runtime's error path instead of panicking.
+                    return Err(ClError::ProtocolViolation {
+                        kernel: self.input.launch.kernel.name().to_string(),
+                        detail: format!(
+                            "diff-merge size mismatch on buffer {}: gpu {} vs cpu {} vs original {} elements",
+                            id.0,
+                            dst.len(),
+                            src.len(),
+                            orig.len()
+                        ),
+                    });
+                }
+                // With dirty tracking the merge walks only what the
+                // endpoint actually changed; `cum_dirty` covers every
+                // element where its copy differs from `orig` (exactly, or
+                // rounded to pages on huge buffers — the extra elements are
+                // bitwise clean), so this is functionally identical to the
+                // full-buffer merge.
+                if self.dirty_enabled {
+                    diff_merge_tracked(dst, src, orig, &ep.cum_dirty[j])?;
+                } else {
+                    fluidicl_vcl::diff_merge(dst, src, orig);
+                }
             }
         }
         Ok(())
     }
 
-    // ---- CPU side -------------------------------------------------------
-
-    fn version_for(&self, idx: usize) -> usize {
-        if idx < self.trial_versions {
-            idx
-        } else {
-            self.selected_version
-        }
-    }
+    // ---- Non-owner side -------------------------------------------------
 
     fn cpu_profile(&self, version: usize) -> &fluidicl_hetsim::KernelProfile {
         &self.input.launch.kernel.versions()[version].profile
     }
 
-    fn maybe_launch_subkernel(&mut self, sim: &mut Simulation<Ev>, t: SimTime) {
+    fn maybe_launch_subkernel(&mut self, sim: &mut Simulation<Ev>, t: SimTime, d: usize) {
         // The scheduler stops once the GPU kernel has exited (paper §5),
-        // when the CPU has taken the whole NDRange, when the CPU itself was
-        // declared lost, or when the hd link was abandoned (further CPU
-        // results could never reach the GPU, so the GPU covers the rest).
-        if self.gpu_exited_at.is_some()
-            || self.cpu_top == 0
-            || self.cpu_lost
-            || self.link_dead
-            || self.cpu_busy
+        // when the frontier is drained, when this endpoint was declared
+        // lost, or when its link was abandoned (further results could never
+        // reach the GPU, so the GPU covers the rest).
         {
-            return;
+            let ep = &self.eps[d];
+            if self.gpu_exited_at.is_some()
+                || self.frontier.is_empty()
+                || ep.lost
+                || ep.link_dead
+                || ep.busy
+            {
+                return;
+            }
+            // Bounded in-flight window: with `depth` subkernels already
+            // computed but not yet staged, the scheduler waits for a copy
+            // to complete before taking more work. Depth 1 is the serial
+            // protocol — every subkernel waits for the previous one's
+            // staging copy.
+            if ep.unshipped >= self.depth {
+                return;
+            }
         }
-        // Bounded in-flight window: with `depth` subkernels already computed
-        // but not yet staged, the scheduler waits for a copy to complete
-        // before taking more work. Depth 1 is the serial protocol — every
-        // subkernel waits for the previous one's staging copy.
-        if self.unshipped >= self.depth {
-            return;
-        }
-        let exposed = self
-            .cpu_free_at
+        let exposed = self.eps[d]
+            .free_at
             .take()
             .map_or(SimDuration::ZERO, |f| t.saturating_since(f));
         let idx = self.subkernels.len();
-        let version = self.version_for(idx);
-        let min_chunk = u64::from(self.input.machine.cpu.threads());
-        let k = if idx < self.trial_versions {
-            // Profiling trials run a small fixed allocation (paper §6.6).
-            min_chunk.min(self.cpu_top)
+        let trial = d == 0 && self.ep0_subkernels < self.trial_versions;
+        let version = if d == 0 {
+            if trial {
+                self.ep0_subkernels
+            } else {
+                self.selected_version
+            }
         } else {
-            self.chunk.next_chunk(self.cpu_top)
+            0
         };
-        let duration = self.input.machine.cpu.subkernel_time(
-            self.cpu_profile(version),
-            self.items,
-            k,
-            self.input.config.wg_split,
-        );
-        self.record(
-            t,
-            TraceKind::CpuSubkernelStart {
-                from: self.cpu_top - k,
-                to: self.cpu_top,
-                version,
-            },
-        );
+        let want = if trial {
+            // Profiling trials run a small fixed allocation (paper §6.6).
+            self.eps[d].model.min_chunk()
+        } else {
+            let avail = self.frontier.available();
+            self.eps[d].chunk.next_chunk(avail)
+        };
+        let Some((from, to)) = self.frontier.claim(want) else {
+            return;
+        };
+        let wgs = to - from;
+        let duration = {
+            let profile = if d == 0 {
+                self.cpu_profile(version)
+            } else {
+                self.gpu_profile()
+            };
+            self.eps[d]
+                .model
+                .compute_time(profile, self.items, wgs, self.input.config.wg_split)
+        };
+        let dev = self.eps[d].dev;
+        if self.multi {
+            self.record(
+                t,
+                TraceKind::EpSubkernelStart {
+                    dev,
+                    from,
+                    to,
+                    version,
+                },
+            );
+        } else {
+            self.record(t, TraceKind::CpuSubkernelStart { from, to, version });
+        }
         self.subkernels.push(Subkernel {
-            from: self.cpu_top - k,
-            to: self.cpu_top,
+            dev,
+            from,
+            to,
             version,
             duration,
             dirty_bytes: 0,
             done: false,
+            trial,
             exposed,
         });
-        self.cpu_top -= k;
-        self.cpu_busy = true;
+        if d == 0 {
+            self.ep0_subkernels += 1;
+        }
+        self.eps[d].busy = true;
         // A killed subkernel launches but never reports completion (and
         // never executes, so no partial writes are published); only its
         // watchdog notices.
-        if !self.kill_cpu_subkernel() {
-            sim.schedule_at(t + duration, Ev::CpuSubkernelDone { idx: idx as u32 });
+        if !self.kill_subkernel() {
+            sim.schedule_at(t + duration, Ev::SubkernelDone { idx: idx as u32 });
         }
         if self.faulty() {
             sim.schedule_at(
@@ -776,28 +955,88 @@ impl<'a> Coexec<'a> {
         }
     }
 
-    fn on_subkernel_watchdog(&mut self, t: SimTime, idx: u32) -> ClResult<()> {
-        if self.subkernels[idx as usize].done || self.cpu_lost {
+    /// Index into `eps` of the endpoint that owns subkernel `idx`.
+    fn ep_of(&self, idx: u32) -> usize {
+        let dev = self.subkernels[idx as usize].dev;
+        self.eps
+            .iter()
+            .position(|e| e.dev == dev)
+            .expect("subkernel dev indexes a live endpoint")
+    }
+
+    fn on_subkernel_watchdog(
+        &mut self,
+        sim: &mut Simulation<Ev>,
+        t: SimTime,
+        idx: u32,
+    ) -> ClResult<()> {
+        let d = self.ep_of(idx);
+        if self.subkernels[idx as usize].done || self.eps[d].lost {
             return Ok(());
         }
-        // The subkernel is still open past its deadline: the CPU is gone.
-        // Its claimed range was never delivered, so the watermark still
-        // covers it and the GPU executes it as part of [0, watermark).
-        self.cpu_lost = true;
-        self.record(
-            t,
-            TraceKind::DeviceLost {
-                device: DeviceKind::Cpu,
-            },
-        );
-        if self.gpu_lost {
+        // The subkernel is still open past its deadline: the endpoint is
+        // gone. Its claimed-but-unexecuted range (and any completed ranges
+        // that never made it into a send) return to the frontier, where the
+        // surviving endpoints — or the owner's descent of everything below
+        // the watermark — pick them up.
+        self.eps[d].lost = true;
+        let dev = self.eps[d].dev;
+        if self.multi {
+            self.record(t, TraceKind::NonOwnerLost { dev });
+        } else {
+            self.record(
+                t,
+                TraceKind::DeviceLost {
+                    device: DeviceKind::Cpu,
+                },
+            );
+        }
+        self.return_lost_ranges(d);
+        if self.gpu_lost && self.eps.iter().all(|e| e.lost) {
             return Err(ClError::DeviceLost {
                 device: DeviceKind::Cpu,
                 detail: "CPU subkernel missed its watchdog deadline after the GPU was already lost"
                     .into(),
             });
         }
+        // Survivors take over the returned work immediately.
+        for e in 0..self.eps.len() {
+            self.maybe_launch_subkernel(sim, t, e);
+        }
         Ok(())
+    }
+
+    /// Returns a lost endpoint's claimed-but-undelivered ranges to the
+    /// frontier: the killed in-flight subkernel, plus every completed
+    /// subkernel that never entered a send (in-flight sends still deliver
+    /// and count — their data reaches the owner regardless of the device's
+    /// fate, exactly like the paper's in-order queue semantics).
+    fn return_lost_ranges(&mut self, d: usize) {
+        let dev = self.eps[d].dev;
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (i, sk) in self.subkernels.iter().enumerate() {
+            if sk.dev != dev {
+                continue;
+            }
+            if !sk.done {
+                ranges.push((sk.from, sk.to));
+                continue;
+            }
+            let sent = self.sends.iter().any(|s| s.subs.contains(&(i as u32)));
+            if !sent {
+                ranges.push((sk.from, sk.to));
+            }
+        }
+        // In multi-endpoint mode the dead endpoint's unsent results must
+        // never ship (another endpoint re-claims those ranges); the legacy
+        // two-device protocol lets a last in-flight copy ship as usual —
+        // the returned range is unreachable there anyway.
+        if self.multi {
+            self.eps[d].pending_batch.clear();
+        }
+        for (f, t) in ranges {
+            self.frontier.return_range(f, t);
+        }
     }
 
     fn on_subkernel_done(
@@ -806,43 +1045,65 @@ impl<'a> Coexec<'a> {
         t: SimTime,
         idx: u32,
     ) -> ClResult<()> {
-        let (from, to, version, duration, exposed) = {
+        let d = self.ep_of(idx);
+        let (dev, from, to, version, duration, exposed, trial) = {
             let sk = &mut self.subkernels[idx as usize];
             sk.done = true;
-            (sk.from, sk.to, sk.version, sk.duration, sk.exposed)
+            (
+                sk.dev,
+                sk.from,
+                sk.to,
+                sk.version,
+                sk.duration,
+                sk.exposed,
+                sk.trial,
+            )
         };
-        self.cpu_busy = false;
-        self.cpu_free_at = Some(t);
-        // The subkernel really computes its work-groups on the CPU copy,
-        // using the selected kernel version's body.
-        self.cpu_launch.version = version;
-        execute_groups_par(
-            &self.cpu_launch,
-            self.input.cpu_mem,
-            from,
-            to,
-            self.input.config.intra_launch_jobs,
-        )?;
-        // Dirty-range capture: diff the CPU copy against the pristine
-        // original to learn exactly which elements this subkernel wrote
-        // (the same write evidence the shadowed sanitizer run produces,
-        // obtained blockwise). The diff is cumulative across subkernels,
-        // so this subkernel's payload is the newly dirtied delta.
+        let jobs = self.input.config.intra_launch_jobs;
+        {
+            let ep = &mut self.eps[d];
+            ep.busy = false;
+            ep.free_at = Some(t);
+            // The subkernel really computes its work-groups on the
+            // endpoint's copy, using the selected kernel version's body.
+            ep.launch.version = version;
+            let mem: &mut Memory = match ep.mem.as_mut() {
+                Some(m) => m,
+                None => self.input.cpu_mem,
+            };
+            execute_groups_par(&ep.launch, mem, from, to, jobs)?;
+        }
+        // Dirty-range capture: diff the endpoint's copy against the
+        // pristine original to learn exactly which elements this subkernel
+        // wrote (the same write evidence the shadowed sanitizer run
+        // produces, obtained blockwise). The diff is cumulative across the
+        // endpoint's subkernels, so this subkernel's payload is the newly
+        // dirtied delta.
         let mut dirty_delta = 0u64;
         if self.dirty_enabled {
-            for (j, (id, orig)) in self.orig_snapshots.iter().enumerate() {
-                let cur = DirtyTracker::from_diff(self.input.cpu_mem.get(*id)?, orig);
-                let prev = self.cum_dirty[j].element_count();
+            let snaps = &self.orig_snapshots;
+            let ep = &mut self.eps[d];
+            let mem: &Memory = match ep.mem.as_ref() {
+                Some(m) => m,
+                None => self.input.cpu_mem,
+            };
+            for (j, (id, orig)) in snaps.iter().enumerate() {
+                let cur = DirtyTracker::from_diff(mem.get(*id)?, orig);
+                let prev = ep.cum_dirty[j].element_count();
                 dirty_delta += 4 * cur.element_count().saturating_sub(prev) as u64;
-                self.cum_dirty[j] = cur;
+                ep.cum_dirty[j] = cur;
             }
             self.subkernels[idx as usize].dirty_bytes = dirty_delta;
         }
         let wgs = to - from;
-        self.cpu_wgs_executed += wgs;
+        self.eps[d].wgs_executed += wgs;
         self.subkernel_log.push((wgs, duration));
-        self.record(t, TraceKind::CpuSubkernelDone { from, to });
-        if (idx as usize) < self.trial_versions {
+        if self.multi {
+            self.record(t, TraceKind::EpSubkernelDone { dev, from, to });
+        } else {
+            self.record(t, TraceKind::CpuSubkernelDone { from, to });
+        }
+        if trial {
             self.trial_results.push((version, duration.div_count(wgs)));
             if self.trial_results.len() == self.trial_versions {
                 self.selected_version = self
@@ -853,18 +1114,21 @@ impl<'a> Coexec<'a> {
                     .unwrap_or(0);
             }
         } else {
-            self.chunk.observe(wgs, duration, exposed);
+            self.eps[d].chunk.observe(wgs, duration, exposed);
         }
-        if from == 0 {
-            // The CPU computed the entire NDRange: final data lives on the
-            // CPU (paper §4.2); the results of the GPU execution are
-            // ignored.
+        if self.cpu_finished_at.is_none()
+            && self.frontier.is_empty()
+            && self.eps.iter().all(|e| !e.busy || e.lost)
+        {
+            // The non-owners computed the entire NDRange: with a single
+            // endpoint the final data lives on the CPU (paper §4.2) and
+            // the GPU execution's results are ignored.
             self.cpu_finished_at = Some(t);
         }
         if self.gpu_lost {
-            // No GPU to ship to: skip the host copy and the transfer and
-            // keep descending — the CPU is finishing the range alone.
-            self.maybe_launch_subkernel(sim, t);
+            // No owner to ship to: skip the host copy and the transfer and
+            // keep claiming — the survivors are finishing the range alone.
+            self.maybe_launch_subkernel(sim, t, d);
             return Ok(());
         }
         if self.gpu_exited_at.is_some() {
@@ -872,55 +1136,63 @@ impl<'a> Coexec<'a> {
             // without copying or transferring this late result.
             return Ok(());
         }
-        // Intermediate host copy so the next subkernel can proceed while
+        // Intermediate staging copy so the next subkernel can proceed while
         // the data is in flight (paper §5.5); with dirty tracking only the
-        // newly dirtied ranges are staged. The staging engine copies one
-        // subkernel at a time, in completion order.
+        // newly dirtied ranges are staged. Each endpoint's staging engine
+        // copies one subkernel at a time, in completion order.
         let copy_bytes = if self.dirty_enabled {
             dirty_delta
         } else {
             self.out_bytes
         };
-        let copy = self.input.machine.host.copy_time(copy_bytes);
-        self.unshipped += 1;
-        let copy_done = self.copy_chan.enqueue(t, copy);
-        sim.schedule_at(copy_done, Ev::CpuCopyDone { idx });
+        let copy = self.eps[d].model.stage_time(copy_bytes);
+        self.eps[d].unshipped += 1;
+        let copy_done = self.staging.get_mut(d).enqueue(t, copy);
+        sim.schedule_at(copy_done, Ev::CopyDone { idx });
         // Pipelined launch: with depth ≥ 2 the next subkernel starts now,
         // while this one's data+status is still in flight. At depth 1 the
         // window is full (`unshipped == 1`) and this is a no-op — the
         // launch happens at copy completion, exactly the serial protocol.
-        self.maybe_launch_subkernel(sim, t);
+        self.maybe_launch_subkernel(sim, t, d);
         Ok(())
     }
 
     fn on_copy_done(&mut self, sim: &mut Simulation<Ev>, t: SimTime, idx: u32) {
-        self.unshipped = self.unshipped.saturating_sub(1);
+        let d = self.ep_of(idx);
+        self.eps[d].unshipped = self.eps[d].unshipped.saturating_sub(1);
+        if self.multi && self.eps[d].lost {
+            // The endpoint died after this copy was enqueued; its range
+            // already returned to the frontier, so the result must not
+            // ship (a survivor owns the range now).
+            return;
+        }
         if self.depth <= 1 {
             // Serial protocol: each subkernel ships alone, immediately.
             self.send_batch(sim, t, vec![idx], 1);
-        } else if !self.pending_batch.is_empty() {
+        } else if !self.eps[d].pending_batch.is_empty() {
             // A flush is already scheduled for the link-free instant; this
             // subkernel's results join the batch.
-            self.pending_batch.push(idx);
-        } else if self.hd_free <= t {
+            self.eps[d].pending_batch.push(idx);
+        } else if self.eps[d].hd_free <= t {
             // The link is idle: nothing to coalesce with, ship now.
             self.send_batch(sim, t, vec![idx], 1);
         } else {
             // The link is busy: open a batch and flush it the moment the
             // queue frees up, coalescing any copies that complete until
             // then into one data payload + one status message.
-            self.pending_batch.push(idx);
-            sim.schedule_at(self.hd_free, Ev::HdFlush);
+            let flush_at = self.eps[d].hd_free;
+            self.eps[d].pending_batch.push(idx);
+            sim.schedule_at(flush_at, Ev::HdFlush { dev: d as u32 });
         }
-        self.maybe_launch_subkernel(sim, t);
+        self.maybe_launch_subkernel(sim, t, d);
     }
 
-    /// Ships the pending coalesced batch. Scheduled for the instant the hd
-    /// link was expected to free up when the batch was opened; the gates in
-    /// [`Coexec::send_batch`] drop it if the world changed since (GPU
-    /// exited or lost, link wedged or abandoned).
-    fn on_hd_flush(&mut self, sim: &mut Simulation<Ev>, t: SimTime) {
-        let batch = std::mem::take(&mut self.pending_batch);
+    /// Ships an endpoint's pending coalesced batch. Scheduled for the
+    /// instant its link was expected to free up when the batch was opened;
+    /// the gates in [`Coexec::send_batch`] drop it if the world changed
+    /// since (GPU exited or lost, link wedged or abandoned).
+    fn on_hd_flush(&mut self, sim: &mut Simulation<Ev>, t: SimTime, d: usize) {
+        let batch = std::mem::take(&mut self.eps[d].pending_batch);
         if !batch.is_empty() {
             self.send_batch(sim, t, batch, 1);
         }
@@ -951,35 +1223,54 @@ impl<'a> Coexec<'a> {
     }
 
     /// Enqueues a batch of completed subkernels as one data + status send
-    /// on the in-order hd queue (attempt 1), or re-enqueues a batch after
-    /// a transient failure or a checksum rejection (attempt > 1). The
-    /// attached injector decides the send's fate; without one every send
-    /// simply delivers.
+    /// on the owning endpoint's in-order queue (attempt 1), or re-enqueues
+    /// a batch after a transient failure or a checksum rejection
+    /// (attempt > 1). The attached injector decides the send's fate;
+    /// without one every send simply delivers.
     fn send_batch(&mut self, sim: &mut Simulation<Ev>, t: SimTime, subs: Vec<u32>, attempt: u32) {
-        if self.gpu_exited_at.is_some() || self.gpu_lost || self.link_wedged || self.link_dead {
-            // Nobody is listening (or the queue is blocked): the send is
-            // dropped; the GPU covers the range below the watermark itself.
+        let d = self.ep_of(subs[0]);
+        if self.gpu_exited_at.is_some()
+            || self.gpu_lost
+            || self.eps[d].link_wedged
+            || self.eps[d].link_dead
+            || (self.multi && self.eps[d].lost)
+        {
+            // Nobody is listening (or the queue is blocked, or the range
+            // went back to the frontier): the send is dropped; the GPU
+            // covers the range below the watermark itself.
             return;
         }
         // The status message carries the lowest completion boundary in the
-        // batch — the watermark only ever covers data that is on the GPU.
+        // batch — coverage only ever holds data that is on the GPU.
         let boundary = subs
             .iter()
             .map(|&i| self.subkernels[i as usize].from)
             .min()
             .expect("a send carries at least one subkernel");
-        // In-order hd queue: computed data first, then the status message,
-        // so a work-group only counts as complete when its results are
-        // already on the GPU (paper §4.2). With dirty tracking the data
+        // In-order queue per endpoint: computed data first, then the status
+        // message, so a work-group only counts as complete when its results
+        // are already on the GPU (paper §4.2). With dirty tracking the data
         // message carries only the batch's coalesced dirty ranges.
         let payload = self.batch_payload(&subs);
         let dirty_bytes = self.dirty_enabled.then_some(payload);
         let fate = self.transfer_fate(attempt);
-        let data_arrival = self.hd_free.max(t) + self.input.machine.h2d.transfer_time(payload);
-        let status_arrival = data_arrival + self.input.machine.h2d.transfer_time(STATUS_MSG_BYTES);
+        let data_arrival = self.eps[d].hd_free.max(t) + self.eps[d].model.ship_time(payload);
+        let status_arrival = data_arrival + self.eps[d].model.ship_time(STATUS_MSG_BYTES);
         self.hd_bytes += payload + STATUS_MSG_BYTES;
         let bytes = payload + STATUS_MSG_BYTES;
-        if subs.len() == 1 {
+        let dev = self.eps[d].dev;
+        if self.multi {
+            self.record(
+                t,
+                TraceKind::EpSend {
+                    dev,
+                    boundary,
+                    bytes,
+                    dirty_bytes,
+                    subkernels: subs.len() as u32,
+                },
+            );
+        } else if subs.len() == 1 {
             self.record(
                 t,
                 TraceKind::HdEnqueued {
@@ -1001,6 +1292,7 @@ impl<'a> Coexec<'a> {
         }
         let seq = self.sends.len() as u32;
         self.sends.push(SendOp {
+            dev,
             subs,
             boundary,
             payload,
@@ -1009,7 +1301,7 @@ impl<'a> Coexec<'a> {
         });
         match fate {
             TransferFate::Deliver => {
-                self.hd_free = status_arrival;
+                self.eps[d].hd_free = status_arrival;
                 self.note_shipped(seq);
                 sim.schedule_at(status_arrival, Ev::StatusArrived { seq });
                 if self.faulty() {
@@ -1021,29 +1313,38 @@ impl<'a> Coexec<'a> {
                 // The op never completes and the in-order queue is blocked
                 // behind it; only the watchdog gets the link unstuck (by
                 // abandoning it).
-                self.link_wedged = true;
+                self.eps[d].link_wedged = true;
                 let deadline = self.deadline(status_arrival.saturating_since(t));
                 sim.schedule_at(t + deadline, Ev::TransferWatchdog { seq });
             }
             TransferFate::TransientFail => {
                 // The link time is spent, but the payload is lost; the
                 // failure is detected when the completion should have come.
-                self.hd_free = status_arrival;
+                self.eps[d].hd_free = status_arrival;
                 sim.schedule_at(status_arrival, Ev::TransferNack { seq });
             }
             TransferFate::CorruptPayload => {
                 // Delivered on time, but the payload arrives damaged; the
                 // checksum check at data arrival catches it.
-                self.hd_free = status_arrival;
+                self.eps[d].hd_free = status_arrival;
                 sim.schedule_at(data_arrival, Ev::TransferCorrupt { seq });
             }
             TransferFate::CorruptStatus => {
                 // The status word itself is damaged; caught when the status
                 // message arrives.
-                self.hd_free = status_arrival;
+                self.eps[d].hd_free = status_arrival;
                 sim.schedule_at(status_arrival, Ev::TransferCorrupt { seq });
             }
         }
+    }
+
+    /// Index into `eps` of the endpoint that owns send `seq`.
+    fn ep_of_send(&self, seq: u32) -> usize {
+        let dev = self.sends[seq as usize].dev;
+        self.eps
+            .iter()
+            .position(|e| e.dev == dev)
+            .expect("send dev indexes a live endpoint")
     }
 
     fn on_status_arrived(
@@ -1061,39 +1362,55 @@ impl<'a> Coexec<'a> {
     }
 
     /// Receiver-side acceptance of a delivered send. While an earlier send
-    /// awaits re-delivery (an open *hole*), later statuses are buffered:
-    /// applying them early would advance the watermark over data that is
-    /// not on the GPU yet. The successful re-delivery closes the hole and
-    /// applies everything buffered behind it.
+    /// from the same endpoint awaits re-delivery (an open *hole*), later
+    /// statuses from that endpoint are buffered: applying them early would
+    /// cover data that is not on the GPU yet. The successful re-delivery
+    /// closes the hole and applies everything buffered behind it.
     fn accept_status(&mut self, sim: &mut Simulation<Ev>, t: SimTime, seq: u32) -> ClResult<()> {
-        let (boundary, attempt) = {
-            let s = &self.sends[seq as usize];
-            (s.boundary, s.attempt)
-        };
+        let d = self.ep_of_send(seq);
+        let attempt = self.sends[seq as usize].attempt;
         if attempt > 1 {
-            self.holes = self.holes.saturating_sub(1);
+            self.eps[d].holes = self.eps[d].holes.saturating_sub(1);
         }
-        if self.holes > 0 {
-            self.buffered_statuses.push(boundary);
+        if self.eps[d].holes > 0 {
+            self.eps[d].buffered_statuses.push(seq);
             return Ok(());
         }
-        let mut boundaries = vec![boundary];
-        boundaries.append(&mut self.buffered_statuses);
-        for b in boundaries {
-            self.apply_watermark(sim, t, b)?;
+        let mut seqs = vec![seq];
+        seqs.append(&mut self.eps[d].buffered_statuses);
+        for s in seqs {
+            self.apply_arrival(sim, t, s)?;
         }
         Ok(())
     }
 
-    fn apply_watermark(
-        &mut self,
-        sim: &mut Simulation<Ev>,
-        t: SimTime,
-        boundary: u64,
-    ) -> ClResult<()> {
-        self.watermark = self.watermark.min(boundary);
-        self.record(t, TraceKind::StatusArrived { boundary });
-        // A running wave fully covered by the CPU aborts at its next
+    /// Folds an accepted send's ranges into coverage, moves the watermark
+    /// to the new contiguous-suffix start, and aborts a fully covered
+    /// running wave.
+    fn apply_arrival(&mut self, sim: &mut Simulation<Ev>, t: SimTime, seq: u32) -> ClResult<()> {
+        let (dev, boundary) = {
+            let s = &self.sends[seq as usize];
+            (s.dev, s.boundary)
+        };
+        for i in 0..self.sends[seq as usize].subs.len() {
+            let sub = self.sends[seq as usize].subs[i];
+            let sk = &self.subkernels[sub as usize];
+            self.coverage.add(sk.from, sk.to);
+        }
+        self.watermark = self.coverage.suffix_start();
+        if self.multi {
+            self.record(
+                t,
+                TraceKind::EpStatus {
+                    dev,
+                    boundary,
+                    watermark: self.watermark,
+                },
+            );
+        } else {
+            self.record(t, TraceKind::StatusArrived { boundary });
+        }
+        // A running wave fully covered by the non-owners aborts at its next
         // in-loop check (paper §6.4).
         if !self.input.config.abort_mode.allows_early_abort() {
             return Ok(());
@@ -1144,32 +1461,40 @@ impl<'a> Coexec<'a> {
     }
 
     fn on_transfer_watchdog(&mut self, t: SimTime, seq: u32) {
+        let d = self.ep_of_send(seq);
         if self.sends[seq as usize].resolved
             || self.gpu_exited_at.is_some()
             || self.gpu_lost
-            || self.link_dead
+            || self.eps[d].link_dead
         {
             return;
         }
-        // The send never completed: abandon the hd link. The CPU stops
-        // taking work and the GPU executes everything still above the
-        // watermark (the stalled subkernel's range is below it, so nothing
-        // is lost — only re-executed).
-        let boundary = self.sends[seq as usize].boundary;
+        // The send never completed: abandon this endpoint's link. The
+        // endpoint stops taking work and the GPU executes everything still
+        // above the watermark (the stalled subkernel's range is below it,
+        // so nothing is lost — only re-executed).
+        let (dev, boundary) = {
+            let s = &self.sends[seq as usize];
+            (s.dev, s.boundary)
+        };
         self.sends[seq as usize].resolved = true;
-        self.record(t, TraceKind::TransferTimeout { boundary });
-        self.link_wedged = false;
-        self.link_dead = true;
-        self.hd_free = self.hd_free.max(t);
+        if self.multi {
+            self.record(t, TraceKind::EpTransferTimeout { dev, boundary });
+        } else {
+            self.record(t, TraceKind::TransferTimeout { boundary });
+        }
+        self.eps[d].link_wedged = false;
+        self.eps[d].link_dead = true;
+        self.eps[d].hd_free = self.eps[d].hd_free.max(t);
     }
 
     /// Fault-aware chunk shrink: a transfer retry is evidence of a flaky
-    /// link, so the next subkernel is halved — smaller batches produce
-    /// more frequent statuses, keeping more CPU work acknowledged (and
+    /// link, so the endpoint's next subkernel is halved — smaller batches
+    /// produce more frequent statuses, keeping more work acknowledged (and
     /// mergeable) before a watchdog abandons the link.
-    fn shrink_on_retry(&mut self) {
+    fn shrink_on_retry(&mut self, d: usize) {
         if self.input.config.recovery.shrink_chunk_on_retry {
-            self.chunk.on_transfer_retry();
+            self.eps[d].chunk.on_transfer_retry();
         }
     }
 
@@ -1178,11 +1503,23 @@ impl<'a> Coexec<'a> {
         if self.gpu_exited_at.is_some() || self.gpu_lost {
             return Ok(());
         }
-        let (boundary, attempt) = {
+        let d = self.ep_of_send(seq);
+        let (dev, boundary, attempt) = {
             let s = &self.sends[seq as usize];
-            (s.boundary, s.attempt)
+            (s.dev, s.boundary, s.attempt)
         };
-        self.record(t, TraceKind::TransferFault { boundary, attempt });
+        if self.multi {
+            self.record(
+                t,
+                TraceKind::EpTransferFault {
+                    dev,
+                    boundary,
+                    attempt,
+                },
+            );
+        } else {
+            self.record(t, TraceKind::TransferFault { boundary, attempt });
+        }
         if attempt > self.input.config.recovery.max_transfer_retries {
             return Err(ClError::Timeout {
                 op: "h2d transfer".into(),
@@ -1192,9 +1529,9 @@ impl<'a> Coexec<'a> {
             });
         }
         if attempt == 1 {
-            self.holes += 1;
+            self.eps[d].holes += 1;
         }
-        self.shrink_on_retry();
+        self.shrink_on_retry(d);
         let backoff = self.input.config.recovery.backoff(attempt);
         sim.schedule_at(
             t + backoff,
@@ -1216,19 +1553,24 @@ impl<'a> Coexec<'a> {
         if self.gpu_exited_at.is_some() || self.gpu_lost {
             return Ok(());
         }
-        let (boundary, attempt) = {
+        let d = self.ep_of_send(seq);
+        let (dev, boundary, attempt) = {
             let s = &self.sends[seq as usize];
-            (s.boundary, s.attempt)
+            (s.dev, s.boundary, s.attempt)
         };
-        if self.checksum_rejects()? {
+        if self.checksum_rejects(d)? {
             // Reject-and-resend: the damaged delivery is discarded and the
             // batch's results are re-enqueued immediately (the payload is
             // still staged host-side from the intermediate copies).
-            self.record(t, TraceKind::TransferRejected { boundary });
-            if attempt == 1 {
-                self.holes += 1;
+            if self.multi {
+                self.record(t, TraceKind::EpTransferRejected { dev, boundary });
+            } else {
+                self.record(t, TraceKind::TransferRejected { boundary });
             }
-            self.shrink_on_retry();
+            if attempt == 1 {
+                self.eps[d].holes += 1;
+            }
+            self.shrink_on_retry(d);
             let subs = self.sends[seq as usize].subs.clone();
             self.send_batch(sim, t, subs, attempt + 1);
             return Ok(());
@@ -1243,14 +1585,18 @@ impl<'a> Coexec<'a> {
     /// would: computes the checksum of the staged payload, applies the
     /// injector's single-word corruption to a copy, and compares. Returns
     /// whether the delivery must be rejected.
-    fn checksum_rejects(&self) -> ClResult<bool> {
+    fn checksum_rejects(&self, d: usize) -> ClResult<bool> {
         let Some(inj) = self.input.injector.as_deref() else {
             return Ok(false);
         };
         let Some(id) = self.out_ids.first() else {
             return Ok(false);
         };
-        let data = self.input.cpu_mem.get(*id)?;
+        let mem: &Memory = match self.eps[d].mem.as_ref() {
+            Some(m) => m,
+            None => self.input.cpu_mem,
+        };
+        let data = mem.get(*id)?;
         if data.is_empty() {
             return Ok(false);
         }
@@ -1279,19 +1625,24 @@ impl<'a> Coexec<'a> {
             });
         };
         // Merge the functional results now if the timed merge ran (the
-        // no-CPU-data path already merged inside `gpu_exit`).
+        // no-arrivals path already merged inside `gpu_exit`).
         if self.watermark < self.total {
             self.merge_results()?;
         }
         let gpu_results_at = merge_done;
+        // With a single endpoint the paper's shortcut applies: a CPU that
+        // computed the whole NDRange holds the authoritative data and the
+        // host call returns at that instant. With several endpoints the
+        // final data only ever exists assembled on the owner, so the
+        // kernel always completes through the merge.
         let (complete_at, finished_by) = match self.cpu_finished_at {
-            Some(tc) if tc < merge_done => (tc, Finisher::Cpu),
+            Some(tc) if !self.multi && tc < merge_done => (tc, Finisher::Cpu),
             _ => (merge_done, Finisher::Gpu),
         };
         // Host-stale ranges: where the merged GPU content differs from the
-        // CPU copy — i.e. everything the GPU computed that the host does
-        // not already hold. The D2H return and the functional mirror only
-        // need these ranges. Empty when the CPU finished the whole range.
+        // CPU copy — i.e. everything the host does not already hold. The
+        // D2H return and the functional mirror only need these ranges.
+        // Empty when the CPU finished the whole range.
         let stales: Vec<DirtyTracker> = if self.dirty_enabled {
             let gpu_mem: &Memory = self.input.gpu_mem;
             let cpu_mem: &Memory = self.input.cpu_mem;
@@ -1339,9 +1690,10 @@ impl<'a> Coexec<'a> {
         );
         let gpu_busy_until = merge_done + orig_copy;
         // Functional epilogue: the merged GPU content is the authoritative
-        // final value (identical to the CPU copy wherever both computed);
-        // mirror it into the CPU address space as the DH thread does —
-        // ranged when the stale set is known, whole-buffer otherwise.
+        // final value (identical to each endpoint's copy wherever both
+        // computed); mirror it into the CPU address space as the DH thread
+        // does — ranged when the stale set is known, whole-buffer
+        // otherwise.
         {
             let gpu_mem: &Memory = self.input.gpu_mem;
             let cpu_mem: &mut Memory = self.input.cpu_mem;
@@ -1365,7 +1717,7 @@ impl<'a> Coexec<'a> {
         // The trace is recorded in handler order; sort by timestamp so the
         // rendered timeline is chronological even across the final events.
         self.trace.sort_by_key(|e| e.at);
-        let cpu_merged_wgs = self.total - self.watermark;
+        let cpu_merged_wgs = self.coverage.covered_count();
         let report = KernelReport {
             kernel: self.input.launch.kernel.name().to_string(),
             kernel_id: self.input.kernel_id,
@@ -1373,13 +1725,14 @@ impl<'a> Coexec<'a> {
             complete_at,
             total_wgs: self.total,
             gpu_executed_wgs: self.gpu_wgs_executed,
-            cpu_executed_wgs: self.cpu_wgs_executed,
+            cpu_executed_wgs: self.eps[0].wgs_executed,
             cpu_merged_wgs,
             subkernels: self.subkernels.len() as u64,
             subkernel_log: self.subkernel_log,
             hd_bytes: self.hd_bytes,
             dh_bytes: self.dh_bytes,
             cpu_version_used: self.selected_version,
+            peer_executed_wgs: self.eps[1..].iter().map(|e| e.wgs_executed).collect(),
             finished_by,
             duration: complete_at.saturating_since(self.input.enqueue_at),
             trace: self.trace,
@@ -1392,7 +1745,7 @@ impl<'a> Coexec<'a> {
         Ok(CoexecOutcome {
             complete_at,
             gpu_busy_until,
-            hd_free: self.hd_free,
+            hd_free: self.eps[0].hd_free,
             dh_free,
             cpu_results_at,
             gpu_results_at,
@@ -1400,19 +1753,62 @@ impl<'a> Coexec<'a> {
             // A lost CPU still reaches this path: the GPU finished the
             // kernel normally (the un-delivered ranges stayed above the
             // watermark), but the runtime must stop scheduling CPU work.
-            lost_device: self.cpu_lost.then_some(DeviceKind::Cpu),
+            lost_device: self.eps[0].lost.then_some(DeviceKind::Cpu),
+            lost_peers: self.eps[1..]
+                .iter()
+                .filter(|e| e.lost)
+                .map(|e| e.dev)
+                .collect(),
         })
     }
 
-    /// Graceful degradation after a permanent GPU loss: the CPU scheduler
-    /// kept descending (its gpu-exit guard never fired) and computed the
-    /// whole NDRange, so the CPU copy is authoritative exactly as in the
-    /// paper's CPU-finishes-first case (§4.2) — no merge, no D2H transfer.
+    /// Graceful degradation after a permanent GPU loss: the non-owner
+    /// schedulers kept claiming (their gpu-exit guard never fired) and
+    /// computed the whole NDRange, so their assembled copy is
+    /// authoritative exactly as in the paper's CPU-finishes-first case
+    /// (§4.2) — no owner merge, no D2H transfer. With peers, their results
+    /// fold into the CPU copy first (the host is the assembly point when
+    /// the owner is gone).
     fn finish_after_gpu_loss(mut self) -> ClResult<CoexecOutcome> {
+        let finished = self.cpu_finished_at;
+        if finished.is_some() && self.multi {
+            // Merge tree rooted at the host: each peer's results fold into
+            // the CPU copy, wherever the peer's copy differs from the
+            // pristine original. A lost peer's memory is safe to fold —
+            // killed subkernels never executed, so its copy only differs
+            // where completed subkernels really wrote.
+            for e in 1..self.eps.len() {
+                let ep = &self.eps[e];
+                let Some(src_mem) = ep.mem.as_ref() else {
+                    continue;
+                };
+                for (j, (id, orig)) in self.orig_snapshots.iter().enumerate() {
+                    let src = src_mem.get(*id)?;
+                    let dst = self.input.cpu_mem.get_mut(*id)?;
+                    if dst.len() != src.len() || src.len() != orig.len() {
+                        return Err(ClError::ProtocolViolation {
+                            kernel: self.input.launch.kernel.name().to_string(),
+                            detail: format!(
+                                "host-side diff-merge size mismatch on buffer {}: cpu {} vs peer {} vs original {} elements",
+                                id.0,
+                                dst.len(),
+                                src.len(),
+                                orig.len()
+                            ),
+                        });
+                    }
+                    if self.dirty_enabled {
+                        diff_merge_tracked(dst, src, orig, &ep.cum_dirty[j])?;
+                    } else {
+                        fluidicl_vcl::diff_merge(dst, src, orig);
+                    }
+                }
+            }
+        }
         self.release_snapshots();
-        let Some(complete_at) = self.cpu_finished_at else {
-            // Both devices failed to produce the full range; nothing can
-            // finish this kernel.
+        let Some(complete_at) = finished else {
+            // Neither the owner nor the non-owners produced the full
+            // range; nothing can finish this kernel.
             return Err(ClError::DeviceLost {
                 device: DeviceKind::Gpu,
                 detail: "GPU lost and the CPU did not complete the NDRange".into(),
@@ -1432,13 +1828,14 @@ impl<'a> Coexec<'a> {
             complete_at,
             total_wgs: self.total,
             gpu_executed_wgs: self.gpu_wgs_executed,
-            cpu_executed_wgs: self.cpu_wgs_executed,
+            cpu_executed_wgs: self.eps[0].wgs_executed,
             cpu_merged_wgs: 0,
             subkernels: self.subkernels.len() as u64,
             subkernel_log: self.subkernel_log,
             hd_bytes: self.hd_bytes,
             dh_bytes: self.dh_bytes,
             cpu_version_used: self.selected_version,
+            peer_executed_wgs: self.eps[1..].iter().map(|e| e.wgs_executed).collect(),
             finished_by: Finisher::Cpu,
             duration: complete_at.saturating_since(self.input.enqueue_at),
             trace: self.trace,
@@ -1451,12 +1848,17 @@ impl<'a> Coexec<'a> {
         Ok(CoexecOutcome {
             complete_at,
             gpu_busy_until: complete_at,
-            hd_free: self.hd_free,
+            hd_free: self.eps[0].hd_free,
             dh_free: self.dh_free,
             cpu_results_at: complete_at,
             gpu_results_at: complete_at,
             report,
             lost_device: Some(DeviceKind::Gpu),
+            lost_peers: self.eps[1..]
+                .iter()
+                .filter(|e| e.lost)
+                .map(|e| e.dev)
+                .collect(),
         })
     }
 }

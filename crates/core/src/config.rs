@@ -127,6 +127,11 @@ pub struct FluidiclConfig {
     /// error-severity findings abort the enqueue like lint errors. `None`
     /// (the default) costs nothing.
     pub report_hook: Option<ReportHook>,
+    /// Cap on how many devices co-execute: CPU + owner GPU + peer GPUs.
+    /// `None` (the default) uses every peer the machine declares; `Some(2)`
+    /// forces the paper's two-device protocol even on a machine with
+    /// peers. Values beyond the machine's device count are clamped.
+    pub devices: Option<usize>,
 }
 
 impl Default for FluidiclConfig {
@@ -147,6 +152,7 @@ impl Default for FluidiclConfig {
             faults: None,
             recovery: RecoveryPolicy::default(),
             report_hook: None,
+            devices: None,
         }
     }
 }
@@ -167,6 +173,19 @@ impl FluidiclConfig {
         assert!(step_pct >= 0.0, "step must be non-negative");
         self.initial_chunk_pct = initial_pct;
         self.step_pct = step_pct;
+        self
+    }
+
+    /// Returns a copy capped at `n` co-executing devices (CPU + owner GPU
+    /// + peers). `with_devices(2)` pins the paper's two-device protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` — co-execution needs at least CPU + owner GPU.
+    #[must_use]
+    pub fn with_devices(mut self, n: usize) -> Self {
+        assert!(n >= 2, "co-execution needs at least CPU + owner GPU");
+        self.devices = Some(n);
         self
     }
 
@@ -296,6 +315,7 @@ mod tests {
         assert_eq!(cfg.faults, None, "fault injection is opt-in");
         assert_eq!(cfg.recovery, RecoveryPolicy::default());
         assert!(cfg.report_hook.is_none(), "debug hook is opt-in");
+        assert_eq!(cfg.devices, None, "every declared peer co-executes");
     }
 
     #[test]
@@ -342,6 +362,14 @@ mod tests {
         let cfg = cfg.with_dirty_range_transfers(true).with_pipeline_depth(4);
         assert!(cfg.dirty_range_transfers);
         assert_eq!(cfg.pipeline_depth, 4);
+        let cfg = cfg.with_devices(3);
+        assert_eq!(cfg.devices, Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least CPU + owner GPU")]
+    fn rejects_fewer_than_two_devices() {
+        let _ = FluidiclConfig::default().with_devices(1);
     }
 
     #[test]

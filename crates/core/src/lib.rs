@@ -35,6 +35,8 @@ mod buffers;
 mod chunk;
 mod coexec;
 mod config;
+mod endpoint;
+mod frontier;
 mod lint;
 mod recover;
 mod runtime;
@@ -44,6 +46,8 @@ mod trace;
 pub use buffers::{BufferState, BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
 pub use chunk::ChunkController;
 pub use config::{FluidiclConfig, ReportHook};
+pub use endpoint::{CpuEndpoint, NonOwnerEndpoint, PeerGpuEndpoint};
+pub use frontier::{Coverage, Frontier};
 pub use lint::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use recover::RecoveryPolicy;
 pub use runtime::{parse_disjoint_manifest, Fluidicl};

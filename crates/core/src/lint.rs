@@ -162,6 +162,35 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
     if degraded {
         return lint_degraded(events, total, out);
     }
+    // N-device traces use the dev-tagged event vocabulary throughout; their
+    // invariants (per-endpoint pairing, frontier disjointness, coverage
+    // watermark) are replayed separately. Two-device traces never contain
+    // these events, so the legacy replay below is untouched.
+    if events.iter().any(|e| {
+        matches!(
+            &e.kind,
+            TraceKind::EpSubkernelStart { .. }
+                | TraceKind::EpSubkernelDone { .. }
+                | TraceKind::EpSend { .. }
+                | TraceKind::EpStatus { .. }
+                | TraceKind::EpTransferFault { .. }
+                | TraceKind::EpTransferRejected { .. }
+                | TraceKind::EpTransferTimeout { .. }
+                | TraceKind::NonOwnerLost { .. }
+        )
+    }) {
+        let relaxed_multi = relaxed
+            || events.iter().any(|e| {
+                matches!(
+                    &e.kind,
+                    TraceKind::EpTransferFault { .. }
+                        | TraceKind::EpTransferRejected { .. }
+                        | TraceKind::EpTransferTimeout { .. }
+                        | TraceKind::NonOwnerLost { .. }
+                )
+            });
+        return lint_multidev(events, total, depth, relaxed_multi, out);
+    }
 
     let mut prev_at = first.at;
     // Watermark replay: statuses are the only events that move it.
@@ -599,6 +628,17 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                     "degraded single-device span inside a co-executed trace",
                 ));
             }
+            // Multi-device events were dispatched to `lint_multidev` above;
+            // reaching here means a stray dev-tagged event in an otherwise
+            // legacy trace, which the dispatch predicate makes impossible.
+            TraceKind::EpSubkernelStart { .. }
+            | TraceKind::EpSubkernelDone { .. }
+            | TraceKind::EpSend { .. }
+            | TraceKind::EpStatus { .. }
+            | TraceKind::EpTransferFault { .. }
+            | TraceKind::EpTransferRejected { .. }
+            | TraceKind::EpTransferTimeout { .. }
+            | TraceKind::NonOwnerLost { .. } => unreachable!("dispatched to lint_multidev"),
         }
     }
 
@@ -757,6 +797,637 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
     out
 }
 
+/// One enqueued send in the multi-device replay: `(at, boundary, consumed
+/// ranges)`.
+type EpSendRec = (SimTime, u64, Vec<(u64, u64)>);
+
+/// Per-endpoint replay state of the multi-device linter.
+#[derive(Default)]
+struct EpReplay {
+    open_sub: Option<(u64, u64)>,
+    /// Completed subkernels `(at, from, to)` in completion order.
+    done: Vec<(SimTime, u64, u64)>,
+    /// How many completed subkernels earlier sends already carried.
+    shipped: usize,
+    /// Every send in enqueue order.
+    sends: Vec<EpSendRec>,
+    statuses: usize,
+    lost: bool,
+}
+
+/// Lints an N-device trace: the dev-tagged vocabulary recorded whenever
+/// more than one non-owner endpoint co-executes. Replays, per endpoint,
+/// the subkernel pairing and the send/status queue; globally, the frontier
+/// claim disjointness, the coverage watermark, and the owner's wave walk.
+///
+/// `relaxed` mirrors the legacy linter's recovery-aware mode: retries,
+/// resends and endpoint losses excuse exactly the reordering they cause
+/// (claims may re-cover a lost endpoint's ranges, statuses may apply out
+/// of send order behind a redelivery), and nothing else.
+fn lint_multidev(
+    events: &[TraceEvent],
+    total: u64,
+    depth: u32,
+    relaxed: bool,
+    mut out: Vec<LintDiagnostic>,
+) -> Vec<LintDiagnostic> {
+    use std::collections::BTreeMap;
+
+    let mut prev_at = events[0].at;
+    let mut eps: BTreeMap<u32, EpReplay> = BTreeMap::new();
+    // All claimed ranges with their claimant, for frontier disjointness.
+    let mut claims: Vec<(u64, u64, u32)> = Vec::new();
+    let mut lost_devs: Vec<u32> = Vec::new();
+    // Watermark replay: EpStatus events carry the engine's value; the
+    // linter recomputes it from delivered ranges and cross-checks.
+    let mut watermark = total;
+    let mut coverage = crate::frontier::Coverage::new(total);
+    // GPU wave replay, identical to the two-device linter.
+    let mut expected_next = 0u64;
+    let mut open_wave: Option<(u64, u64)> = None;
+    let mut launches = 0usize;
+    let mut exec_ranges: Vec<(u64, u64)> = Vec::new();
+    let mut exit_at: Option<SimTime> = None;
+    let mut merge_at: Option<SimTime> = None;
+    let mut completes: Vec<(SimTime, Finisher)> = Vec::new();
+    let mut gpu_lost_seen = false;
+
+    for e in &events[1..] {
+        if e.at < prev_at {
+            out.push(LintDiagnostic::error(
+                "chronology",
+                format!("event `{}` is timestamped before its predecessor", e.kind),
+            ));
+        }
+        prev_at = e.at;
+        let exited = exit_at.is_some();
+        match &e.kind {
+            TraceKind::Enqueued { .. } => {
+                out.push(LintDiagnostic::error(
+                    "trace-shape",
+                    "duplicate enqueue record",
+                ));
+            }
+            TraceKind::GpuLaunch => {
+                launches += 1;
+                if launches > 1 {
+                    out.push(LintDiagnostic::error("trace-shape", "gpu launched twice"));
+                }
+            }
+            TraceKind::GpuWaveStart { from, to } => {
+                if exited {
+                    out.push(LintDiagnostic::error(
+                        "gpu-exit",
+                        format!("wave {from}..{to} started after the gpu exit"),
+                    ));
+                }
+                if open_wave.is_some() {
+                    out.push(LintDiagnostic::error(
+                        "wave-contiguity",
+                        format!("wave {from}..{to} started while another wave is running"),
+                    ));
+                }
+                if *from != expected_next {
+                    out.push(LintDiagnostic::error(
+                        "wave-contiguity",
+                        format!("wave starts at {from}, expected {expected_next}"),
+                    ));
+                }
+                if from >= to {
+                    out.push(LintDiagnostic::error(
+                        "wave-bounds",
+                        format!("wave {from}..{to} is empty or reversed"),
+                    ));
+                }
+                let limit = watermark.min(total);
+                if *to > limit {
+                    out.push(LintDiagnostic::error(
+                        "wave-bounds",
+                        format!(
+                            "wave {from}..{to} runs past the watermark {limit} known at its start"
+                        ),
+                    ));
+                }
+                open_wave = Some((*from, *to));
+            }
+            TraceKind::GpuWaveDone {
+                from,
+                to,
+                executed_to,
+            } => match open_wave.take() {
+                Some((wf, wt)) if wf == *from && wt == *to => {
+                    if executed_to < from || executed_to > to {
+                        out.push(LintDiagnostic::error(
+                            "wave-bounds",
+                            format!("wave {from}..{to} reports executing up to {executed_to}"),
+                        ));
+                    }
+                    if *executed_to > *from {
+                        exec_ranges.push((*from, *executed_to));
+                    }
+                    expected_next = *to;
+                }
+                other => {
+                    out.push(LintDiagnostic::error(
+                        "wave-contiguity",
+                        format!("wave {from}..{to} finished but {other:?} was running"),
+                    ));
+                }
+            },
+            TraceKind::GpuWaveAborted { from, to } => match open_wave.take() {
+                Some((wf, wt)) if wf == *from && wt == *to => {
+                    if watermark > *from {
+                        out.push(LintDiagnostic::error(
+                            "wave-bounds",
+                            format!(
+                                "wave {from}..{to} aborted although the watermark {watermark} \
+                                 had not covered it"
+                            ),
+                        ));
+                    }
+                }
+                other => {
+                    out.push(LintDiagnostic::error(
+                        "wave-contiguity",
+                        format!("wave {from}..{to} aborted but {other:?} was running"),
+                    ));
+                }
+            },
+            TraceKind::GpuExit => {
+                if exited {
+                    out.push(LintDiagnostic::error("gpu-exit", "gpu exited twice"));
+                } else {
+                    if let Some((wf, wt)) = open_wave {
+                        out.push(LintDiagnostic::error(
+                            "gpu-exit",
+                            format!("gpu exited while wave {wf}..{wt} is still running"),
+                        ));
+                    }
+                    let limit = watermark.min(total);
+                    if expected_next < limit {
+                        out.push(LintDiagnostic::error(
+                            "gpu-exit",
+                            format!(
+                                "gpu exited at work-group {expected_next}, below the \
+                                 watermark {limit}"
+                            ),
+                        ));
+                    }
+                    exit_at = Some(e.at);
+                }
+            }
+            TraceKind::MergeDone => {
+                if merge_at.is_some() {
+                    out.push(LintDiagnostic::error("merge", "diff-merge completed twice"));
+                } else {
+                    if exit_at.is_none() {
+                        out.push(LintDiagnostic::error(
+                            "merge",
+                            "diff-merge completed before the gpu exited",
+                        ));
+                    }
+                    merge_at = Some(e.at);
+                }
+            }
+            TraceKind::EpSubkernelStart { dev, from, to, .. } => {
+                if exited {
+                    out.push(LintDiagnostic::error(
+                        "ep-pairing",
+                        format!("ep{dev} subkernel {from}..{to} started after the gpu exit"),
+                    ));
+                }
+                if from >= to || *to > total {
+                    out.push(LintDiagnostic::error(
+                        "ep-pairing",
+                        format!("ep{dev} subkernel {from}..{to} is empty, reversed or oversized"),
+                    ));
+                }
+                let ep = eps.entry(*dev).or_default();
+                if ep.open_sub.is_some() {
+                    out.push(LintDiagnostic::error(
+                        "ep-pairing",
+                        format!(
+                            "ep{dev} subkernel {from}..{to} started while another is running \
+                             on the same endpoint"
+                        ),
+                    ));
+                }
+                ep.open_sub = Some((*from, *to));
+                // Frontier disjointness: a claim may only overlap a range a
+                // *lost* endpoint claimed — the frontier returned it.
+                for (cf, ct, cdev) in &claims {
+                    if from < ct && cf < to && !lost_devs.contains(cdev) {
+                        out.push(LintDiagnostic::error(
+                            "claim-disjoint",
+                            format!(
+                                "ep{dev} claim {from}..{to} overlaps ep{cdev} claim {cf}..{ct} \
+                                 although ep{cdev} was never lost"
+                            ),
+                        ));
+                    }
+                }
+                claims.push((*from, *to, *dev));
+            }
+            TraceKind::EpSubkernelDone { dev, from, to } => {
+                let ep = eps.entry(*dev).or_default();
+                match ep.open_sub.take() {
+                    Some((sf, st)) if sf == *from && st == *to => {
+                        ep.done.push((e.at, *from, *to));
+                    }
+                    other => {
+                        out.push(LintDiagnostic::error(
+                            "ep-pairing",
+                            format!(
+                                "ep{dev} subkernel {from}..{to} finished but {other:?} was \
+                                 running on that endpoint"
+                            ),
+                        ));
+                    }
+                }
+            }
+            TraceKind::EpSend {
+                dev,
+                boundary,
+                bytes,
+                dirty_bytes,
+                subkernels,
+            } => {
+                if exited {
+                    out.push(LintDiagnostic::error(
+                        "data-before-status",
+                        format!(
+                            "ep{dev} transfer (boundary {boundary}) enqueued after the gpu exit"
+                        ),
+                    ));
+                }
+                if *subkernels == 0 {
+                    out.push(LintDiagnostic::error(
+                        "data-before-status",
+                        format!("ep{dev} transfer (boundary {boundary}) carries no subkernels"),
+                    ));
+                }
+                if *subkernels > 1 && depth <= 1 {
+                    out.push(LintDiagnostic::error(
+                        "coalesced-send",
+                        format!(
+                            "ep{dev} batch of {subkernels} subkernels in a serial trace \
+                             (pipeline depth {depth})"
+                        ),
+                    ));
+                }
+                if let Some(d) = dirty_bytes {
+                    if *bytes != d + STATUS_MSG_BYTES {
+                        out.push(LintDiagnostic::error(
+                            "transfer-bytes",
+                            format!(
+                                "ep{dev} transfer (boundary {boundary}) ships {bytes} B but its \
+                                 dirty payload is {d} B + {STATUS_MSG_BYTES} B status"
+                            ),
+                        ));
+                    }
+                }
+                let ep = eps.entry(*dev).or_default();
+                let batch = *subkernels as usize;
+                if relaxed {
+                    // Resends repeat already-shipped ranges; the surviving
+                    // invariant is that the boundary names one of this
+                    // endpoint's completed subkernels.
+                    if !ep.done.iter().any(|(_, f, _)| f == boundary) {
+                        out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "ep{dev} transfer carries boundary {boundary} but no completed \
+                                 subkernel of that endpoint starts there"
+                            ),
+                        ));
+                    }
+                    ep.sends.push((e.at, *boundary, Vec::new()));
+                } else {
+                    // Fault-free shipping consumes this endpoint's completed
+                    // subkernels strictly in completion order; the boundary
+                    // is the lowest start in the batch.
+                    let end = ep.shipped + batch;
+                    if end > ep.done.len() {
+                        out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "ep{dev} batch of {batch} (boundary {boundary}) outruns the \
+                                 {} completed subkernels of that endpoint",
+                                ep.done.len()
+                            ),
+                        ));
+                        ep.sends.push((e.at, *boundary, Vec::new()));
+                    } else {
+                        let consumed: Vec<(u64, u64)> = ep.done[ep.shipped..end]
+                            .iter()
+                            .map(|(_, f, t)| (*f, *t))
+                            .collect();
+                        let lowest = consumed.iter().map(|(f, _)| *f).min().unwrap_or(total);
+                        if lowest != *boundary {
+                            out.push(LintDiagnostic::error(
+                                "data-before-status",
+                                format!(
+                                    "ep{dev} batch of {batch} carries boundary {boundary} but \
+                                     its lowest subkernel starts at {lowest}"
+                                ),
+                            ));
+                        }
+                        ep.sends.push((e.at, *boundary, consumed));
+                        ep.shipped = end;
+                    }
+                }
+            }
+            TraceKind::EpStatus {
+                dev,
+                boundary,
+                watermark: wm,
+            } => {
+                if exited {
+                    out.push(LintDiagnostic::error(
+                        "gpu-exit",
+                        format!("ep{dev} status (boundary {boundary}) arrived after the gpu exit"),
+                    ));
+                }
+                if *wm > watermark {
+                    out.push(LintDiagnostic::error(
+                        "watermark-monotone",
+                        format!("watermark rose from {watermark} to {wm}"),
+                    ));
+                }
+                let ep = eps.entry(*dev).or_default();
+                if relaxed {
+                    if !ep
+                        .sends
+                        .iter()
+                        .any(|(sent_at, b, _)| b == boundary && *sent_at <= e.at)
+                    {
+                        out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "ep{dev} status (boundary {boundary}) arrived without a prior \
+                                 transfer carrying it"
+                            ),
+                        ));
+                    }
+                } else {
+                    match ep.sends.get(ep.statuses) {
+                        None => out.push(LintDiagnostic::error(
+                            "data-before-status",
+                            format!(
+                                "ep{dev} status (boundary {boundary}) arrived without a \
+                                 matching enqueued transfer"
+                            ),
+                        )),
+                        Some((sent_at, sent_boundary, ranges)) => {
+                            if sent_boundary != boundary {
+                                out.push(LintDiagnostic::error(
+                                    "data-before-status",
+                                    format!(
+                                        "ep{dev} status boundary {boundary} does not match its \
+                                         in-order queue (transfer {} carried {sent_boundary})",
+                                        ep.statuses
+                                    ),
+                                ));
+                            }
+                            if e.at < *sent_at {
+                                out.push(LintDiagnostic::error(
+                                    "data-before-status",
+                                    format!(
+                                        "ep{dev} status (boundary {boundary}) arrived before \
+                                         it was sent"
+                                    ),
+                                ));
+                            }
+                            for (f, t) in ranges {
+                                // Out-of-bounds ranges were already reported
+                                // at their claim; never feed them to the
+                                // coverage set (its bounds are asserted).
+                                if f < t && *t <= total {
+                                    coverage.add(*f, *t);
+                                }
+                            }
+                            let suffix = coverage.suffix_start();
+                            if *wm != suffix {
+                                out.push(LintDiagnostic::error(
+                                    "watermark-monotone",
+                                    format!(
+                                        "ep{dev} status reports watermark {wm} but the \
+                                         delivered ranges put the covered suffix at {suffix}"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                ep.statuses += 1;
+                watermark = watermark.min(*wm);
+            }
+            TraceKind::EpTransferFault { dev, boundary, .. }
+            | TraceKind::EpTransferRejected { dev, boundary }
+            | TraceKind::EpTransferTimeout { dev, boundary } => {
+                let ep = eps.entry(*dev).or_default();
+                if !ep.sends.iter().any(|(_, b, _)| b == boundary) {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!(
+                            "ep{dev} transfer fault reported for boundary {boundary} but no \
+                             enqueued transfer of that endpoint carried it"
+                        ),
+                    ));
+                }
+            }
+            TraceKind::NonOwnerLost { dev } => {
+                let ep = eps.entry(*dev).or_default();
+                if ep.lost {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!("ep{dev} was declared lost twice"),
+                    ));
+                }
+                ep.lost = true;
+                lost_devs.push(*dev);
+            }
+            TraceKind::DeviceLost { device } => match device {
+                DeviceKind::Gpu => {
+                    if gpu_lost_seen {
+                        out.push(LintDiagnostic::error(
+                            "recovery",
+                            "device Gpu was declared lost twice",
+                        ));
+                    }
+                    gpu_lost_seen = true;
+                }
+                DeviceKind::Cpu => out.push(LintDiagnostic::error(
+                    "trace-shape",
+                    "legacy cpu-loss record inside a multi-device trace (expected ep0 loss)",
+                )),
+            },
+            TraceKind::KernelComplete { finisher } => {
+                completes.push((e.at, *finisher));
+            }
+            other => {
+                out.push(LintDiagnostic::error(
+                    "trace-shape",
+                    format!("legacy two-device event `{other}` inside a multi-device trace"),
+                ));
+            }
+        }
+    }
+
+    if launches == 0 && total > 0 {
+        out.push(LintDiagnostic::error(
+            "trace-shape",
+            "gpu was never launched",
+        ));
+    }
+    for (dev, ep) in &eps {
+        if let Some((sf, st)) = ep.open_sub {
+            // A lost endpoint legally leaves exactly its killed subkernel
+            // open; any other dangling subkernel is an engine defect.
+            if !ep.lost {
+                out.push(LintDiagnostic::error(
+                    "ep-pairing",
+                    format!("ep{dev} subkernel {sf}..{st} never completed"),
+                ));
+            }
+        }
+    }
+    let all_done: Vec<(SimTime, u64, u64)> = eps
+        .values()
+        .flat_map(|ep| ep.done.iter().copied())
+        .collect();
+    if gpu_lost_seen {
+        // A lost owner never exits and never merges; the non-owners finish
+        // the whole NDRange among themselves and the host assembles.
+        if exit_at.is_some() {
+            out.push(LintDiagnostic::error(
+                "recovery",
+                "gpu exited although it was declared lost",
+            ));
+        }
+        if merge_at.is_some() {
+            out.push(LintDiagnostic::error(
+                "recovery",
+                "diff-merge completed although the gpu was lost",
+            ));
+        }
+        match completes.as_slice() {
+            [(at, Finisher::Cpu)] => {
+                if !all_done.iter().any(|(t, _, _)| t == at) {
+                    out.push(LintDiagnostic::error(
+                        "completion",
+                        "cpu finisher without any subkernel completing at that time",
+                    ));
+                }
+            }
+            [(_, Finisher::Gpu)] => out.push(LintDiagnostic::error(
+                "completion",
+                "a kernel whose gpu was lost cannot be finished by the gpu",
+            )),
+            [] => out.push(LintDiagnostic::error(
+                "completion",
+                "kernel never completed",
+            )),
+            _ => out.push(LintDiagnostic::error(
+                "completion",
+                "kernel completed more than once",
+            )),
+        }
+        let mut covered: Vec<(u64, u64)> = all_done.iter().map(|(_, f, t)| (*f, *t)).collect();
+        covered.sort_unstable();
+        let mut reach = 0u64;
+        for (from, to) in covered {
+            if from > reach {
+                out.push(LintDiagnostic::error(
+                    "coverage",
+                    format!("work-groups {reach}..{from} were never executed by any survivor"),
+                ));
+            }
+            reach = reach.max(to);
+        }
+        if reach < total {
+            out.push(LintDiagnostic::error(
+                "coverage",
+                format!("work-groups {reach}..{total} were never executed by any survivor"),
+            ));
+        }
+        return out;
+    }
+    if let Some((wf, wt)) = open_wave {
+        if exit_at.is_none() {
+            out.push(LintDiagnostic::error(
+                "gpu-exit",
+                format!("wave {wf}..{wt} never completed and the gpu never exited"),
+            ));
+        }
+    }
+    let Some(exit) = exit_at else {
+        out.push(LintDiagnostic::error("gpu-exit", "gpu never exited"));
+        return out;
+    };
+    let Some(merge) = merge_at else {
+        out.push(LintDiagnostic::error("merge", "diff-merge never completed"));
+        return out;
+    };
+    if merge < exit {
+        out.push(LintDiagnostic::error(
+            "merge",
+            "diff-merge completed before the gpu exit",
+        ));
+    }
+    // With several endpoints the final data only ever exists assembled on
+    // the owner, so the kernel always completes through the merge.
+    match completes.as_slice() {
+        [(at, Finisher::Gpu)] => {
+            if *at != merge {
+                out.push(LintDiagnostic::error(
+                    "completion",
+                    "gpu-finished kernel must complete exactly at merge time",
+                ));
+            }
+        }
+        [(_, Finisher::Cpu)] => out.push(LintDiagnostic::error(
+            "completion",
+            "a multi-device kernel with a healthy owner must be finished by the gpu",
+        )),
+        [] => out.push(LintDiagnostic::error(
+            "completion",
+            "kernel never completed",
+        )),
+        _ => out.push(LintDiagnostic::error(
+            "completion",
+            "kernel completed more than once",
+        )),
+    }
+
+    // Coverage: the owner's executed ranges plus the delivered suffix
+    // [watermark, total) must cover every work-group (delivered islands
+    // below the watermark are re-executed by the owner — duplicated, never
+    // lost).
+    let mut covered = exec_ranges;
+    if watermark < total {
+        covered.push((watermark, total));
+    }
+    covered.sort_unstable();
+    let mut reach = 0u64;
+    for (from, to) in covered {
+        if from > reach {
+            out.push(LintDiagnostic::error(
+                "coverage",
+                format!("work-groups {reach}..{from} were never executed by any device"),
+            ));
+        }
+        reach = reach.max(to);
+    }
+    if reach < total {
+        out.push(LintDiagnostic::error(
+            "coverage",
+            format!("work-groups {reach}..{total} were never executed by any device"),
+        ));
+    }
+    out
+}
+
 /// Lints the trace of a degraded single-device run: after a permanent
 /// device loss, the runtime executes the whole NDRange on the survivor and
 /// records `[Enqueued, DegradedRun, KernelComplete]` — no co-execution
@@ -833,6 +1504,8 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
     let mut complete: Option<(SimTime, Finisher)> = None;
     let mut trace_total: Option<u64> = None;
     let mut device_lost = false;
+    let mut multi = false;
+    let mut peer_executed = 0u64;
     for e in &report.trace {
         match &e.kind {
             TraceKind::Enqueued { total_wgs, .. } => {
@@ -861,6 +1534,30 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
                 DeviceKind::Gpu => gpu_executed += to - from,
             },
             TraceKind::DeviceLost { .. } => device_lost = true,
+            TraceKind::EpSubkernelStart { .. } => {
+                multi = true;
+                subkernel_starts += 1;
+            }
+            TraceKind::EpSubkernelDone { dev, from, to } => {
+                multi = true;
+                if *dev == 0 {
+                    cpu_executed += to - from;
+                } else {
+                    peer_executed += to - from;
+                }
+            }
+            TraceKind::EpSend { bytes, .. } => {
+                multi = true;
+                trace_hd_bytes += bytes;
+            }
+            TraceKind::EpStatus { watermark, .. } => {
+                multi = true;
+                final_watermark = final_watermark.min(*watermark);
+            }
+            TraceKind::NonOwnerLost { .. } => {
+                multi = true;
+                device_lost = true;
+            }
             _ => {}
         }
     }
@@ -889,16 +1586,50 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
     );
     // After a device loss the merged region is decoupled from the
     // watermark (a lost GPU merges nothing at all), so the watermark
-    // cross-check only holds for fault-free and transfer-fault runs.
-    if !device_lost {
+    // cross-check only holds for fault-free and transfer-fault runs. In a
+    // multi-device trace delivered islands below the final watermark also
+    // merge, so the watermark gives a lower bound instead of an equality.
+    if !device_lost && !multi {
         mismatch(
             "cpu-merged work-groups",
             report.total_wgs - final_watermark,
             report.cpu_merged_wgs,
         );
     }
+    if multi {
+        mismatch(
+            "peer-executed work-groups",
+            peer_executed,
+            report.peer_executed_wgs.iter().sum(),
+        );
+    }
     mismatch("subkernels", subkernel_starts, report.subkernels);
     mismatch("hd bytes", trace_hd_bytes, report.hd_bytes);
+    // In a multi-device trace delivered islands below the final watermark
+    // also merge, so the watermark bounds the merged count from below and
+    // the endpoints' executed total bounds it from above.
+    if multi && !device_lost {
+        if report.cpu_merged_wgs < report.total_wgs - final_watermark {
+            out.push(LintDiagnostic::error(
+                "report-consistency",
+                format!(
+                    "report merges {} work-groups but the delivered suffix alone covers {}",
+                    report.cpu_merged_wgs,
+                    report.total_wgs - final_watermark
+                ),
+            ));
+        }
+        if report.cpu_merged_wgs > cpu_executed + peer_executed {
+            out.push(LintDiagnostic::error(
+                "report-consistency",
+                format!(
+                    "report merges {} work-groups but the endpoints only executed {}",
+                    report.cpu_merged_wgs,
+                    cpu_executed + peer_executed
+                ),
+            ));
+        }
+    }
     if let Some((at, finisher)) = complete {
         if at != report.complete_at || finisher != report.finished_by {
             out.push(LintDiagnostic::error(

@@ -16,7 +16,7 @@ use fluidicl_vcl::{
 };
 
 use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
-use crate::coexec::{Coexec, CoexecInput};
+use crate::coexec::{Coexec, CoexecInput, PeerSlot};
 use crate::config::FluidiclConfig;
 use crate::stats::{Finisher, KernelReport, LaunchMeta, RuntimeSummary};
 use crate::trace::{TraceEvent, TraceKind};
@@ -81,6 +81,12 @@ pub struct Fluidicl {
     /// Device lost during an earlier kernel: later kernels run degraded on
     /// the survivor.
     lost: Option<DeviceKind>,
+    /// Peer-GPU endpoints (stable dev indices) lost during earlier kernels:
+    /// later kernels co-execute on the remaining devices.
+    dead_peers: Vec<u32>,
+    /// Kernel version online profiling last settled on; degraded runs keep
+    /// reporting it (selection survives a device loss).
+    last_cpu_version: usize,
     /// Unrecoverable error (both devices gone): every later enqueue returns
     /// a clone of it instead of touching dead hardware.
     fatal: Option<ClError>,
@@ -109,6 +115,8 @@ impl Fluidicl {
             reports: Vec::new(),
             injector,
             lost: None,
+            dead_peers: Vec::new(),
+            last_cpu_version: 0,
             fatal: None,
         }
     }
@@ -338,7 +346,11 @@ impl Fluidicl {
             subkernel_log: Vec::new(),
             hd_bytes: 0,
             dh_bytes: 0,
-            cpu_version_used: 0,
+            // A degraded run still reports the version online profiling
+            // settled on before the loss — selection is runtime state, not
+            // per-kernel state, so the report must not reset it to 0.
+            cpu_version_used: self.last_cpu_version,
+            peer_executed_wgs: Vec::new(),
             finished_by: finisher,
             duration: complete_at.saturating_since(self.host_clock),
             trace,
@@ -503,6 +515,26 @@ impl ClDriver for Fluidicl {
         all_bufs.extend(out_ids.iter().copied());
         let gpu_ready = self.buffers.gpu_ready_time(&all_bufs);
         let scratch_setup = self.scratch_setup_cost(&out_ids);
+        // Peer GPUs joining this launch: every peer the machine declares,
+        // capped by `config.devices`, minus peers lost in earlier kernels.
+        // Dev indices are stable (peer slot + 1), so traces and reports
+        // name the same card across kernels even after losses.
+        let peer_cap = self
+            .config
+            .devices
+            .map_or(self.machine.peers.len(), |n| n.saturating_sub(2));
+        let peers: Vec<PeerSlot> = self
+            .machine
+            .peers
+            .iter()
+            .take(peer_cap)
+            .enumerate()
+            .map(|(i, p)| PeerSlot {
+                dev: i as u32 + 1,
+                peer: p.clone(),
+            })
+            .filter(|s| !self.dead_peers.contains(&s.dev))
+            .collect();
         let input = CoexecInput {
             machine: &self.machine,
             config: &self.config,
@@ -517,6 +549,7 @@ impl ClDriver for Fluidicl {
             cpu_mem: &mut self.cpu_mem,
             gpu_mem: &mut self.gpu_mem,
             snapshots: &mut self.snapshots,
+            peers,
             injector: self.injector.as_mut(),
         };
         let outcome = match Coexec::new(input).and_then(Coexec::run) {
@@ -592,6 +625,12 @@ impl ClDriver for Fluidicl {
         if let Some(lost) = outcome.lost_device {
             self.lost = Some(lost);
         }
+        for dev in outcome.lost_peers {
+            if !self.dead_peers.contains(&dev) {
+                self.dead_peers.push(dev);
+            }
+        }
+        self.last_cpu_version = outcome.report.cpu_version_used;
         self.reports.push(outcome.report);
         Ok(())
     }

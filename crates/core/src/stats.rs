@@ -61,8 +61,13 @@ pub struct KernelReport {
     /// Bytes moved device→host (final results).
     pub dh_bytes: u64,
     /// Kernel version the CPU settled on (index 0 unless online profiling
-    /// selected an alternate, paper §6.6).
+    /// selected an alternate, paper §6.6). Degraded runs report the version
+    /// the last co-executed kernel selected — selection survives a device
+    /// loss.
     pub cpu_version_used: usize,
+    /// Work-groups each peer-GPU endpoint executed, in endpoint order
+    /// (empty on the paper's two-device testbed).
+    pub peer_executed_wgs: Vec<u64>,
     /// Which device finished the kernel.
     pub finished_by: Finisher,
     /// `complete_at − enqueued_at`.
@@ -157,6 +162,7 @@ mod tests {
             hd_bytes: 64,
             dh_bytes: 32,
             cpu_version_used: 0,
+            peer_executed_wgs: Vec::new(),
             finished_by: Finisher::Gpu,
             duration: SimDuration::from_nanos(100),
             trace: Vec::new(),

@@ -155,6 +155,90 @@ pub enum TraceKind {
         /// One past the last work-group of the degraded run.
         to: u64,
     },
+    /// A non-owner endpoint launched a subkernel over a range it claimed
+    /// from the shared frontier. Endpoint 0 is the CPU; endpoints 1 and up
+    /// are peer GPUs. Only emitted on runs with more than one non-owner —
+    /// two-device runs keep the legacy `CpuSubkernelStart` vocabulary.
+    EpSubkernelStart {
+        /// Endpoint index (0 = CPU, 1.. = peer GPUs).
+        dev: u32,
+        /// First flattened work-group of the subkernel.
+        from: u64,
+        /// One past the last work-group of the subkernel.
+        to: u64,
+        /// Kernel version index used (paper §6.6).
+        version: usize,
+    },
+    /// A non-owner endpoint's subkernel finished computing.
+    EpSubkernelDone {
+        /// Endpoint index.
+        dev: u32,
+        /// First flattened work-group of the subkernel.
+        from: u64,
+        /// One past the last work-group of the subkernel.
+        to: u64,
+    },
+    /// A non-owner endpoint enqueued results + one status message on its
+    /// own upstream link (1 subkernel = the plain send, ≥ 2 = coalesced).
+    EpSend {
+        /// Endpoint index.
+        dev: u32,
+        /// Completion boundary the status message carries — the lowest
+        /// `from` of the batched subkernels.
+        boundary: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Unioned dirty payload in bytes when dirty-range transfers are
+        /// on (`bytes` must equal this plus [`STATUS_MSG_BYTES`]); `None`
+        /// under the whole-buffer protocol.
+        dirty_bytes: Option<u64>,
+        /// How many completed subkernels the send carries (≥ 1).
+        subkernels: u32,
+    },
+    /// A non-owner endpoint's status message reached the owner: the send's
+    /// ranges joined the coverage set, whose contiguous top suffix is the
+    /// owner's new watermark.
+    EpStatus {
+        /// Endpoint index the status came from.
+        dev: u32,
+        /// Boundary the status message carried.
+        boundary: u64,
+        /// Owner watermark after folding this arrival into coverage.
+        watermark: u64,
+    },
+    /// A non-owner endpoint's transfer attempt failed transiently and will
+    /// be retried after a backoff.
+    EpTransferFault {
+        /// Endpoint index.
+        dev: u32,
+        /// Boundary the failed send carried.
+        boundary: u64,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// A non-owner endpoint's delivered transfer failed its checksum and
+    /// was rejected; the endpoint resends.
+    EpTransferRejected {
+        /// Endpoint index.
+        dev: u32,
+        /// Boundary the rejected send carried.
+        boundary: u64,
+    },
+    /// A non-owner endpoint's transfer missed its watchdog deadline: that
+    /// endpoint's link is abandoned (the other endpoints keep working).
+    EpTransferTimeout {
+        /// Endpoint index.
+        dev: u32,
+        /// Boundary the stalled send carried.
+        boundary: u64,
+    },
+    /// A non-owner endpoint missed a subkernel watchdog deadline and was
+    /// declared lost; its claimed-but-unshipped ranges return to the
+    /// frontier for the survivors.
+    NonOwnerLost {
+        /// Endpoint index that died.
+        dev: u32,
+    },
 }
 
 impl fmt::Display for TraceKind {
@@ -265,6 +349,71 @@ impl fmt::Display for TraceKind {
             TraceKind::DegradedRun { device, from, to } => {
                 write!(f, "[deg] {} finishing {from}..{to} alone", device.name())
             }
+            TraceKind::EpSubkernelStart {
+                dev,
+                from,
+                to,
+                version,
+            } => {
+                write!(
+                    f,
+                    "[ep{dev}] subkernel {from}..{to} start (version {version})"
+                )
+            }
+            TraceKind::EpSubkernelDone { dev, from, to } => {
+                write!(f, "[ep{dev}] subkernel {from}..{to} done")
+            }
+            TraceKind::EpSend {
+                dev,
+                boundary,
+                bytes,
+                dirty_bytes,
+                subkernels,
+            } => match dirty_bytes {
+                None => write!(
+                    f,
+                    "[ep{dev}] data+status enqueued ({subkernels} subkernels, boundary {boundary}, {bytes} B)"
+                ),
+                Some(d) => write!(
+                    f,
+                    "[ep{dev}] data+status enqueued ({subkernels} subkernels, boundary {boundary}, {bytes} B, dirty {d} B)"
+                ),
+            },
+            TraceKind::EpStatus {
+                dev,
+                boundary,
+                watermark,
+            } => {
+                write!(
+                    f,
+                    "[ep{dev}] status arrived (boundary {boundary}): watermark -> {watermark}"
+                )
+            }
+            TraceKind::EpTransferFault {
+                dev,
+                boundary,
+                attempt,
+            } => {
+                write!(
+                    f,
+                    "[flt] ep{dev} transfer for boundary {boundary} failed (attempt {attempt}), retrying"
+                )
+            }
+            TraceKind::EpTransferRejected { dev, boundary } => {
+                write!(
+                    f,
+                    "[flt] ep{dev} transfer for boundary {boundary} failed checksum, resending"
+                )
+            }
+            TraceKind::EpTransferTimeout { dev, boundary } => {
+                write!(
+                    f,
+                    "[flt] ep{dev} transfer for boundary {boundary} missed its deadline, link abandoned"
+                )
+            }
+            TraceKind::NonOwnerLost { dev } => {
+                write!(f, "[flt] ep{dev} lost (watchdog deadline missed)")
+            }
         }
     }
 }
@@ -369,6 +518,17 @@ pub fn render_lanes(kernel: &str, events: &[TraceEvent], width: usize) -> String
                 DeviceKind::Gpu => gpu[b] = 'D',
                 DeviceKind::Cpu => cpu[b] = 'D',
             },
+            // N-device vocabulary: every non-owner endpoint computes on the
+            // cpu lane and ships on the hd lane. Legacy traces never carry
+            // these variants, so the two-device rendering is untouched.
+            TraceKind::EpSubkernelStart { .. } => cpu[b] = '[',
+            TraceKind::EpSubkernelDone { .. } => cpu[b] = ']',
+            TraceKind::EpSend { .. } => hd[b] = '>',
+            TraceKind::EpStatus { .. } => hd[b] = '*',
+            TraceKind::EpTransferFault { .. } => hd[b] = 'f',
+            TraceKind::EpTransferRejected { .. } => hd[b] = 'r',
+            TraceKind::EpTransferTimeout { .. } => hd[b] = 'T',
+            TraceKind::NonOwnerLost { .. } => cpu[b] = 'X',
         }
     }
     let lane =
@@ -466,10 +626,103 @@ mod tests {
                 from: 0,
                 to: 120,
             },
+            TraceKind::EpSubkernelStart {
+                dev: 1,
+                from: 100,
+                to: 150,
+                version: 0,
+            },
+            TraceKind::EpSubkernelDone {
+                dev: 1,
+                from: 100,
+                to: 150,
+            },
+            TraceKind::EpSend {
+                dev: 1,
+                boundary: 100,
+                bytes: 2048 + STATUS_MSG_BYTES,
+                dirty_bytes: Some(2048),
+                subkernels: 1,
+            },
+            TraceKind::EpSend {
+                dev: 0,
+                boundary: 150,
+                bytes: 4096,
+                dirty_bytes: None,
+                subkernels: 2,
+            },
+            TraceKind::EpStatus {
+                dev: 1,
+                boundary: 100,
+                watermark: 100,
+            },
+            TraceKind::EpTransferFault {
+                dev: 1,
+                boundary: 100,
+                attempt: 1,
+            },
+            TraceKind::EpTransferRejected {
+                dev: 1,
+                boundary: 100,
+            },
+            TraceKind::EpTransferTimeout {
+                dev: 1,
+                boundary: 100,
+            },
+            TraceKind::NonOwnerLost { dev: 1 },
         ];
         for k in kinds {
             assert!(!k.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn ep_events_carry_their_device_index() {
+        let send = TraceKind::EpSend {
+            dev: 1,
+            boundary: 8,
+            bytes: 128 + STATUS_MSG_BYTES,
+            dirty_bytes: Some(128),
+            subkernels: 2,
+        };
+        assert_eq!(
+            send.to_string(),
+            "[ep1] data+status enqueued (2 subkernels, boundary 8, 144 B, dirty 128 B)"
+        );
+        let status = TraceKind::EpStatus {
+            dev: 0,
+            boundary: 8,
+            watermark: 8,
+        };
+        assert_eq!(
+            status.to_string(),
+            "[ep0] status arrived (boundary 8): watermark -> 8"
+        );
+        let events = vec![
+            ev(
+                0,
+                TraceKind::EpSubkernelStart {
+                    dev: 1,
+                    from: 8,
+                    to: 16,
+                    version: 0,
+                },
+            ),
+            ev(
+                50,
+                TraceKind::EpSubkernelDone {
+                    dev: 1,
+                    from: 8,
+                    to: 16,
+                },
+            ),
+            ev(100, send),
+            ev(200, status),
+            ev(300, TraceKind::NonOwnerLost { dev: 1 }),
+        ];
+        let text = render_lanes("k", &events, 40);
+        assert!(text.contains('>'), "ep send marks the hd lane: {text}");
+        assert!(text.contains('X'), "ep loss marks the cpu lane: {text}");
     }
 
     #[test]

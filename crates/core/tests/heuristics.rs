@@ -112,6 +112,7 @@ fn arb_machine(rng: &mut SplitMix64) -> MachineConfig {
             rng.range_f64(0.5, 20.0),
         ),
         host: HostModel::new(rng.range_f64(1.0, 32.0)),
+        peers: Vec::new(),
     }
 }
 

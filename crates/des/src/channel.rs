@@ -68,6 +68,66 @@ impl Channel {
     }
 }
 
+/// An indexed set of independent [`Channel`]s, one per device endpoint.
+///
+/// The N-way co-execution engine pipelines one staging-copy engine and one
+/// upstream link per non-owner device; a bank keeps those per-device
+/// timelines together without the caller juggling a `Vec<Channel>` by hand.
+///
+/// # Examples
+///
+/// ```
+/// use fluidicl_des::{ChannelBank, SimDuration, SimTime};
+///
+/// let mut bank = ChannelBank::new(2, SimTime::ZERO);
+/// let a = bank.get_mut(0).enqueue(SimTime::ZERO, SimDuration::from_nanos(50));
+/// let b = bank.get_mut(1).enqueue(SimTime::ZERO, SimDuration::from_nanos(10));
+/// // Channels are independent: device 1's op does not queue behind device 0's.
+/// assert_eq!(a, SimTime::from_nanos(50));
+/// assert_eq!(b, SimTime::from_nanos(10));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelBank {
+    channels: Vec<Channel>,
+}
+
+impl ChannelBank {
+    /// A bank of `n` channels, all idle from `at` onward.
+    pub fn new(n: usize, at: SimTime) -> Self {
+        ChannelBank {
+            channels: vec![Channel::new(at); n],
+        }
+    }
+
+    /// Number of channels in the bank.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Whether the bank holds no channels.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// The channel for device `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> &Channel {
+        &self.channels[idx]
+    }
+
+    /// Mutable access to the channel for device `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get_mut(&mut self, idx: usize) -> &mut Channel {
+        &mut self.channels[idx]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +182,21 @@ mod tests {
         let mut ch = Channel::new(SimTime::ZERO);
         assert_eq!(ch.enqueue(t(10), d(0)), t(10));
         assert!(ch.idle_at(t(10)));
+    }
+
+    #[test]
+    fn bank_channels_are_independent() {
+        let mut bank = ChannelBank::new(3, t(5));
+        assert_eq!(bank.len(), 3);
+        assert!(!bank.is_empty());
+        bank.get_mut(0).enqueue(t(5), d(100));
+        assert_eq!(bank.get_mut(1).enqueue(t(5), d(10)), t(15));
+        assert_eq!(bank.get(0).free_at(), t(105));
+        assert_eq!(bank.get(2).free_at(), t(5));
+    }
+
+    #[test]
+    fn empty_bank_is_empty() {
+        assert!(ChannelBank::new(0, SimTime::ZERO).is_empty());
     }
 }

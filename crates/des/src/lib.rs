@@ -48,7 +48,7 @@ mod sim;
 mod stats;
 mod time;
 
-pub use channel::Channel;
+pub use channel::{Channel, ChannelBank};
 pub use rng::SplitMix64;
 pub use sim::{EventToken, Simulation};
 pub use stats::{geomean, Counter, DurationSeries};

@@ -32,5 +32,5 @@ mod profile;
 pub use cpu::CpuModel;
 pub use gpu::{AbortMode, GpuModel};
 pub use link::{HostModel, LinkModel};
-pub use machine::MachineConfig;
+pub use machine::{MachineConfig, PeerGpu};
 pub use profile::KernelProfile;

@@ -4,9 +4,22 @@ use fluidicl_des::SimDuration;
 
 use crate::{CpuModel, GpuModel, HostModel, LinkModel};
 
+/// A non-owner peer GPU: a second (third, ...) discrete device that claims
+/// work-group ranges from the shared frontier and ships results back to the
+/// owner over its own full-duplex link pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeerGpu {
+    /// The peer device model.
+    pub gpu: GpuModel,
+    /// Host-to-peer link channel.
+    pub h2d: LinkModel,
+    /// Peer-to-host link channel.
+    pub d2h: LinkModel,
+}
+
 /// The heterogeneous node every runtime in this reproduction executes on:
 /// a multicore CPU and a discrete GPU with separate address spaces joined by
-/// a PCIe-like link.
+/// a PCIe-like link, plus zero or more peer GPUs on their own links.
 ///
 /// # Examples
 ///
@@ -15,12 +28,13 @@ use crate::{CpuModel, GpuModel, HostModel, LinkModel};
 ///
 /// let m = MachineConfig::paper_testbed();
 /// assert_eq!(m.cpu.threads(), 8);
+/// assert!(m.peers.is_empty());
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct MachineConfig {
     /// The CPU device model.
     pub cpu: CpuModel,
-    /// The GPU device model.
+    /// The GPU device model (the protocol owner).
     pub gpu: GpuModel,
     /// Host-to-device link channel.
     pub h2d: LinkModel,
@@ -28,6 +42,9 @@ pub struct MachineConfig {
     pub d2h: LinkModel,
     /// Host memory (intermediate copies).
     pub host: HostModel,
+    /// Additional non-owner GPUs, each with its own link pair. Empty on
+    /// the paper's two-device testbed.
+    pub peers: Vec<PeerGpu>,
 }
 
 impl MachineConfig {
@@ -40,7 +57,49 @@ impl MachineConfig {
             h2d: LinkModel::pcie2_x16(),
             d2h: LinkModel::pcie2_x16(),
             host: HostModel::xeon_host(),
+            peers: Vec::new(),
         }
+    }
+
+    /// Adds a non-owner peer GPU with its own link pair.
+    #[must_use]
+    pub fn with_peer(mut self, peer: PeerGpu) -> Self {
+        self.peers.push(peer);
+        self
+    }
+
+    /// A mid-range peer card: laptop-class wave geometry but on a decent
+    /// link, the kind of second GPU a workstation actually has next to the
+    /// primary card.
+    pub fn midrange_peer() -> PeerGpu {
+        PeerGpu {
+            gpu: GpuModel::tesla_c2070_like()
+                .with_wave(8, 4)
+                .with_rates(260.0, 60.0),
+            h2d: LinkModel::new(SimDuration::from_micros(18), 4.0),
+            d2h: LinkModel::new(SimDuration::from_micros(18), 4.0),
+        }
+    }
+
+    /// The paper's testbed extended with one mid-range peer GPU: the
+    /// three-device configuration the N-way ablation runs on.
+    pub fn paper_testbed_3dev() -> Self {
+        Self::paper_testbed().with_peer(Self::midrange_peer())
+    }
+
+    /// The paper's testbed extended with `n - 2` identical mid-range peer
+    /// GPUs, for an `n`-device machine (CPU + owner GPU + peers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`: the protocol always has the CPU and the owner.
+    pub fn paper_testbed_ndev(n: usize) -> Self {
+        assert!(n >= 2, "an n-device machine needs at least CPU + owner GPU");
+        let mut m = Self::paper_testbed();
+        for _ in 2..n {
+            m = m.with_peer(Self::midrange_peer());
+        }
+        m
     }
 
     /// A machine with a much weaker GPU (a laptop-class part: fewer SMs,
@@ -95,6 +154,31 @@ mod tests {
     #[test]
     fn default_is_paper_testbed() {
         assert_eq!(MachineConfig::default(), MachineConfig::paper_testbed());
+    }
+
+    #[test]
+    fn ndev_constructor_counts_peers() {
+        assert!(MachineConfig::paper_testbed_ndev(2).peers.is_empty());
+        assert_eq!(MachineConfig::paper_testbed_ndev(3).peers.len(), 1);
+        assert_eq!(MachineConfig::paper_testbed_ndev(5).peers.len(), 3);
+        assert_eq!(
+            MachineConfig::paper_testbed_3dev(),
+            MachineConfig::paper_testbed_ndev(3)
+        );
+    }
+
+    #[test]
+    fn peer_is_weaker_than_owner() {
+        let m = MachineConfig::paper_testbed_3dev();
+        let peer = &m.peers[0];
+        assert!(peer.gpu.peak_flops_per_ns() < m.gpu.peak_flops_per_ns());
+        assert!(peer.h2d.bandwidth() < m.h2d.bandwidth());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least CPU + owner GPU")]
+    fn ndev_rejects_fewer_than_two_devices() {
+        let _ = MachineConfig::paper_testbed_ndev(1);
     }
 
     #[test]
