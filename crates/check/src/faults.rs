@@ -15,7 +15,7 @@
 //! and writes a `FAULTS_summary.json` artifact in the same hand-written
 //! line-per-record JSON style as `BENCH_repro.json`.
 
-use fluidicl::{Fluidicl, FluidiclConfig, RecoveryPolicy, TraceKind};
+use fluidicl::{Fluidicl, FluidiclConfig, KernelReport, RecoveryPolicy, TraceKind};
 use fluidicl_hetsim::MachineConfig;
 use fluidicl_polybench::{all_benchmarks, BenchmarkSpec};
 use fluidicl_vcl::{ClError, FaultKind, FaultPlan};
@@ -72,6 +72,18 @@ pub struct FaultCell {
     pub fired: bool,
     /// Whether the second execution reproduced the first bit-for-bit.
     pub deterministic: bool,
+    /// Simulated instant the first fault-vocabulary trace event was
+    /// recorded at, if any fired.
+    pub fault_at_ns: Option<u64>,
+    /// Simulated completion instant of the last kernel the run finished.
+    pub complete_ns: Option<u64>,
+    /// Simulated completion instant of the fault-free reference run of the
+    /// same benchmark on the same machine and config.
+    pub fault_free_ns: u64,
+    /// Simulated recovery latency: how much later than the fault-free
+    /// reference the run completed. Only meaningful when the fault fired
+    /// and the run recovered.
+    pub recovery_latency_ns: Option<u64>,
 }
 
 impl FaultCell {
@@ -93,20 +105,48 @@ fn plan_seed(bench_idx: u64, kind_idx: u64, seed: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn run_once(b: &BenchmarkSpec, kind: FaultKind, plan_seed: u64) -> (CellOutcome, bool) {
-    run_once_on(&MachineConfig::paper_testbed(), b, kind, plan_seed)
+/// Everything one execution of a sweep cell observed, compared wholesale
+/// between the two runs for the determinism check.
+#[derive(Clone, Debug, PartialEq)]
+struct RunProbe {
+    outcome: CellOutcome,
+    fired: bool,
+    /// Whether any kernel's trace recorded an owner promotion.
+    promoted: bool,
+    fault_at_ns: Option<u64>,
+    complete_ns: Option<u64>,
 }
 
-fn run_once_on(
+/// Simulated instant of the first fault-vocabulary event in `report`, if
+/// any: the moment the injected damage became visible to the runtime.
+fn first_fault_ns(report: &KernelReport) -> Option<u64> {
+    report
+        .trace
+        .iter()
+        .find(|ev| {
+            matches!(
+                ev.kind,
+                TraceKind::TransferFault { .. }
+                    | TraceKind::TransferRejected { .. }
+                    | TraceKind::TransferTimeout { .. }
+                    | TraceKind::DeviceLost { .. }
+                    | TraceKind::NonOwnerLost { .. }
+                    | TraceKind::EpTransferFault { .. }
+                    | TraceKind::EpTransferRejected { .. }
+                    | TraceKind::EpTransferTimeout { .. }
+            )
+        })
+        .map(|ev| ev.at.as_nanos())
+}
+
+fn run_probe(
     machine: &MachineConfig,
     b: &BenchmarkSpec,
-    kind: FaultKind,
-    plan_seed: u64,
-) -> (CellOutcome, bool) {
+    plan: Option<FaultPlan>,
+    base: FluidiclConfig,
+) -> RunProbe {
     let n = sweep_size(b.name);
-    let config = FluidiclConfig::default()
-        .with_validate_protocol(true)
-        .with_faults(Some(FaultPlan::new(kind, plan_seed)));
+    let config = base.with_validate_protocol(true).with_faults(plan);
     let mut rt = Fluidicl::new(machine.clone(), config, (b.program)(n));
     let defs = (b.program)(n);
     let mut outcome = match b.run_and_validate_sized(&mut rt, n, SWEEP_SEED) {
@@ -136,37 +176,227 @@ fn run_once_on(
             }
         }
     }
-    (outcome, rt.fault_fired())
+    let fault_at_ns = rt.reports().iter().filter_map(first_fault_ns).min();
+    let complete_ns = rt
+        .reports()
+        .iter()
+        .flat_map(|r| r.trace.iter().map(|ev| ev.at.as_nanos()))
+        .max();
+    let promoted = rt.reports().iter().any(|r| {
+        r.trace
+            .iter()
+            .any(|ev| matches!(ev.kind, TraceKind::OwnerPromoted { .. }))
+    });
+    RunProbe {
+        outcome,
+        fired: rt.fault_fired(),
+        promoted,
+        fault_at_ns,
+        complete_ns,
+    }
 }
 
-/// Runs one sweep cell: two executions of `bench` under `kind` with the
-/// given plan seed, checking the recovery contract and determinism.
-pub fn run_fault_cell(b: &BenchmarkSpec, kind: FaultKind, seed: u64, plan_seed: u64) -> FaultCell {
-    let (outcome, fired) = run_once(b, kind, plan_seed);
-    let (again, fired_again) = run_once(b, kind, plan_seed);
+/// Simulated completion instant of a fault-free run of `b` on `machine`
+/// under `base`: the reference the recovery-latency numbers are measured
+/// against.
+fn fault_free_complete_ns(machine: &MachineConfig, b: &BenchmarkSpec, base: FluidiclConfig) -> u64 {
+    let p = run_probe(machine, b, None, base);
+    assert_eq!(
+        p.outcome,
+        CellOutcome::Recovered,
+        "{}: fault-free reference run must validate",
+        b.name
+    );
+    p.complete_ns.expect("fault-free run completed kernels")
+}
+
+/// Runs one sweep cell against a precomputed fault-free reference
+/// completion time: two executions of `bench` under `kind` with the given
+/// plan seed, checking the recovery contract and determinism.
+fn run_fault_cell_with_ref(
+    b: &BenchmarkSpec,
+    kind: FaultKind,
+    seed: u64,
+    plan_seed: u64,
+    fault_free_ns: u64,
+) -> FaultCell {
+    let machine = MachineConfig::paper_testbed();
+    let plan = Some(FaultPlan::new(kind, plan_seed));
+    let p = run_probe(&machine, b, plan, FluidiclConfig::default());
+    let again = run_probe(&machine, b, plan, FluidiclConfig::default());
+    let recovery_latency_ns = (p.fired && p.outcome == CellOutcome::Recovered).then(|| {
+        p.complete_ns
+            .unwrap_or(fault_free_ns)
+            .saturating_sub(fault_free_ns)
+    });
     FaultCell {
         bench: b.name,
         kind,
         seed,
         plan_seed,
-        deterministic: outcome == again && fired == fired_again,
-        outcome,
-        fired,
+        deterministic: p == again,
+        outcome: p.outcome,
+        fired: p.fired,
+        fault_at_ns: p.fault_at_ns,
+        complete_ns: p.complete_ns,
+        fault_free_ns,
+        recovery_latency_ns,
     }
+}
+
+/// Runs one sweep cell: two executions of `bench` under `kind` with the
+/// given plan seed, checking the recovery contract and determinism. The
+/// fault-free latency reference is computed on the spot; the sweep proper
+/// hoists it per benchmark instead.
+pub fn run_fault_cell(b: &BenchmarkSpec, kind: FaultKind, seed: u64, plan_seed: u64) -> FaultCell {
+    let ff = fault_free_complete_ns(
+        &MachineConfig::paper_testbed(),
+        b,
+        FluidiclConfig::default(),
+    );
+    run_fault_cell_with_ref(b, kind, seed, plan_seed, ff)
 }
 
 /// Runs the full sweep — every benchmark × fault kind × `seeds` seed
 /// indices — fanned out over the worker pool, in stable cell order.
 pub fn run_fault_sweep(seeds: u64) -> Vec<FaultCell> {
+    let machine = MachineConfig::paper_testbed();
     let mut units = Vec::new();
     for (bi, b) in all_benchmarks().into_iter().enumerate() {
+        // One fault-free reference per benchmark: every cell of the row
+        // measures its recovery latency against the same baseline.
+        let ff = fault_free_complete_ns(&machine, &b, FluidiclConfig::default());
         for (ki, kind) in FaultKind::all().into_iter().enumerate() {
             for s in 0..seeds {
-                units.push((b, kind, s, plan_seed(bi as u64, ki as u64, s)));
+                units.push((b, kind, s, plan_seed(bi as u64, ki as u64, s), ff));
             }
         }
     }
-    fluidicl_par::par_map(units, |(b, kind, s, ps)| run_fault_cell(&b, kind, s, ps))
+    fluidicl_par::par_map(units, |(b, kind, s, ps, ff)| {
+        run_fault_cell_with_ref(&b, kind, s, ps, ff)
+    })
+}
+
+/// One cell of the owner-failover sweep: a three-device machine loses its
+/// acting owner mid-kernel and a surviving peer GPU is promoted in its
+/// place (epoch-fenced failover).
+///
+/// Three families ride the same harness: `owner-loss-promote` (plain
+/// owner loss at the sweep's problem sizes), `owner-then-peer-cascade`
+/// (the owner dies, a peer is promoted, then the subkernel-kill latch
+/// takes the non-owner endpoints too), and `promote-mid-batch` (owner
+/// loss under pipeline depth 4, so promotion lands while coalesced
+/// batches are in flight). Every cell must recover bit-identically to the
+/// sequential reference — race-checked — or surface a typed error, twice
+/// over.
+#[derive(Clone, Debug)]
+pub struct FailoverCell {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Which failover family the cell belongs to.
+    pub family: &'static str,
+    /// Injected fault kind.
+    pub kind: FaultKind,
+    /// Sweep seed index (0..seeds).
+    pub seed: u64,
+    /// Derived fault-plan seed the cell ran with.
+    pub plan_seed: u64,
+    /// Outcome of the first execution.
+    pub outcome: CellOutcome,
+    /// Whether the planned fault actually triggered.
+    pub fired: bool,
+    /// Whether an owner promotion appeared in any kernel trace.
+    pub promoted: bool,
+    /// Whether the second execution reproduced the first bit-for-bit.
+    pub deterministic: bool,
+    /// Simulated instant the first fault-vocabulary trace event fired at.
+    pub fault_at_ns: Option<u64>,
+    /// Simulated completion instant of the last kernel the run finished.
+    pub complete_ns: Option<u64>,
+    /// Fault-free reference completion for the same benchmark and config.
+    pub fault_free_ns: u64,
+    /// Simulated recovery latency vs the fault-free reference (fired,
+    /// recovered cells only).
+    pub recovery_latency_ns: Option<u64>,
+}
+
+impl FailoverCell {
+    /// Whether this cell fails the sweep: anything but a deterministic
+    /// bit-identical recovery or a deterministic typed error.
+    pub fn is_failure(&self) -> bool {
+        !self.outcome.is_ok() || !self.deterministic
+    }
+}
+
+/// The three owner-failover families: (name, fault kind, plan-seed kind
+/// offset, config). Offsets keep the derived plan seeds disjoint from the
+/// two-device sweep's (0..7) and the N=3 non-owner sweep's (100+).
+fn failover_families() -> [(&'static str, FaultKind, u64, FluidiclConfig); 3] {
+    [
+        (
+            "owner-loss-promote",
+            FaultKind::GpuLost,
+            200,
+            FluidiclConfig::default(),
+        ),
+        (
+            "owner-then-peer-cascade",
+            FaultKind::DoubleLoss,
+            300,
+            FluidiclConfig::default(),
+        ),
+        (
+            "promote-mid-batch",
+            FaultKind::GpuLost,
+            400,
+            FluidiclConfig::default().with_pipeline_depth(4),
+        ),
+    ]
+}
+
+/// Runs the owner-failover sweep: every benchmark × failover family ×
+/// `seeds` seed indices on [`MachineConfig::paper_testbed_3dev`], where
+/// the injected owner loss exercises peer promotion instead of the
+/// two-device survivor fallback.
+pub fn run_failover_sweep(seeds: u64) -> Vec<FailoverCell> {
+    let machine = MachineConfig::paper_testbed_3dev();
+    let mut units = Vec::new();
+    for (family, kind, offset, config) in failover_families() {
+        let kind_idx = FaultKind::all()
+            .iter()
+            .position(|k| *k == kind)
+            .expect("failover kind") as u64;
+        for (bi, b) in all_benchmarks().into_iter().enumerate() {
+            let ff = fault_free_complete_ns(&machine, &b, config.clone());
+            for s in 0..seeds {
+                let ps = plan_seed(bi as u64, offset + kind_idx, s);
+                units.push((family, kind, b, s, ps, config.clone(), ff));
+            }
+        }
+    }
+    fluidicl_par::par_map(units, |(family, kind, b, s, ps, config, ff)| {
+        let machine = MachineConfig::paper_testbed_3dev();
+        let plan = Some(FaultPlan::new(kind, ps));
+        let p = run_probe(&machine, &b, plan, config.clone());
+        let again = run_probe(&machine, &b, plan, config);
+        let recovery_latency_ns = (p.fired && p.outcome == CellOutcome::Recovered)
+            .then(|| p.complete_ns.unwrap_or(ff).saturating_sub(ff));
+        FailoverCell {
+            bench: b.name,
+            family,
+            kind,
+            seed: s,
+            plan_seed: ps,
+            deterministic: p == again,
+            outcome: p.outcome,
+            fired: p.fired,
+            promoted: p.promoted,
+            fault_at_ns: p.fault_at_ns,
+            complete_ns: p.complete_ns,
+            fault_free_ns: ff,
+            recovery_latency_ns,
+        }
+    })
 }
 
 /// One cell of the N=3 non-owner-loss sweep: a three-device machine
@@ -194,6 +424,15 @@ pub struct NdevLossCell {
     pub fired: bool,
     /// Whether the second execution reproduced the first bit-for-bit.
     pub deterministic: bool,
+    /// Simulated instant the first fault-vocabulary trace event fired at.
+    pub fault_at_ns: Option<u64>,
+    /// Simulated completion instant of the last kernel the run finished.
+    pub complete_ns: Option<u64>,
+    /// Fault-free reference completion for the same benchmark and machine.
+    pub fault_free_ns: u64,
+    /// Simulated recovery latency vs the fault-free reference (fired,
+    /// recovered cells only).
+    pub recovery_latency_ns: Option<u64>,
 }
 
 impl NdevLossCell {
@@ -214,25 +453,34 @@ pub fn run_ndev_loss_sweep(seeds: u64) -> Vec<NdevLossCell> {
         .iter()
         .position(|k| *k == FaultKind::CpuLost)
         .expect("subkernel-kill kind") as u64;
+    let machine = MachineConfig::paper_testbed_3dev();
     let mut units = Vec::new();
     for (bi, b) in all_benchmarks().into_iter().enumerate() {
+        let ff = fault_free_complete_ns(&machine, &b, FluidiclConfig::default());
         for s in 0..seeds {
             // Offset the kind coordinate so these cells draw plan seeds
             // disjoint from the two-device sweep's.
-            units.push((b, s, plan_seed(bi as u64, 100 + kind_idx, s)));
+            units.push((b, s, plan_seed(bi as u64, 100 + kind_idx, s), ff));
         }
     }
-    fluidicl_par::par_map(units, |(b, s, ps)| {
+    fluidicl_par::par_map(units, |(b, s, ps, ff)| {
         let machine = MachineConfig::paper_testbed_3dev();
-        let (outcome, fired) = run_once_on(&machine, &b, FaultKind::CpuLost, ps);
-        let (again, fired_again) = run_once_on(&machine, &b, FaultKind::CpuLost, ps);
+        let plan = Some(FaultPlan::new(FaultKind::CpuLost, ps));
+        let p = run_probe(&machine, &b, plan, FluidiclConfig::default());
+        let again = run_probe(&machine, &b, plan, FluidiclConfig::default());
+        let recovery_latency_ns = (p.fired && p.outcome == CellOutcome::Recovered)
+            .then(|| p.complete_ns.unwrap_or(ff).saturating_sub(ff));
         NdevLossCell {
             bench: b.name,
             seed: s,
             plan_seed: ps,
-            deterministic: outcome == again && fired == fired_again,
-            outcome,
-            fired,
+            deterministic: p == again,
+            outcome: p.outcome,
+            fired: p.fired,
+            fault_at_ns: p.fault_at_ns,
+            complete_ns: p.complete_ns,
+            fault_free_ns: ff,
+            recovery_latency_ns,
         }
     })
 }
@@ -356,12 +604,35 @@ fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Renders an `Option<u64>` as a JSON number or `null`.
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+/// The shared latency tail of every cell row: when the fault fired and
+/// when the run completed relative to its fault-free reference.
+fn latency_fields(
+    fault_at_ns: Option<u64>,
+    complete_ns: Option<u64>,
+    fault_free_ns: u64,
+    recovery_latency_ns: Option<u64>,
+) -> String {
+    format!(
+        ", \"fault_at_ns\": {}, \"complete_ns\": {}, \"fault_free_ns\": {fault_free_ns}, \
+         \"recovery_latency_ns\": {}",
+        opt(fault_at_ns),
+        opt(complete_ns),
+        opt(recovery_latency_ns)
+    )
+}
+
 /// Renders the sweep as hand-written JSON, one cell per line (the same
 /// diff-friendly style as `BENCH_repro.json`): the CI artifact uploaded
 /// next to the perf numbers.
 pub fn render_faults_json(
     cells: &[FaultCell],
     ndev: &[NdevLossCell],
+    failover: &[FailoverCell],
     shrink: &[ShrinkCell],
     seeds: u64,
 ) -> String {
@@ -392,9 +663,15 @@ pub fn render_faults_json(
             }
             _ => String::new(),
         };
+        let latency = latency_fields(
+            c.fault_at_ns,
+            c.complete_ns,
+            c.fault_free_ns,
+            c.recovery_latency_ns,
+        );
         s.push_str(&format!(
             "    {{\"bench\": \"{}\", \"kind\": \"{}\", \"seed\": {}, \"plan_seed\": {}, \
-             \"outcome\": \"{}\", \"fired\": {}, \"deterministic\": {}{detail}}}{comma}\n",
+             \"outcome\": \"{}\", \"fired\": {}, \"deterministic\": {}{latency}{detail}}}{comma}\n",
             c.bench,
             c.kind.name(),
             c.seed,
@@ -414,15 +691,53 @@ pub fn render_faults_json(
             }
             _ => String::new(),
         };
+        let latency = latency_fields(
+            c.fault_at_ns,
+            c.complete_ns,
+            c.fault_free_ns,
+            c.recovery_latency_ns,
+        );
         s.push_str(&format!(
             "    {{\"bench\": \"{}\", \"machine\": \"paper-testbed-3dev\", \"seed\": {}, \
              \"plan_seed\": {}, \"outcome\": \"{}\", \"fired\": {}, \
-             \"deterministic\": {}{detail}}}{comma}\n",
+             \"deterministic\": {}{latency}{detail}}}{comma}\n",
             c.bench,
             c.seed,
             c.plan_seed,
             c.outcome.label(),
             c.fired,
+            c.deterministic
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"owner_failover\": [\n");
+    for (i, c) in failover.iter().enumerate() {
+        let comma = if i + 1 < failover.len() { "," } else { "" };
+        let detail = match &c.outcome {
+            CellOutcome::TypedError(d) | CellOutcome::UnexpectedError(d) => {
+                format!(", \"detail\": \"{}\"", esc(d))
+            }
+            _ => String::new(),
+        };
+        let latency = latency_fields(
+            c.fault_at_ns,
+            c.complete_ns,
+            c.fault_free_ns,
+            c.recovery_latency_ns,
+        );
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"family\": \"{}\", \"kind\": \"{}\", \
+             \"machine\": \"paper-testbed-3dev\", \"seed\": {}, \"plan_seed\": {}, \
+             \"outcome\": \"{}\", \"fired\": {}, \"promoted\": {}, \
+             \"deterministic\": {}{latency}{detail}}}{comma}\n",
+            c.bench,
+            c.family,
+            c.kind.name(),
+            c.seed,
+            c.plan_seed,
+            c.outcome.label(),
+            c.fired,
+            c.promoted,
             c.deterministic
         ));
     }

@@ -40,8 +40,8 @@ pub mod sanitize;
 pub use audit::{AuditDriver, KernelFinding};
 pub use disjoint::{prove_disjoint, DisjointDriver, DisjointFinding};
 pub use faults::{
-    render_faults_json, run_fault_cell, run_fault_sweep, run_ndev_loss_sweep,
-    run_shrink_comparison, CellOutcome, FaultCell, NdevLossCell, ShrinkCell,
+    render_faults_json, run_failover_sweep, run_fault_cell, run_fault_sweep, run_ndev_loss_sweep,
+    run_shrink_comparison, CellOutcome, FailoverCell, FaultCell, NdevLossCell, ShrinkCell,
 };
 pub use fluidicl::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use race::{check_hb, race_check_report, HbEvent, HbOp, VClock, CONTRIB, OWNER};

@@ -605,6 +605,49 @@ fn run_faults_mode(seeds: u64, out: &str) {
         ndev.len()
     );
     failures += ndev_failures;
+    // Owner failover: on paper-testbed-3dev the acting owner itself is
+    // killed; a surviving peer GPU must be promoted (epoch-fenced) and the
+    // run must still finish bit-identically — or, when the cascade takes
+    // every device, fail with a typed error. Cells are race-checked and
+    // run twice; the sweep as a whole must exercise at least one actual
+    // promotion, otherwise the failover path silently went untested.
+    let failover = fluidicl_check::run_failover_sweep(seeds);
+    let mut failover_failures = 0usize;
+    for c in &failover {
+        if c.is_failure() {
+            failover_failures += 1;
+            let what = if c.deterministic {
+                c.outcome.label()
+            } else {
+                "NON-DETERMINISTIC"
+            };
+            let detail = match &c.outcome {
+                CellOutcome::TypedError(d) | CellOutcome::UnexpectedError(d) => d.as_str(),
+                _ => "",
+            };
+            println!(
+                "  {:8} {:24} seed {}: {what} {detail}",
+                c.bench, c.family, c.seed
+            );
+        }
+    }
+    let promoted = failover.iter().filter(|c| c.promoted).count();
+    if promoted == 0 {
+        println!("  owner failover: no cell promoted a peer to owner");
+        failover_failures += 1;
+    }
+    let failover_fired = failover.iter().filter(|c| c.fired).count();
+    let failover_recovered = failover
+        .iter()
+        .filter(|c| c.outcome == CellOutcome::Recovered)
+        .count();
+    println!(
+        "  owner failover: {} cell(s), {failover_fired} fault(s) fired, \
+         {promoted} promotion(s), {failover_recovered} recovered, \
+         {failover_failures} failure(s)",
+        failover.len()
+    );
+    failures += failover_failures;
     // Fault-aware chunk shrink: under transient transfer faults, halving
     // the chunk on retry must never launch a *larger* post-fault subkernel
     // (the work a watchdog abandonment would strand un-merged), and must
@@ -632,7 +675,7 @@ fn run_faults_mode(seeds: u64, out: &str) {
         shrink.len()
     );
     failures += shrink_regressions;
-    let json = fluidicl_check::render_faults_json(&cells, &ndev, &shrink, seeds);
+    let json = fluidicl_check::render_faults_json(&cells, &ndev, &failover, &shrink, seeds);
     std::fs::write(out, &json).expect("write FAULTS_summary.json");
     println!("  wrote {out}");
     if failures > 0 {

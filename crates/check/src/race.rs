@@ -476,7 +476,10 @@ fn ep_dev(kind: &TraceKind) -> Option<u32> {
         | TraceKind::EpTransferFault { dev, .. }
         | TraceKind::EpTransferRejected { dev, .. }
         | TraceKind::EpTransferTimeout { dev, .. }
-        | TraceKind::NonOwnerLost { dev } => Some(dev),
+        | TraceKind::NonOwnerLost { dev }
+        | TraceKind::OwnerPromoted { dev, .. }
+        | TraceKind::EpochRejected { dev, .. }
+        | TraceKind::EpDegradedRun { dev, .. } => Some(dev),
         _ => None,
     }
 }
@@ -537,11 +540,21 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
     // multi-device merge covers (claim islands below the watermark merge
     // too, unlike the legacy suffix-only merge).
     let mut delivered: Vec<DirtyRanges> = vec![DirtyRanges::empty(); meta.out_lens.len()];
+    // Accepted sends per endpoint: (send event slot, shipped footprints).
+    // Owner failover rolls the promoted endpoint's prior contributions
+    // back (its ranges return to the frontier and a survivor re-ships
+    // them), so its accepted sends are voided at promotion and
+    // `delivered` is rebuilt from the survivors' alone.
+    #[allow(clippy::type_complexity)]
+    let mut accepted: BTreeMap<u32, Vec<(usize, Vec<DirtyRanges>)>> = BTreeMap::new();
     // Cumulative writes per peer-GPU endpoint plus the set of lost
     // endpoints, for the host-side memory fold after an owner-GPU loss
     // (BTreeMap so the synthesized fold messages are deterministic).
     let mut peer_written: BTreeMap<u32, Vec<DirtyRanges>> = BTreeMap::new();
     let mut lost_devs: Vec<u32> = Vec::new();
+    // A peer-degraded run reads its result at the surviving peer's
+    // endpoint, not at the (dead) owner.
+    let mut degraded_peer: Option<u32> = None;
     let multi = report.trace.iter().any(|e| ep_dev(&e.kind).is_some());
     let mut next_msg = 0u64;
 
@@ -709,9 +722,12 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
             }
             TraceKind::EpTransferFault { dev, boundary, .. }
             | TraceKind::EpTransferRejected { dev, boundary }
-            | TraceKind::EpTransferTimeout { dev, boundary } => {
+            | TraceKind::EpTransferTimeout { dev, boundary }
+            | TraceKind::EpochRejected { dev, boundary } => {
                 // Per-endpoint queues: a fault voids a send on exactly the
-                // endpoint it damaged.
+                // endpoint it damaged. A stale-epoch rejection is the same
+                // edge-wise — the send delivered but was never applied, so
+                // it carries no happens-before edge and no data.
                 let q = fifo.entry(*dev).or_default();
                 if let Some(pos) = q.iter().position(|(_, b, _, _)| b == boundary) {
                     let (slot, ..) = q.remove(pos).expect("position exists");
@@ -720,7 +736,10 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
             }
             TraceKind::EpStatus { dev, .. } => {
                 let (msg, ranges) = match fifo.entry(*dev).or_default().pop_front() {
-                    Some((_, _, m, r)) => (m, r),
+                    Some((slot, _, m, r)) => {
+                        accepted.entry(*dev).or_default().push((slot, r.clone()));
+                        (m, r)
+                    }
                     None => {
                         let m = next_msg;
                         next_msg += 1;
@@ -735,6 +754,62 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
                 )));
             }
             TraceKind::NonOwnerLost { dev } => lost_devs.push(*dev),
+            TraceKind::OwnerPromoted { dev, .. } => {
+                // The engine rolls the promoted endpoint back to a pristine
+                // owner: its delivered ranges leave coverage (returned to
+                // the frontier for the survivors) and its output buffers
+                // are restored to the original snapshot. Mirror that here:
+                // its accepted sends stop contributing data (the edges
+                // survive for ordering, but ship nothing), the merge region
+                // is rebuilt from the survivors' deliveries, and its
+                // cumulative writes are erased before any host-side fold.
+                for (slot, _) in accepted.remove(dev).unwrap_or_default() {
+                    if let Some(HbEvent {
+                        op: HbOp::Send { ranges, .. },
+                        ..
+                    }) = events[slot].as_mut()
+                    {
+                        *ranges = vec![DirtyRanges::empty(); meta.out_lens.len()];
+                    }
+                }
+                delivered = vec![DirtyRanges::empty(); meta.out_lens.len()];
+                for entries in accepted.values() {
+                    for (_, r) in entries {
+                        delivered = union_fp(delivered, r);
+                    }
+                }
+                peer_written.remove(dev);
+                // Promotion is a synchronous handoff: the new owner's prior
+                // program order (its subkernels, its sends) happens-before
+                // everything the owner role does from here on. An
+                // empty-ranges message carries the clock join without
+                // shipping any data — the re-formed wave walk re-executes
+                // everything below the watermark instead.
+                events.push(Some(HbEvent::new(
+                    *dev as usize + 1,
+                    format!("ep{dev} promotion handoff"),
+                    HbOp::Send {
+                        msg: next_msg,
+                        ranges: vec![DirtyRanges::empty(); meta.out_lens.len()],
+                    },
+                )));
+                events.push(Some(HbEvent::new(
+                    OWNER,
+                    format!("ep{dev} promotion join"),
+                    HbOp::Recv { msg: next_msg },
+                )));
+                next_msg += 1;
+            }
+            TraceKind::EpDegradedRun { dev, from, to } => {
+                degraded_peer = Some(*dev);
+                events.push(Some(HbEvent::new(
+                    *dev as usize + 1,
+                    format!("ep{dev} degraded run {from}..{to}"),
+                    HbOp::Write {
+                        ranges: fp(*from, *to),
+                    },
+                )));
+            }
             TraceKind::MergeDone => {
                 // Legacy merge covers the contiguous suffix above the final
                 // watermark; a multi-device merge covers exactly what
@@ -796,8 +871,14 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
                         )));
                     }
                 }
+                let read_ep = match degraded_peer {
+                    // Peer-degraded run: the data only exists on the
+                    // surviving peer; the final read happens there.
+                    Some(dev) => dev as usize + 1,
+                    None => endpoint_of_finisher(*finisher),
+                };
                 events.push(Some(HbEvent::new(
-                    endpoint_of_finisher(*finisher),
+                    read_ep,
                     format!("final read 0..{total}"),
                     HbOp::Read {
                         ranges: fp(0, total),

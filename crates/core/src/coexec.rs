@@ -39,7 +39,7 @@
 //! just wrong timings.
 
 use fluidicl_des::{ChannelBank, SimDuration, SimTime, Simulation};
-use fluidicl_hetsim::{MachineConfig, PeerGpu};
+use fluidicl_hetsim::{GpuModel, LinkModel, MachineConfig, PeerGpu};
 use fluidicl_vcl::exec::{execute_groups_par, Launch};
 use fluidicl_vcl::{
     diff_merge_tracked, payload_checksum, BufferId, ClError, ClResult, DeviceKind, DirtyTracker,
@@ -94,6 +94,10 @@ pub(crate) struct CoexecInput<'a> {
     /// injection *and* every watchdog, keeping the event timeline
     /// byte-identical to the fault-free engine.
     pub injector: Option<&'a mut FaultInjector>,
+    /// The CPU endpoint is already dead (roster state from an earlier
+    /// kernel): it is constructed lost and never scheduled, so the kernel
+    /// co-executes on the owner plus the surviving peers alone.
+    pub dead_cpu: bool,
 }
 
 /// Timeline outcome of one co-executed kernel.
@@ -113,9 +117,13 @@ pub(crate) struct CoexecOutcome {
     pub gpu_results_at: SimTime,
     /// Per-kernel statistics.
     pub report: KernelReport,
-    /// Device declared permanently lost during this kernel (the run still
-    /// completed on the survivors).
-    pub lost_device: Option<DeviceKind>,
+    /// The CPU endpoint was declared permanently lost during this kernel
+    /// (the run still completed on the survivors).
+    pub lost_cpu: bool,
+    /// The acting primary GPU was lost during this kernel — it missed a
+    /// wave deadline, whether or not a surviving peer was promoted to
+    /// finish the run. The runtime drops the primary card from its roster.
+    pub lost_gpu: bool,
     /// Peer endpoints (by stable dev index) declared lost during this
     /// kernel; the runtime excludes them from later launches.
     pub lost_peers: Vec<u32>,
@@ -203,6 +211,10 @@ struct Subkernel {
     dirty_bytes: u64,
     /// Whether the subkernel reported completion (watchdogs check this).
     done: bool,
+    /// The claiming endpoint was promoted to owner while this subkernel
+    /// was in flight: the claim went back to the frontier and the result
+    /// is discarded when the completion event fires.
+    abandoned: bool,
     /// Whether this is an online-profiling trial (CPU endpoint only).
     trial: bool,
     /// Transfer stall exposed before this subkernel launched (the wait
@@ -227,9 +239,18 @@ struct SendOp {
     payload: u64,
     /// 1-based attempt number (retries and resends re-enqueue with +1).
     attempt: u32,
+    /// Ownership epoch that enqueued this send. A delivery whose epoch is
+    /// older than the current one is rejected at acceptance — its data
+    /// landed on a dead owner (the epoch fence of owner failover).
+    epoch: u32,
     /// Whether the send reached a terminal state (status arrived, failure
     /// detected, or timed out) — watchdogs no-op on resolved sends.
     resolved: bool,
+    /// Whether the send was accepted and folded into [`Coverage`]. Owner
+    /// failover un-credits the promoted endpoint's applied sends (their
+    /// ranges leave coverage and return to the frontier), so this flag is
+    /// the single source of truth for what coverage currently holds.
+    applied: bool,
 }
 
 /// Per-endpoint protocol state: the paper's CPU-side loop, one instance
@@ -269,6 +290,10 @@ struct EpState {
     pending_batch: Vec<u32>,
     /// The endpoint missed a subkernel deadline and is permanently gone.
     lost: bool,
+    /// The endpoint was promoted to acting owner: it stops claiming and
+    /// shipping (the owner's wave walk is its execution now), but keeps
+    /// its memory and `cum_dirty` as the merge destination.
+    promoted: bool,
     /// A send stalled: this endpoint's in-order queue is blocked until the
     /// send's watchdog gives up on it.
     link_wedged: bool,
@@ -355,8 +380,20 @@ pub(crate) struct Coexec<'a> {
     // injector is attached, and none of it affects the fault-free timeline.
     /// Every send attempted this kernel, in enqueue order.
     sends: Vec<SendOp>,
-    /// The GPU missed a wave deadline and is considered permanently gone.
+    /// The GPU missed a wave deadline and is considered permanently gone
+    /// with no failover target: the survivors finish the range alone.
     gpu_lost: bool,
+    /// Ownership epoch: 0 under the primary owner, incremented at every
+    /// promotion. Sends are stamped with the epoch that enqueued them.
+    epoch: u32,
+    /// Acting owner after failover: index into `eps` of the promoted peer
+    /// (`None` while the primary GPU owns the kernel).
+    owner_ep: Option<usize>,
+    /// Device model of the acting owner's card — the primary GPU's until
+    /// a promotion swaps in the promoted peer's.
+    owner_gpu: GpuModel,
+    /// Device-to-host link of the acting owner.
+    owner_d2h: LinkModel,
 }
 
 impl<'a> Coexec<'a> {
@@ -418,7 +455,8 @@ impl<'a> Coexec<'a> {
             free_at: None,
             hd_free: input.hd_free,
             pending_batch: Vec::new(),
-            lost: false,
+            lost: input.dead_cpu,
+            promoted: false,
             link_wedged: false,
             link_dead: false,
             holes: 0,
@@ -456,6 +494,7 @@ impl<'a> Coexec<'a> {
                 hd_free: SimTime::ZERO,
                 pending_batch: Vec::new(),
                 lost: false,
+                promoted: false,
                 link_wedged: false,
                 link_dead: false,
                 holes: 0,
@@ -502,6 +541,10 @@ impl<'a> Coexec<'a> {
             trace: Vec::new(),
             sends: Vec::new(),
             gpu_lost: false,
+            epoch: 0,
+            owner_ep: None,
+            owner_gpu: input.machine.gpu.clone(),
+            owner_d2h: input.machine.d2h.clone(),
             input,
         })
     }
@@ -518,6 +561,12 @@ impl<'a> Coexec<'a> {
     }
 
     fn kill_gpu_wave(&mut self) -> bool {
+        // The injected fault targets the primary card; a promoted peer's
+        // waves are its own device's, which the sticky gpu-kill latch must
+        // not reach (the failover would otherwise cascade unconditionally).
+        if self.owner_ep.is_some() {
+            return false;
+        }
         self.input
             .injector
             .as_deref_mut()
@@ -560,7 +609,9 @@ impl<'a> Coexec<'a> {
         // the CPU as soon as the host copy is current, peers after their
         // launch-buffer broadcast and launch overhead.
         let ep_start = self.input.cpu_start.max(start);
-        sim.schedule_at(ep_start, Ev::EpBegin { dev: 0 });
+        if !self.eps[0].lost {
+            sim.schedule_at(ep_start, Ev::EpBegin { dev: 0 });
+        }
         for e in 1..self.eps.len() {
             let delay = self.eps[e].model.begin_delay(self.launch_bytes);
             sim.schedule_at(ep_start + delay, Ev::EpBegin { dev: e as u32 });
@@ -635,10 +686,10 @@ impl<'a> Coexec<'a> {
         if self.gpu_next >= limit {
             return self.gpu_exit(sim, t);
         }
-        let width = self.input.machine.gpu.wave_width();
+        let width = self.owner_gpu.wave_width();
         let start = self.gpu_next;
         let end = (start + width).min(limit);
-        let dur = self.input.machine.gpu.range_time(
+        let dur = self.owner_gpu.range_time(
             self.gpu_profile(),
             self.items,
             end - start,
@@ -681,26 +732,148 @@ impl<'a> Coexec<'a> {
             self.wave = Some(wave);
             return Ok(());
         }
-        // The wave is still open past its deadline: the GPU is gone. The
-        // non-owner schedulers keep claiming (their gpu-exit guard never
-        // fires, since a dead GPU never exits) and the run completes on
-        // the survivors.
+        // The wave is still open past its deadline: the acting owner is
+        // gone, and its executed prefix died with its memory.
         if let Some(token) = wave.token {
             sim.cancel(token);
         }
-        self.gpu_lost = true;
+        if let Some(p) = self.owner_ep.take() {
+            // A promoted owner died in turn. Its pre-promotion results were
+            // already rolled back when it was promoted, and its dirty
+            // accounting cleared, so the merge folds nothing from it; its
+            // post-promotion wave writes die with its memory and the next
+            // acting owner's walk re-covers them.
+            self.eps[p].lost = true;
+        }
         self.record(
             t,
             TraceKind::DeviceLost {
                 device: DeviceKind::Gpu,
             },
         );
-        if self.eps.iter().all(|e| e.lost) {
+        // Owner failover (epoch-fenced): promote the lowest surviving peer
+        // to owner instead of abandoning the run to survivor-finishes.
+        if self.input.config.recovery.promote_on_owner_loss {
+            let candidate = self
+                .eps
+                .iter()
+                .position(|e| e.dev > 0 && !e.lost && !e.promoted);
+            if let Some(p) = candidate {
+                return self.promote_owner(sim, t, p);
+            }
+        }
+        // No failover target: the non-owner schedulers keep claiming
+        // (their gpu-exit guard never fires, since a dead GPU never
+        // exits) and the run completes on the survivors.
+        self.gpu_lost = true;
+        if self.eps.iter().all(|e| e.lost || e.promoted) {
             return Err(ClError::DeviceLost {
                 device: DeviceKind::Gpu,
                 detail: "GPU wave missed its watchdog deadline after the CPU was already lost"
                     .into(),
             });
+        }
+        Ok(())
+    }
+
+    /// Epoch-fenced ownership migration (owner failover): endpoint `p`
+    /// becomes the acting owner. It inherits the surviving endpoints'
+    /// arrival [`Coverage`] — with its *own* prior contributions rolled
+    /// back — returns its claimed and delivered ranges to the [`Frontier`]
+    /// for the surviving non-owners, and resumes the owner's wave walk
+    /// from 0 against the rebuilt watermark — the old owner's executed
+    /// prefix died with its memory. Every send is stamped with the epoch
+    /// that enqueued it; a delivery from a previous epoch is rejected at
+    /// acceptance (its data landed on a dead device), which is sound
+    /// because an unaccepted range is never part of the covered suffix,
+    /// so the new owner's walk re-executes it.
+    fn promote_owner(&mut self, sim: &mut Simulation<Ev>, t: SimTime, p: usize) -> ClResult<()> {
+        self.epoch += 1;
+        self.eps[p].promoted = true;
+        let dev = self.eps[p].dev;
+        self.record(
+            t,
+            TraceKind::OwnerPromoted {
+                dev,
+                epoch: self.epoch,
+            },
+        );
+        // The promoted endpoint stops being a claimant: its in-flight
+        // subkernel is abandoned (the result is discarded — the owner's
+        // walk covers the range) and its claimed-but-undelivered ranges go
+        // back to the frontier for the survivors.
+        for sk in self.subkernels.iter_mut() {
+            if sk.dev == dev && !sk.done {
+                sk.abandoned = true;
+            }
+        }
+        self.return_lost_ranges(p);
+        // Un-credit the promoted endpoint's own delivered results. Its
+        // memory already holds every subkernel it completed, and the owner
+        // wave walk re-executes everything below the watermark in that
+        // same memory — for a read-modify-write kernel a second pass
+        // double-applies the update, so re-execution is only
+        // value-identical against pristine inputs. Roll the endpoint back
+        // to a pristine owner instead: its delivered ranges leave coverage
+        // and return to the frontier, its output buffers are restored from
+        // the original snapshot, and its dirty accounting is cleared.
+        // Everything it ever computed is then recomputed exactly once — by
+        // its own wave walk below the rebuilt watermark, or by a surviving
+        // claimant whose results fold in at the merge.
+        let mut credited: Vec<u32> = Vec::new();
+        for s in self.sends.iter_mut().filter(|s| s.applied && s.dev == dev) {
+            s.applied = false;
+            credited.extend_from_slice(&s.subs);
+        }
+        credited.sort_unstable();
+        credited.dedup();
+        let mut coverage = Coverage::new(self.total);
+        for s in self.sends.iter().filter(|s| s.applied) {
+            for &sub in &s.subs {
+                let sk = &self.subkernels[sub as usize];
+                coverage.add(sk.from, sk.to);
+            }
+        }
+        self.coverage = coverage;
+        self.watermark = self.coverage.suffix_start();
+        for sub in credited {
+            let sk = &self.subkernels[sub as usize];
+            self.frontier.return_range(sk.from, sk.to);
+        }
+        let mem = self.eps[p]
+            .mem
+            .as_mut()
+            .expect("a promoted peer has its own address space");
+        for (id, orig) in &self.orig_snapshots {
+            mem.get_mut(*id)?.copy_from_slice(orig);
+        }
+        self.eps[p].cum_dirty = self
+            .orig_snapshots
+            .iter()
+            .map(|(_, orig)| DirtyTracker::new(orig.len()))
+            .collect();
+        // Fresh in-order view per epoch: open holes and buffered statuses
+        // described the dead owner's receive queue. Stale deliveries are
+        // rejected by the epoch fence instead, and retries re-enqueue
+        // under the current epoch and are accepted normally.
+        for e in self.eps.iter_mut() {
+            e.holes = 0;
+            e.buffered_statuses.clear();
+        }
+        let slot = self
+            .input
+            .peers
+            .iter()
+            .find(|s| s.dev == dev)
+            .expect("promoted endpoint is a configured peer");
+        self.owner_gpu = slot.peer.gpu.clone();
+        self.owner_d2h = slot.peer.d2h.clone();
+        self.owner_ep = Some(p);
+        self.gpu_next = 0;
+        sim.schedule_at(t + self.owner_gpu.launch_overhead(), Ev::GpuBegin);
+        // Survivors take over the returned work immediately.
+        for e in 0..self.eps.len() {
+            self.maybe_launch_subkernel(sim, t, e);
         }
         Ok(())
     }
@@ -723,13 +896,18 @@ impl<'a> Coexec<'a> {
             wave.end
         };
         if exec_end > wave.start {
-            execute_groups_par(
-                self.input.launch,
-                self.input.gpu_mem,
-                wave.start,
-                exec_end,
-                self.input.config.intra_launch_jobs,
-            )?;
+            let launch = self.input.launch;
+            let jobs = self.input.config.intra_launch_jobs;
+            // Waves execute in the acting owner's address space: the
+            // primary GPU's, or a promoted peer's own memory.
+            let mem: &mut Memory = match self.owner_ep {
+                Some(p) => self.eps[p]
+                    .mem
+                    .as_mut()
+                    .expect("promoted owner is a peer with its own memory"),
+                None => self.input.gpu_mem,
+            };
+            execute_groups_par(launch, mem, wave.start, exec_end, jobs)?;
             self.gpu_wgs_executed += exec_end - wave.start;
         }
         self.record(
@@ -778,7 +956,7 @@ impl<'a> Coexec<'a> {
             } else {
                 self.out_bytes
             };
-            let dur = self.input.machine.gpu.merge_time(merge_bytes);
+            let dur = self.owner_gpu.merge_time(merge_bytes);
             sim.schedule_at(t + dur, Ev::GpuMergeDone);
         } else {
             // GPU executed the entire NDRange; the merge is skipped.
@@ -802,8 +980,19 @@ impl<'a> Coexec<'a> {
     /// each peer; claimed ranges are disjoint, so the fold order never
     /// changes the result.
     fn merge_results(&mut self) -> ClResult<()> {
+        // Destination: the acting owner's address space — a promoted
+        // peer's own memory after failover, the primary GPU's otherwise.
+        // The promoted owner's copy is taken out for the fold and put back
+        // afterwards, so the source loop can still borrow `eps` freely.
+        // (On the error paths the kernel is abandoned and the copy stays
+        // out — harmless, nothing reads it again.)
+        let owner = self.owner_ep;
+        let mut promoted_mem = owner.and_then(|p| self.eps[p].mem.take());
         for e in 0..self.eps.len() {
-            // The endpoint's address space and the GPU's are separate
+            if owner == Some(e) {
+                continue;
+            }
+            // The endpoint's address space and the owner's are separate
             // fields, so the source copy is borrowed in place — no
             // temporary clone per buffer.
             let ep = &self.eps[e];
@@ -811,7 +1000,10 @@ impl<'a> Coexec<'a> {
                 Some(m) => m,
                 None => self.input.cpu_mem,
             };
-            let gpu_mem: &mut Memory = self.input.gpu_mem;
+            let gpu_mem: &mut Memory = match promoted_mem.as_mut() {
+                Some(m) => m,
+                None => self.input.gpu_mem,
+            };
             for (j, (id, orig)) in self.orig_snapshots.iter().enumerate() {
                 let src = src_mem.get(*id)?;
                 let dst = gpu_mem.get_mut(*id)?;
@@ -843,6 +1035,9 @@ impl<'a> Coexec<'a> {
                 }
             }
         }
+        if let Some(p) = owner {
+            self.eps[p].mem = promoted_mem;
+        }
         Ok(())
     }
 
@@ -862,6 +1057,7 @@ impl<'a> Coexec<'a> {
             if self.gpu_exited_at.is_some()
                 || self.frontier.is_empty()
                 || ep.lost
+                || ep.promoted
                 || ep.link_dead
                 || ep.busy
             {
@@ -934,6 +1130,7 @@ impl<'a> Coexec<'a> {
             duration,
             dirty_bytes: 0,
             done: false,
+            abandoned: false,
             trial,
             exposed,
         });
@@ -971,7 +1168,11 @@ impl<'a> Coexec<'a> {
         idx: u32,
     ) -> ClResult<()> {
         let d = self.ep_of(idx);
-        if self.subkernels[idx as usize].done || self.eps[d].lost {
+        if self.subkernels[idx as usize].done
+            || self.subkernels[idx as usize].abandoned
+            || self.eps[d].lost
+            || self.eps[d].promoted
+        {
             return Ok(());
         }
         // The subkernel is still open past its deadline: the endpoint is
@@ -992,11 +1193,24 @@ impl<'a> Coexec<'a> {
             );
         }
         self.return_lost_ranges(d);
-        if self.gpu_lost && self.eps.iter().all(|e| e.lost) {
+        if self.gpu_lost && self.eps.iter().all(|e| e.lost || e.promoted) {
+            // Name the device that actually missed the deadline: the CPU
+            // endpoint or a peer GPU (previously this always blamed the
+            // CPU, even when the last survivor was a peer card).
             return Err(ClError::DeviceLost {
-                device: DeviceKind::Cpu,
-                detail: "CPU subkernel missed its watchdog deadline after the GPU was already lost"
-                    .into(),
+                device: if dev == 0 {
+                    DeviceKind::Cpu
+                } else {
+                    DeviceKind::Gpu
+                },
+                detail: if dev == 0 {
+                    "CPU subkernel missed its watchdog deadline after the GPU was already lost"
+                        .into()
+                } else {
+                    format!(
+                        "peer GPU ep{dev} subkernel missed its watchdog deadline after the GPU was already lost"
+                    )
+                },
             });
         }
         // Survivors take over the returned work immediately.
@@ -1046,6 +1260,14 @@ impl<'a> Coexec<'a> {
         idx: u32,
     ) -> ClResult<()> {
         let d = self.ep_of(idx);
+        if self.subkernels[idx as usize].abandoned {
+            // The endpoint was promoted to owner while this subkernel was
+            // in flight: its claim went back to the frontier at promotion
+            // and the result is discarded without executing — the owner's
+            // wave walk (or a surviving claimant) covers the range.
+            self.eps[d].busy = false;
+            return Ok(());
+        }
         let (dev, from, to, version, duration, exposed, trial) = {
             let sk = &mut self.subkernels[idx as usize];
             sk.done = true;
@@ -1160,10 +1382,10 @@ impl<'a> Coexec<'a> {
     fn on_copy_done(&mut self, sim: &mut Simulation<Ev>, t: SimTime, idx: u32) {
         let d = self.ep_of(idx);
         self.eps[d].unshipped = self.eps[d].unshipped.saturating_sub(1);
-        if self.multi && self.eps[d].lost {
-            // The endpoint died after this copy was enqueued; its range
-            // already returned to the frontier, so the result must not
-            // ship (a survivor owns the range now).
+        if self.multi && (self.eps[d].lost || self.eps[d].promoted) {
+            // The endpoint died (or was promoted to owner) after this copy
+            // was enqueued; its range already returned to the frontier, so
+            // the result must not ship (a survivor owns the range now).
             return;
         }
         if self.depth <= 1 {
@@ -1233,7 +1455,7 @@ impl<'a> Coexec<'a> {
             || self.gpu_lost
             || self.eps[d].link_wedged
             || self.eps[d].link_dead
-            || (self.multi && self.eps[d].lost)
+            || (self.multi && (self.eps[d].lost || self.eps[d].promoted))
         {
             // Nobody is listening (or the queue is blocked, or the range
             // went back to the frontier): the send is dropped; the GPU
@@ -1297,7 +1519,9 @@ impl<'a> Coexec<'a> {
             boundary,
             payload,
             attempt,
+            epoch: self.epoch,
             resolved: false,
+            applied: false,
         });
         match fate {
             TransferFate::Deliver => {
@@ -1368,6 +1592,20 @@ impl<'a> Coexec<'a> {
     /// closes the hole and applies everything buffered behind it.
     fn accept_status(&mut self, sim: &mut Simulation<Ev>, t: SimTime, seq: u32) -> ClResult<()> {
         let d = self.ep_of_send(seq);
+        // Epoch fence (owner failover): a delivery enqueued under a
+        // previous owner landed on a dead device. It is rejected here —
+        // never folded into coverage — which keeps the range below the
+        // watermark, where the acting owner's wave walk re-executes it.
+        // Retries of the same batch re-enqueue under the current epoch and
+        // are accepted normally.
+        if self.sends[seq as usize].epoch != self.epoch {
+            let (dev, boundary) = {
+                let s = &self.sends[seq as usize];
+                (s.dev, s.boundary)
+            };
+            self.record(t, TraceKind::EpochRejected { dev, boundary });
+            return Ok(());
+        }
         let attempt = self.sends[seq as usize].attempt;
         if attempt > 1 {
             self.eps[d].holes = self.eps[d].holes.saturating_sub(1);
@@ -1392,6 +1630,7 @@ impl<'a> Coexec<'a> {
             let s = &self.sends[seq as usize];
             (s.dev, s.boundary)
         };
+        self.sends[seq as usize].applied = true;
         for i in 0..self.sends[seq as usize].subs.len() {
             let sub = self.sends[seq as usize].subs[i];
             let sk = &self.subkernels[sub as usize];
@@ -1421,7 +1660,7 @@ impl<'a> Coexec<'a> {
         if self.watermark > wave.start {
             return Ok(());
         }
-        let Some(quantum) = self.input.machine.gpu.abort_quantum(
+        let Some(quantum) = self.owner_gpu.abort_quantum(
             self.gpu_profile(),
             self.items,
             self.input.config.abort_mode,
@@ -1442,7 +1681,7 @@ impl<'a> Coexec<'a> {
         let checks = elapsed.div_ceil(q).max(1);
         let abort_at = wave.started_at + SimDuration::from_nanos(checks * q);
         let natural_done = wave.started_at
-            + self.input.machine.gpu.range_time(
+            + self.owner_gpu.range_time(
                 self.gpu_profile(),
                 self.items,
                 wave.end - wave.start,
@@ -1644,11 +1883,17 @@ impl<'a> Coexec<'a> {
         // D2H return and the functional mirror only need these ranges.
         // Empty when the CPU finished the whole range.
         let stales: Vec<DirtyTracker> = if self.dirty_enabled {
-            let gpu_mem: &Memory = self.input.gpu_mem;
+            let owner_mem: &Memory = match self.owner_ep {
+                Some(p) => self.eps[p]
+                    .mem
+                    .as_ref()
+                    .expect("promoted owner is a peer with its own memory"),
+                None => self.input.gpu_mem,
+            };
             let cpu_mem: &Memory = self.input.cpu_mem;
             self.out_ids
                 .iter()
-                .map(|id| DirtyTracker::try_from_diff(gpu_mem.get(*id)?, cpu_mem.get(*id)?))
+                .map(|id| DirtyTracker::try_from_diff(owner_mem.get(*id)?, cpu_mem.get(*id)?))
                 .collect::<ClResult<_>>()?
         } else {
             Vec::new()
@@ -1663,9 +1908,16 @@ impl<'a> Coexec<'a> {
                 let bytes = if self.dirty_enabled {
                     stales[i].byte_count()
                 } else {
-                    self.input.gpu_mem.get(*id)?.len() as u64 * 4
+                    let owner_mem: &Memory = match self.owner_ep {
+                        Some(p) => self.eps[p]
+                            .mem
+                            .as_ref()
+                            .expect("promoted owner is a peer with its own memory"),
+                        None => self.input.gpu_mem,
+                    };
+                    owner_mem.get(*id)?.len() as u64 * 4
                 };
-                t += self.input.machine.d2h.transfer_time(bytes);
+                t += self.owner_d2h.transfer_time(bytes);
                 self.dh_bytes += bytes;
             }
             (t, t)
@@ -1677,16 +1929,22 @@ impl<'a> Coexec<'a> {
         // still-valid snapshot) are refreshed.
         let orig_copy_bytes = if self.dirty_enabled {
             let mut bytes = 0u64;
+            let owner_mem: &Memory = match self.owner_ep {
+                Some(p) => self.eps[p]
+                    .mem
+                    .as_ref()
+                    .expect("promoted owner is a peer with its own memory"),
+                None => self.input.gpu_mem,
+            };
             for (id, orig) in &self.orig_snapshots {
-                bytes +=
-                    DirtyTracker::try_from_diff(self.input.gpu_mem.get(*id)?, orig)?.byte_count();
+                bytes += DirtyTracker::try_from_diff(owner_mem.get(*id)?, orig)?.byte_count();
             }
             bytes
         } else {
             self.out_bytes
         };
         let orig_copy = SimDuration::from_nanos(
-            (2.0 * orig_copy_bytes as f64 / self.input.machine.gpu.peak_mem_bytes_per_ns()) as u64,
+            (2.0 * orig_copy_bytes as f64 / self.owner_gpu.peak_mem_bytes_per_ns()) as u64,
         );
         let gpu_busy_until = merge_done + orig_copy;
         // Functional epilogue: the merged GPU content is the authoritative
@@ -1695,13 +1953,19 @@ impl<'a> Coexec<'a> {
         // does — ranged when the stale set is known, whole-buffer
         // otherwise.
         {
-            let gpu_mem: &Memory = self.input.gpu_mem;
+            let owner_mem: &Memory = match self.owner_ep {
+                Some(p) => self.eps[p]
+                    .mem
+                    .as_ref()
+                    .expect("promoted owner is a peer with its own memory"),
+                None => self.input.gpu_mem,
+            };
             let cpu_mem: &mut Memory = self.input.cpu_mem;
             for (i, id) in self.out_ids.iter().enumerate() {
                 if self.dirty_enabled {
-                    stales[i].copy_ranges(gpu_mem.get(*id)?, cpu_mem.get_mut(*id)?)?;
+                    stales[i].copy_ranges(owner_mem.get(*id)?, cpu_mem.get_mut(*id)?)?;
                 } else {
-                    cpu_mem.write(*id, gpu_mem.get(*id)?)?;
+                    cpu_mem.write(*id, owner_mem.get(*id)?)?;
                 }
             }
         }
@@ -1750,10 +2014,14 @@ impl<'a> Coexec<'a> {
             cpu_results_at,
             gpu_results_at,
             report,
-            // A lost CPU still reaches this path: the GPU finished the
+            // A lost CPU still reaches this path: the owner finished the
             // kernel normally (the un-delivered ranges stayed above the
             // watermark), but the runtime must stop scheduling CPU work.
-            lost_device: self.eps[0].lost.then_some(DeviceKind::Cpu),
+            // A nonzero epoch means the primary card died and a promoted
+            // peer finished the kernel — the primary leaves the roster,
+            // while the healthy promoted peer stays available.
+            lost_cpu: self.eps[0].lost,
+            lost_gpu: self.gpu_lost || self.epoch > 0,
             lost_peers: self.eps[1..]
                 .iter()
                 .filter(|e| e.lost)
@@ -1853,7 +2121,8 @@ impl<'a> Coexec<'a> {
             cpu_results_at: complete_at,
             gpu_results_at: complete_at,
             report,
-            lost_device: Some(DeviceKind::Gpu),
+            lost_cpu: self.eps[0].lost,
+            lost_gpu: true,
             lost_peers: self.eps[1..]
                 .iter()
                 .filter(|e| e.lost)

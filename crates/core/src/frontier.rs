@@ -307,4 +307,140 @@ mod tests {
             }
         }
     }
+
+    /// Property test for the owner-failover accounting: claimants claim
+    /// descending ranges, ship them (crediting [`Coverage`]), die mid-claim
+    /// (in-flight work returns, shipped work stays) or get promoted to
+    /// owner — the failover rollback, which un-credits everything they
+    /// shipped and returns it to the frontier while coverage is rebuilt
+    /// from the survivors. Under arbitrary interleavings of those events
+    /// (including cascades of several promotions) no work-group may be
+    /// lost — every one ends either credited to exactly one claimant or
+    /// strictly below the watermark where the acting owner's wave walk
+    /// picks it up — and none may be credited twice.
+    #[test]
+    fn loss_and_promotion_interleavings_never_lose_or_duplicate_work() {
+        let mut rng = SplitMix64::new(0xF1D1_C1A2);
+        for trial in 0..200 {
+            let total = 8 + rng.range_usize(0, 256) as u64;
+            let claimants = 2 + rng.range_usize(0, 3);
+            let mut f = Frontier::new(total);
+            let mut coverage = Coverage::new(total);
+            // credit[wg] = the claimant whose shipped send currently holds
+            // the work-group; exactly-once is `Option`, not a count.
+            let mut credit: Vec<Option<usize>> = vec![None; total as usize];
+            let mut in_flight: Vec<Vec<(u64, u64)>> = vec![Vec::new(); claimants];
+            let mut applied: Vec<Vec<(u64, u64)>> = vec![Vec::new(); claimants];
+            let mut alive = vec![true; claimants];
+            let mut steps = 0;
+            while !(f.is_empty() && in_flight.iter().all(Vec::is_empty)) {
+                steps += 1;
+                assert!(steps < 100_000, "trial {trial} did not converge");
+                let live: Vec<usize> = (0..claimants).filter(|&c| alive[c]).collect();
+                if live.is_empty() {
+                    break;
+                }
+                let c = live[rng.range_usize(0, live.len())];
+                match rng.range_usize(0, 10) {
+                    0..=5 => {
+                        let want = 1 + rng.range_usize(0, 16) as u64;
+                        if let Some((from, to)) = f.claim(want) {
+                            for wg in from..to {
+                                assert!(
+                                    credit[wg as usize].is_none(),
+                                    "trial {trial}: frontier handed out a credited work-group"
+                                );
+                            }
+                            for ranges in &in_flight {
+                                for &(cf, ct) in ranges {
+                                    assert!(
+                                        to <= cf || from >= ct,
+                                        "trial {trial}: claim overlaps an outstanding claim"
+                                    );
+                                }
+                            }
+                            in_flight[c].push((from, to));
+                        }
+                    }
+                    6 | 7 => {
+                        if !in_flight[c].is_empty() {
+                            let i = rng.range_usize(0, in_flight[c].len());
+                            let (from, to) = in_flight[c].swap_remove(i);
+                            for wg in from..to {
+                                assert!(
+                                    credit[wg as usize].replace(c).is_none(),
+                                    "trial {trial}: work-group credited twice"
+                                );
+                            }
+                            coverage.add(from, to);
+                            applied[c].push((from, to));
+                        }
+                    }
+                    8 => {
+                        // Plain loss: in-flight claims return, shipped work
+                        // stays credited (in-order sends already delivered).
+                        alive[c] = false;
+                        for (from, to) in in_flight[c].drain(..) {
+                            f.return_range(from, to);
+                        }
+                    }
+                    _ => {
+                        // Promotion rollback: the claimant becomes the
+                        // acting owner from a pristine slate — everything
+                        // it shipped is un-credited and returned alongside
+                        // its in-flight claims, and coverage is rebuilt
+                        // from the surviving claimants' shipped ranges.
+                        alive[c] = false;
+                        for (from, to) in in_flight[c].drain(..) {
+                            f.return_range(from, to);
+                        }
+                        for (from, to) in applied[c].drain(..) {
+                            for wg in from..to {
+                                assert_eq!(credit[wg as usize].take(), Some(c));
+                            }
+                            f.return_range(from, to);
+                        }
+                        let mut rebuilt = Coverage::new(total);
+                        for ranges in &applied {
+                            for &(af, at) in ranges {
+                                rebuilt.add(af, at);
+                            }
+                        }
+                        coverage = rebuilt;
+                    }
+                }
+            }
+            let credited = credit.iter().filter(|c| c.is_some()).count() as u64;
+            assert_eq!(
+                coverage.covered_count(),
+                credited,
+                "trial {trial}: coverage disagrees with the credit ledger"
+            );
+            // The watermark splits the range exactly: everything at or
+            // above it is credited to exactly one claimant, everything
+            // below it that is uncredited sits in the frontier (or was
+            // never claimed) where the acting owner's walk re-covers it.
+            let wm = coverage.suffix_start();
+            for wg in wm..total {
+                assert!(
+                    credit[wg as usize].is_some(),
+                    "trial {trial}: work-group {wg} above the watermark {wm} lost"
+                );
+            }
+            let mut walked = vec![false; total as usize];
+            while let Some((from, to)) = f.claim(16) {
+                assert!(
+                    to <= wm,
+                    "trial {trial}: frontier holds [{from}, {to}) above the watermark {wm}"
+                );
+                for wg in from..to {
+                    assert!(
+                        credit[wg as usize].is_none() && !walked[wg as usize],
+                        "trial {trial}: work-group {wg} both credited and walkable"
+                    );
+                    walked[wg as usize] = true;
+                }
+            }
+        }
+    }
 }

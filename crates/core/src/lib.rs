@@ -39,6 +39,7 @@ mod endpoint;
 mod frontier;
 mod lint;
 mod recover;
+mod roster;
 mod runtime;
 mod stats;
 mod trace;
@@ -50,6 +51,7 @@ pub use endpoint::{CpuEndpoint, NonOwnerEndpoint, PeerGpuEndpoint};
 pub use frontier::{Coverage, Frontier};
 pub use lint::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use recover::RecoveryPolicy;
+pub use roster::DeviceRoster;
 pub use runtime::{parse_disjoint_manifest, Fluidicl};
 pub use stats::{Finisher, KernelReport, LaunchMeta, RuntimeSummary};
 pub use trace::{render_lanes, render_timeline, TraceEvent, TraceKind, STATUS_MSG_BYTES};

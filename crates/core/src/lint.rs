@@ -152,10 +152,11 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                     DeviceKind::Cpu => lost_cpu = true,
                 }
             }
-            TraceKind::DegradedRun { .. } => {
+            TraceKind::DegradedRun { .. } | TraceKind::EpDegradedRun { .. } => {
                 relaxed = true;
                 degraded = true;
             }
+            TraceKind::OwnerPromoted { .. } | TraceKind::EpochRejected { .. } => relaxed = true,
             _ => {}
         }
     }
@@ -177,6 +178,8 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                 | TraceKind::EpTransferRejected { .. }
                 | TraceKind::EpTransferTimeout { .. }
                 | TraceKind::NonOwnerLost { .. }
+                | TraceKind::OwnerPromoted { .. }
+                | TraceKind::EpochRejected { .. }
         )
     }) {
         let relaxed_multi = relaxed
@@ -187,6 +190,8 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
                         | TraceKind::EpTransferRejected { .. }
                         | TraceKind::EpTransferTimeout { .. }
                         | TraceKind::NonOwnerLost { .. }
+                        | TraceKind::OwnerPromoted { .. }
+                        | TraceKind::EpochRejected { .. }
                 )
             });
         return lint_multidev(events, total, depth, relaxed_multi, out);
@@ -638,7 +643,11 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
             | TraceKind::EpTransferFault { .. }
             | TraceKind::EpTransferRejected { .. }
             | TraceKind::EpTransferTimeout { .. }
-            | TraceKind::NonOwnerLost { .. } => unreachable!("dispatched to lint_multidev"),
+            | TraceKind::NonOwnerLost { .. }
+            | TraceKind::OwnerPromoted { .. }
+            | TraceKind::EpochRejected { .. } => unreachable!("dispatched to lint_multidev"),
+            // Peer-degraded spans were dispatched to `lint_degraded` above.
+            TraceKind::EpDegradedRun { .. } => unreachable!("dispatched to lint_degraded"),
         }
     }
 
@@ -838,10 +847,20 @@ fn lint_multidev(
     // All claimed ranges with their claimant, for frontier disjointness.
     let mut claims: Vec<(u64, u64, u32)> = Vec::new();
     let mut lost_devs: Vec<u32> = Vec::new();
+    // Owner-failover replay: every promotion hands the owner role to a
+    // surviving peer, bumps the epoch, and restarts the wave walk from 0.
+    let mut promotions = 0usize;
+    let mut gpu_losses = 0usize;
+    let mut promoted_devs: Vec<u32> = Vec::new();
     // Watermark replay: EpStatus events carry the engine's value; the
     // linter recomputes it from delivered ranges and cross-checks.
     let mut watermark = total;
     let mut coverage = crate::frontier::Coverage::new(total);
+    // Delivered-and-credited ranges per endpoint. Owner failover
+    // un-credits the promoted endpoint's deliveries, so the post-promotion
+    // watermark is the covered suffix of the *other* endpoints' ranges —
+    // this map is what lets the replay rebuild it exactly.
+    let mut applied_by_dev: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
     // GPU wave replay, identical to the two-device linter.
     let mut expected_next = 0u64;
     let mut open_wave: Option<(u64, u64)> = None;
@@ -850,7 +869,6 @@ fn lint_multidev(
     let mut exit_at: Option<SimTime> = None;
     let mut merge_at: Option<SimTime> = None;
     let mut completes: Vec<(SimTime, Finisher)> = Vec::new();
-    let mut gpu_lost_seen = false;
 
     for e in &events[1..] {
         if e.at < prev_at {
@@ -870,7 +888,8 @@ fn lint_multidev(
             }
             TraceKind::GpuLaunch => {
                 launches += 1;
-                if launches > 1 {
+                // Each promotion legally relaunches the owner walk once.
+                if launches > promotions + 1 {
                     out.push(LintDiagnostic::error("trace-shape", "gpu launched twice"));
                 }
             }
@@ -1013,10 +1032,23 @@ fn lint_multidev(
                     ));
                 }
                 ep.open_sub = Some((*from, *to));
+                if promoted_devs.contains(dev) {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!(
+                            "ep{dev} subkernel {from}..{to} started after its promotion to owner"
+                        ),
+                    ));
+                }
                 // Frontier disjointness: a claim may only overlap a range a
-                // *lost* endpoint claimed — the frontier returned it.
+                // *lost* or *promoted* endpoint claimed — the frontier
+                // returned it (promotion re-enqueues un-acked claims).
                 for (cf, ct, cdev) in &claims {
-                    if from < ct && cf < to && !lost_devs.contains(cdev) {
+                    if from < ct
+                        && cf < to
+                        && !lost_devs.contains(cdev)
+                        && !promoted_devs.contains(cdev)
+                    {
                         out.push(LintDiagnostic::error(
                             "claim-disjoint",
                             format!(
@@ -1057,6 +1089,15 @@ fn lint_multidev(
                         "data-before-status",
                         format!(
                             "ep{dev} transfer (boundary {boundary}) enqueued after the gpu exit"
+                        ),
+                    ));
+                }
+                if promoted_devs.contains(dev) {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!(
+                            "ep{dev} transfer (boundary {boundary}) enqueued after its \
+                             promotion to owner"
                         ),
                     ));
                 }
@@ -1101,7 +1142,23 @@ fn lint_multidev(
                             ),
                         ));
                     }
-                    ep.sends.push((e.at, *boundary, Vec::new()));
+                    // Reconstruct the batch for the credit ledger: a send
+                    // (and any resend of it) carries a consecutive
+                    // completion-order window of this endpoint's done
+                    // subkernels whose lowest start is the boundary.
+                    let consumed: Vec<(u64, u64)> = if batch == 0 || batch > ep.done.len() {
+                        Vec::new()
+                    } else {
+                        (0..=ep.done.len() - batch)
+                            .map(|i| &ep.done[i..i + batch])
+                            .find(|w| {
+                                w.iter().all(|(at, _, _)| *at <= e.at)
+                                    && w.iter().map(|(_, f, _)| *f).min() == Some(*boundary)
+                            })
+                            .map(|w| w.iter().map(|(_, f, t)| (*f, *t)).collect())
+                            .unwrap_or_default()
+                    };
+                    ep.sends.push((e.at, *boundary, consumed));
                 } else {
                     // Fault-free shipping consumes this endpoint's completed
                     // subkernels strictly in completion order; the boundary
@@ -1156,18 +1213,29 @@ fn lint_multidev(
                 }
                 let ep = eps.entry(*dev).or_default();
                 if relaxed {
-                    if !ep
+                    match ep
                         .sends
                         .iter()
-                        .any(|(sent_at, b, _)| b == boundary && *sent_at <= e.at)
+                        .find(|(sent_at, b, _)| b == boundary && *sent_at <= e.at)
                     {
-                        out.push(LintDiagnostic::error(
+                        None => out.push(LintDiagnostic::error(
                             "data-before-status",
                             format!(
                                 "ep{dev} status (boundary {boundary}) arrived without a prior \
                                  transfer carrying it"
                             ),
-                        ));
+                        )),
+                        Some((_, _, ranges)) => {
+                            // A retry re-ships the same subkernels, so any
+                            // send matching the boundary carries the same
+                            // ranges — good enough for the credit ledger.
+                            let credited = applied_by_dev.entry(*dev).or_default();
+                            for &(f, t) in ranges {
+                                if f < t && t <= total {
+                                    credited.push((f, t));
+                                }
+                            }
+                        }
                     }
                 } else {
                     match ep.sends.get(ep.statuses) {
@@ -1198,12 +1266,14 @@ fn lint_multidev(
                                     ),
                                 ));
                             }
+                            let credited = applied_by_dev.entry(*dev).or_default();
                             for (f, t) in ranges {
                                 // Out-of-bounds ranges were already reported
                                 // at their claim; never feed them to the
                                 // coverage set (its bounds are asserted).
                                 if f < t && *t <= total {
                                     coverage.add(*f, *t);
+                                    credited.push((*f, *t));
                                 }
                             }
                             let suffix = coverage.suffix_start();
@@ -1247,15 +1317,83 @@ fn lint_multidev(
                 ep.lost = true;
                 lost_devs.push(*dev);
             }
+            TraceKind::OwnerPromoted { dev, epoch } => {
+                if promotions >= gpu_losses {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!("ep{dev} promoted although the acting owner was not lost"),
+                    ));
+                }
+                if *epoch as usize != promotions + 1 {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!(
+                            "ep{dev} promoted to epoch {epoch}, expected epoch {} (epochs are \
+                             strictly sequential)",
+                            promotions + 1
+                        ),
+                    ));
+                }
+                if lost_devs.contains(dev) || promoted_devs.contains(dev) {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!("ep{dev} promoted although it is lost or already the owner"),
+                    ));
+                }
+                promotions += 1;
+                promoted_devs.push(*dev);
+                // The new owner resumes the wave walk from work-group 0.
+                expected_next = 0;
+                // Promotion un-credits the promoted endpoint's delivered
+                // ranges (they leave coverage and return to the frontier
+                // for the survivors), so the engine's watermark may legally
+                // rise here: rebuild it as the covered suffix of the other
+                // endpoints' still-credited deliveries.
+                applied_by_dev.remove(dev);
+                let mut rebuilt = crate::frontier::Coverage::new(total);
+                for ranges in applied_by_dev.values() {
+                    for &(f, t) in ranges {
+                        rebuilt.add(f, t);
+                    }
+                }
+                watermark = rebuilt.suffix_start();
+                coverage = rebuilt;
+            }
+            TraceKind::EpochRejected { dev, boundary } => {
+                if promotions == 0 {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!(
+                            "ep{dev} status (boundary {boundary}) rejected as stale although \
+                             no promotion occurred"
+                        ),
+                    ));
+                }
+                let ep = eps.entry(*dev).or_default();
+                if !ep.sends.iter().any(|(_, b, _)| b == boundary) {
+                    out.push(LintDiagnostic::error(
+                        "recovery",
+                        format!(
+                            "ep{dev} stale-epoch rejection for boundary {boundary} but no \
+                             enqueued transfer of that endpoint carried it"
+                        ),
+                    ));
+                }
+            }
             TraceKind::DeviceLost { device } => match device {
                 DeviceKind::Gpu => {
-                    if gpu_lost_seen {
+                    // A second owner loss is legal only when a promotion
+                    // installed a new owner in between (cascading failover).
+                    if gpu_losses > promotions {
                         out.push(LintDiagnostic::error(
                             "recovery",
                             "device Gpu was declared lost twice",
                         ));
                     }
-                    gpu_lost_seen = true;
+                    gpu_losses += 1;
+                    // The acting owner died mid-walk: its running wave is
+                    // abandoned, never completed.
+                    open_wave = None;
                 }
                 DeviceKind::Cpu => out.push(LintDiagnostic::error(
                     "trace-shape",
@@ -1283,8 +1421,10 @@ fn lint_multidev(
     for (dev, ep) in &eps {
         if let Some((sf, st)) = ep.open_sub {
             // A lost endpoint legally leaves exactly its killed subkernel
-            // open; any other dangling subkernel is an engine defect.
-            if !ep.lost {
+            // open, and so does a promoted one (its in-flight subkernel is
+            // abandoned when it takes the owner role); any other dangling
+            // subkernel is an engine defect.
+            if !ep.lost && !promoted_devs.contains(dev) {
                 out.push(LintDiagnostic::error(
                     "ep-pairing",
                     format!("ep{dev} subkernel {sf}..{st} never completed"),
@@ -1296,7 +1436,11 @@ fn lint_multidev(
         .values()
         .flat_map(|ep| ep.done.iter().copied())
         .collect();
-    if gpu_lost_seen {
+    // The gpu-lost endgame applies only when the *final* acting owner is
+    // dead — a promotion that installed a healthy new owner means the
+    // kernel still exits, merges and completes through the owner role.
+    let acting_owner_lost = gpu_losses > promotions;
+    if acting_owner_lost {
         // A lost owner never exits and never merges; the non-owners finish
         // the whole NDRange among themselves and the host assembles.
         if exit_at.is_some() {
@@ -1449,7 +1593,7 @@ fn lint_degraded(
         }
         prev_at = e.at;
         match &e.kind {
-            TraceKind::DegradedRun { from, to, .. } => {
+            TraceKind::DegradedRun { from, to, .. } | TraceKind::EpDegradedRun { from, to, .. } => {
                 if from >= to {
                     out.push(LintDiagnostic::error(
                         "degraded-shape",
@@ -1557,6 +1701,13 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
             TraceKind::NonOwnerLost { .. } => {
                 multi = true;
                 device_lost = true;
+            }
+            TraceKind::OwnerPromoted { .. } | TraceKind::EpochRejected { .. } => {
+                multi = true;
+            }
+            TraceKind::EpDegradedRun { from, to, .. } => {
+                multi = true;
+                peer_executed += to - from;
             }
             _ => {}
         }

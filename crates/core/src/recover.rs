@@ -42,6 +42,11 @@ pub struct RecoveryPolicy {
     /// mergeable if the watchdog later abandons it. On by default; only
     /// consulted when fault injection is active.
     pub shrink_chunk_on_retry: bool,
+    /// Promote a surviving peer GPU to owner when the acting owner misses
+    /// a wave watchdog (epoch-fenced failover), instead of degrading to
+    /// survivor-finishes. On by default; only consulted when fault
+    /// injection is active and at least one healthy peer exists.
+    pub promote_on_owner_loss: bool,
 }
 
 impl Default for RecoveryPolicy {
@@ -52,6 +57,7 @@ impl Default for RecoveryPolicy {
             max_transfer_retries: 3,
             backoff_base: SimDuration::from_nanos(2_000),
             shrink_chunk_on_retry: true,
+            promote_on_owner_loss: true,
         }
     }
 }
@@ -85,6 +91,13 @@ impl RecoveryPolicy {
     /// retries.
     pub fn with_shrink_chunk_on_retry(mut self, enabled: bool) -> Self {
         self.shrink_chunk_on_retry = enabled;
+        self
+    }
+
+    /// Enables or disables owner failover (promotion of a surviving peer
+    /// GPU after an owner loss).
+    pub fn with_promote_on_owner_loss(mut self, enabled: bool) -> Self {
+        self.promote_on_owner_loss = enabled;
         self
     }
 
@@ -134,13 +147,19 @@ mod tests {
         let p = RecoveryPolicy::default()
             .with_watchdog_factor(8.0)
             .with_max_transfer_retries(0)
-            .with_shrink_chunk_on_retry(false);
+            .with_shrink_chunk_on_retry(false)
+            .with_promote_on_owner_loss(false);
         assert_eq!(p.watchdog_factor, 8.0);
         assert_eq!(p.max_transfer_retries, 0);
         assert!(!p.shrink_chunk_on_retry);
+        assert!(!p.promote_on_owner_loss);
         assert!(
             RecoveryPolicy::default().shrink_chunk_on_retry,
             "fault-aware shrink is the default"
+        );
+        assert!(
+            RecoveryPolicy::default().promote_on_owner_loss,
+            "owner failover is the default"
         );
         assert_eq!(
             p.deadline(SimDuration::from_nanos(1_000)),

@@ -18,6 +18,7 @@ use fluidicl_vcl::{
 use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
 use crate::coexec::{Coexec, CoexecInput, PeerSlot};
 use crate::config::FluidiclConfig;
+use crate::roster::DeviceRoster;
 use crate::stats::{Finisher, KernelReport, LaunchMeta, RuntimeSummary};
 use crate::trace::{TraceEvent, TraceKind};
 
@@ -78,12 +79,10 @@ pub struct Fluidicl {
     /// Fault oracle derived from `config.faults`; `None` disables injection
     /// and every watchdog.
     injector: Option<FaultInjector>,
-    /// Device lost during an earlier kernel: later kernels run degraded on
-    /// the survivor.
-    lost: Option<DeviceKind>,
-    /// Peer-GPU endpoints (stable dev indices) lost during earlier kernels:
-    /// later kernels co-execute on the remaining devices.
-    dead_peers: Vec<u32>,
+    /// Health of every device across kernels. Later kernels re-form
+    /// co-execution on whatever the roster reports healthy and degrade to a
+    /// single device only when one remains.
+    roster: DeviceRoster,
     /// Kernel version online profiling last settled on; degraded runs keep
     /// reporting it (selection survives a device loss).
     last_cpu_version: usize,
@@ -114,8 +113,7 @@ impl Fluidicl {
             next_kernel_id: 1,
             reports: Vec::new(),
             injector,
-            lost: None,
-            dead_peers: Vec::new(),
+            roster: DeviceRoster::new(),
             last_cpu_version: 0,
             fatal: None,
         }
@@ -163,10 +161,17 @@ impl Fluidicl {
         self.injector.as_ref().is_some_and(FaultInjector::fired)
     }
 
-    /// Device declared permanently lost during an earlier kernel, if any.
-    /// Subsequent kernels run degraded on the survivor.
+    /// Device declared permanently lost during an earlier kernel, if any —
+    /// the legacy binary view ([`DeviceRoster::lost_device`]). Subsequent
+    /// kernels co-execute on the healthy survivors when at least two
+    /// remain, and run degraded only on the last one.
     pub fn lost_device(&self) -> Option<DeviceKind> {
-        self.lost
+        self.roster.lost_device()
+    }
+
+    /// Health of every device in the machine, tracked across kernels.
+    pub fn roster(&self) -> &DeviceRoster {
+        &self.roster
     }
 
     /// Promotes every kernel named in `proven` to declared-disjoint writes
@@ -400,6 +405,141 @@ impl Fluidicl {
         self.reports.push(report);
         Ok(())
     }
+
+    /// Executes a kernel alone on a surviving peer GPU after both the CPU
+    /// and the primary GPU are gone. The peer starts from a clean slate, so
+    /// it pays a host-to-device broadcast of the launch buffers before the
+    /// range; functionally the results land in the authoritative host copy
+    /// (host memory outlives its compute device), which is what
+    /// `read_buffer` serves once the primary GPU is dead. The fault plan's
+    /// device kills target the primary CPU/GPU pair and both have already
+    /// fired, so the run itself is not subject to further injection.
+    fn enqueue_peer_degraded(
+        &mut self,
+        kernel: &str,
+        launch: &Launch,
+        in_ids: &[BufferId],
+        out_ids: &[BufferId],
+        kid: KernelId,
+        slot: &PeerSlot,
+    ) -> ClResult<()> {
+        let total = launch.ndrange.num_groups();
+        let items = launch.ndrange.items_per_group();
+        let profile = &launch.kernel.default_version().profile;
+        let mut all_bufs: Vec<BufferId> = in_ids.to_vec();
+        all_bufs.extend(out_ids.iter().copied());
+        let mut broadcast_bytes = 0u64;
+        let mut seen: Vec<BufferId> = Vec::new();
+        for id in &all_bufs {
+            if seen.contains(id) {
+                continue;
+            }
+            seen.push(*id);
+            broadcast_bytes += self.buffers.state(*id).bytes();
+        }
+        let start = self
+            .buffers
+            .cpu_ready_time(&all_bufs)
+            .max(self.gpu_free)
+            .max(self.host_clock)
+            + slot.peer.h2d.transfer_time(broadcast_bytes)
+            + slot.peer.gpu.launch_overhead();
+        let duration = slot
+            .peer
+            .gpu
+            .range_time(profile, items, total, self.config.abort_mode);
+        execute_groups_injected(
+            launch,
+            &mut self.cpu_mem,
+            0,
+            total,
+            self.config.intra_launch_jobs,
+            None,
+            DeviceKind::Gpu,
+        )?;
+        let complete_at = start + duration;
+        let trace = vec![
+            TraceEvent {
+                at: self.host_clock,
+                kind: TraceKind::Enqueued {
+                    total_wgs: total,
+                    pipeline_depth: 1,
+                },
+            },
+            TraceEvent {
+                at: start,
+                kind: TraceKind::EpDegradedRun {
+                    dev: slot.dev,
+                    from: 0,
+                    to: total,
+                },
+            },
+            TraceEvent {
+                at: complete_at,
+                kind: TraceKind::KernelComplete {
+                    finisher: Finisher::Gpu,
+                },
+            },
+        ];
+        let report = KernelReport {
+            kernel: kernel.to_string(),
+            kernel_id: kid,
+            enqueued_at: self.host_clock,
+            complete_at,
+            total_wgs: total,
+            gpu_executed_wgs: 0,
+            cpu_executed_wgs: 0,
+            cpu_merged_wgs: 0,
+            subkernels: 0,
+            subkernel_log: Vec::new(),
+            hd_bytes: 0,
+            dh_bytes: 0,
+            cpu_version_used: self.last_cpu_version,
+            peer_executed_wgs: vec![total],
+            finished_by: Finisher::Gpu,
+            duration: complete_at.saturating_since(self.host_clock),
+            trace,
+            launch_meta: Some(LaunchMeta {
+                ndrange: launch.ndrange,
+                scalars: launch.plan()?.scalars.clone(),
+                out_lens: out_ids
+                    .iter()
+                    .map(|id| self.buffers.state(*id).len)
+                    .collect(),
+            }),
+        };
+        if self.config.validate_protocol {
+            let diags = crate::lint::lint_report(&report);
+            if let Some(first) = diags
+                .iter()
+                .find(|d| d.severity == crate::lint::LintSeverity::Error)
+            {
+                return Err(ClError::ProtocolViolation {
+                    kernel: kernel.to_string(),
+                    detail: format!("{first} ({} finding(s) total)", diags.len()),
+                });
+            }
+        }
+        if let Some(hook) = &self.config.report_hook {
+            let diags = hook.run(&report);
+            if let Some(first) = diags
+                .iter()
+                .find(|d| d.severity == crate::lint::LintSeverity::Error)
+            {
+                return Err(ClError::ProtocolViolation {
+                    kernel: kernel.to_string(),
+                    detail: format!("{first} ({} finding(s) total)", diags.len()),
+                });
+            }
+        }
+        self.host_clock = complete_at;
+        self.gpu_free = complete_at;
+        for id in out_ids {
+            self.buffers.record_cpu_arrival(*id, kid, complete_at);
+        }
+        self.reports.push(report);
+        Ok(())
+    }
 }
 
 /// Parses a disjoint-writes proof manifest (the JSON emitted by
@@ -461,7 +601,9 @@ impl ClDriver for Fluidicl {
         // and whoever needs the GPU copy waits for its arrival (§5.5).
         // After a permanent GPU loss nothing crosses the link any more.
         let cpu_at = self.host_clock + self.machine.host.copy_time(bytes);
-        let gpu_at = if self.lost == Some(DeviceKind::Gpu) {
+        let gpu_at = if !self.roster.gpu_healthy() {
+            // A re-formed acting owner re-broadcasts its launch buffers per
+            // kernel, so host writes stop paying the primary link here.
             cpu_at
         } else {
             let at = self.hd_free.max(self.host_clock) + self.machine.h2d.transfer_time(bytes);
@@ -498,23 +640,6 @@ impl ClDriver for Fluidicl {
         for id in &out_ids {
             self.buffers.begin_kernel_write(*id, kid);
         }
-        if let Some(lost) = self.lost {
-            // Graceful degradation: the survivor executes the whole NDRange
-            // as a plain single-device launch.
-            return self.enqueue_degraded(kernel, &launch, &in_ids, &out_ids, kid, lost.other());
-        }
-        // The CPU scheduler waits for its inputs (In + InOut) to be current
-        // (paper §5.3); `begin_kernel_write` just reset InOut readiness, so
-        // compute from the pre-kernel ready times via in_ids plus the InOut
-        // subset captured before the reset — InOut buffers appear in
-        // out_ids, whose cpu_ready_at we read below *before* any update.
-        let mut cpu_inputs = in_ids.clone();
-        cpu_inputs.extend(out_ids.iter().copied());
-        let cpu_ready = self.buffers.cpu_ready_time(&cpu_inputs);
-        let mut all_bufs = in_ids;
-        all_bufs.extend(out_ids.iter().copied());
-        let gpu_ready = self.buffers.gpu_ready_time(&all_bufs);
-        let scratch_setup = self.scratch_setup_cost(&out_ids);
         // Peer GPUs joining this launch: every peer the machine declares,
         // capped by `config.devices`, minus peers lost in earlier kernels.
         // Dev indices are stable (peer slot + 1), so traces and reports
@@ -533,15 +658,108 @@ impl ClDriver for Fluidicl {
                 dev: i as u32 + 1,
                 peer: p.clone(),
             })
-            .filter(|s| !self.dead_peers.contains(&s.dev))
+            .filter(|s| !self.roster.peer_dead(s.dev))
             .collect();
+        // Roster dispatch: after a loss, follow-on kernels re-form and
+        // co-execute on every healthy survivor; a single survivor executes
+        // the whole NDRange as a plain single-device launch; no survivor is
+        // a stable typed error.
+        let cpu_ok = self.roster.cpu_healthy();
+        let gpu_ok = self.roster.gpu_healthy();
+        match (cpu_ok, gpu_ok, peers.is_empty()) {
+            (false, false, true) => {
+                let e = ClError::DeviceLost {
+                    device: DeviceKind::Gpu,
+                    detail: "no healthy device remains to execute the kernel".into(),
+                };
+                self.fatal = Some(e.clone());
+                return Err(e);
+            }
+            (false, false, false) => {
+                let slot = peers[0].clone();
+                return self.enqueue_peer_degraded(kernel, &launch, &in_ids, &out_ids, kid, &slot);
+            }
+            (true, false, true) => {
+                return self.enqueue_degraded(
+                    kernel,
+                    &launch,
+                    &in_ids,
+                    &out_ids,
+                    kid,
+                    DeviceKind::Cpu,
+                );
+            }
+            (false, true, true) => {
+                return self.enqueue_degraded(
+                    kernel,
+                    &launch,
+                    &in_ids,
+                    &out_ids,
+                    kid,
+                    DeviceKind::Gpu,
+                );
+            }
+            // At least two healthy devices remain: co-execute below, with a
+            // dead CPU endpoint and/or a re-formed acting owner as needed.
+            _ => {}
+        }
+        let reformed = !gpu_ok;
+        let dead_cpu = !cpu_ok;
+        // The CPU scheduler waits for its inputs (In + InOut) to be current
+        // (paper §5.3); `begin_kernel_write` just reset InOut readiness, so
+        // compute from the pre-kernel ready times via in_ids plus the InOut
+        // subset captured before the reset — InOut buffers appear in
+        // out_ids, whose cpu_ready_at we read below *before* any update.
+        let mut cpu_inputs = in_ids.clone();
+        cpu_inputs.extend(out_ids.iter().copied());
+        let cpu_ready = self.buffers.cpu_ready_time(&cpu_inputs);
+        let mut all_bufs = in_ids;
+        all_bufs.extend(out_ids.iter().copied());
+        let gpu_ready = self.buffers.gpu_ready_time(&all_bufs);
+        let scratch_setup = self.scratch_setup_cost(&out_ids);
+        // Owner re-formation: with the primary GPU gone but peers alive,
+        // the first healthy peer takes the owner slot of a synthetic
+        // machine and the remaining peers keep their endpoint indices. The
+        // acting owner starts each kernel from a clean slate, so its launch
+        // buffers are re-broadcast host-to-device — functionally, the
+        // device copy is refreshed from the authoritative host copy
+        // *before* the engine snapshots originals from it.
+        let mut coexec_peers = peers;
+        let mut reformed_machine: Option<MachineConfig> = None;
+        let mut acting_dev: Option<u32> = None;
+        let mut gpu_start = gpu_ready.max(self.gpu_free);
+        if reformed {
+            let acting = coexec_peers.remove(0);
+            let mut broadcast_bytes = 0u64;
+            let mut seen: Vec<BufferId> = Vec::new();
+            for id in &all_bufs {
+                if seen.contains(id) {
+                    continue;
+                }
+                seen.push(*id);
+                let data = self.cpu_mem.get(*id)?.to_vec();
+                broadcast_bytes += data.len() as u64 * 4;
+                self.gpu_mem.write(*id, &data)?;
+            }
+            gpu_start = gpu_start.max(cpu_ready).max(self.host_clock)
+                + acting.peer.h2d.transfer_time(broadcast_bytes);
+            reformed_machine = Some(MachineConfig {
+                cpu: self.machine.cpu.clone(),
+                gpu: acting.peer.gpu.clone(),
+                h2d: acting.peer.h2d.clone(),
+                d2h: acting.peer.d2h.clone(),
+                host: self.machine.host.clone(),
+                peers: Vec::new(),
+            });
+            acting_dev = Some(acting.dev);
+        }
         let input = CoexecInput {
-            machine: &self.machine,
+            machine: reformed_machine.as_ref().unwrap_or(&self.machine),
             config: &self.config,
             launch: &launch,
             kernel_id: kid,
             enqueue_at: self.host_clock,
-            gpu_start: gpu_ready.max(self.gpu_free),
+            gpu_start,
             cpu_start: cpu_ready,
             scratch_setup,
             hd_free: self.hd_free,
@@ -549,8 +767,9 @@ impl ClDriver for Fluidicl {
             cpu_mem: &mut self.cpu_mem,
             gpu_mem: &mut self.gpu_mem,
             snapshots: &mut self.snapshots,
-            peers,
+            peers: coexec_peers,
             injector: self.injector.as_mut(),
+            dead_cpu,
         };
         let outcome = match Coexec::new(input).and_then(Coexec::run) {
             Ok(outcome) => outcome,
@@ -597,11 +816,13 @@ impl ClDriver for Fluidicl {
         self.gpu_free = outcome.gpu_busy_until;
         self.hd_free = outcome.hd_free;
         self.dh_free = outcome.dh_free;
-        let gpu_usable = outcome.lost_device != Some(DeviceKind::Gpu);
+        // On a re-formed run the primary card stays dead and its buffer
+        // tracking stays frozen — the next launch re-broadcasts anyway.
+        let record_gpu = !reformed && !outcome.lost_gpu;
         for id in &out_ids {
             self.buffers
                 .record_cpu_arrival(*id, kid, outcome.cpu_results_at);
-            if gpu_usable {
+            if record_gpu {
                 self.buffers
                     .record_gpu_arrival(*id, kid, outcome.gpu_results_at);
                 // The end-of-kernel copy refreshed the original snapshot
@@ -622,13 +843,19 @@ impl ClDriver for Fluidicl {
             }
         }
         self.release_scratch(&out_ids);
-        if let Some(lost) = outcome.lost_device {
-            self.lost = Some(lost);
+        if outcome.lost_cpu {
+            self.roster.lose_cpu();
+        }
+        if outcome.lost_gpu {
+            // In a re-formed run the engine's "gpu" is the acting peer: its
+            // loss costs that peer, not the (already dead) primary card.
+            match acting_dev {
+                Some(dev) => self.roster.lose_peer(dev),
+                None => self.roster.lose_gpu(),
+            }
         }
         for dev in outcome.lost_peers {
-            if !self.dead_peers.contains(&dev) {
-                self.dead_peers.push(dev);
-            }
+            self.roster.lose_peer(dev);
         }
         self.last_cpu_version = outcome.report.cpu_version_used;
         self.reports.push(outcome.report);
@@ -638,11 +865,16 @@ impl ClDriver for Fluidicl {
     fn read_buffer(&mut self, id: BufferId) -> ClResult<Vec<f32>> {
         let state = self.buffers.try_state(id)?.clone();
         // After a device loss the surviving copy is the only valid one,
-        // regardless of what location tracking would prefer.
-        let use_cpu_copy = match self.lost {
-            Some(DeviceKind::Gpu) => true,
-            Some(DeviceKind::Cpu) => false,
-            None => self.config.location_tracking && !state.cpu_is_stale(),
+        // regardless of what location tracking would prefer. With the
+        // primary GPU dead the host copy is authoritative even if the CPU
+        // device also died — host memory outlives its compute device, and
+        // re-formed/peer-degraded runs mirror results into it.
+        let use_cpu_copy = if !self.roster.gpu_healthy() {
+            true
+        } else if !self.roster.cpu_healthy() {
+            false
+        } else {
+            self.config.location_tracking && !state.cpu_is_stale()
         };
         if use_cpu_copy {
             // Data-location tracking (paper §6.2): the device-to-host thread

@@ -239,6 +239,36 @@ pub enum TraceKind {
         /// Endpoint index that died.
         dev: u32,
     },
+    /// A surviving peer GPU was promoted to owner after the acting owner
+    /// missed a wave watchdog: ownership migrated under a new epoch, the
+    /// promoted peer inherited the coverage map, and its un-acked claims
+    /// returned to the frontier.
+    OwnerPromoted {
+        /// Endpoint index of the promoted peer.
+        dev: u32,
+        /// Ownership epoch that begins with this promotion (the primary
+        /// owner is epoch 0).
+        epoch: u32,
+    },
+    /// The acting owner rejected a status whose send was enqueued under an
+    /// older ownership epoch: the data went to a dead owner, so its ranges
+    /// never join coverage (the new owner's wave walk re-covers them).
+    EpochRejected {
+        /// Endpoint whose stale send was rejected.
+        dev: u32,
+        /// Boundary the stale send carried.
+        boundary: u64,
+    },
+    /// A surviving peer GPU executed work-groups `[from, to)` alone
+    /// (degraded mode when both the CPU and every acting owner are gone).
+    EpDegradedRun {
+        /// Endpoint index of the surviving peer.
+        dev: u32,
+        /// First flattened work-group of the degraded run.
+        from: u64,
+        /// One past the last work-group of the degraded run.
+        to: u64,
+    },
 }
 
 impl fmt::Display for TraceKind {
@@ -414,6 +444,18 @@ impl fmt::Display for TraceKind {
             TraceKind::NonOwnerLost { dev } => {
                 write!(f, "[flt] ep{dev} lost (watchdog deadline missed)")
             }
+            TraceKind::OwnerPromoted { dev, epoch } => {
+                write!(f, "[flt] ep{dev} promoted to owner (epoch {epoch})")
+            }
+            TraceKind::EpochRejected { dev, boundary } => {
+                write!(
+                    f,
+                    "[flt] ep{dev} status for boundary {boundary} rejected (stale epoch)"
+                )
+            }
+            TraceKind::EpDegradedRun { dev, from, to } => {
+                write!(f, "[deg] ep{dev} finishing {from}..{to} alone")
+            }
         }
     }
 }
@@ -529,6 +571,11 @@ pub fn render_lanes(kernel: &str, events: &[TraceEvent], width: usize) -> String
             TraceKind::EpTransferRejected { .. } => hd[b] = 'r',
             TraceKind::EpTransferTimeout { .. } => hd[b] = 'T',
             TraceKind::NonOwnerLost { .. } => cpu[b] = 'X',
+            // Failover vocabulary: the promoted peer takes over the gpu
+            // (owner) lane; a stale-epoch rejection is link traffic.
+            TraceKind::OwnerPromoted { .. } => gpu[b] = 'P',
+            TraceKind::EpochRejected { .. } => hd[b] = 'e',
+            TraceKind::EpDegradedRun { .. } => gpu[b] = 'D',
         }
     }
     let lane =
@@ -670,10 +717,58 @@ mod tests {
                 boundary: 100,
             },
             TraceKind::NonOwnerLost { dev: 1 },
+            TraceKind::OwnerPromoted { dev: 1, epoch: 1 },
+            TraceKind::EpochRejected {
+                dev: 0,
+                boundary: 100,
+            },
+            TraceKind::EpDegradedRun {
+                dev: 1,
+                from: 0,
+                to: 120,
+            },
         ];
         for k in kinds {
             assert!(!k.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn failover_events_render_with_their_devices() {
+        assert_eq!(
+            TraceKind::OwnerPromoted { dev: 2, epoch: 1 }.to_string(),
+            "[flt] ep2 promoted to owner (epoch 1)"
+        );
+        assert_eq!(
+            TraceKind::EpochRejected {
+                dev: 0,
+                boundary: 48
+            }
+            .to_string(),
+            "[flt] ep0 status for boundary 48 rejected (stale epoch)"
+        );
+        assert_eq!(
+            TraceKind::EpDegradedRun {
+                dev: 1,
+                from: 0,
+                to: 64
+            }
+            .to_string(),
+            "[deg] ep1 finishing 0..64 alone"
+        );
+        let events = vec![
+            ev(0, TraceKind::OwnerPromoted { dev: 1, epoch: 1 }),
+            ev(
+                100,
+                TraceKind::EpochRejected {
+                    dev: 0,
+                    boundary: 48,
+                },
+            ),
+        ];
+        let text = render_lanes("k", &events, 40);
+        assert!(text.contains('P'), "promotion marks the gpu lane: {text}");
+        assert!(text.contains('e'), "rejection marks the hd lane: {text}");
     }
 
     #[test]

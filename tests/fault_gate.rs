@@ -47,6 +47,13 @@ fn is_fault_event(kind: &TraceKind) -> bool {
             | TraceKind::TransferTimeout { .. }
             | TraceKind::DeviceLost { .. }
             | TraceKind::DegradedRun { .. }
+            | TraceKind::EpTransferFault { .. }
+            | TraceKind::EpTransferRejected { .. }
+            | TraceKind::EpTransferTimeout { .. }
+            | TraceKind::NonOwnerLost { .. }
+            | TraceKind::OwnerPromoted { .. }
+            | TraceKind::EpochRejected { .. }
+            | TraceKind::EpDegradedRun { .. }
     )
 }
 
