@@ -34,6 +34,7 @@
 mod audit;
 pub mod disjoint;
 pub mod faults;
+pub mod graph;
 pub mod race;
 pub mod sanitize;
 
@@ -44,6 +45,7 @@ pub use faults::{
     run_shrink_comparison, CellOutcome, FailoverCell, FaultCell, NdevLossCell, ShrinkCell,
 };
 pub use fluidicl::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
+pub use graph::{check_schedule, max_overlap};
 pub use race::{check_hb, race_check_report, HbEvent, HbOp, VClock, CONTRIB, OWNER};
 pub use sanitize::{sanitize_launch, SENTINEL_A, SENTINEL_B};
 

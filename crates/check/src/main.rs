@@ -412,6 +412,10 @@ fn main() {
             "pipeline=4",
             FluidiclConfig::default().with_pipeline_depth(4),
         ),
+        (
+            "graph-sched",
+            FluidiclConfig::default().with_graph_scheduling(true),
+        ),
     ];
     let mut units = Vec::new();
     for (mname, machine) in &machines {
@@ -490,6 +494,30 @@ fn main() {
                         config: cname.to_string(),
                         bench: b.name.to_string(),
                         kernel: report.kernel.clone(),
+                        rule: d.rule.to_string(),
+                        severity: d.severity,
+                        message: d.message.clone(),
+                    });
+                    flagged += 1;
+                }
+            }
+            // Graph-scheduling cells also validate every recorded flush
+            // schedule: conservative edge coverage, edge ordering, and the
+            // absence of concurrently-scheduled conflicting nodes.
+            for schedule in rt.graph_schedules() {
+                for d in fluidicl_check::check_schedule(schedule) {
+                    r.lines
+                        .push(format!("  {mname}/{cname} {:8} schedule: {d}", b.name));
+                    match d.severity {
+                        LintSeverity::Error => r.problems += 1,
+                        LintSeverity::Warning => r.warnings += 1,
+                    }
+                    r.findings.push(JsonFinding {
+                        stage: "graph",
+                        machine: mname.to_string(),
+                        config: cname.to_string(),
+                        bench: b.name.to_string(),
+                        kernel: String::new(),
                         rule: d.rule.to_string(),
                         severity: d.severity,
                         message: d.message.clone(),

@@ -479,7 +479,8 @@ fn ep_dev(kind: &TraceKind) -> Option<u32> {
         | TraceKind::NonOwnerLost { dev }
         | TraceKind::OwnerPromoted { dev, .. }
         | TraceKind::EpochRejected { dev, .. }
-        | TraceKind::EpDegradedRun { dev, .. } => Some(dev),
+        | TraceKind::EpDegradedRun { dev, .. }
+        | TraceKind::GraphRun { dev, .. } => Some(dev),
         _ => None,
     }
 }
@@ -805,6 +806,24 @@ fn lower_trace(kernel: &KernelDef, meta: &LaunchMeta, report: &KernelReport) -> 
                 events.push(Some(HbEvent::new(
                     *dev as usize + 1,
                     format!("ep{dev} degraded run {from}..{to}"),
+                    HbOp::Write {
+                        ranges: fp(*from, *to),
+                    },
+                )));
+            }
+            TraceKind::GraphRun {
+                node,
+                dev,
+                from,
+                to,
+            } => {
+                // A graph node runs whole on one endpoint, like a
+                // peer-degraded span: its writes happen there and the final
+                // read joins on the same endpoint.
+                degraded_peer = Some(*dev);
+                events.push(Some(HbEvent::new(
+                    *dev as usize + 1,
+                    format!("ep{dev} graph node {node} {from}..{to}"),
                     HbOp::Write {
                         ranges: fp(*from, *to),
                     },

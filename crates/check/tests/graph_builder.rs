@@ -1,0 +1,202 @@
+//! DAG-builder validation sweep: the graph builder's footprint-derived
+//! edges against sanitizer shadow write-maps, on every Polybench
+//! benchmark.
+//!
+//! The builder ([`fluidicl::graph::node_access`] + `build_edges`) runs on
+//! *declared* access patterns; the shadow executor
+//! ([`execute_groups_shadowed`]) records what each launch *actually*
+//! touched. Soundness of graph scheduling needs two containments per
+//! benchmark run:
+//!
+//! * every element a launch really wrote is inside the builder's write
+//!   footprint for that node (else a conflict could be invisible to the
+//!   builder and two racing launches would be scheduled concurrently);
+//! * every pair of launches whose *observed* write/read, read/write or
+//!   write/write sets overlap has a builder edge ordering them.
+//!
+//! Over-approximation (declared-but-untouched elements, extra edges) only
+//! costs parallelism, never correctness, so it is allowed.
+
+use fluidicl::graph::{build_edges, node_access, NodeAccess};
+use fluidicl_check::{sweep_size, SWEEP_SEED};
+use fluidicl_des::SimDuration;
+use fluidicl_polybench::{all_benchmarks, pipeline_benchmark};
+use fluidicl_vcl::exec::execute_all;
+use fluidicl_vcl::{
+    execute_groups_shadowed, BufferId, ClDriver, ClResult, DirtyRanges, KernelArg, Launch, Memory,
+    NdRange,
+};
+
+/// Observed per-launch access sets, from shadow execution.
+struct Observed {
+    reads: Vec<(BufferId, DirtyRanges)>,
+    writes: Vec<(BufferId, DirtyRanges)>,
+}
+
+/// A [`ClDriver`] that, per enqueue, records both the builder's symbolic
+/// [`NodeAccess`] and the shadow executor's observed access sets.
+struct BuilderProbe {
+    program: fluidicl_vcl::Program,
+    mem: Memory,
+    next_id: u64,
+    declared: Vec<NodeAccess>,
+    observed: Vec<Observed>,
+}
+
+impl BuilderProbe {
+    fn new(program: fluidicl_vcl::Program) -> Self {
+        BuilderProbe {
+            program,
+            mem: Memory::new(),
+            next_id: 0,
+            declared: Vec::new(),
+            observed: Vec::new(),
+        }
+    }
+}
+
+impl ClDriver for BuilderProbe {
+    fn create_buffer(&mut self, len: usize) -> BufferId {
+        let id = BufferId(self.next_id);
+        self.next_id += 1;
+        self.mem.alloc(id, len);
+        id
+    }
+
+    fn write_buffer(&mut self, id: BufferId, data: &[f32]) -> ClResult<()> {
+        self.mem.write(id, data)
+    }
+
+    fn enqueue_kernel(
+        &mut self,
+        kernel: &str,
+        ndrange: NdRange,
+        args: &[KernelArg],
+    ) -> ClResult<()> {
+        let def = self.program.kernel(kernel)?;
+        let launch = Launch::new(def, ndrange, args.to_vec());
+        let mem = &self.mem;
+        self.declared.push(node_access(&launch, |id| {
+            mem.get(id).map(<[f32]>::len).expect("buffer allocated")
+        })?);
+        let total = launch.ndrange.num_groups();
+        let (ins, outs, _scalars) = launch.kernel.classify_args(&launch.args)?;
+        let mut shadow_mem = self.mem.clone();
+        let rec = execute_groups_shadowed(&launch, &mut shadow_mem, 0, total)?;
+        let writes = outs
+            .iter()
+            .enumerate()
+            .map(|(k, id)| {
+                (
+                    *id,
+                    DirtyRanges::from_ranges(rec.total_writes(k).keys().map(|&i| (i, i + 1))),
+                )
+            })
+            .collect();
+        // The shadow layer records writes only; for reads, the declared
+        // read footprint of an `In` argument is conservatively the ground
+        // truth we hold the *edges* to — a kernel cannot read outside a
+        // buffer, so the whole buffer bounds its reads.
+        let reads = ins
+            .iter()
+            .map(|id| {
+                let len = self.mem.get(*id).map(<[f32]>::len).expect("allocated");
+                (*id, DirtyRanges::full(len))
+            })
+            .collect();
+        self.observed.push(Observed { reads, writes });
+        execute_all(&launch, &mut self.mem)
+    }
+
+    fn read_buffer(&mut self, id: BufferId) -> ClResult<Vec<f32>> {
+        self.mem.get(id).map(<[f32]>::to_vec)
+    }
+
+    fn elapsed(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn kernel_times(&self) -> Vec<(String, SimDuration)> {
+        Vec::new()
+    }
+}
+
+fn overlap(a: &[(BufferId, DirtyRanges)], b: &[(BufferId, DirtyRanges)]) -> Vec<BufferId> {
+    let mut hits = Vec::new();
+    for (id, fa) in a {
+        for (jd, fb) in b {
+            if id == jd && !fa.intersect(fb).is_empty() {
+                hits.push(*id);
+            }
+        }
+    }
+    hits
+}
+
+fn check_benchmark(name: &str, probe: &BuilderProbe) {
+    // Containment: observed writes inside the declared write footprints.
+    for (node, (decl, obs)) in probe.declared.iter().zip(&probe.observed).enumerate() {
+        for (id, wrote) in &obs.writes {
+            let declared = decl
+                .writes
+                .iter()
+                .find(|(b, _)| b == id)
+                .map(|(_, fp)| fp.clone())
+                .unwrap_or_else(DirtyRanges::empty);
+            let escaped = wrote.subtract(&declared);
+            assert!(
+                escaped.is_empty(),
+                "{name} launch {node}: wrote {} element(s) of buffer {} outside \
+                 the builder's write footprint",
+                escaped.element_count(),
+                id.0
+            );
+        }
+    }
+    // Completeness: every observed conflict pair is ordered by an edge.
+    let edges = build_edges(&probe.declared);
+    for i in 0..probe.observed.len() {
+        for j in i + 1..probe.observed.len() {
+            let (a, b) = (&probe.observed[i], &probe.observed[j]);
+            let mut conflicts = overlap(&a.writes, &b.reads);
+            conflicts.extend(overlap(&a.reads, &b.writes));
+            conflicts.extend(overlap(&a.writes, &b.writes));
+            for id in conflicts {
+                assert!(
+                    edges
+                        .iter()
+                        .any(|e| e.from == i && e.to == j && e.buffer == id),
+                    "{name}: launches {i} and {j} conflict on buffer {} but the \
+                     builder emitted no edge",
+                    id.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_edges_cover_shadow_observed_conflicts() {
+    let mut specs = all_benchmarks();
+    specs.push(pipeline_benchmark());
+    let mut launches = 0usize;
+    for b in specs {
+        let n = if b.name == "BATCHMM" {
+            64
+        } else {
+            sweep_size(b.name)
+        };
+        let mut probe = BuilderProbe::new((b.program)(n));
+        let ok = b
+            .run_and_validate_sized(&mut probe, n, SWEEP_SEED)
+            .expect("benchmark runs");
+        assert!(ok, "{}: output mismatch", b.name);
+        assert!(!probe.declared.is_empty());
+        check_benchmark(b.name, &probe);
+        launches += probe.declared.len();
+    }
+    assert!(
+        launches >= 20,
+        "expected the full suite swept, saw {launches} launches"
+    );
+}

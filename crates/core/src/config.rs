@@ -132,6 +132,14 @@ pub struct FluidiclConfig {
     /// forces the paper's two-device protocol even on a machine with
     /// peers. Values beyond the machine's device count are clamped.
     pub devices: Option<usize>,
+    /// Defer enqueued kernels into a dependence DAG and dispatch
+    /// independent nodes concurrently across devices (HEFT-style lookahead
+    /// over footprint-derived edges). Off by default: single-kernel
+    /// programs and the gate-off path stay byte-identical to the serial
+    /// enqueue protocol. When on, launches accumulate until a buffer read
+    /// (or an explicit [`Fluidicl::flush_graph`](crate::Fluidicl::flush_graph))
+    /// forces the graph to execute.
+    pub graph_scheduling: bool,
 }
 
 impl Default for FluidiclConfig {
@@ -153,6 +161,7 @@ impl Default for FluidiclConfig {
             recovery: RecoveryPolicy::default(),
             report_hook: None,
             devices: None,
+            graph_scheduling: false,
         }
     }
 }
@@ -289,6 +298,13 @@ impl FluidiclConfig {
         self.report_hook = hook;
         self
     }
+
+    /// Returns a copy with kernel-graph scheduling enabled or disabled.
+    #[must_use]
+    pub fn with_graph_scheduling(mut self, enabled: bool) -> Self {
+        self.graph_scheduling = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +332,7 @@ mod tests {
         assert_eq!(cfg.recovery, RecoveryPolicy::default());
         assert!(cfg.report_hook.is_none(), "debug hook is opt-in");
         assert_eq!(cfg.devices, None, "every declared peer co-executes");
+        assert!(!cfg.graph_scheduling, "graph scheduling is opt-in");
     }
 
     #[test]
@@ -364,6 +381,9 @@ mod tests {
         assert_eq!(cfg.pipeline_depth, 4);
         let cfg = cfg.with_devices(3);
         assert_eq!(cfg.devices, Some(3));
+        let cfg = cfg.with_graph_scheduling(true);
+        assert!(cfg.graph_scheduling);
+        assert!(!cfg.with_graph_scheduling(false).graph_scheduling);
     }
 
     #[test]

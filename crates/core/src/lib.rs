@@ -37,6 +37,8 @@ mod coexec;
 mod config;
 mod endpoint;
 mod frontier;
+pub mod graph;
+pub mod heft;
 mod lint;
 mod recover;
 mod roster;
@@ -49,6 +51,8 @@ pub use chunk::ChunkController;
 pub use config::{FluidiclConfig, ReportHook};
 pub use endpoint::{CpuEndpoint, NonOwnerEndpoint, PeerGpuEndpoint};
 pub use frontier::{Coverage, Frontier};
+pub use graph::{DepKind, GraphEdge, GraphNodeSummary, GraphSchedule, NodeAccess};
+pub use heft::{HeftEdge, HeftPlan, WeightTable};
 pub use lint::{lint_report, lint_trace, LintDiagnostic, LintSeverity};
 pub use recover::RecoveryPolicy;
 pub use roster::DeviceRoster;

@@ -160,6 +160,15 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
             _ => {}
         }
     }
+    // Graph-scheduled peer-lane nodes have their own three-event shape
+    // (the owner-lane nodes of a flushed graph keep the legacy co-execution
+    // vocabulary and replay below as usual).
+    if events
+        .iter()
+        .any(|e| matches!(&e.kind, TraceKind::GraphRun { .. }))
+    {
+        return lint_graph(events, total, out);
+    }
     if degraded {
         return lint_degraded(events, total, out);
     }
@@ -648,6 +657,8 @@ pub fn lint_trace(events: &[TraceEvent]) -> Vec<LintDiagnostic> {
             | TraceKind::EpochRejected { .. } => unreachable!("dispatched to lint_multidev"),
             // Peer-degraded spans were dispatched to `lint_degraded` above.
             TraceKind::EpDegradedRun { .. } => unreachable!("dispatched to lint_degraded"),
+            // Graph-node spans were dispatched to `lint_graph` above.
+            TraceKind::GraphRun { .. } => unreachable!("dispatched to lint_graph"),
         }
     }
 
@@ -1636,6 +1647,81 @@ fn lint_degraded(
     out
 }
 
+/// Lints the trace of a graph-scheduled node that ran alone on one
+/// endpoint while its siblings used the other devices
+/// (`with_graph_scheduling`): the runtime records
+/// `[Enqueued, GraphRun, KernelComplete]` — no co-execution machinery
+/// (waves, subkernels, transfers) may appear, the runs must cover
+/// `[0, total)`, and they must all name the same endpoint (one node never
+/// migrates mid-flush).
+fn lint_graph(
+    events: &[TraceEvent],
+    total: u64,
+    mut out: Vec<LintDiagnostic>,
+) -> Vec<LintDiagnostic> {
+    let mut prev_at = events[0].at;
+    let mut spans: Vec<(u64, u64)> = Vec::new();
+    let mut devs: Vec<u32> = Vec::new();
+    let mut completes = 0usize;
+    for e in &events[1..] {
+        if e.at < prev_at {
+            out.push(LintDiagnostic::error(
+                "chronology",
+                format!("event `{}` is timestamped before its predecessor", e.kind),
+            ));
+        }
+        prev_at = e.at;
+        match &e.kind {
+            TraceKind::GraphRun { dev, from, to, .. } => {
+                if from >= to {
+                    out.push(LintDiagnostic::error(
+                        "graph-shape",
+                        format!("graph-run span {from}..{to} is empty or reversed"),
+                    ));
+                }
+                spans.push((*from, *to));
+                devs.push(*dev);
+            }
+            TraceKind::KernelComplete { .. } => completes += 1,
+            other => out.push(LintDiagnostic::error(
+                "graph-shape",
+                format!("event `{other}` has no place in a graph-run trace"),
+            )),
+        }
+    }
+    if completes != 1 {
+        out.push(LintDiagnostic::error(
+            "completion",
+            format!("graph node completed {completes} times, expected exactly once"),
+        ));
+    }
+    devs.dedup();
+    if devs.len() > 1 {
+        out.push(LintDiagnostic::error(
+            "graph-shape",
+            "one graph node ran on more than one endpoint",
+        ));
+    }
+    spans.sort_unstable();
+    let mut reach = 0u64;
+    for (from, to) in spans {
+        if from > reach {
+            out.push(LintDiagnostic::error(
+                "coverage",
+                format!("work-groups {reach}..{from} were never executed by the node's endpoint"),
+            ));
+        }
+        reach = reach.max(to);
+    }
+    if reach < total {
+        out.push(LintDiagnostic::error(
+            "coverage",
+            format!("work-groups {reach}..{total} were never executed by the node's endpoint"),
+        ));
+    }
+    out
+}
+
 /// Lints a kernel report: runs [`lint_trace`] on its trace and cross-checks
 /// the report counters against what the trace records.
 pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
@@ -1706,6 +1792,10 @@ pub fn lint_report(report: &KernelReport) -> Vec<LintDiagnostic> {
                 multi = true;
             }
             TraceKind::EpDegradedRun { from, to, .. } => {
+                multi = true;
+                peer_executed += to - from;
+            }
+            TraceKind::GraphRun { from, to, .. } => {
                 multi = true;
                 peer_executed += to - from;
             }
@@ -2451,5 +2541,94 @@ mod tests {
         let w = LintDiagnostic::warning("unused-input", "arg `x` never read");
         assert!(w.to_string().starts_with("[warning]"));
         assert!(LintSeverity::Warning < LintSeverity::Error);
+    }
+
+    fn graph_trace(total: u64) -> Vec<TraceEvent> {
+        vec![
+            ev(
+                0,
+                TraceKind::Enqueued {
+                    total_wgs: total,
+                    pipeline_depth: 1,
+                },
+            ),
+            ev(
+                10,
+                TraceKind::GraphRun {
+                    node: 1,
+                    dev: 1,
+                    from: 0,
+                    to: total,
+                },
+            ),
+            ev(
+                90,
+                TraceKind::KernelComplete {
+                    finisher: Finisher::Gpu,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn legal_graph_run_trace_is_clean() {
+        assert!(lint_trace(&graph_trace(8)).is_empty());
+    }
+
+    #[test]
+    fn graph_run_coverage_gap_is_flagged() {
+        let mut t = graph_trace(8);
+        t[1] = ev(
+            10,
+            TraceKind::GraphRun {
+                node: 1,
+                dev: 1,
+                from: 0,
+                to: 6,
+            },
+        );
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "coverage"), "{diags:?}");
+    }
+
+    #[test]
+    fn graph_run_rejects_coexec_machinery() {
+        let mut t = graph_trace(8);
+        t.insert(1, ev(5, TraceKind::GpuLaunch));
+        let diags = lint_trace(&t);
+        assert!(diags.iter().any(|d| d.rule == "graph-shape"), "{diags:?}");
+    }
+
+    #[test]
+    fn graph_run_rejects_endpoint_migration() {
+        let mut t = graph_trace(8);
+        t[1] = ev(
+            10,
+            TraceKind::GraphRun {
+                node: 1,
+                dev: 1,
+                from: 0,
+                to: 4,
+            },
+        );
+        t.insert(
+            2,
+            ev(
+                20,
+                TraceKind::GraphRun {
+                    node: 1,
+                    dev: 2,
+                    from: 4,
+                    to: 8,
+                },
+            ),
+        );
+        let diags = lint_trace(&t);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("more than one endpoint")),
+            "{diags:?}"
+        );
     }
 }

@@ -18,6 +18,8 @@ use fluidicl_vcl::{
 use crate::buffers::{BufferTable, KernelId, PoolStats, ScratchPool, SnapshotPool};
 use crate::coexec::{Coexec, CoexecInput, PeerSlot};
 use crate::config::FluidiclConfig;
+use crate::graph::{self, GraphNodeSummary, GraphSchedule};
+use crate::heft::{self, HeftEdge, WeightTable};
 use crate::roster::DeviceRoster;
 use crate::stats::{Finisher, KernelReport, LaunchMeta, RuntimeSummary};
 use crate::trace::{TraceEvent, TraceKind};
@@ -89,6 +91,22 @@ pub struct Fluidicl {
     /// Unrecoverable error (both devices gone): every later enqueue returns
     /// a clone of it instead of touching dead hardware.
     fatal: Option<ClError>,
+    /// Launches deferred by kernel-graph scheduling, awaiting a flush.
+    pending: Vec<PendingLaunch>,
+    /// Online-profiled per-(kernel, lane) node weights for HEFT lookahead,
+    /// carried across flushes.
+    weights: WeightTable,
+    /// One record per flushed kernel graph, for inspection and the check
+    /// tooling.
+    graph_schedules: Vec<GraphSchedule>,
+}
+
+/// One enqueue captured while kernel-graph scheduling defers execution.
+#[derive(Debug)]
+struct PendingLaunch {
+    kernel: String,
+    ndrange: NdRange,
+    args: Vec<KernelArg>,
 }
 
 impl Fluidicl {
@@ -116,6 +134,9 @@ impl Fluidicl {
             roster: DeviceRoster::new(),
             last_cpu_version: 0,
             fatal: None,
+            pending: Vec::new(),
+            weights: WeightTable::new(),
+            graph_schedules: Vec::new(),
         }
     }
 
@@ -132,6 +153,12 @@ impl Fluidicl {
     /// Aggregate statistics.
     pub fn summary(&self) -> RuntimeSummary {
         RuntimeSummary::from_reports(&self.reports)
+    }
+
+    /// Schedules recorded by kernel-graph flushes, in flush order (empty
+    /// unless [`FluidiclConfig::with_graph_scheduling`] is on).
+    pub fn graph_schedules(&self) -> &[GraphSchedule] {
+        &self.graph_schedules
     }
 
     /// Scratch-buffer pool statistics (paper §6.1).
@@ -540,6 +567,416 @@ impl Fluidicl {
         self.reports.push(report);
         Ok(())
     }
+
+    /// Runs the per-report protocol gates ([`FluidiclConfig::validate_protocol`]
+    /// and the report hook) and converts the first error-severity finding
+    /// into a typed [`ClError::ProtocolViolation`].
+    fn gate_report(&self, kernel: &str, report: &KernelReport) -> ClResult<()> {
+        if self.config.validate_protocol {
+            let diags = crate::lint::lint_report(report);
+            if let Some(first) = diags
+                .iter()
+                .find(|d| d.severity == crate::lint::LintSeverity::Error)
+            {
+                return Err(ClError::ProtocolViolation {
+                    kernel: kernel.to_string(),
+                    detail: format!("{first} ({} finding(s) total)", diags.len()),
+                });
+            }
+        }
+        if let Some(hook) = &self.config.report_hook {
+            let diags = hook.run(report);
+            if let Some(first) = diags
+                .iter()
+                .find(|d| d.severity == crate::lint::LintSeverity::Error)
+            {
+                return Err(ClError::ProtocolViolation {
+                    kernel: kernel.to_string(),
+                    detail: format!("{first} ({} finding(s) total)", diags.len()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a launch and parks it in the pending kernel graph instead
+    /// of executing it (graph scheduling, ISSUE 10). Signature, scalar and
+    /// buffer-handle errors still surface at enqueue time, exactly like the
+    /// eager path; only execution is deferred.
+    fn graph_defer(&mut self, kernel: &str, ndrange: NdRange, args: &[KernelArg]) -> ClResult<()> {
+        let def = self.program.kernel(kernel)?;
+        let launch = Launch::new(def, ndrange, args.to_vec());
+        let in_ids = launch.input_buffers()?;
+        let out_ids = launch.output_buffers()?;
+        for id in in_ids.iter().chain(out_ids.iter()) {
+            self.buffers.try_state(*id)?;
+        }
+        self.pending.push(PendingLaunch {
+            kernel: kernel.to_string(),
+            ndrange,
+            args: args.to_vec(),
+        });
+        Ok(())
+    }
+
+    /// Executes every deferred launch according to a HEFT placement over
+    /// the kernel dependence graph, then clears the pending queue.
+    ///
+    /// Called automatically before any buffer read or write; applications
+    /// may also call it directly as an explicit synchronization point.
+    /// Reports, kernel times and the clock only reflect deferred launches
+    /// once a flush has run, so query statistics after the flush (or after
+    /// the buffer read that forced it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution and protocol-gate errors from the flushed
+    /// nodes; nodes already executed when the error surfaces stay
+    /// executed, and the remaining pending launches are dropped.
+    pub fn flush_graph(&mut self) -> ClResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let n = pending.len();
+        // Footprints and dependence edges over the deferred launches.
+        let mut accesses = Vec::with_capacity(n);
+        for p in &pending {
+            let def = self.program.kernel(&p.kernel)?;
+            let launch = Launch::new(def, p.ndrange, p.args.clone());
+            let buffers = &self.buffers;
+            accesses.push(graph::node_access(&launch, |id| buffers.state(id).len)?);
+        }
+        let edges = graph::build_edges(&accesses);
+        // Execution lanes: lane 0 is the owner co-execution path, lane
+        // p >= 1 is a healthy peer GPU running nodes alone.
+        let peer_cap = self
+            .config
+            .devices
+            .map_or(self.machine.peers.len(), |n| n.saturating_sub(2));
+        let peers: Vec<PeerSlot> = self
+            .machine
+            .peers
+            .iter()
+            .take(peer_cap)
+            .enumerate()
+            .map(|(i, p)| PeerSlot {
+                dev: i as u32 + 1,
+                peer: p.clone(),
+            })
+            .filter(|s| !self.roster.peer_dead(s.dev))
+            .collect();
+        let lanes = 1 + peers.len();
+        // HEFT node weights: the profiled EWMA estimate when the (kernel,
+        // lane) pair has run before, a device-model seed otherwise (the
+        // paper's offline profiling trials, §6.6).
+        let mut weights = Vec::with_capacity(n);
+        for (i, p) in pending.iter().enumerate() {
+            let def = self.program.kernel(&p.kernel)?;
+            let profile = def.default_version().profile.clone();
+            let total = p.ndrange.num_groups();
+            let items = p.ndrange.items_per_group();
+            let mut bytes = 0u64;
+            let mut seen: Vec<BufferId> = Vec::new();
+            for (id, _) in accesses[i].reads.iter().chain(accesses[i].writes.iter()) {
+                if !seen.contains(id) {
+                    seen.push(*id);
+                    bytes += self.buffers.state(*id).bytes();
+                }
+            }
+            let mut row = Vec::with_capacity(lanes);
+            let owner_seed = self
+                .machine
+                .gpu
+                .range_time(&profile, items, total, self.config.abort_mode)
+                .as_nanos();
+            row.push(self.weights.estimate_ns(&p.kernel, 0, owner_seed));
+            for (l, slot) in peers.iter().enumerate() {
+                // A peer starts from a clean slate: broadcast + launch +
+                // range (mirrors the peer-degraded cost model).
+                let seed = slot.peer.h2d.transfer_time(bytes).as_nanos()
+                    + slot.peer.gpu.launch_overhead().as_nanos()
+                    + slot
+                        .peer
+                        .gpu
+                        .range_time(&profile, items, total, self.config.abort_mode)
+                        .as_nanos();
+                row.push(self.weights.estimate_ns(&p.kernel, l + 1, seed));
+            }
+            weights.push(row);
+        }
+        // Edge weights: only a true dependence moves data across lanes;
+        // anti/output edges order execution but transfer nothing.
+        let heft_edges: Vec<HeftEdge> = edges
+            .iter()
+            .map(|e| HeftEdge {
+                from: e.from,
+                to: e.to,
+                cost_ns: if e.kind == graph::DepKind::True {
+                    self.machine.h2d.transfer_time(e.overlap_bytes).as_nanos()
+                } else {
+                    0
+                },
+            })
+            .collect();
+        let plan = heft::plan(&weights, &heft_edges);
+        // Execute in rank order. Every edge kind serializes its endpoints
+        // (conservative: anti/output deps wait for full completion too), so
+        // memory effects match the serial enqueue order exactly.
+        let flush_at = self.host_clock;
+        let mut node_start = vec![SimTime::ZERO; n];
+        let mut node_complete = vec![SimTime::ZERO; n];
+        let mut node_kid = vec![0u64; n];
+        let mut lane_free = vec![flush_at; lanes];
+        for &node in &plan.order {
+            let p = &pending[node];
+            let dep_ready = edges
+                .iter()
+                .filter(|e| e.to == node)
+                .map(|e| node_complete[e.from])
+                .fold(flush_at, SimTime::max);
+            let lane = plan.lane[node];
+            let kid = self.next_kernel_id;
+            self.next_kernel_id += 1;
+            let ready = dep_ready.max(lane_free[lane]);
+            let (start, complete) = if lane == 0 {
+                self.graph_run_owner(p, kid, ready, flush_at)?
+            } else {
+                let slot = peers[lane - 1].clone();
+                self.graph_run_peer(node, p, kid, &slot, ready, flush_at)?
+            };
+            lane_free[lane] = complete;
+            node_start[node] = start;
+            node_complete[node] = complete;
+            node_kid[node] = kid;
+            self.weights
+                .observe_ns(&p.kernel, lane, complete.saturating_since(start).as_nanos());
+        }
+        self.host_clock = node_complete.iter().copied().fold(flush_at, SimTime::max);
+        let nodes = (0..n)
+            .map(|i| GraphNodeSummary {
+                node: i,
+                kernel: pending[i].kernel.clone(),
+                kernel_id: node_kid[i],
+                lane: plan.lane[i],
+                start_at: node_start[i],
+                complete_at: node_complete[i],
+                reads: accesses[i].reads.clone(),
+                writes: accesses[i].writes.clone(),
+            })
+            .collect();
+        self.graph_schedules.push(GraphSchedule { nodes, edges });
+        Ok(())
+    }
+
+    /// Executes one graph node on lane 0: the full owner co-execution path
+    /// (CPU subkernels + owner GPU under the fluidic protocol), floored at
+    /// `ready` so dependence edges and lane occupancy are respected.
+    fn graph_run_owner(
+        &mut self,
+        p: &PendingLaunch,
+        kid: KernelId,
+        ready: SimTime,
+        flush_at: SimTime,
+    ) -> ClResult<(SimTime, SimTime)> {
+        let def = self.program.kernel(&p.kernel)?;
+        let launch = Launch::new(def, p.ndrange, p.args.to_vec());
+        let in_ids = launch.input_buffers()?;
+        let out_ids = launch.output_buffers()?;
+        for id in &out_ids {
+            self.buffers.begin_kernel_write(*id, kid);
+        }
+        let mut cpu_inputs = in_ids.clone();
+        cpu_inputs.extend(out_ids.iter().copied());
+        let cpu_ready = self.buffers.cpu_ready_time(&cpu_inputs).max(ready);
+        let mut all_bufs = in_ids;
+        all_bufs.extend(out_ids.iter().copied());
+        let gpu_ready = self.buffers.gpu_ready_time(&all_bufs).max(ready);
+        let scratch_setup = self.scratch_setup_cost(&out_ids);
+        let input = CoexecInput {
+            machine: &self.machine,
+            config: &self.config,
+            launch: &launch,
+            kernel_id: kid,
+            enqueue_at: flush_at,
+            gpu_start: gpu_ready.max(self.gpu_free),
+            cpu_start: cpu_ready,
+            scratch_setup,
+            hd_free: self.hd_free,
+            dh_free: self.dh_free,
+            cpu_mem: &mut self.cpu_mem,
+            gpu_mem: &mut self.gpu_mem,
+            snapshots: &mut self.snapshots,
+            // Sibling graph nodes occupy the peers; this node runs the
+            // legacy two-device protocol.
+            peers: Vec::new(),
+            injector: None,
+            dead_cpu: false,
+        };
+        let outcome = match Coexec::new(input).and_then(Coexec::run) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.release_scratch(&out_ids);
+                self.restore_coherence(&out_ids);
+                return Err(e);
+            }
+        };
+        if let Err(e) = self.gate_report(&p.kernel, &outcome.report) {
+            self.release_scratch(&out_ids);
+            return Err(e);
+        }
+        self.gpu_free = outcome.gpu_busy_until;
+        self.hd_free = outcome.hd_free;
+        self.dh_free = outcome.dh_free;
+        for id in &out_ids {
+            self.buffers
+                .record_cpu_arrival(*id, kid, outcome.cpu_results_at);
+            self.buffers
+                .record_gpu_arrival(*id, kid, outcome.gpu_results_at);
+            self.buffers.state_mut(*id).orig_snapshot_current = true;
+            if self.config.dirty_range_transfers {
+                let len = self.buffers.state(*id).len;
+                self.buffers.record_kernel_dirty(
+                    *id,
+                    DirtyTracker::new(len),
+                    DirtyTracker::new(len),
+                );
+            }
+        }
+        self.release_scratch(&out_ids);
+        self.last_cpu_version = outcome.report.cpu_version_used;
+        let complete = outcome.complete_at;
+        self.reports.push(outcome.report);
+        Ok((ready, complete))
+    }
+
+    /// Executes one graph node alone on peer GPU `slot` (lane `>= 1`).
+    /// Mirrors the peer-degraded cost model: the peer starts from a clean
+    /// slate, so it pays a host-to-device broadcast of the launch buffers
+    /// over its own link before the range. Results land in the
+    /// authoritative host copy and are mirrored into the owner-GPU address
+    /// space, whose arrival is charged one primary-link transfer (the
+    /// refresh rides the link without occupying it — a deliberate
+    /// simplification, like host writes' DMA).
+    fn graph_run_peer(
+        &mut self,
+        node: usize,
+        p: &PendingLaunch,
+        kid: KernelId,
+        slot: &PeerSlot,
+        ready: SimTime,
+        flush_at: SimTime,
+    ) -> ClResult<(SimTime, SimTime)> {
+        let def = self.program.kernel(&p.kernel)?;
+        let launch = Launch::new(def, p.ndrange, p.args.to_vec());
+        let in_ids = launch.input_buffers()?;
+        let out_ids = launch.output_buffers()?;
+        for id in &out_ids {
+            self.buffers.begin_kernel_write(*id, kid);
+        }
+        let total = launch.ndrange.num_groups();
+        let items = launch.ndrange.items_per_group();
+        let profile = &launch.kernel.default_version().profile;
+        let mut all_bufs: Vec<BufferId> = in_ids.clone();
+        all_bufs.extend(out_ids.iter().copied());
+        let mut broadcast_bytes = 0u64;
+        let mut seen: Vec<BufferId> = Vec::new();
+        for id in &all_bufs {
+            if seen.contains(id) {
+                continue;
+            }
+            seen.push(*id);
+            broadcast_bytes += self.buffers.state(*id).bytes();
+        }
+        // The host copy is the broadcast source: wait for it and for the
+        // graph dependences folded into `ready`.
+        let start = self.buffers.cpu_ready_time(&all_bufs).max(ready)
+            + slot.peer.h2d.transfer_time(broadcast_bytes)
+            + slot.peer.gpu.launch_overhead();
+        let duration = slot
+            .peer
+            .gpu
+            .range_time(profile, items, total, self.config.abort_mode);
+        execute_groups_injected(
+            &launch,
+            &mut self.cpu_mem,
+            0,
+            total,
+            self.config.intra_launch_jobs,
+            None,
+            DeviceKind::Gpu,
+        )?;
+        // Mirror the results into the owner-GPU address space so later
+        // owner-lane nodes read coherent data.
+        for id in &out_ids {
+            let data = self.cpu_mem.get(*id)?.to_vec();
+            self.gpu_mem.write(*id, &data)?;
+        }
+        let complete_at = start + duration;
+        let trace = vec![
+            TraceEvent {
+                at: flush_at,
+                kind: TraceKind::Enqueued {
+                    total_wgs: total,
+                    pipeline_depth: 1,
+                },
+            },
+            TraceEvent {
+                at: start,
+                kind: TraceKind::GraphRun {
+                    node: node as u32,
+                    dev: slot.dev,
+                    from: 0,
+                    to: total,
+                },
+            },
+            TraceEvent {
+                at: complete_at,
+                kind: TraceKind::KernelComplete {
+                    finisher: Finisher::Gpu,
+                },
+            },
+        ];
+        let report = KernelReport {
+            kernel: p.kernel.clone(),
+            kernel_id: kid,
+            enqueued_at: flush_at,
+            complete_at,
+            total_wgs: total,
+            gpu_executed_wgs: 0,
+            cpu_executed_wgs: 0,
+            cpu_merged_wgs: 0,
+            subkernels: 0,
+            subkernel_log: Vec::new(),
+            hd_bytes: 0,
+            dh_bytes: 0,
+            cpu_version_used: self.last_cpu_version,
+            peer_executed_wgs: vec![total],
+            finished_by: Finisher::Gpu,
+            duration: complete_at.saturating_since(flush_at),
+            trace,
+            launch_meta: Some(LaunchMeta {
+                ndrange: launch.ndrange,
+                scalars: launch.plan()?.scalars.clone(),
+                out_lens: out_ids
+                    .iter()
+                    .map(|id| self.buffers.state(*id).len)
+                    .collect(),
+            }),
+        };
+        self.gate_report(&p.kernel, &report)?;
+        for id in &out_ids {
+            self.buffers.record_cpu_arrival(*id, kid, complete_at);
+            let bytes = self.buffers.state(*id).bytes();
+            self.buffers.record_gpu_arrival(
+                *id,
+                kid,
+                complete_at + self.machine.h2d.transfer_time(bytes),
+            );
+        }
+        self.reports.push(report);
+        Ok((start, complete_at))
+    }
 }
 
 /// Parses a disjoint-writes proof manifest (the JSON emitted by
@@ -592,6 +1029,9 @@ impl ClDriver for Fluidicl {
     }
 
     fn write_buffer(&mut self, id: BufferId, data: &[f32]) -> ClResult<()> {
+        // A host write is a synchronization point for the kernel graph:
+        // deferred launches that touch this buffer must run first.
+        self.flush_graph()?;
         self.cpu_mem.write(id, data)?;
         self.gpu_mem.write(id, data)?;
         let bytes = data.len() as u64 * 4;
@@ -625,6 +1065,12 @@ impl ClDriver for Fluidicl {
             // Both devices are gone; nothing can execute. The original
             // failure is replayed so the application sees a stable error.
             return Err(fatal.clone());
+        }
+        // Kernel-graph scheduling: defer into the DAG instead of executing
+        // now. Fault plans keep the eager path — the watchdog/failover
+        // protocol is defined over immediate execution order.
+        if self.config.graph_scheduling && self.injector.is_none() {
+            return self.graph_defer(kernel, ndrange, args);
         }
         let def = self.program.kernel(kernel)?;
         let launch = Launch::new(def, ndrange, args.to_vec());
@@ -863,6 +1309,8 @@ impl ClDriver for Fluidicl {
     }
 
     fn read_buffer(&mut self, id: BufferId) -> ClResult<Vec<f32>> {
+        // Reading a buffer forces any deferred kernel graph to execute.
+        self.flush_graph()?;
         let state = self.buffers.try_state(id)?.clone();
         // After a device loss the surviving copy is the only valid one,
         // regardless of what location tracking would prefer. With the
@@ -1252,6 +1700,196 @@ mod tests {
             "partial writes must ship fewer H2D bytes ({dirty_hd} vs {full_hd})"
         );
         assert!(dirty_t <= full_t, "shipping less must never slow the model");
+    }
+
+    #[test]
+    fn graph_scheduling_defers_until_read_then_matches_serial_results() {
+        let mut rt = Fluidicl::new(
+            MachineConfig::paper_testbed(),
+            FluidiclConfig::default()
+                .with_graph_scheduling(true)
+                .with_validate_protocol(true),
+            scale_program(),
+        );
+        let n = 2048;
+        let a = rt.create_buffer(n);
+        let b = rt.create_buffer(n);
+        rt.write_buffer(a, &vec![1.0; n]).unwrap();
+        // a -> b (x2), b -> a (x2): a should end at 4.0, exactly like the
+        // eager chained test — the graph serializes the true dependences.
+        for (src, dst) in [(a, b), (b, a)] {
+            rt.enqueue_kernel(
+                "scale",
+                NdRange::d1(n, 64).unwrap(),
+                &[
+                    KernelArg::Buffer(src),
+                    KernelArg::Buffer(dst),
+                    KernelArg::F32(2.0),
+                ],
+            )
+            .unwrap();
+        }
+        assert!(rt.reports().is_empty(), "launches are deferred");
+        assert_eq!(rt.read_buffer(a).unwrap(), vec![4.0; n]);
+        assert_eq!(rt.reports().len(), 2, "the read flushed the graph");
+        let sched = rt.graph_schedules();
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[0].nodes.len(), 2);
+        assert!(
+            sched[0]
+                .edges
+                .iter()
+                .any(|e| e.from == 0 && e.to == 1 && e.kind == crate::graph::DepKind::True),
+            "chain has a true edge"
+        );
+        // A dependent chain cannot overlap: node 1 starts after node 0.
+        assert!(sched[0].nodes[1].start_at >= sched[0].nodes[0].complete_at);
+    }
+
+    #[test]
+    fn graph_scheduling_overlaps_independent_kernels_on_peers() {
+        // Compute-heavy independent launches: serial co-execution leaves
+        // the mid-range peer nearly idle (it joins each kernel too late to
+        // claim waves), while the graph dedicates it whole sibling nodes.
+        let heavy_program = || {
+            let mut p = Program::new();
+            p.register(KernelDef::new(
+                "heavy",
+                vec![
+                    ArgSpec::new("src", ArgRole::In),
+                    ArgSpec::new("dst", ArgRole::Out),
+                    ArgSpec::new("f", ArgRole::Scalar),
+                ],
+                KernelProfile::new("heavy")
+                    .flops_per_item(4096.0)
+                    .bytes_read_per_item(4.0)
+                    .bytes_written_per_item(4.0),
+                |item, scalars, ins, outs| {
+                    let i = item.global_linear();
+                    outs.at(0)[i] = scalars.f32(0) * ins.get(0)[i];
+                },
+            ));
+            p
+        };
+        let run = |graph: bool| {
+            let mut rt = Fluidicl::new(
+                MachineConfig::paper_testbed_3dev(),
+                FluidiclConfig::default()
+                    .with_graph_scheduling(graph)
+                    .with_validate_protocol(true),
+                heavy_program(),
+            );
+            let n = 1 << 13;
+            let bufs: Vec<(BufferId, BufferId)> = (0..4)
+                .map(|_| (rt.create_buffer(n), rt.create_buffer(n)))
+                .collect();
+            for (src, _) in &bufs {
+                rt.write_buffer(*src, &vec![1.0; n]).unwrap();
+            }
+            let before = rt.elapsed();
+            for (src, dst) in &bufs {
+                rt.enqueue_kernel(
+                    "heavy",
+                    NdRange::d1(n, 64).unwrap(),
+                    &[
+                        KernelArg::Buffer(*src),
+                        KernelArg::Buffer(*dst),
+                        KernelArg::F32(3.0),
+                    ],
+                )
+                .unwrap();
+            }
+            rt.flush_graph().unwrap();
+            let makespan = rt.elapsed() - before;
+            for (_, dst) in &bufs {
+                assert_eq!(rt.read_buffer(*dst).unwrap(), vec![3.0; n]);
+            }
+            (makespan, rt.graph_schedules().to_vec())
+        };
+        let (serial, s0) = run(false);
+        let (graphed, s1) = run(true);
+        assert!(s0.is_empty(), "gate off records no schedules");
+        assert_eq!(s1.len(), 1);
+        assert!(
+            s1[0].nodes.iter().any(|nd| nd.lane >= 1),
+            "HEFT offloads at least one node to a peer lane"
+        );
+        assert!(
+            graphed < serial,
+            "independent kernels must overlap across devices ({graphed:?} vs {serial:?})"
+        );
+    }
+
+    #[test]
+    fn graph_flush_is_explicit_and_idempotent() {
+        let mut rt = Fluidicl::new(
+            MachineConfig::paper_testbed_3dev(),
+            FluidiclConfig::default().with_graph_scheduling(true),
+            scale_program(),
+        );
+        let n = 1024;
+        let a = rt.create_buffer(n);
+        let b = rt.create_buffer(n);
+        rt.write_buffer(a, &vec![1.0; n]).unwrap();
+        rt.enqueue_kernel(
+            "scale",
+            NdRange::d1(n, 64).unwrap(),
+            &[
+                KernelArg::Buffer(a),
+                KernelArg::Buffer(b),
+                KernelArg::F32(2.0),
+            ],
+        )
+        .unwrap();
+        rt.flush_graph().unwrap();
+        assert_eq!(rt.reports().len(), 1);
+        let clock = rt.elapsed();
+        rt.flush_graph().unwrap();
+        assert_eq!(rt.reports().len(), 1, "empty flush is a no-op");
+        assert_eq!(rt.elapsed(), clock, "empty flush does not move the clock");
+        assert_eq!(rt.read_buffer(b).unwrap(), vec![2.0; n]);
+    }
+
+    #[test]
+    fn graph_peer_lane_weights_are_profiled_online() {
+        // Two flushes of the same independent pair: the second flush plans
+        // from observed EWMA weights rather than model seeds, and results
+        // stay correct either way.
+        let mut rt = Fluidicl::new(
+            MachineConfig::paper_testbed_3dev(),
+            FluidiclConfig::default().with_graph_scheduling(true),
+            scale_program(),
+        );
+        let n = 4096;
+        let pairs: Vec<(BufferId, BufferId)> = (0..2)
+            .map(|_| (rt.create_buffer(n), rt.create_buffer(n)))
+            .collect();
+        for round in 0..2 {
+            for (src, _) in &pairs {
+                rt.write_buffer(*src, &vec![round as f32 + 1.0; n]).unwrap();
+            }
+            for (src, dst) in &pairs {
+                rt.enqueue_kernel(
+                    "scale",
+                    NdRange::d1(n, 64).unwrap(),
+                    &[
+                        KernelArg::Buffer(*src),
+                        KernelArg::Buffer(*dst),
+                        KernelArg::F32(2.0),
+                    ],
+                )
+                .unwrap();
+            }
+            rt.flush_graph().unwrap();
+            for (_, dst) in &pairs {
+                assert_eq!(
+                    rt.read_buffer(*dst).unwrap(),
+                    vec![2.0 * (round as f32 + 1.0); n]
+                );
+            }
+        }
+        assert_eq!(rt.graph_schedules().len(), 2);
+        assert_eq!(rt.reports().len(), 4);
     }
 
     #[test]

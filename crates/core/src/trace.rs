@@ -269,6 +269,21 @@ pub enum TraceKind {
         /// One past the last work-group of the degraded run.
         to: u64,
     },
+    /// A graph-scheduled node executed work-groups `[from, to)` alone on
+    /// one endpoint while sibling nodes of the same flushed DAG ran
+    /// elsewhere (`with_graph_scheduling`). Endpoint indices follow the
+    /// Ep* vocabulary: 1.. are peer GPUs. Nodes placed on the owner
+    /// co-execution lane keep the legacy two-device trace instead.
+    GraphRun {
+        /// Node index within the flushed graph (enqueue order).
+        node: u32,
+        /// Endpoint index the node ran on.
+        dev: u32,
+        /// First flattened work-group of the run.
+        from: u64,
+        /// One past the last work-group of the run.
+        to: u64,
+    },
 }
 
 impl fmt::Display for TraceKind {
@@ -456,6 +471,14 @@ impl fmt::Display for TraceKind {
             TraceKind::EpDegradedRun { dev, from, to } => {
                 write!(f, "[deg] ep{dev} finishing {from}..{to} alone")
             }
+            TraceKind::GraphRun {
+                node,
+                dev,
+                from,
+                to,
+            } => {
+                write!(f, "[gph] node {node} ran {from}..{to} on ep{dev}")
+            }
         }
     }
 }
@@ -576,6 +599,9 @@ pub fn render_lanes(kernel: &str, events: &[TraceEvent], width: usize) -> String
             TraceKind::OwnerPromoted { .. } => gpu[b] = 'P',
             TraceKind::EpochRejected { .. } => hd[b] = 'e',
             TraceKind::EpDegradedRun { .. } => gpu[b] = 'D',
+            // A graph node on a peer endpoint occupies that device's
+            // compute; the gpu lane shows the sole-device run.
+            TraceKind::GraphRun { .. } => gpu[b] = 'G',
         }
     }
     let lane =
@@ -727,10 +753,30 @@ mod tests {
                 from: 0,
                 to: 120,
             },
+            TraceKind::GraphRun {
+                node: 1,
+                dev: 2,
+                from: 0,
+                to: 120,
+            },
         ];
         for k in kinds {
             assert!(!k.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn graph_run_renders_node_and_endpoint() {
+        let k = TraceKind::GraphRun {
+            node: 3,
+            dev: 1,
+            from: 0,
+            to: 64,
+        };
+        assert_eq!(k.to_string(), "[gph] node 3 ran 0..64 on ep1");
+        let events = vec![ev(0, TraceKind::GpuLaunch), ev(100, k)];
+        let text = render_lanes("k", &events, 40);
+        assert!(text.contains('G'), "graph run marks the gpu lane: {text}");
     }
 
     #[test]

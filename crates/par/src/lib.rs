@@ -62,6 +62,24 @@ pub fn configure_jobs(jobs: usize) {
     JOBS.store(jobs.max(1), Ordering::SeqCst);
 }
 
+/// The machine's hardware thread count
+/// ([`std::thread::available_parallelism`]), independent of the
+/// `FLUIDICL_JOBS`/`RAYON_NUM_THREADS` overrides honored by
+/// [`default_jobs`]. Falls back to 1 when the platform cannot report it.
+pub fn hardware_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Clamps a requested worker count by [`hardware_parallelism`]: threads
+/// beyond the core count only time-slice each other, so a fan-out sized
+/// past the hardware runs *slower* than sequential (observed on 1-cpu CI
+/// runners). Never returns 0.
+pub fn effective_jobs(requested: usize) -> usize {
+    requested.min(hardware_parallelism()).max(1)
+}
+
 /// Current global worker count, resolving [`default_jobs`] on first use.
 pub fn jobs() -> usize {
     let j = JOBS.load(Ordering::SeqCst);
@@ -199,6 +217,15 @@ mod tests {
     #[test]
     fn default_jobs_is_at_least_one() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn effective_jobs_clamps_to_hardware() {
+        let hw = hardware_parallelism();
+        assert!(hw >= 1);
+        assert_eq!(effective_jobs(0), 1, "never zero");
+        assert!(effective_jobs(usize::MAX) <= hw, "capped by the hardware");
+        assert_eq!(effective_jobs(1), 1);
     }
 
     #[test]

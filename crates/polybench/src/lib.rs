@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod atax;
+pub mod batchmm;
 pub mod bicg;
 pub mod corr;
 pub mod data;
@@ -29,5 +30,6 @@ pub mod syr2k;
 pub mod syrk;
 
 pub use spec::{
-    all_benchmarks, benchmarks, extended_benchmarks, find, outputs_match, BenchmarkSpec, RunFn,
+    all_benchmarks, benchmarks, extended_benchmarks, find, outputs_match, pipeline_benchmark,
+    BenchmarkSpec, RunFn,
 };

@@ -186,6 +186,14 @@ pub fn benchmarks() -> Vec<BenchmarkSpec> {
     ]
 }
 
+/// The BATCHMM kernel-graph pipeline workload: [`crate::batchmm::CHAINS`]
+/// independent matrix products feeding one reduction. Standalone — not part
+/// of [`benchmarks`]/[`extended_benchmarks`]/[`all_benchmarks`], so the
+/// sweep row set (and every output derived from it) is unchanged.
+pub fn pipeline_benchmark() -> BenchmarkSpec {
+    crate::batchmm::spec()
+}
+
 /// Looks up a benchmark by (case-insensitive) name, across both suites.
 pub fn find(name: &str) -> Option<BenchmarkSpec> {
     all_benchmarks()

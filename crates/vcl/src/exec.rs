@@ -214,6 +214,38 @@ pub fn execute_groups_par(
     to: u64,
     jobs: usize,
 ) -> ClResult<()> {
+    execute_groups_par_capped(
+        launch,
+        mem,
+        from,
+        to,
+        jobs,
+        fluidicl_par::hardware_parallelism(),
+    )
+}
+
+/// [`execute_groups_par`] with an explicit hardware-thread cap.
+///
+/// `jobs` is clamped to `hw` before the dispatch decision: with one
+/// effective job (a 1-cpu runner, however large the requested fan-out) the
+/// parallel machinery — private output copies, chunk merges, pool threads
+/// time-slicing a single core — costs strictly more than the sequential
+/// path it would emulate, so the call degrades to [`execute_groups`].
+/// `execute_groups_par` passes [`fluidicl_par::hardware_parallelism`];
+/// tests pin the degradation by passing `hw` directly.
+///
+/// # Errors
+///
+/// Same as [`execute_groups`].
+pub fn execute_groups_par_capped(
+    launch: &Launch,
+    mem: &mut Memory,
+    from: u64,
+    to: u64,
+    jobs: usize,
+    hw: usize,
+) -> ClResult<()> {
+    let jobs = jobs.min(hw.max(1));
     let span = to.saturating_sub(from);
     if jobs <= 1 || span < 2 || !launch.kernel.disjoint_writes() || fluidicl_par::in_pool() {
         return execute_groups(launch, mem, from, to);
@@ -509,6 +541,49 @@ mod tests {
             )
             .with_disjoint_writes(),
         )
+    }
+
+    #[test]
+    fn one_hardware_thread_degrades_to_sequential() {
+        // The kernel body records whether it ran on a pool worker: with the
+        // hardware cap at 1 the parallel entry point must not spawn at all,
+        // however large the requested fan-out.
+        let probe_kernel = || {
+            Arc::new(
+                KernelDef::new(
+                    "probe",
+                    vec![ArgSpec::new("dst", ArgRole::Out)],
+                    KernelProfile::new("probe"),
+                    |item, _, _, outs| {
+                        let i = item.global_linear();
+                        outs.at(0)[i] = fluidicl_par::in_pool() as i32 as f32;
+                    },
+                )
+                .with_disjoint_writes(),
+            )
+        };
+        let n = 64;
+        let nd = NdRange::d1(n, 4).unwrap();
+        let args = vec![KernelArg::Buffer(BufferId(0))];
+
+        let mut mem = Memory::new();
+        mem.alloc(BufferId(0), n);
+        let launch = Launch::new(probe_kernel(), nd, args.clone());
+        execute_groups_par_capped(&launch, &mut mem, 0, 16, 8, 1).unwrap();
+        assert_eq!(
+            mem.get(BufferId(0)).unwrap(),
+            &vec![0.0; n][..],
+            "hw=1 runs every group on the calling thread"
+        );
+
+        let mut mem = Memory::new();
+        mem.alloc(BufferId(0), n);
+        let launch = Launch::new(probe_kernel(), nd, args);
+        execute_groups_par_capped(&launch, &mut mem, 0, 16, 8, 64).unwrap();
+        assert!(
+            mem.get(BufferId(0)).unwrap().contains(&1.0),
+            "an uncapped fan-out reaches the pool"
+        );
     }
 
     #[test]

@@ -108,6 +108,45 @@ impl AccessPattern {
         if let AccessPattern::WholeBuffer = self {
             return DirtyRanges::full(buf_len);
         }
+        // Row/Col footprints depend only on the *set* of distinct index
+        // values along their dimension, not on the per-item multiplicity:
+        // dedup the keys first, so a 2-D launch emits one range per
+        // distinct row/column instead of one per work item (a Col pattern
+        // otherwise pushes `buf_len / w` singletons for every item, which
+        // made whole-launch footprints quadratic in the matrix edge).
+        if let AccessPattern::Row { dim, width_scalar } | AccessPattern::Col { dim, width_scalar } =
+            self
+        {
+            let w = scalars.usize(*width_scalar);
+            let mut keys: Vec<usize> = Vec::new();
+            for flat in from..to {
+                let group = nd.unflatten_group(flat);
+                for_each_item_in_group(nd, group, |item| keys.push(item.global[*dim]));
+            }
+            keys.sort_unstable();
+            keys.dedup();
+            let mut ranges: Vec<(usize, usize)> = Vec::new();
+            let mut push = |s: usize, e: usize| {
+                let e = e.min(buf_len);
+                if s < e {
+                    ranges.push((s, e));
+                }
+            };
+            for key in keys {
+                match self {
+                    AccessPattern::Row { .. } => push(key * w, (key + 1) * w),
+                    AccessPattern::Col { .. } => {
+                        if w > 0 {
+                            for k in 0..buf_len.div_ceil(w) {
+                                push(key + k * w, key + k * w + 1);
+                            }
+                        }
+                    }
+                    _ => unreachable!("matched Row/Col above"),
+                }
+            }
+            return DirtyRanges::from_ranges(ranges);
+        }
         let mut ranges: Vec<(usize, usize)> = Vec::new();
         let mut push = |s: usize, e: usize| {
             let e = e.min(buf_len);
@@ -122,24 +161,13 @@ impl AccessPattern {
                     let i = item.global_linear();
                     push(i, i + 1);
                 }
-                AccessPattern::Row { dim, width_scalar } => {
-                    let w = scalars.usize(*width_scalar);
-                    let r = item.global[*dim];
-                    push(r * w, (r + 1) * w);
-                }
-                AccessPattern::Col { dim, width_scalar } => {
-                    let w = scalars.usize(*width_scalar);
-                    let c = item.global[*dim];
-                    if w > 0 {
-                        for k in 0..buf_len.div_ceil(w) {
-                            push(c + k * w, c + k * w + 1);
-                        }
-                    }
-                }
                 AccessPattern::Custom(f) => {
                     for (s, e) in f(item, scalars, buf_len) {
                         push(s, e);
                     }
+                }
+                AccessPattern::Row { .. } | AccessPattern::Col { .. } => {
+                    unreachable!("handled above")
                 }
                 AccessPattern::WholeBuffer => unreachable!("handled above"),
             });
